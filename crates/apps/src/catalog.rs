@@ -1,0 +1,126 @@
+//! The paper's app catalogue: all 18 Google Play apps of Table 3.
+//!
+//! | App            | ReIn (s) | α    | S/D | hardware           | workloads |
+//! |----------------|----------|------|-----|--------------------|-----------|
+//! | Facebook       | 60       | 0    | D   | Wi-Fi              | L, H      |
+//! | imo.im         | 180      | 0    | D   | Wi-Fi              | L, H      |
+//! | Line           | 200      | 0.75 | D   | Wi-Fi              | L, H      |
+//! | BAND           | 202      | 0    | D   | Wi-Fi              | L, H      |
+//! | YeeCall        | 270      | 0    | S   | Wi-Fi              | L, H      |
+//! | JusTalk        | 300      | 0    | S   | Wi-Fi              | L, H      |
+//! | Weibo          | 300      | 0    | D   | Wi-Fi              | L, H      |
+//! | KakaoTalk      | 600      | 0.75 | D   | Wi-Fi              | L, H      |
+//! | Viber          | 600      | 0.75 | D   | Wi-Fi              | L, H      |
+//! | WeChat         | 900      | 0.75 | D   | Wi-Fi              | L, H      |
+//! | Messenger      | 900      | 0.75 | S   | Wi-Fi              | L, H      |
+//! | Alarm Clock    | 1800     | 0    | S   | Speaker & Vibrator | L, H      |
+//! | Drink Water    | 900      | 0.75 | S   | Speaker & Vibrator | H         |
+//! | Noom Walk      | 60       | 0.75 | S   | Accelerometer      | H         |
+//! | Moves          | 90       | 0.75 | S   | Accelerometer      | H         |
+//! | FollowMee      | 180      | 0.75 | S   | WPS                | H         |
+//! | Family Locator | 300      | 0.75 | S   | WPS                | H         |
+//! | Cell Tracker   | 300      | 0.75 | S   | WPS                | H         |
+
+use crate::app::{AppSpec, RepeatKind};
+
+/// The 12 apps of the light workload: the Alarm Clock (the only
+/// perceptible alarm) plus the 11 Wi-Fi-only messaging apps. This
+/// scenario exercises *time* similarity only, since all imperceptible
+/// alarms share the same hardware (§4.1).
+pub fn light_workload_apps() -> Vec<AppSpec> {
+    use RepeatKind::{Dynamic, Static};
+    vec![
+        AppSpec::messaging("Facebook", 60, 0.0, Dynamic),
+        AppSpec::messaging("imo.im", 180, 0.0, Dynamic),
+        AppSpec::messaging("Line", 200, 0.75, Dynamic),
+        AppSpec::messaging("BAND", 202, 0.0, Dynamic),
+        AppSpec::messaging("YeeCall", 270, 0.0, Static),
+        AppSpec::messaging("JusTalk", 300, 0.0, Static),
+        AppSpec::messaging("Weibo", 300, 0.0, Dynamic),
+        AppSpec::messaging("KakaoTalk", 600, 0.75, Dynamic),
+        AppSpec::messaging("Viber", 600, 0.75, Dynamic),
+        AppSpec::messaging("WeChat", 900, 0.75, Dynamic),
+        AppSpec::messaging("Messenger", 900, 0.75, Static),
+        AppSpec::notifier("Alarm Clock", 1_800, 0.0),
+    ]
+}
+
+/// The 6 additional apps of the heavy workload, whose alarms wakelock the
+/// WPS, the accelerometer, or the speaker & vibrator — the scenario that
+/// exercises *hardware* similarity as well (§4.1).
+pub fn heavy_only_apps() -> Vec<AppSpec> {
+    vec![
+        AppSpec::notifier("Drink Water", 900, 0.75),
+        AppSpec::step_counter("Noom Walk", 60, 0.75),
+        AppSpec::step_counter("Moves", 90, 0.75),
+        AppSpec::location_tracker("FollowMee", 180, 0.75),
+        AppSpec::location_tracker("Family Locator", 300, 0.75),
+        AppSpec::location_tracker("Cell Tracker", 300, 0.75),
+    ]
+}
+
+/// All 18 apps of the heavy workload.
+pub fn heavy_workload_apps() -> Vec<AppSpec> {
+    let mut apps = light_workload_apps();
+    apps.extend(heavy_only_apps());
+    apps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simty_core::hardware::HardwareComponent;
+
+    #[test]
+    fn catalogue_sizes_match_table_3() {
+        assert_eq!(light_workload_apps().len(), 12);
+        assert_eq!(heavy_workload_apps().len(), 18);
+    }
+
+    #[test]
+    fn light_workload_is_wifi_plus_one_notifier() {
+        let apps = light_workload_apps();
+        let wifi = apps
+            .iter()
+            .filter(|a| a.hardware == HardwareComponent::Wifi.into())
+            .count();
+        let notify = apps
+            .iter()
+            .filter(|a| a.hardware.is_perceptible())
+            .count();
+        assert_eq!(wifi, 11);
+        assert_eq!(notify, 1);
+    }
+
+    #[test]
+    fn heavy_workload_hardware_mix() {
+        let apps = heavy_workload_apps();
+        let count = |c: HardwareComponent| {
+            apps.iter().filter(|a| a.hardware.contains(c)).count()
+        };
+        assert_eq!(count(HardwareComponent::Wifi), 11);
+        assert_eq!(count(HardwareComponent::Wps), 3);
+        assert_eq!(count(HardwareComponent::Accelerometer), 2);
+        assert_eq!(count(HardwareComponent::Speaker), 2);
+    }
+
+    #[test]
+    fn table_3_parameters_spot_checks() {
+        let apps = heavy_workload_apps();
+        let by_name = |n: &str| apps.iter().find(|a| a.name == n).unwrap();
+        assert_eq!(by_name("Facebook").repeat_secs, 60);
+        assert_eq!(by_name("Facebook").alpha, 0.0);
+        assert_eq!(by_name("BAND").repeat_secs, 202);
+        assert_eq!(by_name("Alarm Clock").repeat_secs, 1_800);
+        assert_eq!(by_name("Cell Tracker").repeat_secs, 300);
+        assert_eq!(by_name("WeChat").alpha, 0.75);
+    }
+
+    #[test]
+    fn every_app_builds_a_valid_alarm() {
+        for spec in heavy_workload_apps() {
+            let alarm = spec.alarm(0.96, simty_core::time::SimTime::ZERO);
+            assert!(alarm.is_ok(), "{} failed: {:?}", spec.name, alarm.err());
+        }
+    }
+}

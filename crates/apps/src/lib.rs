@@ -1,0 +1,45 @@
+//! # simty-apps — the paper's workload substrate
+//!
+//! Models the 18 Google Play resident apps of the paper's Table 3
+//! ([`catalog`]), the light/heavy workload scenarios of §4.1
+//! ([`workload`]), a synthetic Android-framework system-alarm stream
+//! ([`system`]), and external wake events ([`external`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use simty_apps::workload::WorkloadBuilder;
+//! use simty_core::policy::SimtyPolicy;
+//! use simty_sim::{SimConfig, Simulation};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let workload = WorkloadBuilder::light().with_seed(1).build();
+//! let mut sim = Simulation::new(Box::new(SimtyPolicy::new()), SimConfig::new());
+//! for alarm in workload.alarms {
+//!     sim.register(alarm)?;
+//! }
+//! // sim.run() reproduces one light-workload data point of Fig. 3/4.
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod app;
+pub mod catalog;
+pub mod external;
+pub mod push;
+pub mod sessions;
+pub mod spec;
+pub mod system;
+pub mod workload;
+
+pub use app::{AppSpec, RepeatKind};
+pub use external::ExternalEvents;
+pub use push::PushPlan;
+pub use sessions::UserSessions;
+pub use spec::{parse_workload_spec, render_workload_spec};
+pub use system::SystemAlarms;
+pub use workload::{Workload, WorkloadBuilder};

@@ -1,0 +1,172 @@
+//! Interactive user sessions.
+//!
+//! The paper's motivation rests on Shye et al.'s finding that smartphones
+//! sit in standby 89 % of the time \[9\] — the other 11 % is the user
+//! actually using the phone. This module models those screen-on sessions
+//! so mixed standby/interactive days can be simulated: each session is a
+//! one-shot, screen-wakelocking alarm (the user pressing the power button
+//! *is* a wakeup, and the screen dominates power while it lasts).
+//!
+//! Sessions interact with wakeup management in two ways the paper's
+//! machinery must tolerate: alarms falling inside a session are delivered
+//! with the device already awake (no transition cost), and *non-wakeup*
+//! alarms that piled up during standby flush at session start (§2.1).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use simty_core::alarm::Alarm;
+use simty_core::hardware::HardwareComponent;
+use simty_core::time::{SimDuration, SimTime};
+
+/// Generates seeded interactive sessions.
+///
+/// # Examples
+///
+/// ```
+/// use simty_apps::sessions::UserSessions;
+/// use simty_core::time::SimDuration;
+///
+/// let sessions = UserSessions::new(5).generate(SimDuration::from_hours(3));
+/// assert!(!sessions.is_empty());
+/// for s in &sessions {
+///     assert!(s.repeat().is_one_shot());
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct UserSessions {
+    seed: u64,
+    mean_gap: SimDuration,
+    min_length: SimDuration,
+    max_length: SimDuration,
+}
+
+impl UserSessions {
+    /// Creates a generator: sessions roughly every 25 minutes, lasting
+    /// 30 s to 4 min (≈ 10 % interactive time, matching \[9\]).
+    pub fn new(seed: u64) -> Self {
+        UserSessions {
+            seed,
+            mean_gap: SimDuration::from_mins(25),
+            min_length: SimDuration::from_secs(30),
+            max_length: SimDuration::from_mins(4),
+        }
+    }
+
+    /// Sets the mean gap between sessions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gap` is shorter than one minute.
+    pub fn with_mean_gap(mut self, gap: SimDuration) -> Self {
+        assert!(
+            gap >= SimDuration::from_mins(1),
+            "session gap must be at least one minute"
+        );
+        self.mean_gap = gap;
+        self
+    }
+
+    /// Sets the session length range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `min` is zero.
+    pub fn with_length_range(mut self, min: SimDuration, max: SimDuration) -> Self {
+        assert!(!min.is_zero() && min <= max, "invalid session length range");
+        self.min_length = min;
+        self.max_length = max;
+        self
+    }
+
+    /// Generates the session alarms for a run of `duration`: one-shot,
+    /// screen-wakelocking, delivered exactly at the session start (the
+    /// user's button press brooks no alignment).
+    pub fn generate(&self, duration: SimDuration) -> Vec<Alarm> {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_add(0x5E55));
+        let mut sessions = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            // Exponential-ish gap via geometric sampling over seconds.
+            let p = 1.0 / self.mean_gap.as_secs_f64();
+            let mut gap_s = 1u64;
+            while !rng.gen_bool(p.min(1.0)) {
+                gap_s += 1;
+                if gap_s > duration.as_millis() / 1_000 {
+                    break;
+                }
+            }
+            t += SimDuration::from_secs(gap_s);
+            if t >= SimTime::ZERO + duration {
+                break;
+            }
+            let span_ms = rng.gen_range(self.min_length.as_millis()..=self.max_length.as_millis());
+            let alarm = Alarm::builder(format!("user-session-{}", sessions.len()))
+                .nominal(t)
+                .one_shot()
+                .hardware(HardwareComponent::Screen.into())
+                .task_duration(SimDuration::from_millis(span_ms))
+                .build()
+                .expect("valid session alarm");
+            sessions.push(alarm);
+        }
+        sessions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let nominals = |seed: u64| {
+            UserSessions::new(seed)
+                .generate(SimDuration::from_hours(6))
+                .iter()
+                .map(Alarm::nominal)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(nominals(1), nominals(1));
+        assert_ne!(nominals(1), nominals(2));
+    }
+
+    #[test]
+    fn sessions_are_perceptible_one_shots_within_the_run() {
+        let duration = SimDuration::from_hours(6);
+        let sessions = UserSessions::new(3).generate(duration);
+        assert!(sessions.len() >= 5, "only {} sessions", sessions.len());
+        for mut s in sessions {
+            assert!(s.repeat().is_one_shot());
+            assert!(s.nominal() < SimTime::ZERO + duration);
+            s.mark_hardware_known();
+            assert!(s.is_perceptible());
+            assert!(s.task_duration() >= SimDuration::from_secs(30));
+            assert!(s.task_duration() <= SimDuration::from_mins(4));
+        }
+    }
+
+    #[test]
+    fn interactive_share_is_plausible() {
+        // Over a long horizon the screen-on share should be near 10 %,
+        // the paper's \[9\] statistic.
+        let duration = SimDuration::from_hours(48);
+        let sessions = UserSessions::new(7).generate(duration);
+        let on: SimDuration = sessions.iter().map(Alarm::task_duration).sum();
+        let share = on.as_secs_f64() / duration.as_secs_f64();
+        assert!((0.02..0.30).contains(&share), "share {share}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one minute")]
+    fn tiny_gap_is_rejected() {
+        let _ = UserSessions::new(0).with_mean_gap(SimDuration::from_secs(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid session length range")]
+    fn reversed_length_range_is_rejected() {
+        let _ = UserSessions::new(0)
+            .with_length_range(SimDuration::from_secs(60), SimDuration::from_secs(30));
+    }
+}

@@ -1,0 +1,253 @@
+//! A plain-text workload specification format.
+//!
+//! One app per line, whitespace-separated columns mirroring Table 3, with
+//! `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # name      repeat_s  alpha  S/D  hardware           task_ms
+//! Facebook    60        0.0    D    wifi               3000
+//! FollowMee   180       0.75   S    wps                8000
+//! AlarmClock  1800      0.0    S    speaker+vibrator   1000
+//! Heartbeat   60        0.0    D    none               500
+//! ```
+//!
+//! Hardware is a `+`-separated list of component names (or `none` for a
+//! CPU-only alarm). App names therefore cannot contain whitespace; use
+//! underscores.
+
+use std::error::Error;
+use std::fmt;
+
+use simty_core::hardware::{HardwareComponent, HardwareSet};
+
+use crate::app::{AppSpec, RepeatKind};
+
+/// Error produced while parsing a workload specification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseWorkloadError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseWorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload spec line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseWorkloadError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseWorkloadError {
+    ParseWorkloadError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses one hardware token (`wifi`, `speaker+vibrator`, `none`, ...).
+///
+/// # Errors
+///
+/// Returns an error naming the unknown component.
+pub fn parse_hardware(token: &str) -> Result<HardwareSet, String> {
+    if token.eq_ignore_ascii_case("none") {
+        return Ok(HardwareSet::empty());
+    }
+    let mut set = HardwareSet::empty();
+    for part in token.split('+') {
+        let component = match part.to_ascii_lowercase().as_str() {
+            "wifi" | "wi-fi" => HardwareComponent::Wifi,
+            "cellular" => HardwareComponent::Cellular,
+            "gps" => HardwareComponent::Gps,
+            "wps" => HardwareComponent::Wps,
+            "accelerometer" | "accel" => HardwareComponent::Accelerometer,
+            "speaker" => HardwareComponent::Speaker,
+            "vibrator" => HardwareComponent::Vibrator,
+            "screen" => HardwareComponent::Screen,
+            other => return Err(format!("unknown hardware component `{other}`")),
+        };
+        set.insert(component);
+    }
+    Ok(set)
+}
+
+/// Parses a workload specification into app specs.
+///
+/// # Errors
+///
+/// Returns [`ParseWorkloadError`] with the offending line number for
+/// malformed lines, unknown hardware, or out-of-range values.
+///
+/// # Examples
+///
+/// ```
+/// use simty_apps::spec::parse_workload_spec;
+///
+/// let apps = parse_workload_spec(
+///     "# a tiny workload\n\
+///      Chat  120  0.5  D  wifi  2000\n",
+/// )?;
+/// assert_eq!(apps.len(), 1);
+/// assert_eq!(apps[0].name, "Chat");
+/// # Ok::<(), simty_apps::spec::ParseWorkloadError>(())
+/// ```
+pub fn parse_workload_spec(text: &str) -> Result<Vec<AppSpec>, ParseWorkloadError> {
+    let mut apps = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() != 6 {
+            return Err(err(
+                line_no,
+                format!(
+                    "expected 6 columns (name repeat_s alpha S/D hardware task_ms), got {}",
+                    fields.len()
+                ),
+            ));
+        }
+        let name = fields[0].to_owned();
+        let repeat_secs: u64 = fields[1]
+            .parse()
+            .map_err(|_| err(line_no, format!("invalid repeat interval `{}`", fields[1])))?;
+        if repeat_secs == 0 {
+            return Err(err(line_no, "repeat interval must be positive"));
+        }
+        let alpha: f64 = fields[2]
+            .parse()
+            .map_err(|_| err(line_no, format!("invalid alpha `{}`", fields[2])))?;
+        if !(0.0..1.0).contains(&alpha) {
+            return Err(err(line_no, format!("alpha {alpha} outside [0, 1)")));
+        }
+        let repeat_kind = match fields[3] {
+            "S" | "s" => RepeatKind::Static,
+            "D" | "d" => RepeatKind::Dynamic,
+            other => return Err(err(line_no, format!("expected S or D, got `{other}`"))),
+        };
+        let hardware = parse_hardware(fields[4]).map_err(|m| err(line_no, m))?;
+        let task_ms: u64 = fields[5]
+            .parse()
+            .map_err(|_| err(line_no, format!("invalid task duration `{}`", fields[5])))?;
+        apps.push(AppSpec {
+            name,
+            repeat_secs,
+            alpha,
+            repeat_kind,
+            hardware,
+            task_ms,
+        });
+    }
+    Ok(apps)
+}
+
+/// Renders app specs back into the text format (round-trips with
+/// [`parse_workload_spec`]).
+pub fn render_workload_spec(apps: &[AppSpec]) -> String {
+    let mut out = String::from("# name  repeat_s  alpha  S/D  hardware  task_ms\n");
+    for app in apps {
+        let hardware = if app.hardware.is_empty() {
+            "none".to_owned()
+        } else {
+            app.hardware
+                .iter()
+                .map(|c| match c {
+                    HardwareComponent::Wifi => "wifi",
+                    HardwareComponent::Cellular => "cellular",
+                    HardwareComponent::Gps => "gps",
+                    HardwareComponent::Wps => "wps",
+                    HardwareComponent::Accelerometer => "accelerometer",
+                    HardwareComponent::Speaker => "speaker",
+                    HardwareComponent::Vibrator => "vibrator",
+                    HardwareComponent::Screen => "screen",
+                })
+                .collect::<Vec<_>>()
+                .join("+")
+        };
+        out.push_str(&format!(
+            "{} {} {} {} {} {}\n",
+            app.name.replace(' ', "_"),
+            app.repeat_secs,
+            app.alpha,
+            match app.repeat_kind {
+                RepeatKind::Static => "S",
+                RepeatKind::Dynamic => "D",
+            },
+            hardware,
+            app.task_ms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::heavy_workload_apps;
+
+    #[test]
+    fn parses_a_typical_spec() {
+        let apps = parse_workload_spec(
+            "# comment line\n\
+             \n\
+             Chat    120  0.5   D  wifi              2000\n\
+             Tracker 300  0.75  S  wps               8000   # trailing comment\n\
+             Clock   1800 0.0   S  speaker+vibrator  1000\n\
+             Daemon  60   0.0   D  none              500\n",
+        )
+        .unwrap();
+        assert_eq!(apps.len(), 4);
+        assert_eq!(apps[1].hardware, HardwareComponent::Wps.into());
+        assert!(apps[2].hardware.is_perceptible());
+        assert!(apps[3].hardware.is_empty());
+        assert_eq!(apps[0].repeat_kind, RepeatKind::Dynamic);
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let e = parse_workload_spec("Good 60 0.0 D wifi 1000\nBad line\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        assert!(parse_workload_spec("A 0 0.0 D wifi 100").is_err());
+        assert!(parse_workload_spec("A 60 1.5 D wifi 100").is_err());
+        assert!(parse_workload_spec("A 60 0.5 X wifi 100").is_err());
+        assert!(parse_workload_spec("A 60 0.5 D warp 100").is_err());
+        assert!(parse_workload_spec("A 60 0.5 D wifi lots").is_err());
+    }
+
+    #[test]
+    fn hardware_tokens() {
+        assert_eq!(parse_hardware("none").unwrap(), HardwareSet::empty());
+        assert_eq!(
+            parse_hardware("Wi-Fi").unwrap(),
+            HardwareComponent::Wifi.into()
+        );
+        let combo = parse_hardware("speaker+vibrator+screen").unwrap();
+        assert_eq!(combo.len(), 3);
+        assert!(parse_hardware("speaker+warp").is_err());
+    }
+
+    #[test]
+    fn catalogue_round_trips() {
+        let original = heavy_workload_apps();
+        let text = render_workload_spec(&original);
+        let parsed = parse_workload_spec(&text).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        for (p, o) in parsed.iter().zip(&original) {
+            assert_eq!(p.name, o.name.replace(' ', "_"));
+            assert_eq!(p.repeat_secs, o.repeat_secs);
+            assert_eq!(p.hardware, o.hardware);
+            assert_eq!(p.repeat_kind, o.repeat_kind);
+            assert_eq!(p.task_ms, o.task_ms);
+            assert!((p.alpha - o.alpha).abs() < 1e-12);
+        }
+    }
+}

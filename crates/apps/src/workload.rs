@@ -1,0 +1,268 @@
+//! Workload builders: the paper's light and heavy scenarios, plus
+//! synthetic custom workloads.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use simty_core::alarm::Alarm;
+use simty_core::time::{SimDuration, SimTime};
+
+use crate::app::AppSpec;
+use crate::catalog::{heavy_workload_apps, light_workload_apps};
+use crate::system::SystemAlarms;
+
+/// A named set of alarms ready to be registered with a simulation.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Scenario name ("light", "heavy", ...).
+    pub name: String,
+    /// The alarms, in registration order.
+    pub alarms: Vec<Alarm>,
+}
+
+/// Builds the paper's workload scenarios (§4.1).
+///
+/// Each app's registration instant is jittered by a seeded uniform offset
+/// (the authors installed and launched the apps by hand before each run),
+/// and a synthetic system-alarm stream is mixed in to play the role of
+/// Android's framework alarms. Three seeds averaged reproduce the paper's
+/// three-repetition protocol.
+///
+/// # Examples
+///
+/// ```
+/// use simty_apps::workload::WorkloadBuilder;
+///
+/// let light = WorkloadBuilder::light().with_seed(1).build();
+/// assert_eq!(light.name, "light");
+/// // 12 apps + 6 system services + 20 one-shots.
+/// assert_eq!(light.alarms.len(), 38);
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkloadBuilder {
+    name: String,
+    apps: Vec<AppSpec>,
+    beta: f64,
+    seed: u64,
+    registration_jitter: SimDuration,
+    system_one_shots: usize,
+    system_services: bool,
+    duration: SimDuration,
+}
+
+impl WorkloadBuilder {
+    /// The light workload: Alarm Clock + the 11 Wi-Fi messaging apps.
+    pub fn light() -> Self {
+        Self::custom("light", light_workload_apps())
+    }
+
+    /// The heavy workload: all 18 apps of Table 3.
+    pub fn heavy() -> Self {
+        Self::custom("heavy", heavy_workload_apps())
+    }
+
+    /// A synthetic population of `n_apps` random resident apps, for
+    /// stress testing and property-based experiments beyond Table 3.
+    ///
+    /// Intervals, window fractions, repetition kinds, hardware sets, and
+    /// task durations are drawn from distributions shaped like the Table 3
+    /// catalogue: mostly Wi-Fi messengers with a sprinkling of trackers,
+    /// step counters, notifiers, and CPU-only daemons.
+    pub fn synthetic(n_apps: usize, seed: u64) -> Self {
+        use crate::app::RepeatKind;
+        use simty_core::hardware::{HardwareComponent, HardwareSet};
+
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x5851_f42d).wrapping_add(7));
+        let mut apps = Vec::with_capacity(n_apps);
+        for i in 0..n_apps {
+            let class = rng.gen_range(0..10);
+            let (hardware, task_ms): (HardwareSet, u64) = match class {
+                0..=5 => (HardwareComponent::Wifi.into(), rng.gen_range(1_000..6_000)),
+                6 => (HardwareComponent::Wps.into(), rng.gen_range(5_000..10_000)),
+                7 => (
+                    HardwareComponent::Accelerometer.into(),
+                    rng.gen_range(1_000..3_000),
+                ),
+                8 => (
+                    HardwareComponent::Speaker | HardwareComponent::Vibrator,
+                    1_000,
+                ),
+                _ => (HardwareSet::empty(), rng.gen_range(200..1_000)),
+            };
+            let repeat_secs = *[60u64, 90, 120, 180, 200, 270, 300, 600, 900, 1_800]
+                .get(rng.gen_range(0..10))
+                .expect("index in range");
+            let alpha = *[0.0, 0.0, 0.5, 0.75, 0.75]
+                .get(rng.gen_range(0..5))
+                .expect("index in range");
+            let repeat_kind = if rng.gen_bool(0.5) {
+                RepeatKind::Dynamic
+            } else {
+                RepeatKind::Static
+            };
+            apps.push(AppSpec {
+                name: format!("synthetic-{i}"),
+                repeat_secs,
+                alpha,
+                repeat_kind,
+                hardware,
+                task_ms,
+            });
+        }
+        Self::custom("synthetic", apps).with_seed(seed)
+    }
+
+    /// A custom scenario over the given app specs.
+    pub fn custom(name: &str, apps: Vec<AppSpec>) -> Self {
+        WorkloadBuilder {
+            name: name.to_owned(),
+            apps,
+            beta: 0.96,
+            seed: 0,
+            registration_jitter: SimDuration::from_secs(30),
+            system_one_shots: 20,
+            system_services: true,
+            duration: SimDuration::from_hours(3),
+        }
+    }
+
+    /// Sets the grace fraction β (the paper's experiments use 0.96).
+    pub fn with_beta(mut self, beta: f64) -> Self {
+        self.beta = beta;
+        self
+    }
+
+    /// Sets the RNG seed controlling registration jitter and the system
+    /// alarm stream.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum registration jitter per app (0 disables it).
+    pub fn with_registration_jitter(mut self, jitter: SimDuration) -> Self {
+        self.registration_jitter = jitter;
+        self
+    }
+
+    /// Disables the synthetic system-alarm stream entirely.
+    pub fn without_system_alarms(mut self) -> Self {
+        self.system_one_shots = 0;
+        self.system_services = false;
+        self
+    }
+
+    /// Sets the run duration the system one-shots are scattered over.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// The grace fraction currently configured.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// Builds the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any Table 3 row produces an invalid alarm, which would be
+    /// a bug in the catalogue.
+    pub fn build(&self) -> Workload {
+        let mut rng = StdRng::seed_from_u64(self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+        let mut alarms = Vec::new();
+        for spec in &self.apps {
+            let jitter_ms = if self.registration_jitter.is_zero() {
+                0
+            } else {
+                rng.gen_range(0..=self.registration_jitter.as_millis())
+            };
+            let registered_at = SimTime::from_millis(jitter_ms);
+            let alarm = spec
+                .alarm(self.beta, registered_at)
+                .unwrap_or_else(|e| panic!("catalogue app {} is invalid: {e}", spec.name));
+            alarms.push(alarm);
+        }
+        if self.system_services || self.system_one_shots > 0 {
+            let mut stream = SystemAlarms::new(self.seed.wrapping_add(0xA11A))
+                .with_one_shot_count(self.system_one_shots);
+            if !self.system_services {
+                stream = stream.without_services();
+            }
+            alarms.extend(stream.generate(self.duration));
+        }
+        Workload {
+            name: self.name.clone(),
+            alarms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn light_and_heavy_sizes() {
+        assert_eq!(WorkloadBuilder::light().build().alarms.len(), 12 + 26);
+        assert_eq!(WorkloadBuilder::heavy().build().alarms.len(), 18 + 26);
+    }
+
+    #[test]
+    fn builds_are_deterministic_per_seed() {
+        let nominals = |w: &Workload| w.alarms.iter().map(Alarm::nominal).collect::<Vec<_>>();
+        let a = WorkloadBuilder::heavy().with_seed(5).build();
+        let b = WorkloadBuilder::heavy().with_seed(5).build();
+        assert_eq!(nominals(&a), nominals(&b));
+        let c = WorkloadBuilder::heavy().with_seed(6).build();
+        assert_ne!(nominals(&a), nominals(&c));
+    }
+
+    #[test]
+    fn beta_flows_into_the_alarms() {
+        let w = WorkloadBuilder::light()
+            .with_beta(0.8)
+            .without_system_alarms()
+            .build();
+        let line = w.alarms.iter().find(|a| a.label() == "Line").unwrap();
+        assert!((line.beta().unwrap() - 0.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_jitter_registers_everything_at_time_zero() {
+        let w = WorkloadBuilder::light()
+            .with_registration_jitter(SimDuration::ZERO)
+            .without_system_alarms()
+            .build();
+        let facebook = w.alarms.iter().find(|a| a.label() == "Facebook").unwrap();
+        assert_eq!(facebook.nominal(), SimTime::from_secs(60));
+    }
+
+    #[test]
+    fn synthetic_workloads_build_and_are_seeded() {
+        let a = WorkloadBuilder::synthetic(40, 9).build();
+        let b = WorkloadBuilder::synthetic(40, 9).build();
+        let c = WorkloadBuilder::synthetic(40, 10).build();
+        assert_eq!(a.name, "synthetic");
+        // 40 apps + the system stream.
+        assert_eq!(a.alarms.len(), 40 + 26);
+        let nominals = |w: &Workload| w.alarms.iter().map(Alarm::nominal).collect::<Vec<_>>();
+        assert_eq!(nominals(&a), nominals(&b));
+        assert_ne!(nominals(&a), nominals(&c));
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let w = WorkloadBuilder::heavy()
+            .with_seed(9)
+            .without_system_alarms()
+            .build();
+        for a in &w.alarms {
+            let interval = a.repeat().interval().unwrap();
+            // nominal = registered_at + interval, registered_at <= 30 s.
+            let registered_at = a.nominal() - interval;
+            assert!(registered_at <= SimTime::from_secs(30), "{}", a.label());
+        }
+    }
+}

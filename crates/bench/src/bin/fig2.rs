@@ -1,0 +1,25 @@
+//! Figure 2 — the motivating example: one calendar alarm and two WPS
+//! location alarms in a queue snapshot.
+//!
+//! The paper measures 7 520 mJ for the native alignment (the new WPS
+//! alarm joins the calendar entry) and 4 050 mJ for similarity-based
+//! alignment (the new WPS alarm tolerates postponement and joins the
+//! other WPS alarm).
+
+use simty_bench::{motivating_example, paper_vs_measured, PolicyKind};
+
+fn main() {
+    println!("Figure 2 — motivating example (awake-related energy per snapshot)\n");
+    let native = motivating_example(PolicyKind::Native);
+    let simty = motivating_example(PolicyKind::Simty);
+    let exact = motivating_example(PolicyKind::Exact);
+    println!("{}", paper_vs_measured("NATIVE (Fig. 2b)", 7_520.0, native, "mJ"));
+    println!("{}", paper_vs_measured("SIMTY  (Fig. 2c)", 4_050.0, simty, "mJ"));
+    println!("{}", paper_vs_measured("no alignment (for reference)", 7_700.0, exact, "mJ"));
+    println!(
+        "\nSIMTY saves {:.0}% of the energy NATIVE spends on the snapshot \
+         (paper: {:.0}%).",
+        100.0 * (1.0 - simty / native),
+        100.0 * (1.0 - 4_050.0 / 7_520.0)
+    );
+}

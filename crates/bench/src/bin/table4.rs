@@ -1,0 +1,101 @@
+//! Table 4 — the wakeup breakdown: actual vs expected wakeups per
+//! hardware component under NATIVE and SIMTY (3 h, β = 0.96, 3 seeds).
+//!
+//! Paper values (light / heavy):
+//!
+//! | hardware          | NATIVE       | SIMTY       |
+//! |-------------------|--------------|-------------|
+//! | CPU (light)       | 733/983      | 193/830     |
+//! | CPU (heavy)       | 981/1726     | 259/1370    |
+//! | Speaker&Vibrator  | 6/6, 18/18   | 6/6, 12/18  |
+//! | Wi-Fi             | 443/548, 465/565 | 170/484, 158/433 |
+//! | WPS (heavy)       | 125/132      | 64/131      |
+//! | Accelerometer (heavy) | 227/300  | 186/300     |
+
+use simty::core::bounds::least_component_wakeups;
+use simty::prelude::*;
+use simty::sim::report::TextTable;
+use simty_bench::{paper_runs, Averages, PolicyKind, Scenario};
+
+fn fmt_counts(actual: f64, expected: f64) -> String {
+    format!("{:.0}/{:.0}", actual, expected)
+}
+
+fn main() {
+    println!("Table 4 — wakeup breakdown (actual/expected, 3 h, 3 seeds)\n");
+    for (scenario, paper_cpu_native, paper_cpu_simty) in [
+        (Scenario::Light, "733/983", "193/830"),
+        (Scenario::Heavy, "981/1726", "259/1370"),
+    ] {
+        let native_runs = paper_runs(PolicyKind::Native, scenario);
+        let simty_runs = paper_runs(PolicyKind::Simty, scenario);
+        let native = Averages::of(&native_runs);
+        let simty = Averages::of(&simty_runs);
+        // §4.2 lower bounds from the workload's most demanding alarms.
+        let workload = scenario.builder().with_seed(1).build();
+        let bounds = least_component_wakeups(&workload.alarms, SimDuration::from_hours(3));
+
+        let mut table = TextTable::new([
+            "hardware",
+            "NATIVE",
+            "SIMTY",
+            "paper NATIVE",
+            "paper SIMTY",
+            "lower bound",
+        ]);
+        table.row([
+            "CPU".to_owned(),
+            fmt_counts(native.entry_deliveries, native.deliveries),
+            fmt_counts(simty.entry_deliveries, simty.deliveries),
+            paper_cpu_native.to_owned(),
+            paper_cpu_simty.to_owned(),
+        ]);
+        table.row([
+            "CPU (transitions)".to_owned(),
+            fmt_counts(native.cpu_wakeups, native.deliveries),
+            fmt_counts(simty.cpu_wakeups, simty.deliveries),
+            "-".to_owned(),
+            "-".to_owned(),
+        ]);
+        let rows: &[(HardwareComponent, &str, &str)] = match scenario {
+            Scenario::Light => &[
+                (HardwareComponent::Speaker, "6/6", "6/6"),
+                (HardwareComponent::Wifi, "443/548", "170/484"),
+            ],
+            Scenario::Heavy => &[
+                (HardwareComponent::Speaker, "18/18", "12/18"),
+                (HardwareComponent::Wifi, "465/565", "158/433"),
+                (HardwareComponent::Wps, "125/132", "64/131"),
+                (HardwareComponent::Accelerometer, "227/300", "186/300"),
+            ],
+        };
+        for (component, paper_native, paper_simty) in rows {
+            let (na, ne) = Averages::wakeup_counts(&native_runs, *component);
+            let (sa, se) = Averages::wakeup_counts(&simty_runs, *component);
+            table.row([
+                component.name().to_owned(),
+                fmt_counts(na, ne),
+                fmt_counts(sa, se),
+                (*paper_native).to_owned(),
+                (*paper_simty).to_owned(),
+                bounds
+                    .get(component)
+                    .map(|b| b.to_string())
+                    .unwrap_or_else(|| "-".to_owned()),
+            ]);
+        }
+        println!("--- {} workload ---", scenario.name());
+        println!("{}", table.render());
+    }
+    println!(
+        "The CPU row counts queue-entry (batch) deliveries over total alarm\n\
+         deliveries, matching the paper's accounting; the CPU (transitions)\n\
+         row additionally shows physical sleep->awake transitions, which are\n\
+         fewer because deliveries landing while the device is still awake\n\
+         merge. Hardware rows count component activations over deliveries\n\
+         acquiring that component. Expected counts shrink under SIMTY because\n\
+         postponed *dynamic* repeating alarms repeat less often (§4.2). Our\n\
+         synthetic system-alarm stream is lighter than a real phone's, so CPU\n\
+         denominators sit below the paper's absolute numbers."
+    );
+}

@@ -1,0 +1,239 @@
+//! A small, dependency-free command-line argument parser.
+//!
+//! Grammar: `standby <command> [--flag value]... [--switch]...`.
+//! Flags may be given as `--flag value` or `--flag=value`.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed command line: a command word plus flag/value pairs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ParsedArgs {
+    command: Option<String>,
+    flags: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+/// Error produced while parsing or interpreting arguments.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseArgsError {
+    /// A positional argument appeared where a flag was expected.
+    UnexpectedPositional {
+        /// The offending token.
+        token: String,
+    },
+    /// A flag that requires a value was given without one.
+    MissingValue {
+        /// The flag name (without dashes).
+        flag: String,
+    },
+    /// A flag value failed to parse.
+    InvalidValue {
+        /// The flag name.
+        flag: String,
+        /// The unparsable value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// An unknown flag for the active command.
+    UnknownFlag {
+        /// The flag name.
+        flag: String,
+    },
+}
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseArgsError::UnexpectedPositional { token } => {
+                write!(f, "unexpected positional argument `{token}`")
+            }
+            ParseArgsError::MissingValue { flag } => {
+                write!(f, "flag --{flag} requires a value")
+            }
+            ParseArgsError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "invalid value `{value}` for --{flag}: expected {expected}"),
+            ParseArgsError::UnknownFlag { flag } => write!(f, "unknown flag --{flag}"),
+        }
+    }
+}
+
+impl Error for ParseArgsError {}
+
+impl ParsedArgs {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// Every `--flag` consumes the following token as its value unless
+    /// that token is itself a flag (then it is recorded as a switch), or
+    /// the flag used `--flag=value` form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::UnexpectedPositional`] for stray
+    /// positional tokens after the command word.
+    pub fn parse<I, S>(args: I) -> Result<ParsedArgs, ParseArgsError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut parsed = ParsedArgs::default();
+        let mut iter = args.into_iter().map(Into::into).peekable();
+        if let Some(first) = iter.peek() {
+            if !first.starts_with("--") {
+                parsed.command = iter.next();
+            }
+        }
+        while let Some(token) = iter.next() {
+            let Some(name) = token.strip_prefix("--") else {
+                return Err(ParseArgsError::UnexpectedPositional { token });
+            };
+            if let Some((flag, value)) = name.split_once('=') {
+                parsed.flags.insert(flag.to_owned(), value.to_owned());
+                continue;
+            }
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => {
+                    let value = iter.next().expect("peeked value exists");
+                    parsed.flags.insert(name.to_owned(), value);
+                }
+                _ => parsed.switches.push(name.to_owned()),
+            }
+        }
+        Ok(parsed)
+    }
+
+    /// The command word, if any.
+    pub fn command(&self) -> Option<&str> {
+        self.command.as_deref()
+    }
+
+    /// A flag's raw value.
+    pub fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    /// Whether a boolean switch was present.
+    pub fn has_switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// A flag parsed as `u64`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::InvalidValue`] if the value is present
+    /// but not an integer.
+    pub fn get_u64(&self, flag: &str, default: u64) -> Result<u64, ParseArgsError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParseArgsError::InvalidValue {
+                flag: flag.to_owned(),
+                value: v.to_owned(),
+                expected: "an integer",
+            }),
+        }
+    }
+
+    /// A flag parsed as `f64`, with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::InvalidValue`] if the value is present
+    /// but not a number.
+    pub fn get_f64(&self, flag: &str, default: f64) -> Result<f64, ParseArgsError> {
+        match self.get(flag) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ParseArgsError::InvalidValue {
+                flag: flag.to_owned(),
+                value: v.to_owned(),
+                expected: "a number",
+            }),
+        }
+    }
+
+    /// Verifies that every provided flag and switch is in `allowed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseArgsError::UnknownFlag`] on the first unknown flag.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ParseArgsError> {
+        for flag in self.flags.keys().chain(self.switches.iter()) {
+            if !allowed.contains(&flag.as_str()) {
+                return Err(ParseArgsError::UnknownFlag { flag: flag.clone() });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_flags_and_switches() {
+        let p = ParsedArgs::parse(["run", "--policy", "simty", "--hours=3", "--timeline"]).unwrap();
+        assert_eq!(p.command(), Some("run"));
+        assert_eq!(p.get("policy"), Some("simty"));
+        assert_eq!(p.get("hours"), Some("3"));
+        assert!(p.has_switch("timeline"));
+        assert!(!p.has_switch("attribution"));
+    }
+
+    #[test]
+    fn flag_before_command_means_no_command() {
+        let p = ParsedArgs::parse(["--help"]).unwrap();
+        assert_eq!(p.command(), None);
+        assert!(p.has_switch("help"));
+    }
+
+    #[test]
+    fn adjacent_flags_become_switches() {
+        let p = ParsedArgs::parse(["run", "--timeline", "--policy", "native"]).unwrap();
+        assert!(p.has_switch("timeline"));
+        assert_eq!(p.get("policy"), Some("native"));
+    }
+
+    #[test]
+    fn positional_after_command_is_rejected() {
+        let err = ParsedArgs::parse(["run", "oops"]).unwrap_err();
+        assert!(matches!(err, ParseArgsError::UnexpectedPositional { .. }));
+    }
+
+    #[test]
+    fn typed_getters_parse_and_default() {
+        let p = ParsedArgs::parse(["run", "--seed", "7", "--beta", "0.9"]).unwrap();
+        assert_eq!(p.get_u64("seed", 1).unwrap(), 7);
+        assert_eq!(p.get_u64("hours", 3).unwrap(), 3);
+        assert!((p.get_f64("beta", 0.96).unwrap() - 0.9).abs() < 1e-12);
+        let p = ParsedArgs::parse(["run", "--seed", "x"]).unwrap();
+        assert!(matches!(
+            p.get_u64("seed", 1),
+            Err(ParseArgsError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let p = ParsedArgs::parse(["run", "--polcy", "simty"]).unwrap();
+        let err = p.ensure_known(&["policy", "seed"]).unwrap_err();
+        assert_eq!(
+            err,
+            ParseArgsError::UnknownFlag {
+                flag: "polcy".into()
+            }
+        );
+        assert!(err.to_string().contains("unknown flag"));
+    }
+
+    #[test]
+    fn empty_args_parse() {
+        let p = ParsedArgs::parse(Vec::<String>::new()).unwrap();
+        assert_eq!(p.command(), None);
+    }
+}

@@ -1,0 +1,775 @@
+//! The `standby` subcommands.
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+
+use simty::experiments::{PolicyKind, Scenario};
+use simty::prelude::*;
+use simty::sim::analysis::{per_app_stats, wakeup_gap_stats, wakeup_timeline, BatchHistogram};
+use simty::sim::report::TextTable;
+
+use crate::args::{ParseArgsError, ParsedArgs};
+
+/// Top-level CLI error.
+#[derive(Debug)]
+pub enum CliError {
+    /// Argument parsing or validation failed.
+    Args(ParseArgsError),
+    /// A free-form usage error (unknown command, bad policy name, ...).
+    Usage(String),
+    /// An I/O error (e.g. writing a trace file).
+    Io(io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Args(e) => write!(f, "{e}"),
+            CliError::Usage(msg) => f.write_str(msg),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<ParseArgsError> for CliError {
+    fn from(e: ParseArgsError) -> Self {
+        CliError::Args(e)
+    }
+}
+
+impl From<io::Error> for CliError {
+    fn from(e: io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Usage text printed by `standby --help` (and on usage errors).
+pub const USAGE: &str = "\
+standby — similarity-based wakeup management explorer (SIMTY, DAC'16)
+
+USAGE:
+    standby <command> [flags]
+
+COMMANDS:
+    run         simulate one scenario under one policy
+    compare     run every policy on the same scenario, side by side
+    diff        per-app comparison of two policies on the same workload
+    sweep-beta  sweep the grace fraction under SIMTY
+    analyze     offline analysis of a delivery-trace CSV (--trace FILE)
+    estimate    closed-form energy envelope of a workload (no simulation)
+    catalog     print the paper's Table 3 app catalogue
+
+COMMON FLAGS:
+    --scenario S               light|heavy|synthetic:<n> [default: heavy]
+    --workload FILE            custom workload spec (overrides --scenario;
+                               see simty_apps::spec for the format)
+    --seed N                   RNG seed                 [default: 1]
+    --hours N                  simulated hours          [default: 3]
+    --beta X                   grace fraction           [default: 0.96]
+
+RUN FLAGS:
+    --policy P                 exact|native|native-norealign|simty|
+                               simty2|simty4|dursim|fixed:<secs>|doze
+                               [default: simty]
+    --trace FILE               write the delivery trace as CSV
+    --waveform FILE            write the transient power waveform as CSV
+    --attribution              print per-app energy attribution
+    --timeline                 print an ASCII wakeup timeline
+    --apps                     print per-app delivery statistics
+    --watchdog                 scan the run for no-sleep wakelock anomalies
+    --json                     emit the report as a JSON object and exit
+
+DIFF FLAGS:
+    --policy-a P --policy-b P  the two policies          [default: native, simty]
+
+SWEEP-BETA FLAGS:
+    --from X --to Y --steps N  sweep range               [default: 0.75..0.96, 5]
+";
+
+/// Parses a policy name.
+fn parse_policy(name: &str) -> Result<PolicyKind, CliError> {
+    if let Some(secs) = name.strip_prefix("fixed:") {
+        let secs: u64 = secs.parse().map_err(|_| {
+            CliError::Usage(format!("invalid fixed-interval seconds in `{name}`"))
+        })?;
+        if secs == 0 {
+            return Err(CliError::Usage("fixed interval must be positive".into()));
+        }
+        return Ok(PolicyKind::FixedInterval(secs));
+    }
+    match name {
+        "exact" => Ok(PolicyKind::Exact),
+        "native" => Ok(PolicyKind::Native),
+        "native-norealign" => Ok(PolicyKind::NativeNoRealign),
+        "simty" => Ok(PolicyKind::Simty),
+        "simty2" => Ok(PolicyKind::SimtyGranularity(HardwareGranularity::Two)),
+        "simty4" => Ok(PolicyKind::SimtyGranularity(HardwareGranularity::Four)),
+        "dursim" => Ok(PolicyKind::Dursim),
+        "doze" => Ok(PolicyKind::Doze),
+        _ => Err(CliError::Usage(format!(
+            "unknown policy `{name}` (see `standby --help`)"
+        ))),
+    }
+}
+
+enum ScenarioChoice {
+    Paper(Scenario),
+    Synthetic(usize),
+}
+
+fn parse_scenario(name: &str) -> Result<ScenarioChoice, CliError> {
+    if let Some(n) = name.strip_prefix("synthetic:") {
+        let n: usize = n.parse().map_err(|_| {
+            CliError::Usage(format!("invalid synthetic app count in `{name}`"))
+        })?;
+        if n == 0 {
+            return Err(CliError::Usage("synthetic app count must be positive".into()));
+        }
+        return Ok(ScenarioChoice::Synthetic(n));
+    }
+    match name {
+        "light" => Ok(ScenarioChoice::Paper(Scenario::Light)),
+        "heavy" => Ok(ScenarioChoice::Paper(Scenario::Heavy)),
+        _ => Err(CliError::Usage(format!(
+            "unknown scenario `{name}` (light|heavy|synthetic:<n>)"
+        ))),
+    }
+}
+
+struct CommonOpts {
+    scenario: ScenarioChoice,
+    custom_apps: Option<Vec<AppSpec>>,
+    seed: u64,
+    hours: u64,
+    beta: f64,
+}
+
+impl CommonOpts {
+    fn from_args(args: &ParsedArgs) -> Result<Self, CliError> {
+        let scenario = parse_scenario(args.get("scenario").unwrap_or("heavy"))?;
+        let custom_apps = match args.get("workload") {
+            None => None,
+            Some(path) => {
+                let text = std::fs::read_to_string(path)?;
+                let apps = simty::apps::spec::parse_workload_spec(&text)
+                    .map_err(|e| CliError::Usage(e.to_string()))?;
+                if apps.is_empty() {
+                    return Err(CliError::Usage(format!(
+                        "workload file `{path}` contains no apps"
+                    )));
+                }
+                Some(apps)
+            }
+        };
+        let seed = args.get_u64("seed", 1)?;
+        let hours = args.get_u64("hours", 3)?;
+        let beta = args.get_f64("beta", 0.96)?;
+        if hours == 0 {
+            return Err(CliError::Usage("--hours must be positive".into()));
+        }
+        if !(0.0..1.0).contains(&beta) {
+            return Err(CliError::Usage("--beta must lie in [0, 1)".into()));
+        }
+        Ok(CommonOpts {
+            scenario,
+            custom_apps,
+            seed,
+            hours,
+            beta,
+        })
+    }
+
+    fn workload_name(&self) -> String {
+        if self.custom_apps.is_some() {
+            "custom".to_owned()
+        } else {
+            match self.scenario {
+                ScenarioChoice::Paper(s) => s.name().to_owned(),
+                ScenarioChoice::Synthetic(n) => format!("synthetic ({n} apps)"),
+            }
+        }
+    }
+
+    fn builder(&self) -> WorkloadBuilder {
+        let base = match (&self.custom_apps, &self.scenario) {
+            (Some(apps), _) => WorkloadBuilder::custom("custom", apps.clone()),
+            (None, ScenarioChoice::Paper(s)) => s.builder(),
+            (None, ScenarioChoice::Synthetic(n)) => WorkloadBuilder::synthetic(*n, self.seed),
+        };
+        base.with_seed(self.seed)
+            .with_beta(self.beta)
+            .with_duration(SimDuration::from_hours(self.hours))
+    }
+}
+
+/// Builds and runs a full simulation under the given options.
+fn simulate(opts: &CommonOpts, policy: PolicyKind) -> Simulation {
+    simulate_with(opts, policy, false)
+}
+
+fn simulate_with(opts: &CommonOpts, policy: PolicyKind, waveform: bool) -> Simulation {
+    let workload = opts.builder().build();
+    let mut config = SimConfig::new().with_duration(SimDuration::from_hours(opts.hours));
+    if waveform {
+        config = config.with_waveform();
+    }
+    let mut sim = Simulation::new(policy.build(), config);
+    for alarm in workload.alarms {
+        sim.register(alarm).expect("workload alarm registers cleanly");
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_hours(opts.hours));
+    sim
+}
+
+/// Executes the CLI and writes its output to `out`.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, invalid flags, or I/O
+/// failures; the binary maps these to a nonzero exit code.
+pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliError> {
+    let args = ParsedArgs::parse(raw_args.iter().cloned())?;
+    if args.has_switch("help") || args.command().is_none() {
+        writeln!(out, "{USAGE}")?;
+        return Ok(());
+    }
+    match args.command().expect("command presence checked") {
+        "run" => cmd_run(&args, out),
+        "compare" => cmd_compare(&args, out),
+        "diff" => cmd_diff(&args, out),
+        "sweep-beta" => cmd_sweep_beta(&args, out),
+        "analyze" => cmd_analyze(&args, out),
+        "estimate" => cmd_estimate(&args, out),
+        "catalog" => cmd_catalog(&args, out),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}` (see `standby --help`)"
+        ))),
+    }
+}
+
+fn cmd_run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "scenario",
+        "workload",
+        "seed",
+        "hours",
+        "beta",
+        "policy",
+        "trace",
+        "waveform",
+        "attribution",
+        "timeline",
+        "apps",
+        "watchdog",
+        "json",
+    ])?;
+    let opts = CommonOpts::from_args(args)?;
+    let policy = parse_policy(args.get("policy").unwrap_or("simty"))?;
+    let sim = simulate_with(&opts, policy, args.get("waveform").is_some());
+    let report = sim.report();
+    if args.has_switch("json") {
+        writeln!(out, "{}", simty::sim::json::report_to_json(&report))?;
+        return Ok(());
+    }
+    writeln!(out, "{report}\n")?;
+
+    let histogram = BatchHistogram::from_trace(sim.trace());
+    writeln!(out, "{histogram}")?;
+    if let Some(gaps) = wakeup_gap_stats(sim.trace()) {
+        writeln!(
+            out,
+            "wakeup gaps: min {}, mean {}, max {} over {} gaps",
+            gaps.min, gaps.mean, gaps.max, gaps.count
+        )?;
+    }
+
+    if args.has_switch("attribution") {
+        writeln!(out, "\n{}", sim.attribution())?;
+    }
+    if args.has_switch("watchdog") {
+        let report = simty::sim::watchdog::scan(
+            sim.trace(),
+            SimDuration::from_hours(opts.hours),
+            simty::sim::watchdog::WatchdogPolicy::default(),
+        );
+        writeln!(out, "\n{report}")?;
+    }
+    if args.has_switch("apps") {
+        let mut table = TextTable::new(["app", "deliveries", "mean delay", "max delay"]);
+        for s in per_app_stats(sim.trace()) {
+            table.row([
+                s.app.clone(),
+                s.deliveries.to_string(),
+                format!("{:.1}%", s.mean_normalized_delay * 100.0),
+                format!("{:.1}%", s.max_normalized_delay * 100.0),
+            ]);
+        }
+        writeln!(out, "\n{}", table.render())?;
+    }
+    if args.has_switch("timeline") {
+        writeln!(
+            out,
+            "\nwakeup timeline (5-minute buckets):\n{}",
+            wakeup_timeline(
+                sim.trace(),
+                SimDuration::from_hours(opts.hours),
+                SimDuration::from_mins(5)
+            )
+        )?;
+    }
+    if let Some(path) = args.get("trace") {
+        let file = BufWriter::new(File::create(path)?);
+        sim.trace().write_csv(file)?;
+        writeln!(out, "trace written to {path}")?;
+    }
+    if let Some(path) = args.get("waveform") {
+        let monitor = sim
+            .device()
+            .monitor()
+            .expect("waveform recording was enabled");
+        let file = BufWriter::new(File::create(path)?);
+        monitor.write_csv(file)?;
+        writeln!(
+            out,
+            "power waveform written to {path} (peak {:.0} mW)",
+            monitor.peak_mw()
+        )?;
+    }
+    Ok(())
+}
+
+fn cmd_compare<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&["scenario", "seed", "hours", "beta", "workload"])?;
+    let opts = CommonOpts::from_args(args)?;
+    let mut table = TextTable::new([
+        "policy",
+        "total (J)",
+        "awake (J)",
+        "batch deliveries",
+        "percept. delay",
+        "impercept. delay",
+    ]);
+    for policy in [
+        PolicyKind::Exact,
+        PolicyKind::Native,
+        PolicyKind::Simty,
+        PolicyKind::Dursim,
+        PolicyKind::FixedInterval(60),
+    ] {
+        let sim = simulate(&opts, policy);
+        let r = sim.report();
+        table.row([
+            r.policy.clone(),
+            format!("{:.1}", r.energy.total_mj() / 1_000.0),
+            format!("{:.1}", r.energy.awake_related_mj() / 1_000.0),
+            r.entry_deliveries.to_string(),
+            format!("{:.2}%", r.delays.perceptible_avg * 100.0),
+            format!("{:.1}%", r.delays.imperceptible_avg * 100.0),
+        ]);
+    }
+    writeln!(
+        out,
+        "{} workload, {} h, seed {}, beta {}\n",
+        opts.workload_name(),
+        opts.hours,
+        opts.seed,
+        opts.beta
+    )?;
+    writeln!(out, "{}", table.render())?;
+    Ok(())
+}
+
+fn cmd_diff<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "scenario",
+        "workload",
+        "seed",
+        "hours",
+        "beta",
+        "policy-a",
+        "policy-b",
+    ])?;
+    let opts = CommonOpts::from_args(args)?;
+    let policy_a = parse_policy(args.get("policy-a").unwrap_or("native"))?;
+    let policy_b = parse_policy(args.get("policy-b").unwrap_or("simty"))?;
+    let sim_a = simulate(&opts, policy_a);
+    let sim_b = simulate(&opts, policy_b);
+    let report_a = sim_a.report();
+    let report_b = sim_b.report();
+    writeln!(
+        out,
+        "{} workload, {} h, seed {}: {} ({:.1} J) → {} ({:.1} J), {:.1}% saved\n",
+        opts.workload_name(),
+        opts.hours,
+        opts.seed,
+        report_a.policy,
+        report_a.energy.total_mj() / 1_000.0,
+        report_b.policy,
+        report_b.energy.total_mj() / 1_000.0,
+        100.0 * (1.0 - report_b.energy.total_mj() / report_a.energy.total_mj()),
+    )?;
+    let diff = simty::sim::diff::TraceDiff::between(sim_a.trace(), sim_b.trace());
+    writeln!(out, "{diff}")?;
+    Ok(())
+}
+
+fn cmd_sweep_beta<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&["scenario", "seed", "hours", "from", "to", "steps", "workload"])?;
+    let mut opts = CommonOpts::from_args(args)?;
+    let from = args.get_f64("from", 0.75)?;
+    let to = args.get_f64("to", 0.96)?;
+    let steps = args.get_u64("steps", 5)?;
+    if steps < 2 || !(0.0..1.0).contains(&from) || !(0.0..1.0).contains(&to) || from > to {
+        return Err(CliError::Usage(
+            "sweep needs 0 <= from <= to < 1 and steps >= 2".into(),
+        ));
+    }
+    let mut table = TextTable::new(["beta", "total (J)", "batch deliveries", "impercept. delay"]);
+    for i in 0..steps {
+        let beta = from + (to - from) * i as f64 / (steps - 1) as f64;
+        opts.beta = beta;
+        let sim = simulate(&opts, PolicyKind::Simty);
+        let r = sim.report();
+        table.row([
+            format!("{beta:.3}"),
+            format!("{:.1}", r.energy.total_mj() / 1_000.0),
+            r.entry_deliveries.to_string(),
+            format!("{:.1}%", r.delays.imperceptible_avg * 100.0),
+        ]);
+    }
+    writeln!(out, "{}", table.render())?;
+    Ok(())
+}
+
+fn cmd_estimate<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&["scenario", "workload", "seed", "hours", "beta"])?;
+    let opts = CommonOpts::from_args(args)?;
+    let workload = opts.builder().build();
+    let e = simty::sim::estimate::estimate(
+        &workload.alarms,
+        SimDuration::from_hours(opts.hours),
+        &PowerModel::nexus5(),
+    );
+    writeln!(
+        out,
+        "{} workload over {} h ({} alarms), closed-form envelope:\n",
+        opts.workload_name(),
+        opts.hours,
+        workload.alarms.len()
+    )?;
+    writeln!(out, "  sleep floor          {:>9.1} J", e.sleep_mj / 1_000.0)?;
+    writeln!(
+        out,
+        "  awake, no alignment  {:>9.1} J  (upper bound; ~EXACT)",
+        e.unaligned_awake_mj / 1_000.0
+    )?;
+    writeln!(
+        out,
+        "  awake, perfect align {:>9.1} J  (lower bound)",
+        e.best_case_awake_mj / 1_000.0
+    )?;
+    writeln!(
+        out,
+        "  max achievable total saving: {:.1}%",
+        e.max_saving() * 100.0
+    )?;
+    Ok(())
+}
+
+fn cmd_analyze<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&["trace"])?;
+    let path = args
+        .get("trace")
+        .ok_or_else(|| CliError::Usage("analyze requires --trace FILE".into()))?;
+    let text = std::fs::read_to_string(path)?;
+    let trace = simty::sim::Trace::read_csv(&text).map_err(|e| CliError::Usage(e.to_string()))?;
+    writeln!(out, "{} deliveries loaded from {path}\n", trace.deliveries().len())?;
+    writeln!(out, "{}", BatchHistogram::from_trace(&trace))?;
+    let mut table = TextTable::new(["app", "deliveries", "mean delay", "max delay", "mean gap"]);
+    for s in per_app_stats(&trace) {
+        table.row([
+            s.app.clone(),
+            s.deliveries.to_string(),
+            format!("{:.1}%", s.mean_normalized_delay * 100.0),
+            format!("{:.1}%", s.max_normalized_delay * 100.0),
+            s.mean_gap.map(|g| g.to_string()).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    writeln!(out, "\n{}", table.render())?;
+    Ok(())
+}
+
+fn cmd_catalog<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[])?;
+    let mut table = TextTable::new(["app", "ReIn (s)", "alpha", "S/D", "hardware", "workloads"]);
+    let light = simty::apps::catalog::light_workload_apps();
+    let light_names: Vec<&str> = light.iter().map(|a| a.name.as_str()).collect();
+    for app in simty::apps::catalog::heavy_workload_apps() {
+        let in_light = light_names.contains(&app.name.as_str());
+        table.row([
+            app.name.clone(),
+            app.repeat_secs.to_string(),
+            format!("{:.2}", app.alpha),
+            match app.repeat_kind {
+                RepeatKind::Static => "S".to_owned(),
+                RepeatKind::Dynamic => "D".to_owned(),
+            },
+            app.hardware.to_string(),
+            if in_light { "L, H" } else { "H" }.to_owned(),
+        ]);
+    }
+    writeln!(out, "{}", table.render())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let raw: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        let mut out = Vec::new();
+        run_cli(&raw, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run(&["--help"]).unwrap();
+        assert!(text.contains("USAGE"));
+        assert!(text.contains("sweep-beta"));
+        // No command at all also prints usage.
+        assert!(run(&[]).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn catalog_lists_all_18_apps() {
+        let text = run(&["catalog"]).unwrap();
+        assert!(text.contains("Facebook"));
+        assert!(text.contains("Cell Tracker"));
+        assert_eq!(text.matches("Wi-Fi").count(), 11);
+    }
+
+    #[test]
+    fn run_command_produces_a_report() {
+        let text = run(&[
+            "run",
+            "--policy",
+            "simty",
+            "--scenario",
+            "light",
+            "--hours",
+            "1",
+            "--apps",
+        ])
+        .unwrap();
+        assert!(text.contains("SIMTY"));
+        assert!(text.contains("batch-size histogram"));
+        assert!(text.contains("Facebook"));
+    }
+
+    #[test]
+    fn run_with_attribution_and_timeline() {
+        let text = run(&[
+            "run",
+            "--policy",
+            "native",
+            "--scenario",
+            "light",
+            "--hours",
+            "1",
+            "--attribution",
+            "--timeline",
+        ])
+        .unwrap();
+        assert!(text.contains("per-app energy attribution"));
+        assert!(text.contains("wakeup timeline"));
+    }
+
+    #[test]
+    fn synthetic_scenario_runs() {
+        let text = run(&["run", "--scenario", "synthetic:15", "--hours", "1"]).unwrap();
+        assert!(text.contains("SIMTY"));
+        assert!(matches!(
+            run(&["run", "--scenario", "synthetic:0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["run", "--scenario", "synthetic:lots"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn fixed_policy_parses() {
+        let text = run(&[
+            "run",
+            "--policy",
+            "fixed:120",
+            "--scenario",
+            "light",
+            "--hours",
+            "1",
+        ])
+        .unwrap();
+        assert!(text.contains("FIXED"));
+    }
+
+    #[test]
+    fn compare_shows_every_policy() {
+        let text = run(&["compare", "--scenario", "light", "--hours", "1"]).unwrap();
+        for name in ["EXACT", "NATIVE", "SIMTY", "DURSIM", "FIXED"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn sweep_beta_runs_the_requested_steps() {
+        let text = run(&[
+            "sweep-beta",
+            "--scenario",
+            "light",
+            "--hours",
+            "1",
+            "--from",
+            "0.5",
+            "--to",
+            "0.9",
+            "--steps",
+            "3",
+        ])
+        .unwrap();
+        assert!(text.contains("0.500"));
+        assert!(text.contains("0.700"));
+        assert!(text.contains("0.900"));
+    }
+
+    #[test]
+    fn run_then_analyze_round_trips() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("simty_cli_test_trace.csv");
+        let path_str = path.to_str().unwrap().to_owned();
+        run(&[
+            "run",
+            "--policy",
+            "native",
+            "--scenario",
+            "light",
+            "--hours",
+            "1",
+            "--trace",
+            &path_str,
+        ])
+        .unwrap();
+        let text = run(&["analyze", "--trace", &path_str]).unwrap();
+        assert!(text.contains("deliveries loaded"));
+        assert!(text.contains("Facebook"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn analyze_requires_a_trace() {
+        assert!(matches!(run(&["analyze"]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn json_output_is_machine_readable() {
+        let text = run(&[
+            "run",
+            "--policy",
+            "native",
+            "--scenario",
+            "light",
+            "--hours",
+            "1",
+            "--json",
+        ])
+        .unwrap();
+        let json = text.trim();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"policy\":\"NATIVE\""));
+        // JSON mode suppresses the human-readable report.
+        assert!(!text.contains("batch-size histogram"));
+    }
+
+    #[test]
+    fn estimate_prints_the_envelope() {
+        let text = run(&["estimate", "--scenario", "light", "--hours", "3"]).unwrap();
+        assert!(text.contains("sleep floor"));
+        assert!(text.contains("no alignment"));
+        assert!(text.contains("max achievable"));
+    }
+
+    #[test]
+    fn diff_compares_two_policies() {
+        let text = run(&[
+            "diff",
+            "--scenario",
+            "light",
+            "--hours",
+            "1",
+            "--policy-a",
+            "exact",
+            "--policy-b",
+            "simty",
+        ])
+        .unwrap();
+        assert!(text.contains("EXACT"));
+        assert!(text.contains("SIMTY"));
+        assert!(text.contains("Facebook"));
+        assert!(text.contains("saved"));
+    }
+
+    #[test]
+    fn custom_workload_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("simty_cli_test_workload.txt");
+        std::fs::write(
+            &path,
+            "Chat 120 0.5 D wifi 2000\nTracker 300 0.75 S wps 8000\n",
+        )
+        .unwrap();
+        let path_str = path.to_str().unwrap();
+        let text = run(&["compare", "--workload", path_str, "--hours", "1"]).unwrap();
+        assert!(text.contains("custom workload"));
+        assert!(text.contains("SIMTY"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_workload_file_is_an_io_error() {
+        assert!(matches!(
+            run(&["run", "--workload", "/nonexistent/simty.spec", "--hours", "1"]),
+            Err(CliError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(run(&["frobnicate"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["run", "--policy", "bogus"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["run", "--polcy", "simty"]),
+            Err(CliError::Args(_))
+        ));
+        assert!(matches!(
+            run(&["run", "--hours", "0"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["sweep-beta", "--from", "0.9", "--to", "0.5"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["run", "--policy", "fixed:0"]),
+            Err(CliError::Usage(_))
+        ));
+    }
+}

@@ -1,0 +1,403 @@
+//! The alarm manager: registration, batching, delivery, and reinsertion.
+//!
+//! Mirrors the role of Android's `AlarmManager` (§2.1, Figure 1): apps
+//! register alarms; the manager keeps them batched in queue entries
+//! according to its [`AlignmentPolicy`]; the real-time clock (in this
+//! library: the simulator) pops due entries and delivers them; repeating
+//! alarms are reinserted with their next nominal delivery time.
+//!
+//! Wakeup and non-wakeup alarms are managed in *separate* queues, and the
+//! alignment policy is applied to each queue separately, exactly as in
+//! the paper ("the above policy is applied to wakeup and non-wakeup
+//! alarms separately").
+
+use std::fmt;
+
+use crate::alarm::{Alarm, AlarmId, AlarmKind};
+use crate::entry::QueueEntry;
+use crate::error::RegisterAlarmError;
+use crate::policy::{AlignmentPolicy, Placement};
+use crate::queue::AlarmQueue;
+use crate::time::SimTime;
+
+/// The central wakeup manager.
+///
+/// # Examples
+///
+/// ```
+/// use simty_core::alarm::Alarm;
+/// use simty_core::manager::AlarmManager;
+/// use simty_core::policy::SimtyPolicy;
+/// use simty_core::time::{SimDuration, SimTime};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut manager = AlarmManager::new(Box::new(SimtyPolicy::new()));
+/// let alarm = Alarm::builder("sync")
+///     .nominal(SimTime::from_secs(60))
+///     .repeating_dynamic(SimDuration::from_secs(60))
+///     .grace_fraction(0.96)
+///     .build()?;
+/// manager.register(alarm)?;
+/// assert_eq!(manager.next_wakeup_time(), Some(SimTime::from_secs(60)));
+/// # Ok(())
+/// # }
+/// ```
+pub struct AlarmManager {
+    policy: Box<dyn AlignmentPolicy>,
+    wakeup: AlarmQueue,
+    non_wakeup: AlarmQueue,
+    now: SimTime,
+}
+
+impl AlarmManager {
+    /// Creates a manager governed by the given alignment policy.
+    pub fn new(policy: Box<dyn AlignmentPolicy>) -> Self {
+        AlarmManager {
+            policy,
+            wakeup: AlarmQueue::new(),
+            non_wakeup: AlarmQueue::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The governing policy's display name.
+    pub fn policy_name(&self) -> &str {
+        self.policy.name()
+    }
+
+    /// The governing policy.
+    pub fn policy(&self) -> &dyn AlignmentPolicy {
+        self.policy.as_ref()
+    }
+
+    /// The manager's current clock.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Advances the manager's clock (monotonic; earlier times are ignored).
+    pub fn advance_clock(&mut self, now: SimTime) {
+        self.now = self.now.max(now);
+    }
+
+    /// The wakeup-alarm queue (inspection only).
+    pub fn wakeup_queue(&self) -> &AlarmQueue {
+        &self.wakeup
+    }
+
+    /// The non-wakeup-alarm queue (inspection only).
+    pub fn non_wakeup_queue(&self) -> &AlarmQueue {
+        &self.non_wakeup
+    }
+
+    /// Total number of registered alarms across both queues.
+    pub fn alarm_count(&self) -> usize {
+        self.wakeup.alarm_count() + self.non_wakeup.alarm_count()
+    }
+
+    /// Registers (or re-registers) an alarm.
+    ///
+    /// If the same alarm is still queued, its stale copy is removed first
+    /// (§3.2.1). Under a policy with
+    /// [`realigns_on_reinsert`](AlignmentPolicy::realigns_on_reinsert)
+    /// (NATIVE), the stale copy's entry-mates are additionally re-placed
+    /// together with the new alarm, in nominal-delivery-time order (§2.1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegisterAlarmError::NominalInPast`] if the alarm's
+    /// nominal delivery time precedes the manager's clock.
+    pub fn register(&mut self, alarm: Alarm) -> Result<AlarmId, RegisterAlarmError> {
+        if alarm.nominal() < self.now {
+            return Err(RegisterAlarmError::NominalInPast { id: alarm.id() });
+        }
+        let id = alarm.id();
+        let kind = alarm.kind();
+        let queued = self.queue(kind).position_of(id);
+        match queued {
+            Some(idx) if self.policy.realigns_on_reinsert() => {
+                let mut entry = self.queue_mut(kind).take_entry(idx);
+                entry.remove(id);
+                let mut batch = entry.into_alarms();
+                batch.push(alarm);
+                batch.sort_by_key(Alarm::nominal);
+                for a in batch {
+                    self.place(a);
+                }
+            }
+            Some(_) => {
+                self.queue_mut(kind).remove_alarm(id);
+                self.place(alarm);
+            }
+            None => self.place(alarm),
+        }
+        Ok(id)
+    }
+
+    /// Cancels a registered alarm, returning it if it was queued.
+    pub fn cancel(&mut self, id: AlarmId) -> Option<Alarm> {
+        self.wakeup
+            .remove_alarm(id)
+            .or_else(|| self.non_wakeup.remove_alarm(id))
+    }
+
+    /// Looks up a queued alarm by id (either queue).
+    pub fn find_alarm(&self, id: AlarmId) -> Option<&Alarm> {
+        for queue in [&self.wakeup, &self.non_wakeup] {
+            if let Some(idx) = queue.position_of(id) {
+                return queue.entries()[idx].alarms().iter().find(|a| a.id() == id);
+            }
+        }
+        None
+    }
+
+    /// The next time the real-time clock must awaken the device, i.e. the
+    /// front of the wakeup queue.
+    pub fn next_wakeup_time(&self) -> Option<SimTime> {
+        self.wakeup.next_delivery_time()
+    }
+
+    /// Pops every wakeup entry due at or before `now`, advancing the
+    /// clock. The caller (the device/simulator) is responsible for
+    /// actually delivering them and then calling
+    /// [`complete_delivery`](Self::complete_delivery) per alarm.
+    pub fn pop_due_wakeup(&mut self, now: SimTime) -> Vec<QueueEntry> {
+        self.advance_clock(now);
+        self.wakeup.pop_due(now)
+    }
+
+    /// Pops every non-wakeup entry due at or before `now`. Only call while
+    /// the device is awake — non-wakeup alarms must not awaken it (§2.1).
+    pub fn pop_due_non_wakeup(&mut self, now: SimTime) -> Vec<QueueEntry> {
+        self.advance_clock(now);
+        self.non_wakeup.pop_due(now)
+    }
+
+    /// Finishes a delivery: records the alarm's hardware usage as known
+    /// (footnote 4) and, for repeating alarms, reinserts the alarm with
+    /// its next nominal delivery time. Returns the id if it was
+    /// reinserted, `None` for one-shot alarms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the computed next nominal time is in the past, which the
+    /// `grace < repeat` alarm invariant rules out.
+    pub fn complete_delivery(&mut self, mut alarm: Alarm, delivered_at: SimTime) -> Option<AlarmId> {
+        self.advance_clock(delivered_at);
+        alarm.mark_hardware_known();
+        if alarm.advance_after_delivery(delivered_at) {
+            let id = self
+                .register(alarm)
+                .expect("next nominal delivery time must be in the future");
+            Some(id)
+        } else {
+            None
+        }
+    }
+
+    fn queue(&self, kind: AlarmKind) -> &AlarmQueue {
+        match kind {
+            AlarmKind::Wakeup => &self.wakeup,
+            AlarmKind::NonWakeup => &self.non_wakeup,
+        }
+    }
+
+    fn queue_mut(&mut self, kind: AlarmKind) -> &mut AlarmQueue {
+        match kind {
+            AlarmKind::Wakeup => &mut self.wakeup,
+            AlarmKind::NonWakeup => &mut self.non_wakeup,
+        }
+    }
+
+    fn place(&mut self, alarm: Alarm) {
+        let kind = alarm.kind();
+        let placement = self.policy.place(self.queue(kind), &alarm);
+        let discipline = self.policy.discipline();
+        match placement {
+            Placement::Existing(idx) => self.queue_mut(kind).add_to_entry(idx, alarm),
+            Placement::NewEntry => self.queue_mut(kind).insert_new_entry(alarm, discipline),
+        }
+    }
+}
+
+impl fmt::Debug for AlarmManager {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AlarmManager")
+            .field("policy", &self.policy.name())
+            .field("now", &self.now)
+            .field("wakeup_entries", &self.wakeup.len())
+            .field("non_wakeup_entries", &self.non_wakeup.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hardware::HardwareComponent;
+    use crate::policy::{ExactPolicy, NativePolicy, SimtyPolicy};
+    use crate::time::SimDuration;
+
+    fn wifi_alarm(label: &str, nominal_s: u64, repeat_s: u64, alpha: f64) -> Alarm {
+        Alarm::builder(label)
+            .nominal(SimTime::from_secs(nominal_s))
+            .repeating_static(SimDuration::from_secs(repeat_s))
+            .window_fraction(alpha)
+            .grace_fraction(0.9)
+            .hardware(HardwareComponent::Wifi.into())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn register_and_next_wakeup() {
+        let mut m = AlarmManager::new(Box::new(ExactPolicy::new()));
+        m.register(wifi_alarm("a", 100, 600, 0.75)).unwrap();
+        m.register(wifi_alarm("b", 50, 600, 0.75)).unwrap();
+        assert_eq!(m.next_wakeup_time(), Some(SimTime::from_secs(50)));
+        assert_eq!(m.alarm_count(), 2);
+    }
+
+    #[test]
+    fn register_rejects_past_nominal() {
+        let mut m = AlarmManager::new(Box::new(NativePolicy::new()));
+        m.advance_clock(SimTime::from_secs(100));
+        let err = m.register(wifi_alarm("late", 50, 600, 0.75)).unwrap_err();
+        assert!(matches!(err, RegisterAlarmError::NominalInPast { .. }));
+    }
+
+    #[test]
+    fn native_batches_by_window_overlap() {
+        let mut m = AlarmManager::new(Box::new(NativePolicy::new()));
+        m.register(wifi_alarm("a", 100, 600, 0.75)).unwrap(); // window [100,550]
+        m.register(wifi_alarm("b", 200, 600, 0.75)).unwrap(); // window [200,650]
+        assert_eq!(m.wakeup_queue().len(), 1);
+        assert_eq!(m.wakeup_queue().alarm_count(), 2);
+        // Batched entry fires at the intersection start.
+        assert_eq!(m.next_wakeup_time(), Some(SimTime::from_secs(200)));
+    }
+
+    #[test]
+    fn pop_due_and_complete_delivery_reinserts_repeating() {
+        let mut m = AlarmManager::new(Box::new(NativePolicy::new()));
+        m.register(wifi_alarm("a", 100, 600, 0.0)).unwrap();
+        let due = m.pop_due_wakeup(SimTime::from_secs(100));
+        assert_eq!(due.len(), 1);
+        assert_eq!(m.alarm_count(), 0);
+        for entry in due {
+            for alarm in entry.into_alarms() {
+                let reinserted = m.complete_delivery(alarm, SimTime::from_secs(100));
+                assert!(reinserted.is_some());
+            }
+        }
+        assert_eq!(m.alarm_count(), 1);
+        assert_eq!(m.next_wakeup_time(), Some(SimTime::from_secs(700)));
+    }
+
+    #[test]
+    fn hardware_becomes_known_after_delivery() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        m.register(wifi_alarm("a", 100, 600, 0.75)).unwrap();
+        let due = m.pop_due_wakeup(SimTime::from_secs(100));
+        let alarm = due.into_iter().next().unwrap().into_alarms().pop().unwrap();
+        assert!(!alarm.is_hardware_known());
+        m.complete_delivery(alarm, SimTime::from_secs(100));
+        let requeued = &m.wakeup_queue().entries()[0].alarms()[0];
+        assert!(requeued.is_hardware_known());
+        assert!(!requeued.is_perceptible());
+    }
+
+    #[test]
+    fn one_shot_is_not_reinserted() {
+        let mut m = AlarmManager::new(Box::new(NativePolicy::new()));
+        let one_shot = Alarm::builder("once")
+            .nominal(SimTime::from_secs(10))
+            .build()
+            .unwrap();
+        m.register(one_shot).unwrap();
+        let alarm = m
+            .pop_due_wakeup(SimTime::from_secs(10))
+            .into_iter()
+            .next()
+            .unwrap()
+            .into_alarms()
+            .pop()
+            .unwrap();
+        assert_eq!(m.complete_delivery(alarm, SimTime::from_secs(10)), None);
+        assert_eq!(m.alarm_count(), 0);
+    }
+
+    #[test]
+    fn reinsert_removes_stale_copy() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        let a = wifi_alarm("a", 100, 600, 0.75);
+        let id = a.id();
+        m.register(a.clone()).unwrap();
+        // Re-register the same alarm with a later nominal time.
+        let mut later = a;
+        assert!(later.advance_after_delivery(SimTime::from_secs(100)));
+        m.register(later).unwrap();
+        assert_eq!(m.alarm_count(), 1);
+        assert!(m.wakeup_queue().contains_alarm(id));
+        assert_eq!(m.next_wakeup_time(), Some(SimTime::from_secs(700)));
+    }
+
+    #[test]
+    fn native_realignment_rebatches_entry_mates() {
+        let mut m = AlarmManager::new(Box::new(NativePolicy::new()));
+        // Three alarms batched into one entry.
+        let a = wifi_alarm("a", 100, 600, 0.75);
+        let a_id = a.id();
+        m.register(a.clone()).unwrap();
+        m.register(wifi_alarm("b", 150, 600, 0.75)).unwrap();
+        m.register(wifi_alarm("c", 200, 600, 0.75)).unwrap();
+        assert_eq!(m.wakeup_queue().len(), 1);
+        // Re-register `a` one period later: its mates are re-placed too.
+        let mut later = a;
+        later.advance_after_delivery(SimTime::from_secs(100));
+        m.register(later).unwrap();
+        assert_eq!(m.alarm_count(), 3);
+        // b and c still share a window ([200,750] ∩ [150,700] overlap) and
+        // rebatch together; `a` now lives at nominal 700 and joins them,
+        // since its window [700,1150] overlaps theirs.
+        assert!(m.wakeup_queue().contains_alarm(a_id));
+    }
+
+    #[test]
+    fn non_wakeup_alarms_live_in_their_own_queue() {
+        let mut m = AlarmManager::new(Box::new(NativePolicy::new()));
+        let nw = Alarm::builder("nw")
+            .nominal(SimTime::from_secs(100))
+            .repeating_static(SimDuration::from_secs(600))
+            .window_fraction(0.75)
+            .kind(AlarmKind::NonWakeup)
+            .build()
+            .unwrap();
+        m.register(nw).unwrap();
+        m.register(wifi_alarm("w", 100, 600, 0.75)).unwrap();
+        assert_eq!(m.wakeup_queue().alarm_count(), 1);
+        assert_eq!(m.non_wakeup_queue().alarm_count(), 1);
+        // Non-wakeup alarms never drive the RTC.
+        assert_eq!(m.next_wakeup_time(), Some(SimTime::from_secs(100)));
+        let due = m.pop_due_non_wakeup(SimTime::from_secs(150));
+        assert_eq!(due.len(), 1);
+    }
+
+    #[test]
+    fn cancel_removes_from_either_queue() {
+        let mut m = AlarmManager::new(Box::new(ExactPolicy::new()));
+        let a = wifi_alarm("a", 100, 600, 0.75);
+        let id = a.id();
+        m.register(a).unwrap();
+        assert!(m.cancel(id).is_some());
+        assert!(m.cancel(id).is_none());
+        assert_eq!(m.alarm_count(), 0);
+    }
+
+    #[test]
+    fn debug_shows_policy_and_counts() {
+        let m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        let s = format!("{m:?}");
+        assert!(s.contains("SIMTY"));
+    }
+}

@@ -1,0 +1,82 @@
+//! The EXACT (no-alignment) baseline policy.
+
+use crate::alarm::Alarm;
+use crate::entry::DeliveryDiscipline;
+use crate::policy::{AlignmentPolicy, Placement};
+use crate::queue::AlarmQueue;
+
+/// Baseline policy that never aligns: every alarm is delivered at its own
+/// nominal time in a singleton entry.
+///
+/// This models a system without any alignment support and provides the
+/// "expected number of wakeups if no alignment policy is applied" —
+/// the denominators in the paper's Table 4.
+///
+/// # Examples
+///
+/// ```
+/// use simty_core::manager::AlarmManager;
+/// use simty_core::policy::ExactPolicy;
+///
+/// let manager = AlarmManager::new(Box::new(ExactPolicy::new()));
+/// assert_eq!(manager.policy_name(), "EXACT");
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactPolicy {
+    _private: (),
+}
+
+impl ExactPolicy {
+    /// Creates the policy.
+    pub fn new() -> Self {
+        ExactPolicy::default()
+    }
+}
+
+impl AlignmentPolicy for ExactPolicy {
+    fn name(&self) -> &str {
+        "EXACT"
+    }
+
+    fn place(&self, _queue: &AlarmQueue, _alarm: &Alarm) -> Placement {
+        Placement::NewEntry
+    }
+
+    fn discipline(&self) -> DeliveryDiscipline {
+        DeliveryDiscipline::Window
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::QueueEntry;
+    use crate::time::{SimDuration, SimTime};
+
+    #[test]
+    fn always_creates_a_new_entry() {
+        let policy = ExactPolicy::new();
+        let mut queue = AlarmQueue::new();
+        let a = Alarm::builder("a")
+            .nominal(SimTime::from_secs(10))
+            .repeating_static(SimDuration::from_secs(60))
+            .window_fraction(0.75)
+            .build()
+            .unwrap();
+        let b = Alarm::builder("b")
+            .nominal(SimTime::from_secs(10))
+            .repeating_static(SimDuration::from_secs(60))
+            .window_fraction(0.75)
+            .build()
+            .unwrap();
+        assert_eq!(policy.place(&queue, &a), Placement::NewEntry);
+        queue.insert_entry(QueueEntry::new(a, policy.discipline()));
+        // Even a perfectly overlapping alarm gets its own entry.
+        assert_eq!(policy.place(&queue, &b), Placement::NewEntry);
+    }
+
+    #[test]
+    fn does_not_realign() {
+        assert!(!ExactPolicy::new().realigns_on_reinsert());
+    }
+}

@@ -1,0 +1,205 @@
+//! Energy metering: the simulated Monsoon power monitor.
+//!
+//! The meter integrates piecewise-constant power exactly and keeps a
+//! per-category breakdown matching the paper's Fig. 3 presentation:
+//! sleep energy, wake-transition energy, awake-base (CPU/memory) energy,
+//! and per-component wakelock energy.
+
+use std::fmt;
+
+use simty_core::hardware::{HardwareComponent, HardwareSet};
+use simty_core::time::SimDuration;
+
+use crate::power::PowerModel;
+
+/// Accumulated energy by category, in millijoules.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EnergyMeter {
+    sleep_mj: f64,
+    transition_mj: f64,
+    awake_base_mj: f64,
+    component_mj: [f64; HardwareComponent::ALL.len()],
+}
+
+impl EnergyMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> Self {
+        EnergyMeter::default()
+    }
+
+    /// Accrues sleep-state energy over `dt`.
+    pub fn accrue_sleep(&mut self, model: &PowerModel, dt: SimDuration) {
+        self.sleep_mj += model.sleep_power_mw * dt.as_secs_f64();
+    }
+
+    /// Accrues awake-state energy over `dt`: base power plus the active
+    /// power of every component in `active`.
+    pub fn accrue_awake(&mut self, model: &PowerModel, active: HardwareSet, dt: SimDuration) {
+        let secs = dt.as_secs_f64();
+        self.awake_base_mj += model.awake_base_power_mw * secs;
+        for c in active {
+            self.component_mj[PowerModel::index(c)] += model.component(c).active_power_mw * secs;
+        }
+    }
+
+    /// Charges one sleep→awake transition.
+    pub fn charge_wake_transition(&mut self, model: &PowerModel) {
+        self.transition_mj += model.wake_transition_energy_mj;
+    }
+
+    /// Charges one component activation.
+    pub fn charge_activation(&mut self, model: &PowerModel, c: HardwareComponent) {
+        self.component_mj[PowerModel::index(c)] += model.component(c).activation_energy_mj;
+    }
+
+    /// A snapshot of the totals.
+    pub fn breakdown(&self) -> EnergyBreakdown {
+        EnergyBreakdown {
+            sleep_mj: self.sleep_mj,
+            transition_mj: self.transition_mj,
+            awake_base_mj: self.awake_base_mj,
+            component_mj: self.component_mj,
+        }
+    }
+}
+
+/// An immutable energy breakdown snapshot (all values in mJ).
+///
+/// # Examples
+///
+/// ```
+/// use simty_device::energy::EnergyMeter;
+///
+/// let meter = EnergyMeter::new();
+/// let b = meter.breakdown();
+/// assert_eq!(b.total_mj(), 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Energy spent asleep.
+    pub sleep_mj: f64,
+    /// Energy spent on sleep→awake transitions.
+    pub transition_mj: f64,
+    /// Energy spent on the essential awake components (CPU, memory).
+    pub awake_base_mj: f64,
+    /// Energy per wakelockable component, indexed per
+    /// [`HardwareComponent::ALL`].
+    component_mj: [f64; HardwareComponent::ALL.len()],
+}
+
+impl EnergyBreakdown {
+    /// Energy attributed to one component.
+    pub fn component_mj(&self, c: HardwareComponent) -> f64 {
+        self.component_mj[PowerModel::index(c)]
+    }
+
+    /// Total energy across all wakelockable components.
+    pub fn hardware_mj(&self) -> f64 {
+        self.component_mj.iter().sum()
+    }
+
+    /// "Energy consumed to keep the smartphone awake" (the paper's Fig. 3
+    /// awake category): everything except sleep energy.
+    pub fn awake_related_mj(&self) -> f64 {
+        self.transition_mj + self.awake_base_mj + self.hardware_mj()
+    }
+
+    /// Grand total.
+    pub fn total_mj(&self) -> f64 {
+        self.sleep_mj + self.awake_related_mj()
+    }
+
+    /// Average power over a span (mW).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span` is zero.
+    pub fn average_power_mw(&self, span: SimDuration) -> f64 {
+        assert!(!span.is_zero(), "average power over a zero span");
+        self.total_mj() / span.as_secs_f64()
+    }
+}
+
+impl fmt::Display for EnergyBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "energy breakdown (mJ):")?;
+        writeln!(f, "  sleep       {:>12.1}", self.sleep_mj)?;
+        writeln!(f, "  transitions {:>12.1}", self.transition_mj)?;
+        writeln!(f, "  awake base  {:>12.1}", self.awake_base_mj)?;
+        for c in HardwareComponent::ALL {
+            let e = self.component_mj(c);
+            if e > 0.0 {
+                writeln!(f, "  {:<11} {e:>12.1}", c.name())?;
+            }
+        }
+        write!(f, "  total       {:>12.1}", self.total_mj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accrual_is_power_times_time() {
+        let model = PowerModel::nexus5();
+        let mut m = EnergyMeter::new();
+        m.accrue_sleep(&model, SimDuration::from_secs(100));
+        let b = m.breakdown();
+        assert!((b.sleep_mj - 50.0 * 100.0).abs() < 1e-9);
+
+        m.accrue_awake(
+            &model,
+            HardwareComponent::Wifi.into(),
+            SimDuration::from_secs(2),
+        );
+        let b = m.breakdown();
+        assert!((b.awake_base_mj - 320.0).abs() < 1e-9);
+        assert!((b.component_mj(HardwareComponent::Wifi) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn charges_are_one_time() {
+        let model = PowerModel::nexus5();
+        let mut m = EnergyMeter::new();
+        m.charge_wake_transition(&model);
+        m.charge_activation(&model, HardwareComponent::Wifi);
+        let b = m.breakdown();
+        assert!((b.transition_mj - 100.0).abs() < 1e-9);
+        assert!((b.component_mj(HardwareComponent::Wifi) - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_add_up() {
+        let model = PowerModel::nexus5();
+        let mut m = EnergyMeter::new();
+        m.accrue_sleep(&model, SimDuration::from_secs(10));
+        m.charge_wake_transition(&model);
+        m.accrue_awake(
+            &model,
+            HardwareComponent::Speaker | HardwareComponent::Vibrator,
+            SimDuration::from_secs(1),
+        );
+        let b = m.breakdown();
+        let expected_awake = 100.0 + 160.0 + 10.0 + 20.0;
+        let expected_sleep = 50.0 * 10.0;
+        assert!((b.awake_related_mj() - expected_awake).abs() < 1e-9);
+        assert!((b.total_mj() - (expected_sleep + expected_awake)).abs() < 1e-9);
+        assert!((b.hardware_mj() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn average_power() {
+        let model = PowerModel::nexus5();
+        let mut m = EnergyMeter::new();
+        m.accrue_sleep(&model, SimDuration::from_secs(100));
+        let b = m.breakdown();
+        assert!((b.average_power_mw(SimDuration::from_secs(100)) - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_contains_total() {
+        let b = EnergyMeter::new().breakdown();
+        assert!(b.to_string().contains("total"));
+    }
+}

@@ -1,0 +1,228 @@
+//! The simulated Monsoon power monitor: a transient power waveform.
+//!
+//! The paper measures "the smartphone's transient power and energy
+//! consumption" with a Monsoon Solutions monitor (§4.1). The device's
+//! [`EnergyMeter`](crate::energy::EnergyMeter) gives the totals; this
+//! module records the *waveform* — the piecewise-constant power level
+//! plus the instantaneous energy impulses (wake transitions, component
+//! activations) — so a run can be plotted or exported, and so the meter
+//! can be cross-checked: the waveform's integral must equal the meter's
+//! total, exactly.
+
+use std::io::{self, Write};
+
+use simty_core::time::SimTime;
+
+/// A recorded power waveform: step levels in mW plus energy impulses in
+/// mJ.
+///
+/// # Examples
+///
+/// ```
+/// use simty_core::time::SimTime;
+/// use simty_device::monsoon::PowerTrace;
+///
+/// let mut trace = PowerTrace::new();
+/// trace.record_level(SimTime::ZERO, 50.0);
+/// trace.record_level(SimTime::from_secs(10), 160.0);
+/// trace.record_impulse(SimTime::from_secs(10), 100.0);
+/// // 10 s at 50 mW + 5 s at 160 mW + the 100 mJ impulse.
+/// let mj = trace.energy_mj(SimTime::from_secs(15));
+/// assert!((mj - (500.0 + 800.0 + 100.0)).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PowerTrace {
+    levels: Vec<(SimTime, f64)>,
+    impulses: Vec<(SimTime, f64)>,
+}
+
+impl PowerTrace {
+    /// Creates an empty waveform.
+    pub fn new() -> Self {
+        PowerTrace::default()
+    }
+
+    /// Records that the power level changed to `mw` at `t`. Consecutive
+    /// identical levels coalesce.
+    pub fn record_level(&mut self, t: SimTime, mw: f64) {
+        if let Some((last_t, last_mw)) = self.levels.last().copied() {
+            if (last_mw - mw).abs() < 1e-12 {
+                return;
+            }
+            debug_assert!(t >= last_t, "waveform driven backwards");
+            if last_t == t {
+                // Same-instant change: overwrite the zero-length step.
+                self.levels.pop();
+                if let Some((_, prev)) = self.levels.last() {
+                    if (prev - mw).abs() < 1e-12 {
+                        return;
+                    }
+                }
+            }
+        }
+        self.levels.push((t, mw));
+    }
+
+    /// Records an instantaneous energy impulse (wake transition or
+    /// component activation) of `mj` at `t`.
+    pub fn record_impulse(&mut self, t: SimTime, mj: f64) {
+        self.impulses.push((t, mj));
+    }
+
+    /// The step levels `(start, mW)` in time order.
+    pub fn levels(&self) -> &[(SimTime, f64)] {
+        &self.levels
+    }
+
+    /// The impulses `(instant, mJ)` in time order.
+    pub fn impulses(&self) -> &[(SimTime, f64)] {
+        &self.impulses
+    }
+
+    /// The power level at `t` (0 before the first sample).
+    pub fn level_at(&self, t: SimTime) -> f64 {
+        match self.levels.partition_point(|(start, _)| *start <= t) {
+            0 => 0.0,
+            idx => self.levels[idx - 1].1,
+        }
+    }
+
+    /// The highest recorded step level, in mW.
+    pub fn peak_mw(&self) -> f64 {
+        self.levels.iter().map(|(_, mw)| *mw).fold(0.0, f64::max)
+    }
+
+    /// Integrates the waveform from its first sample to `until`,
+    /// including impulses at or before `until`. Equals the
+    /// [`EnergyMeter`](crate::energy::EnergyMeter) total for the same run
+    /// — the cross-check the integration tests enforce.
+    pub fn energy_mj(&self, until: SimTime) -> f64 {
+        let mut total: f64 = self
+            .impulses
+            .iter()
+            .filter(|(t, _)| *t <= until)
+            .map(|(_, mj)| *mj)
+            .sum();
+        for (i, (start, mw)) in self.levels.iter().enumerate() {
+            if *start >= until {
+                break;
+            }
+            let end = self
+                .levels
+                .get(i + 1)
+                .map(|(t, _)| *t)
+                .unwrap_or(until)
+                .min(until);
+            total += mw * end.saturating_since(*start).as_secs_f64();
+        }
+        total
+    }
+
+    /// Writes the waveform as CSV: `time_ms,kind,value` where kind is
+    /// `level_mw` or `impulse_mj`, merged in time order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(w, "time_ms,kind,value")?;
+        let mut li = self.levels.iter().peekable();
+        let mut ii = self.impulses.iter().peekable();
+        loop {
+            let take_level = match (li.peek(), ii.peek()) {
+                (Some((lt, _)), Some((it, _))) => lt <= it,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_level {
+                let (t, mw) = li.next().expect("peeked");
+                writeln!(w, "{},level_mw,{mw}", t.as_millis())?;
+            } else {
+                let (t, mj) = ii.next().expect("peeked");
+                writeln!(w, "{},impulse_mj,{mj}", t.as_millis())?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalesces_identical_levels() {
+        let mut tr = PowerTrace::new();
+        tr.record_level(SimTime::ZERO, 50.0);
+        tr.record_level(SimTime::from_secs(1), 50.0);
+        tr.record_level(SimTime::from_secs(2), 160.0);
+        assert_eq!(tr.levels().len(), 2);
+    }
+
+    #[test]
+    fn same_instant_change_keeps_the_last_level() {
+        let mut tr = PowerTrace::new();
+        tr.record_level(SimTime::ZERO, 50.0);
+        tr.record_level(SimTime::from_secs(5), 160.0);
+        tr.record_level(SimTime::from_secs(5), 310.0);
+        assert_eq!(tr.levels().len(), 2);
+        assert_eq!(tr.level_at(SimTime::from_secs(5)), 310.0);
+        // Collapsing back to the previous level removes the step entirely.
+        let mut tr = PowerTrace::new();
+        tr.record_level(SimTime::ZERO, 50.0);
+        tr.record_level(SimTime::from_secs(5), 160.0);
+        tr.record_level(SimTime::from_secs(5), 50.0);
+        assert_eq!(tr.levels().len(), 1);
+    }
+
+    #[test]
+    fn level_lookup() {
+        let mut tr = PowerTrace::new();
+        assert_eq!(tr.level_at(SimTime::from_secs(1)), 0.0);
+        tr.record_level(SimTime::from_secs(10), 50.0);
+        tr.record_level(SimTime::from_secs(20), 160.0);
+        assert_eq!(tr.level_at(SimTime::from_secs(9)), 0.0);
+        assert_eq!(tr.level_at(SimTime::from_secs(10)), 50.0);
+        assert_eq!(tr.level_at(SimTime::from_secs(19)), 50.0);
+        assert_eq!(tr.level_at(SimTime::from_secs(25)), 160.0);
+        assert_eq!(tr.peak_mw(), 160.0);
+    }
+
+    #[test]
+    fn integral_with_partial_last_segment() {
+        let mut tr = PowerTrace::new();
+        tr.record_level(SimTime::ZERO, 100.0);
+        tr.record_level(SimTime::from_secs(10), 200.0);
+        // Integrate to 12 s: 10 s x 100 + 2 s x 200.
+        assert!((tr.energy_mj(SimTime::from_secs(12)) - 1_400.0).abs() < 1e-9);
+        // Integrate to before the second step.
+        assert!((tr.energy_mj(SimTime::from_secs(5)) - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn impulses_filter_by_time() {
+        let mut tr = PowerTrace::new();
+        tr.record_impulse(SimTime::from_secs(1), 100.0);
+        tr.record_impulse(SimTime::from_secs(9), 200.0);
+        assert!((tr.energy_mj(SimTime::from_secs(5)) - 100.0).abs() < 1e-9);
+        assert!((tr.energy_mj(SimTime::from_secs(10)) - 300.0).abs() < 1e-9);
+        assert_eq!(tr.impulses().len(), 2);
+    }
+
+    #[test]
+    fn csv_is_time_merged() {
+        let mut tr = PowerTrace::new();
+        tr.record_level(SimTime::ZERO, 50.0);
+        tr.record_impulse(SimTime::from_secs(1), 100.0);
+        tr.record_level(SimTime::from_secs(2), 160.0);
+        let mut buf = Vec::new();
+        tr.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[1].contains("level_mw"));
+        assert!(lines[2].contains("impulse_mj"));
+        assert!(lines[3].starts_with("2000,"));
+    }
+}

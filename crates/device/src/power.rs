@@ -1,0 +1,207 @@
+//! Power models: per-component power profiles and device-level constants.
+//!
+//! The model is *calibrated against the paper's own Monsoon measurements*
+//! (§2.2) rather than against the physical Nexus 5 we do not have:
+//!
+//! * awakening the smartphone without wakelocking extra hardware costs
+//!   **180 mJ** (wake-transition energy plus the awake-base power over the
+//!   wake latency and sleep linger);
+//! * one WPS positioning delivery (Wi-Fi + cellular scan, 8 s task) costs
+//!   **3 650 mJ**;
+//! * one calendar notification (speaker + vibrator, 1 s task) costs
+//!   **400 mJ**.
+//!
+//! [`PowerModel::nexus5`] reproduces these three anchors exactly; the unit
+//! tests pin them down.
+
+use simty_core::hardware::HardwareComponent;
+use simty_core::time::SimDuration;
+
+/// Power profile of a single wakelockable component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ComponentPower {
+    /// One-time energy cost of activating the component (mJ). Paid every
+    /// time the component transitions from inactive to active — this is
+    /// the overhead that hardware-similar alignment amortizes (§3.1.1).
+    pub activation_energy_mj: f64,
+    /// Power drawn while the component is wakelocked (mW).
+    pub active_power_mw: f64,
+}
+
+/// Device-level power model used by the simulator's energy integrator.
+///
+/// # Examples
+///
+/// ```
+/// use simty_device::power::PowerModel;
+/// use simty_core::hardware::HardwareComponent;
+///
+/// let model = PowerModel::nexus5();
+/// assert!((model.bare_wakeup_energy_mj() - 180.0).abs() < 1e-6);
+/// assert!(model.component(HardwareComponent::Wifi).active_power_mw > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PowerModel {
+    /// Power drawn asleep in connected standby (mW): the irreducible floor
+    /// the paper attributes to low-power hardware design.
+    pub sleep_power_mw: f64,
+    /// Power drawn by the essential components (CPU, memory) whenever the
+    /// device is awake or waking (mW).
+    pub awake_base_power_mw: f64,
+    /// One-time energy cost of a sleep→awake transition (mJ).
+    pub wake_transition_energy_mj: f64,
+    /// Latency from the RTC interrupt until alarms can be delivered. This
+    /// is the mechanism behind the paper's observation that α = 0 alarms
+    /// are delivered "slightly later than expected" even under NATIVE
+    /// (0.4–0.6 % normalized delay, §4.2).
+    pub wake_latency: SimDuration,
+    /// How long the device lingers awake after the last wakelock is
+    /// released before going back to sleep.
+    pub sleep_linger: SimDuration,
+    components: [ComponentPower; HardwareComponent::ALL.len()],
+}
+
+impl PowerModel {
+    /// The model calibrated to the paper's LG Nexus 5 measurements.
+    pub fn nexus5() -> Self {
+        let mut components = [ComponentPower {
+            activation_energy_mj: 0.0,
+            active_power_mw: 0.0,
+        }; HardwareComponent::ALL.len()];
+        let mut set = |c: HardwareComponent, act: f64, pow: f64| {
+            components[Self::index(c)] = ComponentPower {
+                activation_energy_mj: act,
+                active_power_mw: pow,
+            };
+        };
+        set(HardwareComponent::Wifi, 200.0, 150.0);
+        set(HardwareComponent::Cellular, 150.0, 80.0);
+        set(HardwareComponent::Gps, 300.0, 250.0);
+        set(HardwareComponent::Wps, 350.0, 230.0);
+        set(HardwareComponent::Accelerometer, 5.0, 15.0);
+        set(HardwareComponent::Speaker, 10.0, 10.0);
+        set(HardwareComponent::Vibrator, 20.0, 20.0);
+        set(HardwareComponent::Screen, 50.0, 400.0);
+        PowerModel {
+            // The paper does not publish the absolute sleep-floor power, but
+            // its Fig. 3 shows sleep accounting for a large share of total
+            // standby energy (total savings of 20-25 % against awake savings
+            // of >33 %). 50 mW reproduces that share; it also matches the
+            // paper's remark that the sleep mode alone "accounts for a
+            // significant proportion of the total energy consumption".
+            sleep_power_mw: 50.0,
+            awake_base_power_mw: 160.0,
+            wake_transition_energy_mj: 100.0,
+            wake_latency: SimDuration::from_millis(250),
+            sleep_linger: SimDuration::from_millis(250),
+            components,
+        }
+    }
+
+    /// The profile of one component.
+    pub fn component(&self, c: HardwareComponent) -> ComponentPower {
+        self.components[Self::index(c)]
+    }
+
+    /// Overrides one component's profile (for sensitivity studies).
+    pub fn set_component(&mut self, c: HardwareComponent, profile: ComponentPower) {
+        self.components[Self::index(c)] = profile;
+    }
+
+    /// Energy to awaken the device and let it fall back asleep without any
+    /// task: transition energy plus base power over latency + linger.
+    /// The paper measures this as 180 mJ.
+    pub fn bare_wakeup_energy_mj(&self) -> f64 {
+        self.wake_transition_energy_mj
+            + self.awake_base_power_mw
+                * (self.wake_latency.as_secs_f64() + self.sleep_linger.as_secs_f64())
+    }
+
+    /// Energy of a solo delivery that wakes the device from sleep, runs a
+    /// task wakelocking `set` for `task` seconds, and sleeps again.
+    /// Used for calibration checks and the Fig. 2 analytic replay.
+    pub fn solo_delivery_energy_mj(
+        &self,
+        set: simty_core::hardware::HardwareSet,
+        task: SimDuration,
+    ) -> f64 {
+        let awake = self.wake_latency.as_secs_f64()
+            + task.as_secs_f64()
+            + self.sleep_linger.as_secs_f64();
+        let mut total = self.wake_transition_energy_mj + self.awake_base_power_mw * awake;
+        for c in set {
+            let p = self.component(c);
+            total += p.activation_energy_mj + p.active_power_mw * task.as_secs_f64();
+        }
+        total
+    }
+
+    pub(crate) fn index(c: HardwareComponent) -> usize {
+        HardwareComponent::ALL
+            .iter()
+            .position(|x| *x == c)
+            .expect("component is in ALL")
+    }
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        PowerModel::nexus5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simty_core::hardware::HardwareSet;
+
+    #[test]
+    fn bare_wakeup_matches_the_paper() {
+        // §2.2: "the energy required simply to awaken the smartphone,
+        // without wakelocking extra hardware components, is 180 mJ".
+        let m = PowerModel::nexus5();
+        assert!((m.bare_wakeup_energy_mj() - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wps_delivery_matches_the_paper() {
+        // §2.2: "each alarm delivery for location positioning consumes
+        // 3,650 mJ" (WPS positioning, 8 s task).
+        let m = PowerModel::nexus5();
+        let e = m.solo_delivery_energy_mj(
+            HardwareSet::single(HardwareComponent::Wps),
+            SimDuration::from_secs(8),
+        );
+        assert!((e - 3650.0).abs() < 1e-6, "got {e}");
+    }
+
+    #[test]
+    fn calendar_notification_matches_the_paper() {
+        // §2.2: "the alarm delivery for calendar notification consumes
+        // 400 mJ" (speaker + vibrator for one second).
+        let m = PowerModel::nexus5();
+        let notify = HardwareComponent::Speaker | HardwareComponent::Vibrator;
+        let e = m.solo_delivery_energy_mj(notify, SimDuration::from_secs(1));
+        assert!((e - 400.0).abs() < 1e-6, "got {e}");
+    }
+
+    #[test]
+    fn empty_set_solo_delivery_reduces_to_bare_wakeup() {
+        let m = PowerModel::nexus5();
+        let e = m.solo_delivery_energy_mj(HardwareSet::empty(), SimDuration::ZERO);
+        assert!((e - m.bare_wakeup_energy_mj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn set_component_overrides() {
+        let mut m = PowerModel::nexus5();
+        m.set_component(
+            HardwareComponent::Wifi,
+            ComponentPower {
+                activation_energy_mj: 1.0,
+                active_power_mw: 2.0,
+            },
+        );
+        assert_eq!(m.component(HardwareComponent::Wifi).active_power_mw, 2.0);
+    }
+}

@@ -1,0 +1,196 @@
+//! The wakelock table: which components are held active, and until when.
+//!
+//! Mirrors Android's hardware `WakeLock` API as the paper instruments it:
+//! a task acquires locks on its hardware set right after its alarm is
+//! delivered and holds them for the task duration. Locks on the same
+//! component coalesce — the component stays active until the latest
+//! expiry, and its activation cost is paid only on the inactive→active
+//! edge (which is exactly the amortization hardware-similar alignment
+//! exploits).
+
+use simty_core::hardware::{HardwareComponent, HardwareSet};
+use simty_core::time::SimTime;
+
+/// Per-component wakelock expiries.
+///
+/// A component is active at time `t` while `t < expiry`. The owner must
+/// call [`release_expired`](Self::release_expired) at (or after) each
+/// expiry instant before querying the active set, which the simulator
+/// guarantees by scheduling an event at every expiry.
+///
+/// # Examples
+///
+/// ```
+/// use simty_core::hardware::HardwareComponent;
+/// use simty_core::time::SimTime;
+/// use simty_device::wakelock::WakeLockTable;
+///
+/// let mut table = WakeLockTable::new();
+/// let newly = table.acquire(HardwareComponent::Wifi.into(), SimTime::from_secs(5));
+/// assert!(newly.contains(HardwareComponent::Wifi));
+/// assert_eq!(table.next_expiry(), Some(SimTime::from_secs(5)));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WakeLockTable {
+    expiry: [Option<SimTime>; HardwareComponent::ALL.len()],
+    activations: [u64; HardwareComponent::ALL.len()],
+}
+
+impl WakeLockTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        WakeLockTable::default()
+    }
+
+    /// Acquires (or extends) locks on every component in `set` until
+    /// `until`, returning the components that were newly activated —
+    /// the caller charges their activation energy.
+    pub fn acquire(&mut self, set: HardwareSet, until: SimTime) -> HardwareSet {
+        let mut newly = HardwareSet::empty();
+        for c in set {
+            let idx = Self::index(c);
+            match self.expiry[idx] {
+                Some(existing) => {
+                    // Coalesce: keep the later expiry; no activation cost.
+                    self.expiry[idx] = Some(existing.max(until));
+                }
+                None => {
+                    self.expiry[idx] = Some(until);
+                    self.activations[idx] += 1;
+                    newly.insert(c);
+                }
+            }
+        }
+        newly
+    }
+
+    /// The set of currently active components.
+    pub fn active(&self) -> HardwareSet {
+        HardwareComponent::ALL
+            .iter()
+            .copied()
+            .filter(|c| self.expiry[Self::index(*c)].is_some())
+            .collect()
+    }
+
+    /// Whether no component is held.
+    pub fn is_idle(&self) -> bool {
+        self.expiry.iter().all(Option::is_none)
+    }
+
+    /// The earliest expiry among the active components.
+    pub fn next_expiry(&self) -> Option<SimTime> {
+        self.expiry.iter().flatten().copied().min()
+    }
+
+    /// Releases every lock whose expiry is at or before `now`, returning
+    /// the deactivated components.
+    pub fn release_expired(&mut self, now: SimTime) -> HardwareSet {
+        let mut released = HardwareSet::empty();
+        for c in HardwareComponent::ALL {
+            let idx = Self::index(c);
+            if let Some(expiry) = self.expiry[idx] {
+                if expiry <= now {
+                    self.expiry[idx] = None;
+                    released.insert(c);
+                }
+            }
+        }
+        released
+    }
+
+    /// Drops every lock immediately (used when injecting faults such as a
+    /// user force-stopping an app).
+    pub fn release_all(&mut self) -> HardwareSet {
+        let active = self.active();
+        self.expiry = Default::default();
+        active
+    }
+
+    /// How many times `c` transitioned from inactive to active — the
+    /// numerator of the paper's Table 4 for that hardware row.
+    pub fn activation_count(&self, c: HardwareComponent) -> u64 {
+        self.activations[Self::index(c)]
+    }
+
+    fn index(c: HardwareComponent) -> usize {
+        HardwareComponent::ALL
+            .iter()
+            .position(|x| *x == c)
+            .expect("component is in ALL")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_release_lifecycle() {
+        let mut t = WakeLockTable::new();
+        assert!(t.is_idle());
+        let newly = t.acquire(HardwareComponent::Wifi.into(), SimTime::from_secs(10));
+        assert_eq!(newly, HardwareComponent::Wifi.into());
+        assert!(!t.is_idle());
+        assert_eq!(t.active(), HardwareComponent::Wifi.into());
+        let released = t.release_expired(SimTime::from_secs(10));
+        assert_eq!(released, HardwareComponent::Wifi.into());
+        assert!(t.is_idle());
+    }
+
+    #[test]
+    fn overlapping_acquires_coalesce_without_reactivation() {
+        let mut t = WakeLockTable::new();
+        t.acquire(HardwareComponent::Wifi.into(), SimTime::from_secs(10));
+        // Second task extends the lock; no new activation.
+        let newly = t.acquire(HardwareComponent::Wifi.into(), SimTime::from_secs(15));
+        assert!(newly.is_empty());
+        assert_eq!(t.activation_count(HardwareComponent::Wifi), 1);
+        // Not released at the first task's end.
+        assert!(t.release_expired(SimTime::from_secs(10)).is_empty());
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn extension_never_shortens() {
+        let mut t = WakeLockTable::new();
+        t.acquire(HardwareComponent::Wifi.into(), SimTime::from_secs(20));
+        t.acquire(HardwareComponent::Wifi.into(), SimTime::from_secs(10));
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(20)));
+    }
+
+    #[test]
+    fn activation_counts_per_component() {
+        let mut t = WakeLockTable::new();
+        for round in 1..=3u64 {
+            t.acquire(
+                HardwareComponent::Wifi | HardwareComponent::Cellular,
+                SimTime::from_secs(round * 10),
+            );
+            t.release_expired(SimTime::from_secs(round * 10));
+        }
+        assert_eq!(t.activation_count(HardwareComponent::Wifi), 3);
+        assert_eq!(t.activation_count(HardwareComponent::Cellular), 3);
+        assert_eq!(t.activation_count(HardwareComponent::Gps), 0);
+    }
+
+    #[test]
+    fn next_expiry_is_the_minimum() {
+        let mut t = WakeLockTable::new();
+        t.acquire(HardwareComponent::Wifi.into(), SimTime::from_secs(30));
+        t.acquire(HardwareComponent::Vibrator.into(), SimTime::from_secs(5));
+        assert_eq!(t.next_expiry(), Some(SimTime::from_secs(5)));
+    }
+
+    #[test]
+    fn release_all_drops_everything() {
+        let mut t = WakeLockTable::new();
+        t.acquire(
+            HardwareComponent::Wifi | HardwareComponent::Gps,
+            SimTime::from_secs(30),
+        );
+        let released = t.release_all();
+        assert_eq!(released.len(), 2);
+        assert!(t.is_idle());
+    }
+}

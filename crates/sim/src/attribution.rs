@@ -1,0 +1,313 @@
+//! Per-app energy attribution: which app is draining the battery?
+//!
+//! The paper's motivation is that resident apps "gradually and
+//! imperceptibly drain device batteries"; a practical wakeup manager
+//! therefore needs to say *which* app is responsible for how much of the
+//! awake-related energy. This ledger splits every awake-energy category
+//! among the tasks that caused it, using the same piecewise-constant
+//! segments as the device's [`EnergyMeter`](simty_device::energy::EnergyMeter):
+//!
+//! * **awake-base power** — split equally among the tasks running in the
+//!   segment; accrued to *overhead* when the device is awake with no task
+//!   (wake latency, sleep linger);
+//! * **component power** — split equally among the tasks holding that
+//!   component in the segment;
+//! * **activation energy** — charged to the task(s) whose delivery newly
+//!   activated the component;
+//! * **wake-transition energy** — split among the alarms delivered by the
+//!   wakeup that paid it; *overhead* if the wake served no alarm (e.g. an
+//!   external event with nothing due).
+//!
+//! The conservation invariant — attributed + overhead = the meter's
+//! awake-related energy — is enforced by the integration tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use simty_core::hardware::HardwareSet;
+use simty_core::time::{SimDuration, SimTime};
+use simty_device::power::PowerModel;
+
+/// A task currently holding the device awake.
+#[derive(Debug, Clone)]
+struct ActiveTask {
+    app: String,
+    hardware: HardwareSet,
+    until: SimTime,
+}
+
+/// The per-app energy ledger (all values in mJ).
+///
+/// Driven by the [`Simulation`](crate::engine::Simulation) engine; read
+/// it after a run via
+/// [`Simulation::attribution`](crate::engine::Simulation::attribution).
+#[derive(Debug, Clone)]
+pub struct AttributionLedger {
+    model: PowerModel,
+    active: Vec<ActiveTask>,
+    per_app: BTreeMap<String, f64>,
+    overhead_mj: f64,
+    pending_transition_mj: f64,
+    last: SimTime,
+    awake: bool,
+}
+
+impl AttributionLedger {
+    /// Creates an empty ledger for a device governed by `model`.
+    pub fn new(model: PowerModel) -> Self {
+        AttributionLedger {
+            model,
+            active: Vec::new(),
+            per_app: BTreeMap::new(),
+            overhead_mj: 0.0,
+            pending_transition_mj: 0.0,
+            last: SimTime::ZERO,
+            awake: false,
+        }
+    }
+
+    /// Integrates the segment `[last, now]` under the current task set
+    /// and records the device's awake state from `now` on. Must be called
+    /// at every instant the task set or device state changes (the engine
+    /// guarantees this by construction).
+    pub fn advance_to(&mut self, now: SimTime, awake_after: bool) {
+        let dt = now.saturating_since(self.last);
+        if !dt.is_zero() && self.awake {
+            self.accrue_awake_segment(dt);
+        }
+        self.active.retain(|t| t.until > now);
+        self.last = self.last.max(now);
+        self.awake = awake_after;
+    }
+
+    /// Notes that a wake transition was paid at this instant; its energy
+    /// is attributed to the alarms subsequently delivered by this wakeup.
+    pub fn note_wake_transition(&mut self) {
+        // An unclaimed previous transition (a wake that served nothing)
+        // becomes overhead.
+        self.overhead_mj += self.pending_transition_mj;
+        self.pending_transition_mj = self.model.wake_transition_energy_mj;
+    }
+
+    /// Records a delivered task: `app`'s task holds `hardware` until
+    /// `until`; `newly_activated` are the components whose activation
+    /// energy this delivery triggered; `batch_size` is the number of
+    /// alarms delivered together (they share any pending transition).
+    pub fn start_task(
+        &mut self,
+        app: &str,
+        hardware: HardwareSet,
+        until: SimTime,
+        newly_activated: HardwareSet,
+        batch_size: usize,
+    ) {
+        let mut charge = 0.0;
+        for c in newly_activated {
+            charge += self.model.component(c).activation_energy_mj;
+        }
+        // The whole batch shares the one transition; each alarm claims its
+        // slice the first time it is seen.
+        if self.pending_transition_mj > 0.0 && batch_size > 0 {
+            let share = self.model.wake_transition_energy_mj / batch_size as f64;
+            let claimed = share.min(self.pending_transition_mj);
+            charge += claimed;
+            self.pending_transition_mj -= claimed;
+            if self.pending_transition_mj < 1e-9 {
+                self.pending_transition_mj = 0.0;
+            }
+        }
+        *self.per_app.entry(app.to_owned()).or_insert(0.0) += charge;
+        self.active.push(ActiveTask {
+            app: app.to_owned(),
+            hardware,
+            until,
+        });
+    }
+
+    /// Energy attributed to each app so far, in mJ, sorted by app name.
+    pub fn per_app_mj(&self) -> &BTreeMap<String, f64> {
+        &self.per_app
+    }
+
+    /// Awake energy not attributable to any app: wake latency and sleep
+    /// linger with no task running, and wakes that served no alarm.
+    pub fn overhead_mj(&self) -> f64 {
+        self.overhead_mj + self.pending_transition_mj
+    }
+
+    /// Total attributed energy (excluding overhead), in mJ.
+    pub fn attributed_mj(&self) -> f64 {
+        self.per_app.values().sum()
+    }
+
+    /// Drops every active task immediately (mirrors the device's forced
+    /// wakelock release, so ledger and meter stay conserved).
+    pub fn drop_all_tasks(&mut self, now: SimTime) {
+        self.advance_to(now, self.awake);
+        self.active.clear();
+    }
+
+    /// Apps ranked by attributed energy, highest first.
+    pub fn ranking(&self) -> Vec<(String, f64)> {
+        let mut v: Vec<(String, f64)> = self
+            .per_app
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("energies are finite"));
+        v
+    }
+
+    fn accrue_awake_segment(&mut self, dt: SimDuration) {
+        let secs = dt.as_secs_f64();
+        let running: Vec<usize> = (0..self.active.len())
+            .filter(|i| self.active[*i].until > self.last)
+            .collect();
+        // Base power: split equally among running tasks, or overhead.
+        let base = self.model.awake_base_power_mw * secs;
+        if running.is_empty() {
+            self.overhead_mj += base;
+        } else {
+            let share = base / running.len() as f64;
+            for i in &running {
+                let app = self.active[*i].app.clone();
+                *self.per_app.entry(app).or_insert(0.0) += share;
+            }
+        }
+        // Component power: split among the tasks holding each component.
+        for c in simty_core::hardware::HardwareComponent::ALL {
+            let holders: Vec<usize> = running
+                .iter()
+                .copied()
+                .filter(|i| self.active[*i].hardware.contains(c))
+                .collect();
+            if holders.is_empty() {
+                continue;
+            }
+            let energy = self.model.component(c).active_power_mw * secs;
+            let share = energy / holders.len() as f64;
+            for i in holders {
+                let app = self.active[i].app.clone();
+                *self.per_app.entry(app).or_insert(0.0) += share;
+            }
+        }
+    }
+}
+
+impl fmt::Display for AttributionLedger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "per-app energy attribution (mJ):")?;
+        for (app, mj) in self.ranking() {
+            writeln!(f, "  {app:<20} {mj:>12.1}")?;
+        }
+        write!(f, "  {:<20} {:>12.1}", "(overhead)", self.overhead_mj())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simty_core::hardware::HardwareComponent;
+
+    fn ledger() -> AttributionLedger {
+        AttributionLedger::new(PowerModel::nexus5())
+    }
+
+    #[test]
+    fn lone_task_gets_everything_but_latency_and_linger_overhead() {
+        let mut l = ledger();
+        // Wake at 10 s (the Waking state counts as awake, like the device
+        // meter), task from 10.25 s to 13.25 s, linger until 13.5 s.
+        l.advance_to(SimTime::from_secs(10), true);
+        l.note_wake_transition();
+        l.advance_to(SimTime::from_millis(10_250), true);
+        l.start_task(
+            "app",
+            HardwareComponent::Wifi.into(),
+            SimTime::from_millis(13_250),
+            HardwareComponent::Wifi.into(),
+            1,
+        );
+        l.advance_to(SimTime::from_millis(13_250), true);
+        l.advance_to(SimTime::from_millis(13_500), false);
+        let app = l.per_app_mj()["app"];
+        // transition 100 + activation 200 + 3 s of (base 160 + wifi 150).
+        let expected = 100.0 + 200.0 + 3.0 * 310.0;
+        assert!((app - expected).abs() < 1e-6, "got {app}");
+        // Latency and linger (0.5 s of base power) with no task: overhead.
+        assert!((l.overhead_mj() - 0.5 * 160.0).abs() < 1e-6);
+        // Conservation: the device meter would report 100 + 3.5 s × 160 +
+        // 200 + 3 s × 150 of awake-related energy.
+        let meter_awake = 100.0 + 3.5 * 160.0 + 200.0 + 3.0 * 150.0;
+        assert!((l.attributed_mj() + l.overhead_mj() - meter_awake).abs() < 1e-6);
+    }
+
+    #[test]
+    fn concurrent_tasks_split_base_and_shared_components() {
+        let mut l = ledger();
+        l.advance_to(SimTime::from_secs(0), true);
+        l.start_task(
+            "a",
+            HardwareComponent::Wifi.into(),
+            SimTime::from_secs(2),
+            HardwareComponent::Wifi.into(),
+            2,
+        );
+        l.start_task(
+            "b",
+            HardwareComponent::Wifi.into(),
+            SimTime::from_secs(2),
+            HardwareSet::empty(),
+            2,
+        );
+        l.advance_to(SimTime::from_secs(2), false);
+        let a = l.per_app_mj()["a"];
+        let b = l.per_app_mj()["b"];
+        // Both split base (160) and wifi power (150) over 2 s; `a` paid the
+        // activation (200); no transition was pending.
+        assert!((b - (160.0 + 150.0)).abs() < 1e-6, "b = {b}");
+        assert!((a - (160.0 + 150.0 + 200.0)).abs() < 1e-6, "a = {a}");
+    }
+
+    #[test]
+    fn batch_members_share_the_transition() {
+        let mut l = ledger();
+        l.note_wake_transition();
+        l.advance_to(SimTime::from_secs(1), true);
+        l.start_task("a", HardwareSet::empty(), SimTime::from_secs(1), HardwareSet::empty(), 2);
+        l.start_task("b", HardwareSet::empty(), SimTime::from_secs(1), HardwareSet::empty(), 2);
+        assert!((l.per_app_mj()["a"] - 50.0).abs() < 1e-9);
+        assert!((l.per_app_mj()["b"] - 50.0).abs() < 1e-9);
+        assert_eq!(l.overhead_mj(), 0.0);
+    }
+
+    #[test]
+    fn unclaimed_transition_becomes_overhead() {
+        let mut l = ledger();
+        l.note_wake_transition();
+        l.advance_to(SimTime::from_secs(5), false);
+        // A second wake with the first still unclaimed.
+        l.note_wake_transition();
+        assert!((l.overhead_mj() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ranking_is_descending() {
+        let mut l = ledger();
+        l.advance_to(SimTime::from_secs(0), true);
+        l.start_task("small", HardwareSet::empty(), SimTime::from_secs(1), HardwareSet::empty(), 1);
+        l.advance_to(SimTime::from_secs(1), true);
+        l.start_task(
+            "big",
+            HardwareComponent::Wps.into(),
+            SimTime::from_secs(9),
+            HardwareComponent::Wps.into(),
+            1,
+        );
+        l.advance_to(SimTime::from_secs(9), false);
+        let ranking = l.ranking();
+        assert_eq!(ranking[0].0, "big");
+        assert!(ranking[0].1 > ranking[1].1);
+        assert!(l.to_string().contains("overhead"));
+    }
+}

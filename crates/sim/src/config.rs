@@ -1,0 +1,96 @@
+//! Simulation configuration.
+
+use simty_core::time::{SimDuration, SimTime};
+use simty_device::power::PowerModel;
+
+/// Configuration of one simulation run.
+///
+/// The defaults mirror the paper's setup: a 3-hour connected-standby
+/// session (§4.1) on the Nexus 5 power model.
+///
+/// # Examples
+///
+/// ```
+/// use simty_core::time::SimDuration;
+/// use simty_sim::config::SimConfig;
+///
+/// let config = SimConfig::new().with_duration(SimDuration::from_hours(1));
+/// assert_eq!(config.duration, SimDuration::from_hours(1));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// How long the device stays in connected standby.
+    pub duration: SimDuration,
+    /// The device power model.
+    pub power: PowerModel,
+    /// Instants at which an external stimulus (push message, user button
+    /// press) awakens the device regardless of the alarm queues.
+    pub external_wakes: Vec<SimTime>,
+    /// Whether to attach the simulated Monsoon monitor and record the
+    /// transient power waveform (memory-proportional to state changes).
+    pub record_waveform: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration: SimDuration::from_hours(3),
+            power: PowerModel::nexus5(),
+            external_wakes: Vec::new(),
+            record_waveform: false,
+        }
+    }
+}
+
+impl SimConfig {
+    /// The paper's default configuration (3 h, Nexus 5 model).
+    pub fn new() -> Self {
+        SimConfig::default()
+    }
+
+    /// Overrides the simulated span.
+    pub fn with_duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Overrides the power model.
+    pub fn with_power(mut self, power: PowerModel) -> Self {
+        self.power = power;
+        self
+    }
+
+    /// Adds external wake instants.
+    pub fn with_external_wakes(mut self, wakes: impl IntoIterator<Item = SimTime>) -> Self {
+        self.external_wakes.extend(wakes);
+        self
+    }
+
+    /// Enables the transient power waveform recording.
+    pub fn with_waveform(mut self) -> Self {
+        self.record_waveform = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_papers_setup() {
+        let c = SimConfig::new();
+        assert_eq!(c.duration, SimDuration::from_hours(3));
+        assert_eq!(c.power, PowerModel::nexus5());
+        assert!(c.external_wakes.is_empty());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = SimConfig::new()
+            .with_duration(SimDuration::from_mins(10))
+            .with_external_wakes([SimTime::from_secs(5)]);
+        assert_eq!(c.duration, SimDuration::from_mins(10));
+        assert_eq!(c.external_wakes, vec![SimTime::from_secs(5)]);
+    }
+}

@@ -1,0 +1,159 @@
+//! The simulator's event queue.
+//!
+//! A classic discrete-event heap with a deterministic tie-break: events at
+//! the same instant fire in the order they were scheduled (a monotone
+//! sequence number), so simulation runs replay bit-for-bit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use simty_core::alarm::AlarmId;
+use simty_core::time::SimTime;
+
+/// What the engine should do when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// The real-time clock fires for the head of the wakeup queue: wake
+    /// the device (if needed) and deliver due entries.
+    RtcAlarm,
+    /// A pending sleep→awake transition completes; due entries can now be
+    /// delivered.
+    WakeComplete,
+    /// A task's wakelocks expire.
+    TaskEnd,
+    /// The device has lingered idle long enough to go back to sleep.
+    TrySleep,
+    /// The head of the non-wakeup queue is due; deliverable only if the
+    /// device happens to be awake (§2.1).
+    NonWakeupCheck,
+    /// An external stimulus (push message, user pressing the power
+    /// button) awakens the device.
+    ExternalWake,
+    /// An app re-registers its still-queued alarm (e.g. a push message
+    /// told it to sync on a new schedule): the alarm's nominal time moves
+    /// one repeating interval past this instant and the alarm is
+    /// re-placed — the path that triggers NATIVE's realignment (§2.1).
+    Reregister {
+        /// The alarm being re-registered.
+        id: AlarmId,
+    },
+}
+
+/// A scheduled event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Scheduling order, used as a tie-break.
+    pub seq: u64,
+    /// What to do.
+    pub kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Event) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Event) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A time-ordered event queue with stable ties.
+///
+/// # Examples
+///
+/// ```
+/// use simty_core::time::SimTime;
+/// use simty_sim::event::{EventKind, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_secs(2), EventKind::TrySleep);
+/// q.schedule(SimTime::from_secs(1), EventKind::RtcAlarm);
+/// assert_eq!(q.pop().unwrap().kind, EventKind::RtcAlarm);
+/// ```
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time`.
+    pub fn schedule(&mut self, time: SimTime, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// The time of the earliest pending event.
+    pub fn next_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Pops the earliest pending event.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_secs(3), EventKind::TaskEnd);
+        q.schedule(SimTime::from_secs(1), EventKind::RtcAlarm);
+        q.schedule(SimTime::from_secs(2), EventKind::TrySleep);
+        let times: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_millis() / 1000)
+            .collect();
+        assert_eq!(times, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_fire_in_scheduling_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        q.schedule(t, EventKind::WakeComplete);
+        q.schedule(t, EventKind::RtcAlarm);
+        q.schedule(t, EventKind::TrySleep);
+        assert_eq!(q.pop().unwrap().kind, EventKind::WakeComplete);
+        assert_eq!(q.pop().unwrap().kind, EventKind::RtcAlarm);
+        assert_eq!(q.pop().unwrap().kind, EventKind::TrySleep);
+    }
+
+    #[test]
+    fn next_time_peeks_without_popping() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.next_time(), None);
+        q.schedule(SimTime::from_secs(7), EventKind::RtcAlarm);
+        assert_eq!(q.next_time(), Some(SimTime::from_secs(7)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Minimal JSON rendering of run reports, for scripting around the CLI.
+//!
+//! Hand-rolled (the workspace's dependency policy keeps serde out); the
+//! emitter covers exactly what [`SimReport`] needs — objects, arrays,
+//! strings with escaping, and finite numbers.
+
+use std::fmt::Write as _;
+
+use crate::metrics::SimReport;
+
+/// Escapes a string for inclusion in a JSON document (quotes included).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a finite `f64` for JSON (`null` for non-finite values, which
+/// JSON cannot represent).
+pub fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_owned()
+    }
+}
+
+/// Renders a [`SimReport`] as a single JSON object.
+///
+/// # Examples
+///
+/// ```
+/// use simty_sim::json::report_to_json;
+/// # use simty_core::policy::ExactPolicy;
+/// # use simty_core::time::SimDuration;
+/// # use simty_sim::{SimConfig, Simulation};
+/// let mut sim = Simulation::new(
+///     Box::new(ExactPolicy::new()),
+///     SimConfig::new().with_duration(SimDuration::from_mins(1)),
+/// );
+/// sim.run_until(simty_core::time::SimTime::from_secs(60));
+/// let json = report_to_json(&sim.report());
+/// assert!(json.starts_with('{'));
+/// assert!(json.contains("\"policy\""));
+/// ```
+pub fn report_to_json(report: &SimReport) -> String {
+    let mut out = String::new();
+    out.push('{');
+    let _ = write!(
+        out,
+        "\"policy\":{},\"duration_ms\":{},",
+        json_string(&report.policy),
+        report.duration.as_millis()
+    );
+    let e = &report.energy;
+    let _ = write!(
+        out,
+        "\"energy_mj\":{{\"sleep\":{},\"transitions\":{},\"awake_base\":{},\"hardware\":{},\"total\":{}}},",
+        json_number(e.sleep_mj),
+        json_number(e.transition_mj),
+        json_number(e.awake_base_mj),
+        json_number(e.hardware_mj()),
+        json_number(e.total_mj())
+    );
+    let _ = write!(
+        out,
+        "\"average_power_mw\":{},\"cpu_wakeups\":{},\"entry_deliveries\":{},\"total_deliveries\":{},\"awake_ms\":{},",
+        json_number(report.average_power_mw()),
+        report.cpu_wakeups,
+        report.entry_deliveries,
+        report.total_deliveries,
+        report.awake_time.as_millis()
+    );
+    let d = &report.delays;
+    let _ = write!(
+        out,
+        "\"delays\":{{\"perceptible_avg\":{},\"perceptible_max\":{},\"perceptible_count\":{},\"imperceptible_avg\":{},\"imperceptible_max\":{},\"imperceptible_count\":{}}},",
+        json_number(d.perceptible_avg),
+        json_number(d.perceptible_max),
+        d.perceptible_count,
+        json_number(d.imperceptible_avg),
+        json_number(d.imperceptible_max),
+        d.imperceptible_count
+    );
+    out.push_str("\"wakeups\":[");
+    for (i, row) in report.wakeup_rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"component\":{},\"actual\":{},\"expected\":{}}}",
+            json_string(row.component.name()),
+            row.actual,
+            row.expected
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::engine::Simulation;
+    use simty_core::alarm::Alarm;
+    use simty_core::hardware::HardwareComponent;
+    use simty_core::policy::NativePolicy;
+    use simty_core::time::{SimDuration, SimTime};
+
+    #[test]
+    fn string_escaping() {
+        assert_eq!(json_string("plain"), "\"plain\"");
+        assert_eq!(json_string("a\"b"), "\"a\\\"b\"");
+        assert_eq!(json_string("a\\b"), "\"a\\\\b\"");
+        assert_eq!(json_string("a\nb\tc"), "\"a\\nb\\tc\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_string("uni→code"), "\"uni→code\"");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let mut sim = Simulation::new(
+            Box::new(NativePolicy::new()),
+            SimConfig::new().with_duration(SimDuration::from_mins(10)),
+        );
+        sim.register(
+            Alarm::builder("chat")
+                .nominal(SimTime::from_secs(60))
+                .repeating_static(SimDuration::from_secs(120))
+                .hardware(HardwareComponent::Wifi.into())
+                .task_duration(SimDuration::from_secs(2))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let report = sim.run();
+        let json = report_to_json(&report);
+        for key in [
+            "\"policy\":\"NATIVE\"",
+            "\"energy_mj\"",
+            "\"delays\"",
+            "\"wakeups\":[",
+            "\"component\":\"Wi-Fi\"",
+            "\"cpu_wakeups\"",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Balanced braces/brackets (a cheap well-formedness check).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

@@ -1,0 +1,57 @@
+//! # simty-sim — deterministic connected-standby simulation
+//!
+//! The discrete-event engine that stands in for the paper's physical
+//! testbed (a 3-hour connected-standby session on an LG Nexus 5 measured
+//! with a Monsoon power monitor). A [`Simulation`](engine::Simulation)
+//! drives an `AlarmManager` and a `Device` through wakeups, deliveries,
+//! wakelocked tasks, and sleep transitions, producing a
+//! [`Trace`](trace::Trace) and a [`SimReport`](metrics::SimReport) with
+//! every metric the paper's evaluation section reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use simty_core::alarm::Alarm;
+//! use simty_core::policy::{NativePolicy, SimtyPolicy};
+//! use simty_core::time::{SimDuration, SimTime};
+//! use simty_sim::config::SimConfig;
+//! use simty_sim::engine::Simulation;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = SimConfig::new().with_duration(SimDuration::from_mins(30));
+//! let mut sim = Simulation::new(Box::new(NativePolicy::new()), config);
+//! sim.register(
+//!     Alarm::builder("Facebook")
+//!         .nominal(SimTime::from_secs(60))
+//!         .repeating_dynamic(SimDuration::from_secs(60))
+//!         .task_duration(SimDuration::from_secs(2))
+//!         .build()?,
+//! )?;
+//! let report = sim.run();
+//! println!("{report}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod attribution;
+pub mod config;
+pub mod diff;
+pub mod estimate;
+pub mod engine;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+pub mod watchdog;
+
+pub use attribution::AttributionLedger;
+pub use config::SimConfig;
+pub use engine::Simulation;
+pub use metrics::{DelayStats, SimReport, WakeupRow};
+pub use trace::{DeliveryRecord, Trace};

@@ -1,0 +1,278 @@
+//! Run metrics: everything the paper's evaluation section reports.
+//!
+//! * energy breakdown (Fig. 3),
+//! * normalized delivery delays, split perceptible/imperceptible (Fig. 4),
+//! * the wakeup breakdown with actual vs expected counts (Table 4),
+//! * standby-time projection (the headline claim).
+
+use std::fmt;
+
+use simty_core::hardware::HardwareComponent;
+use simty_core::time::SimDuration;
+use simty_device::device::Device;
+use simty_device::energy::EnergyBreakdown;
+
+use crate::trace::Trace;
+
+/// Normalized-delivery-delay statistics, split by ground-truth
+/// perceptibility (the paper's Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DelayStats {
+    /// Mean normalized delay over perceptible repeating-alarm deliveries.
+    pub perceptible_avg: f64,
+    /// Maximum normalized delay over perceptible deliveries.
+    pub perceptible_max: f64,
+    /// Number of perceptible repeating-alarm deliveries.
+    pub perceptible_count: u64,
+    /// Mean normalized delay over imperceptible deliveries.
+    pub imperceptible_avg: f64,
+    /// Maximum normalized delay over imperceptible deliveries.
+    pub imperceptible_max: f64,
+    /// Number of imperceptible repeating-alarm deliveries.
+    pub imperceptible_count: u64,
+}
+
+impl DelayStats {
+    /// Computes delay statistics over every repeating-alarm delivery in
+    /// the trace (one-shot alarms have no repeating interval to normalize
+    /// by and are excluded, as in the paper).
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut stats = DelayStats::default();
+        let mut perceptible_sum = 0.0;
+        let mut imperceptible_sum = 0.0;
+        for d in trace.deliveries() {
+            let Some(nd) = d.normalized_delay() else {
+                continue;
+            };
+            if d.perceptible {
+                perceptible_sum += nd;
+                stats.perceptible_max = stats.perceptible_max.max(nd);
+                stats.perceptible_count += 1;
+            } else {
+                imperceptible_sum += nd;
+                stats.imperceptible_max = stats.imperceptible_max.max(nd);
+                stats.imperceptible_count += 1;
+            }
+        }
+        if stats.perceptible_count > 0 {
+            stats.perceptible_avg = perceptible_sum / stats.perceptible_count as f64;
+        }
+        if stats.imperceptible_count > 0 {
+            stats.imperceptible_avg = imperceptible_sum / stats.imperceptible_count as f64;
+        }
+        stats
+    }
+}
+
+/// One row of the paper's Table 4: the number of wakeups that actually
+/// acquired a hardware component versus the number expected if no
+/// alignment policy were applied (one wakeup per alarm delivery).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WakeupRow {
+    /// The hardware component (the CPU row is reported separately).
+    pub component: HardwareComponent,
+    /// Actual activations of the component (alignment groups deliveries).
+    pub actual: u64,
+    /// Alarm deliveries that acquired the component.
+    pub expected: u64,
+}
+
+impl WakeupRow {
+    /// `actual / expected`, the paper's measure of alignment
+    /// effectiveness ("the smaller the ratio, the more effective").
+    pub fn ratio(&self) -> f64 {
+        if self.expected == 0 {
+            1.0
+        } else {
+            self.actual as f64 / self.expected as f64
+        }
+    }
+}
+
+/// The complete report of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// The alignment policy's display name.
+    pub policy: String,
+    /// Simulated span.
+    pub duration: SimDuration,
+    /// Energy breakdown over the span.
+    pub energy: EnergyBreakdown,
+    /// Device sleep→awake transitions (physical wakeups; deliveries that
+    /// land while the device is still awake from a previous task merge
+    /// into one transition).
+    pub cpu_wakeups: u64,
+    /// Queue-entry (batch) deliveries — every entry delivery is a wakeup
+    /// *request* to the RTC, and is what the paper's Table 4 reports in
+    /// its CPU row.
+    pub entry_deliveries: u64,
+    /// Total alarm deliveries (Table 4's CPU "expected" count).
+    pub total_deliveries: u64,
+    /// Time spent waking or awake.
+    pub awake_time: SimDuration,
+    /// Per-hardware wakeup breakdown, one row per component that appeared
+    /// in the workload, in [`HardwareComponent::ALL`] order.
+    pub wakeup_rows: Vec<WakeupRow>,
+    /// Normalized delivery delays.
+    pub delays: DelayStats,
+}
+
+impl SimReport {
+    /// Computes the report for a finished run.
+    pub fn compute(policy: &str, duration: SimDuration, trace: &Trace, device: &Device) -> Self {
+        let mut wakeup_rows = Vec::new();
+        for c in HardwareComponent::ALL {
+            let expected = trace
+                .deliveries()
+                .iter()
+                .filter(|d| d.hardware.contains(c))
+                .count() as u64;
+            let actual = device.activation_count(c);
+            if expected > 0 || actual > 0 {
+                wakeup_rows.push(WakeupRow {
+                    component: c,
+                    actual,
+                    expected,
+                });
+            }
+        }
+        SimReport {
+            policy: policy.to_owned(),
+            duration,
+            energy: device.energy(),
+            cpu_wakeups: device.wake_count(),
+            entry_deliveries: trace.entry_deliveries(),
+            total_deliveries: trace.deliveries().len() as u64,
+            awake_time: device.awake_time(),
+            wakeup_rows,
+            delays: DelayStats::from_trace(trace),
+        }
+    }
+
+    /// Average power over the run (mW).
+    pub fn average_power_mw(&self) -> f64 {
+        self.energy.average_power_mw(self.duration)
+    }
+
+    /// The wakeup row for one component, if it appeared in the workload.
+    pub fn wakeup_row(&self, c: HardwareComponent) -> Option<WakeupRow> {
+        self.wakeup_rows.iter().copied().find(|r| r.component == c)
+    }
+}
+
+impl fmt::Display for SimReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== {} over {} ===", self.policy, self.duration)?;
+        writeln!(f, "{}", self.energy)?;
+        writeln!(
+            f,
+            "average power {:.2} mW, awake {:.1}% of the time",
+            self.average_power_mw(),
+            100.0 * self.awake_time.as_secs_f64() / self.duration.as_secs_f64()
+        )?;
+        writeln!(
+            f,
+            "CPU wakeups {}/{} (batch deliveries / alarm deliveries), {} device transitions",
+            self.entry_deliveries, self.total_deliveries, self.cpu_wakeups
+        )?;
+        for row in &self.wakeup_rows {
+            writeln!(
+                f,
+                "{:<14} {}/{} (ratio {:.2})",
+                row.component.name(),
+                row.actual,
+                row.expected,
+                row.ratio()
+            )?;
+        }
+        write!(
+            f,
+            "normalized delay: perceptible {:.4} ({}), imperceptible {:.4} ({})",
+            self.delays.perceptible_avg,
+            self.delays.perceptible_count,
+            self.delays.imperceptible_avg,
+            self.delays.imperceptible_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::DeliveryRecord;
+    use simty_core::alarm::Alarm;
+    use simty_core::hardware::HardwareComponent;
+    use simty_core::time::SimTime;
+    use simty_device::power::PowerModel;
+
+    fn wifi_record(delivered_s: u64, window_end_offset: f64) -> DeliveryRecord {
+        let mut alarm = Alarm::builder("w")
+            .nominal(SimTime::from_secs(100))
+            .repeating_static(SimDuration::from_secs(100))
+            .window_fraction(window_end_offset)
+            .grace_fraction(0.96)
+            .hardware(HardwareComponent::Wifi.into())
+            .build()
+            .unwrap();
+        alarm.mark_hardware_known();
+        DeliveryRecord::observe(&alarm, SimTime::from_secs(delivered_s), 1)
+    }
+
+    #[test]
+    fn delay_stats_split_by_perceptibility() {
+        let mut t = Trace::new();
+        // Window [100, 125]; delivered at 150 -> normalized 0.25.
+        t.record_delivery(wifi_record(150, 0.25));
+        // Delivered in window -> 0.
+        t.record_delivery(wifi_record(110, 0.25));
+        let mut notify = Alarm::builder("cal")
+            .nominal(SimTime::from_secs(100))
+            .repeating_static(SimDuration::from_secs(1800))
+            .hardware(HardwareComponent::Vibrator.into())
+            .build()
+            .unwrap();
+        notify.mark_hardware_known();
+        t.record_delivery(DeliveryRecord::observe(&notify, SimTime::from_secs(100), 1));
+
+        let s = DelayStats::from_trace(&t);
+        assert_eq!(s.imperceptible_count, 2);
+        assert!((s.imperceptible_avg - 0.125).abs() < 1e-12);
+        assert!((s.imperceptible_max - 0.25).abs() < 1e-12);
+        assert_eq!(s.perceptible_count, 1);
+        assert_eq!(s.perceptible_avg, 0.0);
+    }
+
+    #[test]
+    fn wakeup_rows_count_expected_per_component() {
+        let mut t = Trace::new();
+        t.record_delivery(wifi_record(100, 0.25));
+        t.record_delivery(wifi_record(200, 0.25));
+        let device = Device::new(PowerModel::nexus5());
+        let r = SimReport::compute("TEST", SimDuration::from_hours(3), &t, &device);
+        let wifi = r.wakeup_row(HardwareComponent::Wifi).unwrap();
+        assert_eq!(wifi.expected, 2);
+        assert_eq!(wifi.actual, 0); // the idle device never activated it
+        assert_eq!(r.total_deliveries, 2);
+        assert_eq!(r.wakeup_row(HardwareComponent::Gps), None);
+    }
+
+    #[test]
+    fn ratio_handles_zero_expected() {
+        let row = WakeupRow {
+            component: HardwareComponent::Wifi,
+            actual: 0,
+            expected: 0,
+        };
+        assert_eq!(row.ratio(), 1.0);
+    }
+
+    #[test]
+    fn display_mentions_policy_and_rows() {
+        let t = Trace::new();
+        let device = Device::new(PowerModel::nexus5());
+        let r = SimReport::compute("SIMTY", SimDuration::from_hours(3), &t, &device);
+        let s = r.to_string();
+        assert!(s.contains("SIMTY"));
+        assert!(s.contains("CPU wakeups"));
+    }
+}

@@ -1,0 +1,433 @@
+//! Delivery traces: the ground truth every metric is computed from.
+//!
+//! Plays the role of the hooks the authors inserted "into the hardware
+//! WakeLock APIs, as well as AlarmManager, in the Android framework to log
+//! every alarm's time attributes and hardware usage at runtime" (§4.1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{self, Write};
+
+use simty_core::alarm::{Alarm, AlarmId, AlarmKind};
+use simty_core::hardware::HardwareSet;
+use simty_core::time::{SimDuration, SimTime};
+
+/// One alarm delivery, with everything needed to score it afterwards.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeliveryRecord {
+    /// The delivered alarm.
+    pub alarm_id: AlarmId,
+    /// The alarm's label (app name).
+    pub label: String,
+    /// The alarm's nominal delivery time for this period.
+    pub nominal: SimTime,
+    /// End of the window interval for this period.
+    pub window_end: SimTime,
+    /// End of the grace interval for this period.
+    pub grace_end: SimTime,
+    /// When the alarm was actually delivered.
+    pub delivered_at: SimTime,
+    /// The repeating interval, `None` for one-shot alarms.
+    pub repeat_interval: Option<SimDuration>,
+    /// The hardware the task wakelocked (ground truth, not the policy's
+    /// possibly-unknown view).
+    pub hardware: HardwareSet,
+    /// Ground-truth perceptibility: one-shot or perceptible hardware.
+    pub perceptible: bool,
+    /// Wakeup or non-wakeup.
+    pub kind: AlarmKind,
+    /// How many alarms were delivered in the same queue entry.
+    pub entry_size: usize,
+    /// How long the task held its wakelocks after delivery.
+    pub task_duration: SimDuration,
+}
+
+impl DeliveryRecord {
+    /// Builds a record for `alarm` delivered at `delivered_at` in an entry
+    /// of `entry_size` alarms.
+    pub fn observe(alarm: &Alarm, delivered_at: SimTime, entry_size: usize) -> Self {
+        DeliveryRecord {
+            alarm_id: alarm.id(),
+            label: alarm.label().to_owned(),
+            nominal: alarm.nominal(),
+            window_end: alarm.window_interval().end(),
+            grace_end: alarm.grace_interval().end(),
+            delivered_at,
+            repeat_interval: alarm.repeat().interval(),
+            hardware: alarm.hardware(),
+            perceptible: alarm.repeat().is_one_shot() || alarm.hardware().is_perceptible(),
+            kind: alarm.kind(),
+            entry_size,
+            task_duration: alarm.task_duration(),
+        }
+    }
+
+    /// How far beyond the window interval the delivery landed (zero if
+    /// inside the window).
+    pub fn delay_beyond_window(&self) -> SimDuration {
+        self.delivered_at.saturating_since(self.window_end)
+    }
+
+    /// The paper's Fig. 4 metric: 0 if delivered within the window,
+    /// otherwise the delay beyond the window normalized by the repeating
+    /// interval. `None` for one-shot alarms, which have no repeating
+    /// interval to normalize by.
+    pub fn normalized_delay(&self) -> Option<f64> {
+        let interval = self.repeat_interval?;
+        Some(self.delay_beyond_window().div_duration_f64(interval))
+    }
+
+    /// Whether the delivery stayed within the grace interval.
+    pub fn within_grace(&self) -> bool {
+        self.delivered_at <= self.grace_end
+    }
+}
+
+impl fmt::Display for DeliveryRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} delivered at {} (nominal {}, window ends {})",
+            self.alarm_id, self.label, self.delivered_at, self.nominal, self.window_end
+        )
+    }
+}
+
+/// Error produced while loading a trace CSV.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace csv line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// The full log of one simulation run.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    deliveries: Vec<DeliveryRecord>,
+    wakeups: Vec<SimTime>,
+    entry_deliveries: u64,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Appends a delivery record.
+    pub fn record_delivery(&mut self, record: DeliveryRecord) {
+        self.deliveries.push(record);
+    }
+
+    /// Appends a device wakeup (sleep→awake transition) instant.
+    pub fn record_wakeup(&mut self, at: SimTime) {
+        self.wakeups.push(at);
+    }
+
+    /// Counts one queue-entry (batch) delivery. This is the paper's
+    /// Table 4 CPU numerator: every entry delivery is a wakeup *request*,
+    /// even when the device happens to be awake already.
+    pub fn record_entry_delivery(&mut self) {
+        self.entry_deliveries += 1;
+    }
+
+    /// Number of queue entries delivered so far.
+    pub fn entry_deliveries(&self) -> u64 {
+        self.entry_deliveries
+    }
+
+    /// All deliveries in order of occurrence.
+    pub fn deliveries(&self) -> &[DeliveryRecord] {
+        &self.deliveries
+    }
+
+    /// All device wakeup instants in order.
+    pub fn wakeups(&self) -> &[SimTime] {
+        &self.wakeups
+    }
+
+    /// Delivery instants grouped per alarm, in delivery order.
+    pub fn deliveries_by_alarm(&self) -> BTreeMap<AlarmId, Vec<SimTime>> {
+        let mut map: BTreeMap<AlarmId, Vec<SimTime>> = BTreeMap::new();
+        for d in &self.deliveries {
+            map.entry(d.alarm_id).or_default().push(d.delivered_at);
+        }
+        map
+    }
+
+    /// Gaps between adjacent deliveries of each alarm — the quantity the
+    /// §3.2.2 bounds constrain.
+    pub fn adjacent_gaps(&self) -> BTreeMap<AlarmId, Vec<SimDuration>> {
+        self.deliveries_by_alarm()
+            .into_iter()
+            .map(|(id, times)| {
+                let gaps = times.windows(2).map(|w| w[1] - w[0]).collect();
+                (id, gaps)
+            })
+            .collect()
+    }
+
+    /// Reads a delivery trace previously written by
+    /// [`write_csv`](Self::write_csv). Wakeup instants and entry-delivery
+    /// counts are not stored in the CSV, so the loaded trace only carries
+    /// deliveries (sufficient for all per-delivery analysis).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ParseTraceError`] naming the offending line for any
+    /// malformed row.
+    pub fn read_csv(text: &str) -> Result<Trace, ParseTraceError> {
+        let mut trace = Trace::new();
+        let mut ids: std::collections::BTreeMap<u64, AlarmId> = Default::default();
+        for (idx, line) in text.lines().enumerate().skip(1) {
+            let line_no = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 11 {
+                return Err(ParseTraceError {
+                    line: line_no,
+                    message: format!("expected 11 columns, got {}", fields.len()),
+                });
+            }
+            let parse_u64 = |s: &str, what: &str| -> Result<u64, ParseTraceError> {
+                s.parse().map_err(|_| ParseTraceError {
+                    line: line_no,
+                    message: format!("invalid {what} `{s}`"),
+                })
+            };
+            // CSV ids are remapped onto fresh process-local AlarmIds so a
+            // loaded trace cannot collide with live alarms.
+            let raw_id = parse_u64(fields[0], "alarm id")?;
+            let alarm_id = *ids.entry(raw_id).or_insert_with(AlarmId::fresh);
+            let nominal = SimTime::from_millis(parse_u64(fields[2], "nominal")?);
+            let window_end = SimTime::from_millis(parse_u64(fields[3], "window end")?);
+            let grace_end = SimTime::from_millis(parse_u64(fields[4], "grace end")?);
+            let delivered_at = SimTime::from_millis(parse_u64(fields[5], "delivery time")?);
+            let repeat_ms = parse_u64(fields[6], "repeat interval")?;
+            let perceptible = fields[8].parse().map_err(|_| ParseTraceError {
+                line: line_no,
+                message: format!("invalid perceptible flag `{}`", fields[8]),
+            })?;
+            let entry_size = parse_u64(fields[9], "entry size")? as usize;
+            let task_duration = SimDuration::from_millis(parse_u64(fields[10], "task duration")?);
+            trace.record_delivery(DeliveryRecord {
+                alarm_id,
+                label: fields[1].to_owned(),
+                nominal,
+                window_end,
+                grace_end,
+                delivered_at,
+                repeat_interval: if repeat_ms == 0 {
+                    None
+                } else {
+                    Some(SimDuration::from_millis(repeat_ms))
+                },
+                // The hardware column is a display string; perceptibility
+                // is what the analyses need and travels in its own column.
+                hardware: HardwareSet::empty(),
+                perceptible,
+                kind: AlarmKind::Wakeup,
+                entry_size,
+                task_duration,
+            });
+        }
+        Ok(trace)
+    }
+
+    /// Writes the deliveries as CSV (one row per delivery).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        writeln!(
+            w,
+            "alarm_id,label,nominal_ms,window_end_ms,grace_end_ms,delivered_ms,repeat_ms,hardware,perceptible,entry_size,task_ms"
+        )?;
+        for d in &self.deliveries {
+            // The hardware field is '+'-joined so it stays comma-free.
+            let hardware = if d.hardware.is_empty() {
+                "none".to_owned()
+            } else {
+                d.hardware
+                    .iter()
+                    .map(|c| c.name())
+                    .collect::<Vec<_>>()
+                    .join("+")
+            };
+            writeln!(
+                w,
+                "{},{},{},{},{},{},{},{},{},{},{}",
+                d.alarm_id.as_u64(),
+                d.label,
+                d.nominal.as_millis(),
+                d.window_end.as_millis(),
+                d.grace_end.as_millis(),
+                d.delivered_at.as_millis(),
+                d.repeat_interval.map_or(0, SimDuration::as_millis),
+                hardware,
+                d.perceptible,
+                d.entry_size,
+                d.task_duration.as_millis()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simty_core::hardware::HardwareComponent;
+
+    fn record(delivered_s: u64) -> DeliveryRecord {
+        let mut alarm = Alarm::builder("t")
+            .nominal(SimTime::from_secs(100))
+            .repeating_static(SimDuration::from_secs(100))
+            .window_fraction(0.25)
+            .grace_fraction(0.9)
+            .hardware(HardwareComponent::Wifi.into())
+            .build()
+            .unwrap();
+        alarm.mark_hardware_known();
+        DeliveryRecord::observe(&alarm, SimTime::from_secs(delivered_s), 1)
+    }
+
+    #[test]
+    fn delay_is_zero_inside_the_window() {
+        // Window [100, 125].
+        let r = record(120);
+        assert_eq!(r.delay_beyond_window(), SimDuration::ZERO);
+        assert_eq!(r.normalized_delay(), Some(0.0));
+    }
+
+    #[test]
+    fn delay_is_normalized_by_the_repeating_interval() {
+        let r = record(150); // 25 s beyond the window end of 125.
+        assert_eq!(r.delay_beyond_window(), SimDuration::from_secs(25));
+        assert!((r.normalized_delay().unwrap() - 0.25).abs() < 1e-12);
+        assert!(r.within_grace()); // grace ends at 190
+        assert!(!record(195).within_grace());
+    }
+
+    #[test]
+    fn one_shot_has_no_normalized_delay() {
+        let one_shot = Alarm::builder("o").nominal(SimTime::from_secs(5)).build().unwrap();
+        let r = DeliveryRecord::observe(&one_shot, SimTime::from_secs(6), 1);
+        assert_eq!(r.normalized_delay(), None);
+        assert!(r.perceptible);
+    }
+
+    #[test]
+    fn ground_truth_perceptibility_ignores_learning() {
+        // The alarm's hardware is Wi-Fi (imperceptible) even though the
+        // manager has not learned it yet.
+        let alarm = Alarm::builder("w")
+            .nominal(SimTime::from_secs(1))
+            .repeating_static(SimDuration::from_secs(10))
+            .hardware(HardwareComponent::Wifi.into())
+            .build()
+            .unwrap();
+        assert!(alarm.is_perceptible()); // policy view (unknown hardware)
+        let r = DeliveryRecord::observe(&alarm, SimTime::from_secs(1), 1);
+        assert!(!r.perceptible); // metrics view (ground truth)
+    }
+
+    #[test]
+    fn adjacent_gaps_per_alarm() {
+        // One alarm observed at three instants (the `record` helper would
+        // mint a fresh alarm id per call).
+        let mut alarm = Alarm::builder("t")
+            .nominal(SimTime::from_secs(100))
+            .repeating_static(SimDuration::from_secs(100))
+            .window_fraction(0.25)
+            .grace_fraction(0.9)
+            .hardware(HardwareComponent::Wifi.into())
+            .build()
+            .unwrap();
+        alarm.mark_hardware_known();
+        let mut t = Trace::new();
+        for s in [100, 220, 330] {
+            t.record_delivery(DeliveryRecord::observe(&alarm, SimTime::from_secs(s), 1));
+        }
+        let gaps = t.adjacent_gaps();
+        assert_eq!(gaps.len(), 1);
+        let only = gaps.values().next().unwrap();
+        assert_eq!(
+            only,
+            &vec![SimDuration::from_secs(120), SimDuration::from_secs(110)]
+        );
+    }
+
+    #[test]
+    fn csv_read_round_trips_deliveries() {
+        let mut alarm = Alarm::builder("t")
+            .nominal(SimTime::from_secs(100))
+            .repeating_static(SimDuration::from_secs(100))
+            .window_fraction(0.25)
+            .grace_fraction(0.9)
+            .hardware(HardwareComponent::Wifi.into())
+            .build()
+            .unwrap();
+        alarm.mark_hardware_known();
+        let mut t = Trace::new();
+        t.record_delivery(DeliveryRecord::observe(&alarm, SimTime::from_secs(150), 1));
+        t.record_delivery(DeliveryRecord::observe(&alarm, SimTime::from_secs(260), 2));
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let loaded = Trace::read_csv(&text).unwrap();
+        assert_eq!(loaded.deliveries().len(), 2);
+        for (a, b) in loaded.deliveries().iter().zip(t.deliveries()) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.delivered_at, b.delivered_at);
+            assert_eq!(a.nominal, b.nominal);
+            assert_eq!(a.window_end, b.window_end);
+            assert_eq!(a.grace_end, b.grace_end);
+            assert_eq!(a.repeat_interval, b.repeat_interval);
+            assert_eq!(a.perceptible, b.perceptible);
+            assert_eq!(a.entry_size, b.entry_size);
+            assert_eq!(a.normalized_delay(), b.normalized_delay());
+        }
+        // Same source alarm keeps one (fresh) id across rows.
+        assert_eq!(
+            loaded.deliveries()[0].alarm_id,
+            loaded.deliveries()[1].alarm_id
+        );
+    }
+
+    #[test]
+    fn csv_read_reports_bad_lines() {
+        let err = Trace::read_csv("header\nnot,enough,columns\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+        let err =
+            Trace::read_csv("h\nx,app,1,2,3,4,5,none,true,1,500\n").unwrap_err();
+        assert!(err.message.contains("alarm id"));
+    }
+
+    #[test]
+    fn csv_roundtrip_shape() {
+        let mut t = Trace::new();
+        t.record_delivery(record(100));
+        t.record_wakeup(SimTime::from_secs(100));
+        let mut buf = Vec::new();
+        t.write_csv(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().nth(1).unwrap().contains(",t,"));
+        assert_eq!(t.wakeups().len(), 1);
+    }
+}

@@ -1,0 +1,79 @@
+//! Battery doctor: which resident app is draining the battery in
+//! connected standby, and what would SIMTY buy you?
+//!
+//! Uses the per-app energy attribution ledger and the trace-analysis
+//! tooling on the paper's heavy workload.
+//!
+//! Run with `cargo run --release --example battery_doctor -p simty`.
+
+use simty::prelude::*;
+use simty::sim::analysis::{per_app_stats, wakeup_gap_stats, BatchHistogram};
+
+fn run(policy: Box<dyn AlignmentPolicy>) -> Simulation {
+    let workload = WorkloadBuilder::heavy().with_seed(3).build();
+    let mut sim = Simulation::new(policy, SimConfig::new());
+    for alarm in workload.alarms {
+        sim.register(alarm).expect("workload registers cleanly");
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_hours(3));
+    sim
+}
+
+fn main() {
+    let sim = run(Box::new(NativePolicy::new()));
+
+    println!("=== top battery consumers under NATIVE (3 h heavy workload) ===\n");
+    for (app, mj) in sim.attribution().ranking().into_iter().take(8) {
+        println!("  {app:<16} {:>8.1} J", mj / 1_000.0);
+    }
+    println!(
+        "  {:<16} {:>8.1} J  (wake latency/linger, unclaimed wakes)",
+        "(overhead)",
+        sim.attribution().overhead_mj() / 1_000.0
+    );
+
+    println!("\n=== alignment quality ===\n");
+    let native_hist = BatchHistogram::from_trace(sim.trace());
+    println!(
+        "NATIVE: mean batch {:.2}, {:.0}% of deliveries aligned",
+        native_hist.mean_batch_size(),
+        native_hist.aligned_fraction() * 100.0
+    );
+    let simty_sim = run(Box::new(SimtyPolicy::new()));
+    let simty_hist = BatchHistogram::from_trace(simty_sim.trace());
+    println!(
+        "SIMTY:  mean batch {:.2}, {:.0}% of deliveries aligned",
+        simty_hist.mean_batch_size(),
+        simty_hist.aligned_fraction() * 100.0
+    );
+
+    if let (Some(n), Some(s)) = (
+        wakeup_gap_stats(sim.trace()),
+        wakeup_gap_stats(simty_sim.trace()),
+    ) {
+        println!(
+            "\nlongest uninterrupted sleep: NATIVE {} vs SIMTY {}",
+            n.max, s.max
+        );
+    }
+
+    println!("\n=== most delayed apps under SIMTY (the price of alignment) ===\n");
+    let mut stats = per_app_stats(simty_sim.trace());
+    stats.sort_by(|a, b| {
+        b.mean_normalized_delay
+            .partial_cmp(&a.mean_normalized_delay)
+            .expect("finite delays")
+    });
+    for s in stats.iter().take(5) {
+        println!(
+            "  {:<16} mean delay {:>5.1}% of its period ({} deliveries)",
+            s.app,
+            s.mean_normalized_delay * 100.0,
+            s.deliveries
+        );
+    }
+    println!(
+        "\nAll of these are imperceptible alarms — the perceptible Alarm Clock and\n\
+         Drink Water notifications stay inside their windows."
+    );
+}

@@ -1,0 +1,83 @@
+//! Implementing a custom alignment policy against the public
+//! `AlignmentPolicy` trait.
+//!
+//! The policy below ("EAGER") aligns any two alarms whose *grace*
+//! intervals overlap, regardless of perceptibility — maximal batching at
+//! the cost of user experience. Running it against SIMTY shows why the
+//! paper's search-phase perceptibility rule matters: EAGER saves a little
+//! more energy but delays perceptible alarms, which SIMTY never does.
+//!
+//! Run with `cargo run --release --example custom_policy -p simty`.
+
+use simty::prelude::*;
+
+/// Aligns as aggressively as possible: the first entry whose grace
+/// interval overlaps wins, perceptible or not.
+#[derive(Debug)]
+struct EagerPolicy;
+
+impl AlignmentPolicy for EagerPolicy {
+    fn name(&self) -> &str {
+        "EAGER"
+    }
+
+    fn place(&self, queue: &simty::core::queue::AlarmQueue, alarm: &Alarm) -> Placement {
+        for (idx, entry) in queue.iter().enumerate() {
+            if entry.time_similarity_to(alarm) != TimeSimilarity::Low {
+                return Placement::Existing(idx);
+            }
+        }
+        Placement::NewEntry
+    }
+
+    fn discipline(&self) -> DeliveryDiscipline {
+        // Deliver every entry at its grace start, ignoring windows.
+        DeliveryDiscipline::PerceptibilityAware
+    }
+}
+
+fn run(policy: Box<dyn AlignmentPolicy>) -> (SimReport, f64) {
+    let workload = WorkloadBuilder::heavy().with_seed(2).build();
+    let config = SimConfig::new().with_duration(SimDuration::from_hours(1));
+    let mut sim = Simulation::new(policy, config);
+    for alarm in workload.alarms {
+        sim.register(alarm).expect("registers cleanly");
+    }
+    let report = sim.run();
+    // Fraction of perceptible deliveries that violated their window.
+    let (violations, total) = sim
+        .trace()
+        .deliveries()
+        .iter()
+        .filter(|d| d.perceptible)
+        .fold((0u32, 0u32), |(v, t), d| {
+            (v + u32::from(d.delivered_at > d.window_end), t + 1)
+        });
+    let rate = if total == 0 {
+        0.0
+    } else {
+        f64::from(violations) / f64::from(total)
+    };
+    (report, rate)
+}
+
+fn main() {
+    for policy in [
+        Box::new(SimtyPolicy::new()) as Box<dyn AlignmentPolicy>,
+        Box::new(EagerPolicy),
+    ] {
+        let (report, violation_rate) = run(policy);
+        println!(
+            "{:<6}  total {:>8.1} J  CPU wakeups {:>4}  perceptible window violations {:>5.1}%",
+            report.policy,
+            report.energy.total_mj() / 1_000.0,
+            report.cpu_wakeups,
+            violation_rate * 100.0
+        );
+    }
+    println!(
+        "\nEAGER batches everything its grace intervals allow, but perceptible\n\
+         alarms (the Alarm Clock, Drink Water) slip past their windows —\n\
+         exactly the user-experience regression SIMTY's search phase prevents."
+    );
+}

@@ -1,0 +1,90 @@
+//! Side-by-side policy comparison on a custom workload: EXACT vs NATIVE
+//! vs SIMTY vs DURSIM, including the effect of external wake events
+//! (push messages) on non-wakeup alarms.
+//!
+//! Run with `cargo run --release --example policy_comparison -p simty`.
+
+use simty::prelude::*;
+use simty_sim::report::TextTable;
+
+/// A small mixed workload: two location trackers, two messengers, one
+/// perceptible reminder, and a non-wakeup housekeeping alarm.
+fn workload() -> Vec<Alarm> {
+    let mut alarms = Vec::new();
+    for (name, secs, alpha) in [("Tracker A", 300u64, 0.75), ("Tracker B", 420, 0.75)] {
+        alarms.push(
+            AppSpec::location_tracker(name, secs, alpha)
+                .alarm(0.9, SimTime::ZERO)
+                .expect("valid tracker"),
+        );
+    }
+    for (name, secs) in [("Chat A", 120u64), ("Chat B", 200)] {
+        alarms.push(
+            AppSpec::messaging(name, secs, 0.5, RepeatKind::Dynamic)
+                .alarm(0.9, SimTime::ZERO)
+                .expect("valid messenger"),
+        );
+    }
+    alarms.push(
+        AppSpec::notifier("Reminder", 1_800, 0.0)
+            .alarm(0.9, SimTime::ZERO)
+            .expect("valid notifier"),
+    );
+    alarms.push(
+        Alarm::builder("Housekeeping")
+            .nominal(SimTime::from_secs(600))
+            .repeating_static(SimDuration::from_secs(600))
+            .window_fraction(0.5)
+            .grace_fraction(0.9)
+            .kind(AlarmKind::NonWakeup)
+            .task_duration(SimDuration::from_secs(1))
+            .build()
+            .expect("valid non-wakeup alarm"),
+    );
+    alarms
+}
+
+fn run(policy: Box<dyn AlignmentPolicy>) -> SimReport {
+    // Push messages arrive roughly every 20 minutes and awaken the device.
+    let wakes = ExternalEvents::new(11)
+        .with_mean_interval(SimDuration::from_mins(20))
+        .generate(SimDuration::from_hours(3));
+    let config = SimConfig::new().with_external_wakes(wakes);
+    let mut sim = Simulation::new(policy, config);
+    for alarm in workload() {
+        sim.register(alarm).expect("workload registers cleanly");
+    }
+    sim.run()
+}
+
+fn main() {
+    let policies: Vec<Box<dyn AlignmentPolicy>> = vec![
+        Box::new(ExactPolicy::new()),
+        Box::new(NativePolicy::new()),
+        Box::new(SimtyPolicy::new()),
+        Box::new(DurationSimilarityPolicy::new()),
+    ];
+
+    let mut table = TextTable::new([
+        "policy",
+        "energy (J)",
+        "awake (J)",
+        "CPU wakeups",
+        "deliveries",
+        "impercept. delay",
+    ]);
+    for policy in policies {
+        let r = run(policy);
+        table.row([
+            r.policy.clone(),
+            format!("{:.1}", r.energy.total_mj() / 1_000.0),
+            format!("{:.1}", r.energy.awake_related_mj() / 1_000.0),
+            r.cpu_wakeups.to_string(),
+            r.total_deliveries.to_string(),
+            format!("{:.1}%", r.delays.imperceptible_avg * 100.0),
+        ]);
+    }
+    println!("custom workload, 3 h, external pushes every ~20 min\n");
+    println!("{}", table.render());
+    println!("perceptible alarms are delivered within their windows under every policy.");
+}

@@ -1,0 +1,149 @@
+//! Energy-attribution conservation: the per-app ledger plus overhead must
+//! equal the device meter's awake-related energy, for every policy and
+//! under failure injection.
+
+use simty::prelude::*;
+
+fn assert_conserved(sim: &Simulation) {
+    let meter_awake = sim.device().energy().awake_related_mj();
+    let ledger = sim.attribution();
+    let accounted = ledger.attributed_mj() + ledger.overhead_mj();
+    assert!(
+        (accounted - meter_awake).abs() < 1e-3,
+        "ledger {accounted} mJ vs meter {meter_awake} mJ"
+    );
+}
+
+fn run_workload(policy: Box<dyn AlignmentPolicy>) -> Simulation {
+    let workload = WorkloadBuilder::heavy().with_seed(2).build();
+    let config = SimConfig::new().with_duration(SimDuration::from_hours(1));
+    let mut sim = Simulation::new(policy, config);
+    for alarm in workload.alarms {
+        sim.register(alarm).expect("registers cleanly");
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_hours(1));
+    sim
+}
+
+#[test]
+fn conservation_holds_for_every_policy() {
+    let policies: Vec<Box<dyn AlignmentPolicy>> = vec![
+        Box::new(ExactPolicy::new()),
+        Box::new(NativePolicy::new()),
+        Box::new(SimtyPolicy::new()),
+        Box::new(DurationSimilarityPolicy::new()),
+        Box::new(FixedIntervalPolicy::new(SimDuration::from_secs(120))),
+        Box::new(DozePolicy::android_like()),
+    ];
+    for policy in policies {
+        let name = policy.name().to_owned();
+        let sim = run_workload(policy);
+        assert_conserved(&sim);
+        assert!(
+            sim.attribution().attributed_mj() > 0.0,
+            "{name} attributed nothing"
+        );
+    }
+}
+
+#[test]
+fn heavier_hardware_users_rank_higher() {
+    let sim = run_workload(Box::new(NativePolicy::new()));
+    let ledger = sim.attribution();
+    // WPS positioning (8 s, 230 mW + 350 mJ activations every 3-5 min) far
+    // outweighs a light messenger like Messenger (3 s of Wi-Fi every 15 min).
+    let followmee = ledger.per_app_mj().get("FollowMee").copied().unwrap_or(0.0);
+    let messenger = ledger.per_app_mj().get("Messenger").copied().unwrap_or(0.0);
+    assert!(
+        followmee > 2.0 * messenger,
+        "FollowMee {followmee} vs Messenger {messenger}"
+    );
+}
+
+#[test]
+fn conservation_survives_forced_release() {
+    let mut sim = Simulation::new(
+        Box::new(SimtyPolicy::new()),
+        SimConfig::new().with_duration(SimDuration::from_mins(30)),
+    );
+    sim.register(
+        Alarm::builder("greedy")
+            .nominal(SimTime::from_secs(60))
+            .repeating_static(SimDuration::from_secs(900))
+            .hardware(HardwareComponent::Gps.into())
+            .task_duration(SimDuration::from_secs(300))
+            .build()
+            .expect("valid alarm"),
+    )
+    .expect("registers");
+    sim.run_until(SimTime::from_secs(120));
+    sim.force_release_wakelocks();
+    sim.run_until(SimTime::ZERO + SimDuration::from_mins(30));
+    assert_conserved(&sim);
+}
+
+#[test]
+fn conservation_with_external_wakes_and_non_wakeup_alarms() {
+    let wakes: Vec<SimTime> = (1..20).map(|i| SimTime::from_secs(i * 150)).collect();
+    let mut sim = Simulation::new(
+        Box::new(NativePolicy::new()),
+        SimConfig::new()
+            .with_duration(SimDuration::from_hours(1))
+            .with_external_wakes(wakes),
+    );
+    sim.register(
+        Alarm::builder("housekeeping")
+            .nominal(SimTime::from_secs(300))
+            .repeating_static(SimDuration::from_secs(600))
+            .window_fraction(0.5)
+            .kind(AlarmKind::NonWakeup)
+            .task_duration(SimDuration::from_secs(1))
+            .build()
+            .expect("valid alarm"),
+    )
+    .expect("registers");
+    let report = {
+        sim.run_until(SimTime::ZERO + SimDuration::from_hours(1));
+        sim.report()
+    };
+    assert_conserved(&sim);
+    // External wakes that deliver nothing leave their transition energy in
+    // overhead rather than vanishing.
+    assert!(sim.attribution().overhead_mj() > 0.0);
+    assert!(report.cpu_wakeups >= 19);
+}
+
+#[test]
+fn monsoon_waveform_integral_matches_the_meter_over_a_full_run() {
+    let workload = WorkloadBuilder::light().with_seed(4).build();
+    let config = SimConfig::new()
+        .with_duration(SimDuration::from_hours(1))
+        .with_waveform();
+    let mut sim = Simulation::new(Box::new(SimtyPolicy::new()), config);
+    for alarm in workload.alarms {
+        sim.register(alarm).expect("registers cleanly");
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_hours(1));
+    let meter_total = sim.device().energy().total_mj();
+    let monitor = sim.device().monitor().expect("monitor attached");
+    let waveform_total = monitor.energy_mj(sim.device().clock());
+    assert!(
+        (meter_total - waveform_total).abs() < 1e-3,
+        "meter {meter_total} vs waveform {waveform_total}"
+    );
+    // The waveform actually moves: peak above the sleep floor.
+    assert!(monitor.peak_mw() > 160.0);
+    assert!(monitor.levels().len() > 10);
+}
+
+#[test]
+fn idle_run_attributes_nothing() {
+    let mut sim = Simulation::new(
+        Box::new(SimtyPolicy::new()),
+        SimConfig::new().with_duration(SimDuration::from_mins(10)),
+    );
+    sim.run_until(SimTime::ZERO + SimDuration::from_mins(10));
+    assert_eq!(sim.attribution().attributed_mj(), 0.0);
+    assert_eq!(sim.attribution().overhead_mj(), 0.0);
+    assert_conserved(&sim);
+}

@@ -1,0 +1,258 @@
+//! Reproduction smoke tests: assert the *shape* of every headline result
+//! of the paper's evaluation (§4.2) on single-seed, full-length runs.
+//!
+//! The quantitative targets (with generous tolerances, since our substrate
+//! is a calibrated simulator rather than the authors' phone):
+//!
+//! * Fig. 3 — SIMTY saves ≥ 33 % of NATIVE's awake energy and ~20–25 % of
+//!   total energy, prolonging standby by one-fourth to one-third;
+//! * Fig. 4 — perceptible delays are zero under both policies;
+//!   imperceptible delays are ~14–18 % under SIMTY, small under NATIVE,
+//!   and smaller under the heavy workload than the light one;
+//! * Table 4 — SIMTY cuts CPU wakeups by roughly 3–4× relative to NATIVE
+//!   and drives per-hardware wakeups toward the static lower bound.
+
+use simty::experiments::{motivating_example, PolicyKind, RunSpec, Scenario};
+use simty::prelude::*;
+
+fn paper_run(policy: PolicyKind, scenario: Scenario) -> SimReport {
+    RunSpec::paper(policy, scenario, 1).run()
+}
+
+#[test]
+fn fig2_motivating_example_energies() {
+    let native = motivating_example(PolicyKind::Native);
+    let simty = motivating_example(PolicyKind::Simty);
+    // Paper: 7 520 mJ vs 4 050 mJ.
+    assert!(
+        (native - 7_520.0).abs() < 250.0,
+        "native motivating example {native} mJ, paper 7 520"
+    );
+    assert!(
+        (simty - 4_050.0).abs() < 100.0,
+        "simty motivating example {simty} mJ, paper 4 050"
+    );
+}
+
+#[test]
+fn fig3_energy_savings_light_workload() {
+    let native = paper_run(PolicyKind::Native, Scenario::Light);
+    let simty = paper_run(PolicyKind::Simty, Scenario::Light);
+    let awake_saving =
+        1.0 - simty.energy.awake_related_mj() / native.energy.awake_related_mj();
+    let total_saving = 1.0 - simty.energy.total_mj() / native.energy.total_mj();
+    assert!(
+        awake_saving > 0.33,
+        "awake saving {awake_saving:.3}, paper reports > 33 %"
+    );
+    assert!(
+        (0.08..0.45).contains(&total_saving),
+        "total saving {total_saving:.3}, paper reports ~20 %"
+    );
+}
+
+#[test]
+fn fig3_energy_savings_heavy_workload() {
+    let native = paper_run(PolicyKind::Native, Scenario::Heavy);
+    let simty = paper_run(PolicyKind::Simty, Scenario::Heavy);
+    let awake_saving =
+        1.0 - simty.energy.awake_related_mj() / native.energy.awake_related_mj();
+    let total_saving = 1.0 - simty.energy.total_mj() / native.energy.total_mj();
+    assert!(
+        awake_saving > 0.33,
+        "awake saving {awake_saving:.3}, paper reports > 33 %"
+    );
+    assert!(
+        (0.10..0.50).contains(&total_saving),
+        "total saving {total_saving:.3}, paper reports ~25 %"
+    );
+    // The headline: standby prolonged by one-fourth to one-third (or more,
+    // since the simulator's sleep floor differs from the real phone's).
+    let battery = Battery::nexus5();
+    let extension =
+        battery.standby_extension(native.average_power_mw(), simty.average_power_mw());
+    assert!(
+        extension > 0.15,
+        "standby extension {extension:.3}, paper reports 1/4 to 1/3"
+    );
+}
+
+#[test]
+fn fig4_perceptible_delays_are_zero_under_both_policies() {
+    for scenario in [Scenario::Light, Scenario::Heavy] {
+        for policy in [PolicyKind::Native, PolicyKind::Simty] {
+            let r = paper_run(policy, scenario);
+            // "Zero" up to the wake-transition latency (250 ms) landing on
+            // an α = 0 notifier with a 1 800 s period: ≤ 0.014 %, which the
+            // paper's Fig. 4 rounds to zero.
+            assert!(
+                r.delays.perceptible_avg < 1e-3,
+                "{} {} perceptible delay {}",
+                r.policy,
+                scenario.name(),
+                r.delays.perceptible_avg
+            );
+            assert!(r.delays.perceptible_count > 0, "notifier alarms delivered");
+        }
+    }
+}
+
+#[test]
+fn fig4_imperceptible_delays_have_the_papers_shape() {
+    let native_light = paper_run(PolicyKind::Native, Scenario::Light);
+    let native_heavy = paper_run(PolicyKind::Native, Scenario::Heavy);
+    let simty_light = paper_run(PolicyKind::Simty, Scenario::Light);
+    let simty_heavy = paper_run(PolicyKind::Simty, Scenario::Heavy);
+
+    // SIMTY trades delay for energy: 17.9 % (light) and 13.9 % (heavy).
+    assert!(
+        (0.05..0.30).contains(&simty_light.delays.imperceptible_avg),
+        "simty light delay {}",
+        simty_light.delays.imperceptible_avg
+    );
+    assert!(
+        (0.04..0.25).contains(&simty_heavy.delays.imperceptible_avg),
+        "simty heavy delay {}",
+        simty_heavy.delays.imperceptible_avg
+    );
+    // Heavy < light: more alarms make high-time-similarity entries easier
+    // to find.
+    assert!(
+        simty_heavy.delays.imperceptible_avg < simty_light.delays.imperceptible_avg,
+        "heavy {} !< light {}",
+        simty_heavy.delays.imperceptible_avg,
+        simty_light.delays.imperceptible_avg
+    );
+    // NATIVE shows a small nonzero delay (~0.4–0.6 %) caused purely by the
+    // wake latency on α = 0 alarms.
+    for r in [&native_light, &native_heavy] {
+        assert!(
+            r.delays.imperceptible_avg > 0.0,
+            "{} has zero imperceptible delay",
+            r.policy
+        );
+        assert!(
+            r.delays.imperceptible_avg < 0.02,
+            "{} imperceptible delay {} too large",
+            r.policy,
+            r.delays.imperceptible_avg
+        );
+    }
+    // And SIMTY's delay is an order of magnitude above NATIVE's.
+    assert!(simty_light.delays.imperceptible_avg > 5.0 * native_light.delays.imperceptible_avg);
+}
+
+#[test]
+fn table4_cpu_wakeups_drop_by_a_large_factor() {
+    for scenario in [Scenario::Light, Scenario::Heavy] {
+        let native = paper_run(PolicyKind::Native, scenario);
+        let simty = paper_run(PolicyKind::Simty, scenario);
+        // The paper's Table 4 CPU row counts batch deliveries:
+        // 733→193 (3.8×) light, 981→259 (3.8×) heavy.
+        let factor = native.entry_deliveries as f64 / simty.entry_deliveries as f64;
+        assert!(
+            factor > 2.0,
+            "{}: wakeup reduction only {factor:.2}x ({} -> {})",
+            scenario.name(),
+            native.entry_deliveries,
+            simty.entry_deliveries
+        );
+        // Physical device transitions drop too, and never exceed the
+        // batch-delivery counts.
+        assert!(simty.cpu_wakeups < native.cpu_wakeups);
+        assert!(native.cpu_wakeups <= native.entry_deliveries);
+        assert!(simty.cpu_wakeups <= simty.entry_deliveries);
+        assert!(native.entry_deliveries <= native.total_deliveries);
+        assert!(simty.entry_deliveries <= simty.total_deliveries);
+    }
+}
+
+#[test]
+fn table4_per_hardware_wakeups_approach_the_static_lower_bound() {
+    let simty = paper_run(PolicyKind::Simty, Scenario::Heavy);
+    let duration_s = 3 * 3_600u64;
+    // §4.2: the wakeups per component are bounded below by duration divided
+    // by the smallest static repeating interval wakelocking it
+    // (accelerometer 60 s, WPS 180 s, speaker & vibrator 900 s).
+    for (component, smallest_static_s) in [
+        (HardwareComponent::Accelerometer, 60),
+        (HardwareComponent::Wps, 180),
+        (HardwareComponent::Speaker, 900),
+    ] {
+        let row = simty.wakeup_row(component).expect("component used");
+        let bound = duration_s / smallest_static_s;
+        assert!(
+            (row.actual as f64) <= 1.25 * bound as f64,
+            "{}: {} wakeups vs lower bound {}",
+            component.name(),
+            row.actual,
+            bound
+        );
+        assert!(row.actual > 0);
+        assert!(row.actual <= row.expected);
+    }
+    // Wi-Fi's pace-setting 60 s alarm (Facebook) is *dynamic*, so Wi-Fi
+    // activations can fall below 10 800 / 60 = 180 (paper: 158–170).
+    let wifi = simty.wakeup_row(HardwareComponent::Wifi).unwrap();
+    assert!(
+        wifi.actual < 220,
+        "wifi activations {} should approach the paper's 158-170",
+        wifi.actual
+    );
+}
+
+#[test]
+fn exact_baseline_bounds_both_policies() {
+    let exact = paper_run(PolicyKind::Exact, Scenario::Light);
+    let native = paper_run(PolicyKind::Native, Scenario::Light);
+    let simty = paper_run(PolicyKind::Simty, Scenario::Light);
+    // EXACT never aligns: every alarm is its own entry.
+    assert_eq!(exact.entry_deliveries, exact.total_deliveries);
+    // Both aligning policies request fewer wakeups than the baseline.
+    assert!(native.entry_deliveries < exact.entry_deliveries);
+    assert!(simty.entry_deliveries < native.entry_deliveries);
+    assert!(native.energy.awake_related_mj() <= exact.energy.awake_related_mj() * 1.02);
+    assert!(simty.energy.awake_related_mj() < native.energy.awake_related_mj());
+}
+
+#[test]
+fn analytic_estimate_brackets_the_simulated_policies() {
+    use simty::sim::estimate::estimate;
+    let workload = WorkloadBuilder::light().with_seed(1).build();
+    let est = estimate(
+        &workload.alarms,
+        SimDuration::from_hours(3),
+        &PowerModel::nexus5(),
+    );
+    let exact = paper_run(PolicyKind::Exact, Scenario::Light);
+    let simty = paper_run(PolicyKind::Simty, Scenario::Light);
+    // The unaligned estimate upper-bounds the EXACT simulation: the
+    // simulator merges deliveries landing in a shared awake window and
+    // dynamic alarms drift to longer effective periods, neither of which
+    // the closed form models. It should still be the right order.
+    let ratio = exact.energy.awake_related_mj() / est.unaligned_awake_mj;
+    assert!((0.55..=1.02).contains(&ratio), "exact/estimate ratio {ratio}");
+    // Every real policy lands inside the bracket.
+    assert!(simty.energy.awake_related_mj() <= est.unaligned_awake_mj);
+    assert!(
+        simty.energy.awake_related_mj() >= 0.5 * est.best_case_awake_mj,
+        "simty {} vs best case {}",
+        simty.energy.awake_related_mj(),
+        est.best_case_awake_mj
+    );
+}
+
+#[test]
+fn dynamic_alarms_reduce_expected_wakeups_under_simty() {
+    // §4.2: "the expected numbers of total wakeups are always smaller under
+    // SIMTY than under NATIVE" because postponed dynamic alarms repeat
+    // less often.
+    let native = paper_run(PolicyKind::Native, Scenario::Light);
+    let simty = paper_run(PolicyKind::Simty, Scenario::Light);
+    assert!(
+        simty.total_deliveries < native.total_deliveries,
+        "simty deliveries {} !< native {}",
+        simty.total_deliveries,
+        native.total_deliveries
+    );
+}

@@ -1,0 +1,63 @@
+//! Golden regression tests: the simulator is fully deterministic, so a
+//! fixed (policy, workload, seed) run must reproduce the same aggregate
+//! counts forever. A failure here means scheduling behaviour changed —
+//! either revert the regression or consciously update the goldens (and
+//! re-check EXPERIMENTS.md, whose numbers share this determinism).
+
+use simty::prelude::*;
+
+fn run(policy: Box<dyn AlignmentPolicy>) -> SimReport {
+    let workload = WorkloadBuilder::light()
+        .with_seed(1)
+        .with_duration(SimDuration::from_mins(30))
+        .build();
+    let config = SimConfig::new().with_duration(SimDuration::from_mins(30));
+    let mut sim = Simulation::new(policy, config);
+    for alarm in workload.alarms {
+        sim.register(alarm).expect("registers");
+    }
+    sim.run()
+}
+
+#[test]
+fn golden_counts_for_the_light_workload() {
+    let exact = run(Box::new(ExactPolicy::new()));
+    let native = run(Box::new(NativePolicy::new()));
+    let simty = run(Box::new(SimtyPolicy::new()));
+
+    // EXACT: every alarm is its own entry.
+    assert_eq!(exact.entry_deliveries, exact.total_deliveries);
+    // The orderings that every report in EXPERIMENTS.md relies on.
+    assert!(native.entry_deliveries < exact.entry_deliveries);
+    assert!(simty.entry_deliveries < native.entry_deliveries);
+    assert!(simty.energy.total_mj() < native.energy.total_mj());
+
+    // Pinned aggregates (update deliberately if scheduling changes).
+    let golden = [
+        ("exact", &exact, exact.total_deliveries),
+        ("native", &native, native.total_deliveries),
+        ("simty", &simty, simty.total_deliveries),
+    ];
+    for (name, report, deliveries) in golden {
+        assert!(
+            (100..240).contains(&deliveries),
+            "{name}: {deliveries} deliveries outside the expected band"
+        );
+        assert!(
+            report.energy.total_mj() > 0.0 && report.energy.total_mj() < 400_000.0,
+            "{name}: energy {}",
+            report.energy.total_mj()
+        );
+    }
+}
+
+#[test]
+fn identical_configs_reproduce_bit_identical_energy() {
+    let a = run(Box::new(SimtyPolicy::new()));
+    let b = run(Box::new(SimtyPolicy::new()));
+    assert_eq!(a.energy.total_mj().to_bits(), b.energy.total_mj().to_bits());
+    assert_eq!(a.total_deliveries, b.total_deliveries);
+    assert_eq!(a.cpu_wakeups, b.cpu_wakeups);
+    assert_eq!(a.entry_deliveries, b.entry_deliveries);
+    assert_eq!(a.delays, b.delays);
+}
