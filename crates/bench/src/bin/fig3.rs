@@ -6,14 +6,28 @@
 //! uses to keep the phone awake, and 20 % / 25 % of total standby energy
 //! under the light / heavy workload — enough to prolong standby time by
 //! one-fourth to one-third.
+//!
+//! All twelve runs (2 workloads × 2 policies × 3 seeds) execute in one
+//! parallel sweep. Accepts `--threads N` and `--json PATH`.
 
 use simty::experiments::Spread;
 use simty::prelude::*;
 use simty::sim::report::{bar_chart, fmt_joules, fmt_percent, TextTable};
-use simty_bench::{paper_runs, Averages, PolicyKind, Scenario};
+use simty_bench::sweep::{json_path_from_args, threads_from_args};
+use simty_bench::{paper_specs, Averages, PolicyKind, Scenario, Sweep};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     println!("Figure 3 — energy consumption under NATIVE and SIMTY (3 h, 3 seeds)\n");
+    let mut sweep = Sweep::new();
+    let mut handles = Vec::new();
+    for scenario in [Scenario::Light, Scenario::Heavy] {
+        for policy in [PolicyKind::Native, PolicyKind::Simty] {
+            handles.push((scenario, policy, sweep.specs(paper_specs(policy, scenario))));
+        }
+    }
+    let results = sweep.run_with_threads(threads_from_args(&args));
+
     let mut table = TextTable::new([
         "workload",
         "policy",
@@ -25,8 +39,15 @@ fn main() {
     let battery = Battery::nexus5();
     let mut bars = Vec::new();
     for scenario in [Scenario::Light, Scenario::Heavy] {
-        let native_runs = paper_runs(PolicyKind::Native, scenario);
-        let simty_runs = paper_runs(PolicyKind::Simty, scenario);
+        let runs_of = |policy: PolicyKind| {
+            let (_, _, h) = handles
+                .iter()
+                .find(|(s, p, _)| *s == scenario && *p == policy)
+                .expect("handle enqueued");
+            results.reports(h)
+        };
+        let native_runs = runs_of(PolicyKind::Native);
+        let simty_runs = runs_of(PolicyKind::Simty);
         let native = Averages::of(&native_runs);
         let simty = Averages::of(&simty_runs);
         for (name, avg, runs) in [
@@ -63,4 +84,8 @@ fn main() {
         "Note: absolute joules depend on the simulator's calibrated power model;\n\
          the paper's claims are about the NATIVE/SIMTY ratios, which are echoed above."
     );
+    if let Some(path) = json_path_from_args(&args) {
+        results.write_json(&path).expect("writes sweep json");
+        println!("wrote {path}");
+    }
 }

@@ -4,13 +4,27 @@
 //! Paper values: perceptible delays are 0 under both policies;
 //! imperceptible delays are 17.9 % (light) / 13.9 % (heavy) under SIMTY
 //! and 0.4–0.6 % under NATIVE (wake-from-sleep latency on α = 0 alarms).
+//!
+//! All twelve runs execute in one parallel sweep. Accepts `--threads N`
+//! and `--json PATH`.
 
 use simty::experiments::Spread;
 use simty::sim::report::{bar_chart, fmt_percent, TextTable};
-use simty_bench::{paper_runs, Averages, PolicyKind, Scenario};
+use simty_bench::sweep::{json_path_from_args, threads_from_args};
+use simty_bench::{paper_specs, Averages, PolicyKind, Scenario, Sweep};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     println!("Figure 4 — normalized delivery delay (3 h, 3 seeds)\n");
+    let mut sweep = Sweep::new();
+    let mut handles = Vec::new();
+    for scenario in [Scenario::Light, Scenario::Heavy] {
+        for policy in [PolicyKind::Native, PolicyKind::Simty] {
+            handles.push((scenario, policy, sweep.specs(paper_specs(policy, scenario))));
+        }
+    }
+    let results = sweep.run_with_threads(threads_from_args(&args));
+
     let mut table = TextTable::new([
         "workload",
         "policy",
@@ -19,29 +33,27 @@ fn main() {
         "paper (imperceptible)",
     ]);
     let mut bars = Vec::new();
-    for scenario in [Scenario::Light, Scenario::Heavy] {
-        for policy in [PolicyKind::Native, PolicyKind::Simty] {
-            let runs = paper_runs(policy, scenario);
-            let avg = Averages::of(&runs);
-            let impercept = Spread::over(&runs, |r| r.delays.imperceptible_avg * 100.0);
-            let paper = match (policy, scenario) {
-                (PolicyKind::Simty, Scenario::Light) => "17.9%",
-                (PolicyKind::Simty, Scenario::Heavy) => "13.9%",
-                (PolicyKind::Native, _) => "0.4-0.6%",
-                _ => "-",
-            };
-            table.row([
-                scenario.name().to_owned(),
-                policy.name(),
-                fmt_percent(avg.perceptible_delay),
-                impercept.format(1),
-                paper.to_owned(),
-            ]);
-            bars.push((
-                format!("{} {}", scenario.name(), policy.name()),
-                avg.imperceptible_delay * 100.0,
-            ));
-        }
+    for (scenario, policy, batch) in &handles {
+        let runs = results.reports(batch);
+        let avg = Averages::of(&runs);
+        let impercept = Spread::over(&runs, |r| r.delays.imperceptible_avg * 100.0);
+        let paper = match (policy, scenario) {
+            (PolicyKind::Simty, Scenario::Light) => "17.9%",
+            (PolicyKind::Simty, Scenario::Heavy) => "13.9%",
+            (PolicyKind::Native, _) => "0.4-0.6%",
+            _ => "-",
+        };
+        table.row([
+            scenario.name().to_owned(),
+            policy.name(),
+            fmt_percent(avg.perceptible_delay),
+            impercept.format(1),
+            paper.to_owned(),
+        ]);
+        bars.push((
+            format!("{} {}", scenario.name(), policy.name()),
+            avg.imperceptible_delay * 100.0,
+        ));
     }
     println!("{}", table.render());
     println!("imperceptible normalized delay (%):\n{}", bar_chart(&bars, 48));
@@ -51,4 +63,8 @@ fn main() {
          because more registered alarms make high-time-similarity entries easier\n\
          to find (§4.2)."
     );
+    if let Some(path) = json_path_from_args(&args) {
+        results.write_json(&path).expect("writes sweep json");
+        println!("wrote {path}");
+    }
 }

@@ -6,63 +6,30 @@
 //! and the radio power were inferred. This binary perturbs each parameter
 //! across a wide range and reports the SIMTY-vs-NATIVE saving, showing
 //! that *who wins and by roughly how much* is robust to the calibration.
+//!
+//! Every (policy, power model) pair is a [`RunSpec`] enqueued into one
+//! parallel sweep; the sweep's spec cache deduplicates identical pairs,
+//! so the calibrated NATIVE/SIMTY baselines run exactly once no matter
+//! how many rows reference them (previously each row re-ran its own
+//! NATIVE from scratch, sequentially). Accepts `--threads N` and
+//! `--json PATH`.
 
 use simty::prelude::*;
 use simty::sim::report::{fmt_percent, TextTable};
-use simty_bench::Scenario;
+use simty_bench::sweep::{json_path_from_args, threads_from_args, RunHandle};
+use simty_bench::{PolicyKind, RunSpec, Scenario, Sweep};
 
-fn run_with(model: PowerModel, simty: bool) -> SimReport {
-    let workload = Scenario::Heavy
-        .builder()
-        .with_seed(1)
-        .build();
-    let config = SimConfig::new().with_power(model);
-    let policy: Box<dyn AlignmentPolicy> = if simty {
-        Box::new(SimtyPolicy::new())
-    } else {
-        Box::new(NativePolicy::new())
-    };
-    let mut sim = Simulation::new(policy, config);
-    for alarm in workload.alarms {
-        sim.register(alarm).expect("registers");
-    }
-    sim.run()
-}
-
-fn savings(model: PowerModel) -> (f64, f64) {
-    let native = run_with(model.clone(), false);
-    let simty = run_with(model, true);
-    let total = 1.0 - simty.energy.total_mj() / native.energy.total_mj();
-    let awake = 1.0 - simty.energy.awake_related_mj() / native.energy.awake_related_mj();
-    (total, awake)
-}
-
-fn main() {
-    println!("Sensitivity of SIMTY's saving to the power calibration (heavy, 3 h, seed 1)\n");
-    let mut table = TextTable::new(["perturbation", "total saving", "awake saving"]);
-
-    let (t0, a0) = savings(PowerModel::nexus5());
-    table.row(["baseline (calibrated)".to_owned(), fmt_percent(t0), fmt_percent(a0)]);
-
+fn perturbations() -> Vec<(String, PowerModel)> {
+    let mut rows = vec![("baseline (calibrated)".to_owned(), PowerModel::nexus5())];
     for factor in [0.5, 2.0] {
         let mut m = PowerModel::nexus5();
         m.sleep_power_mw *= factor;
-        let (t, a) = savings(m);
-        table.row([
-            format!("sleep floor x{factor}"),
-            fmt_percent(t),
-            fmt_percent(a),
-        ]);
+        rows.push((format!("sleep floor x{factor}"), m));
     }
     for factor in [0.5, 2.0] {
         let mut m = PowerModel::nexus5();
         m.wake_transition_energy_mj *= factor;
-        let (t, a) = savings(m);
-        table.row([
-            format!("wake transition x{factor}"),
-            fmt_percent(t),
-            fmt_percent(a),
-        ]);
+        rows.push((format!("wake transition x{factor}"), m));
     }
     for factor in [0.5, 2.0] {
         let mut m = PowerModel::nexus5();
@@ -72,22 +39,44 @@ fn main() {
             p.activation_energy_mj *= factor;
             m.set_component(c, p);
         }
-        let (t, a) = savings(m);
-        table.row([
-            format!("all component power x{factor}"),
-            fmt_percent(t),
-            fmt_percent(a),
-        ]);
+        rows.push((format!("all component power x{factor}"), m));
     }
     for latency_ms in [50u64, 1_000] {
         let mut m = PowerModel::nexus5();
         m.wake_latency = SimDuration::from_millis(latency_ms);
-        let (t, a) = savings(m);
-        table.row([
-            format!("wake latency {latency_ms} ms"),
-            fmt_percent(t),
-            fmt_percent(a),
-        ]);
+        rows.push((format!("wake latency {latency_ms} ms"), m));
+    }
+    rows
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    println!("Sensitivity of SIMTY's saving to the power calibration (heavy, 3 h, seed 1)\n");
+
+    let rows = perturbations();
+    let mut sweep = Sweep::new();
+    let handles: Vec<(RunHandle, RunHandle)> = rows
+        .iter()
+        .map(|(_, model)| {
+            let spec = |policy| {
+                RunSpec::paper(policy, Scenario::Heavy, 1).with_power(model.clone())
+            };
+            (
+                sweep.spec(spec(PolicyKind::Native)),
+                sweep.spec(spec(PolicyKind::Simty)),
+            )
+        })
+        .collect();
+    let results = sweep.run_with_threads(threads_from_args(&args));
+
+    let mut table = TextTable::new(["perturbation", "total saving", "awake saving"]);
+    for ((label, _), (native_h, simty_h)) in rows.iter().zip(&handles) {
+        let native = results.report(*native_h);
+        let simty = results.report(*simty_h);
+        let total = 1.0 - simty.energy.total_mj() / native.energy.total_mj();
+        let awake =
+            1.0 - simty.energy.awake_related_mj() / native.energy.awake_related_mj();
+        table.row([label.clone(), fmt_percent(total), fmt_percent(awake)]);
     }
 
     println!("{}", table.render());
@@ -97,4 +86,8 @@ fn main() {
          is the part alignment cannot touch (the paper makes the same point\n\
          about low-power hardware design, §4.2)."
     );
+    if let Some(path) = json_path_from_args(&args) {
+        results.write_json(&path).expect("writes sweep json");
+        println!("wrote {path}");
+    }
 }

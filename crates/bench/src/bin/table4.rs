@@ -11,24 +11,45 @@
 //! | Wi-Fi             | 443/548, 465/565 | 170/484, 158/433 |
 //! | WPS (heavy)       | 125/132      | 64/131      |
 //! | Accelerometer (heavy) | 227/300  | 186/300     |
+//!
+//! All twelve runs execute in one parallel sweep. Accepts `--threads N`
+//! and `--json PATH`.
 
 use simty::core::bounds::least_component_wakeups;
 use simty::prelude::*;
 use simty::sim::report::TextTable;
-use simty_bench::{paper_runs, Averages, PolicyKind, Scenario};
+use simty_bench::sweep::{json_path_from_args, threads_from_args};
+use simty_bench::{paper_specs, Averages, PolicyKind, Scenario, Sweep};
 
 fn fmt_counts(actual: f64, expected: f64) -> String {
     format!("{:.0}/{:.0}", actual, expected)
 }
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
     println!("Table 4 — wakeup breakdown (actual/expected, 3 h, 3 seeds)\n");
+    let mut sweep = Sweep::new();
+    let mut handles = Vec::new();
+    for scenario in [Scenario::Light, Scenario::Heavy] {
+        for policy in [PolicyKind::Native, PolicyKind::Simty] {
+            handles.push((scenario, policy, sweep.specs(paper_specs(policy, scenario))));
+        }
+    }
+    let results = sweep.run_with_threads(threads_from_args(&args));
+
     for (scenario, paper_cpu_native, paper_cpu_simty) in [
         (Scenario::Light, "733/983", "193/830"),
         (Scenario::Heavy, "981/1726", "259/1370"),
     ] {
-        let native_runs = paper_runs(PolicyKind::Native, scenario);
-        let simty_runs = paper_runs(PolicyKind::Simty, scenario);
+        let runs_of = |policy: PolicyKind| {
+            let (_, _, h) = handles
+                .iter()
+                .find(|(s, p, _)| *s == scenario && *p == policy)
+                .expect("handle enqueued");
+            results.reports(h)
+        };
+        let native_runs = runs_of(PolicyKind::Native);
+        let simty_runs = runs_of(PolicyKind::Simty);
         let native = Averages::of(&native_runs);
         let simty = Averages::of(&simty_runs);
         // §4.2 lower bounds from the workload's most demanding alarms.
@@ -98,4 +119,8 @@ fn main() {
          synthetic system-alarm stream is lighter than a real phone's, so CPU\n\
          denominators sit below the paper's absolute numbers."
     );
+    if let Some(path) = json_path_from_args(&args) {
+        results.write_json(&path).expect("writes sweep json");
+        println!("wrote {path}");
+    }
 }

@@ -17,9 +17,13 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod sweep;
+
 pub use simty::experiments::{
-    motivating_example, paper_runs, Averages, PolicyKind, RunSpec, Scenario,
+    motivating_example, motivating_example_report, paper_runs, paper_specs, Averages, PolicyKind,
+    RunSpec, Scenario,
 };
+pub use sweep::{Outcome, RunHandle, Sweep, SweepResults};
 
 /// Renders one "paper vs measured" line for the experiment binaries.
 pub fn paper_vs_measured(label: &str, paper: f64, measured: f64, unit: &str) -> String {

@@ -1,0 +1,443 @@
+//! `SweepRunner`: deterministic parallel batch execution of simulation
+//! runs.
+//!
+//! Every paper-facing binary runs a grid of full simulations (policy ×
+//! scenario × seed × β × granularity × power perturbation). Each
+//! [`Simulation`](simty::sim::Simulation) is seed-deterministic and
+//! independent, so the grid is embarrassingly parallel. A [`Sweep`]
+//! collects jobs up front, fans them out over `std::thread` workers, and
+//! returns results keyed by enqueue order — so a parallel sweep yields
+//! **byte-identical reports** to a sequential one, independent of
+//! completion order.
+//!
+//! Identical [`RunSpec`]s are deduplicated at enqueue time: both handles
+//! resolve to the single shared run. The sensitivity study leans on this
+//! to compute its NATIVE/SIMTY baselines once instead of once per
+//! perturbation point.
+
+use std::io;
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use simty::experiments::RunSpec;
+use simty::sim::json::{json_number, json_string, report_to_json};
+use simty::sim::SimReport;
+
+/// A closure job: any computation producing a [`SimReport`].
+type JobFn = Box<dyn FnOnce() -> SimReport + Send>;
+
+struct Job {
+    label: String,
+    task: JobFn,
+}
+
+/// Handle to an enqueued run; index into [`SweepResults`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunHandle(usize);
+
+/// A batch of simulation runs executed across worker threads.
+///
+/// # Examples
+///
+/// ```
+/// use simty_bench::sweep::Sweep;
+/// use simty_bench::{PolicyKind, RunSpec, Scenario};
+/// use simty::core::SimDuration;
+///
+/// let mut sweep = Sweep::new();
+/// let native = sweep.spec(
+///     RunSpec::paper(PolicyKind::Native, Scenario::Light, 1)
+///         .with_duration(SimDuration::from_mins(5)),
+/// );
+/// let results = sweep.run_with_threads(2);
+/// assert!(results.report(native).total_deliveries > 0);
+/// ```
+#[derive(Default)]
+pub struct Sweep {
+    jobs: Vec<Job>,
+    specs: Vec<(RunSpec, RunHandle)>,
+}
+
+impl Sweep {
+    /// An empty sweep.
+    pub fn new() -> Self {
+        Sweep::default()
+    }
+
+    /// Number of enqueued (deduplicated) jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no jobs are enqueued.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Enqueues a [`RunSpec`], deduplicating against previously enqueued
+    /// specs: an identical spec returns the existing handle and the run
+    /// executes once.
+    pub fn spec(&mut self, spec: RunSpec) -> RunHandle {
+        if let Some((_, handle)) = self.specs.iter().find(|(s, _)| *s == spec) {
+            return *handle;
+        }
+        let label = spec.label();
+        let run = spec.clone();
+        let handle = self.push(label, move || run.run());
+        self.specs.push((spec, handle));
+        handle
+    }
+
+    /// Enqueues every spec in order, returning one handle per spec
+    /// (duplicates share handles).
+    pub fn specs<I: IntoIterator<Item = RunSpec>>(&mut self, specs: I) -> Vec<RunHandle> {
+        specs.into_iter().map(|s| self.spec(s)).collect()
+    }
+
+    /// Enqueues an arbitrary labelled job (for runs that need bespoke
+    /// setup, e.g. the ablation's push-storm and DURSIM scenarios). No
+    /// deduplication is attempted for closure jobs.
+    pub fn job(
+        &mut self,
+        label: impl Into<String>,
+        task: impl FnOnce() -> SimReport + Send + 'static,
+    ) -> RunHandle {
+        self.push(label.into(), task)
+    }
+
+    fn push(
+        &mut self,
+        label: String,
+        task: impl FnOnce() -> SimReport + Send + 'static,
+    ) -> RunHandle {
+        let handle = RunHandle(self.jobs.len());
+        self.jobs.push(Job {
+            label,
+            task: Box::new(task),
+        });
+        handle
+    }
+
+    /// Executes the batch on every available core (see
+    /// [`run_with_threads`](Self::run_with_threads)).
+    pub fn run(self) -> SweepResults {
+        let threads = available_threads();
+        self.run_with_threads(threads)
+    }
+
+    /// Executes the batch on `threads` workers and collects the results
+    /// in enqueue order.
+    ///
+    /// Work is claimed from a shared index, so scheduling is dynamic, but
+    /// each result lands at its job's index: output is byte-identical
+    /// regardless of thread count or completion order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero, if a job panics, or if a worker
+    /// thread fails to join.
+    pub fn run_with_threads(self, threads: usize) -> SweepResults {
+        assert!(threads > 0, "a sweep needs at least one worker");
+        let total = self.jobs.len();
+        let started = Instant::now();
+        let jobs: Vec<Mutex<Option<Job>>> = self
+            .jobs
+            .into_iter()
+            .map(|j| Mutex::new(Some(j)))
+            .collect();
+        let next = AtomicUsize::new(0);
+        let outcomes: Vec<Mutex<Option<Outcome>>> =
+            (0..total).map(|_| Mutex::new(None)).collect();
+
+        std::thread::scope(|scope| {
+            let workers = threads.min(total.max(1));
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                handles.push(scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    let job = jobs[idx]
+                        .lock()
+                        .expect("job slot lock")
+                        .take()
+                        .expect("job claimed once");
+                    let job_started = Instant::now();
+                    let report = (job.task)();
+                    *outcomes[idx].lock().expect("outcome slot lock") = Some(Outcome {
+                        label: job.label,
+                        report,
+                        wall: job_started.elapsed(),
+                    });
+                }));
+            }
+            for handle in handles {
+                handle.join().expect("sweep worker panicked");
+            }
+        });
+
+        SweepResults {
+            outcomes: outcomes
+                .into_iter()
+                .map(|slot| {
+                    slot.into_inner()
+                        .expect("outcome slot lock")
+                        .expect("every job produced an outcome")
+                })
+                .collect(),
+            wall: started.elapsed(),
+            threads,
+        }
+    }
+}
+
+/// The number of workers [`Sweep::run`] uses: all available cores.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One finished run.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The label given at enqueue time (the spec label for spec jobs).
+    pub label: String,
+    /// The run's report.
+    pub report: SimReport,
+    /// Wall-clock time of this run alone.
+    pub wall: Duration,
+}
+
+/// The results of a [`Sweep`], in enqueue order.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    outcomes: Vec<Outcome>,
+    wall: Duration,
+    threads: usize,
+}
+
+impl SweepResults {
+    /// The report for a handle returned at enqueue time.
+    pub fn report(&self, handle: RunHandle) -> &SimReport {
+        &self.outcomes[handle.0].report
+    }
+
+    /// Reports for a batch of handles (e.g. one per seed), in order.
+    pub fn reports(&self, handles: &[RunHandle]) -> Vec<SimReport> {
+        handles.iter().map(|h| self.report(*h).clone()).collect()
+    }
+
+    /// All outcomes in enqueue order.
+    pub fn outcomes(&self) -> &[Outcome] {
+        &self.outcomes
+    }
+
+    /// Number of runs executed.
+    pub fn len(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Whether the sweep held no runs.
+    pub fn is_empty(&self) -> bool {
+        self.outcomes.is_empty()
+    }
+
+    /// Worker threads used.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// End-to-end wall-clock time of the batch.
+    pub fn total_wall(&self) -> Duration {
+        self.wall
+    }
+
+    /// Sum of the individual run times — what a sequential execution
+    /// would have cost (modulo scheduling overhead).
+    pub fn sequential_wall(&self) -> Duration {
+        self.outcomes.iter().map(|o| o.wall).sum()
+    }
+
+    /// Completed runs per second of wall-clock time.
+    pub fn runs_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.outcomes.len() as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Serializes the sweep as the `BENCH_sweep.json` document: batch
+    /// timing plus, per run, its label, wall-clock, and full report.
+    ///
+    /// Only the `results[*].label`/`report` fields are deterministic;
+    /// the timing fields vary run to run (the determinism regression
+    /// test compares [`reports_json`](Self::reports_json) instead).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        out.push_str(&format!(
+            "\"schema\":{},\"threads\":{},\"runs\":{},\"total_wall_ms\":{},\"sequential_wall_ms\":{},\"runs_per_sec\":{},\"results\":[",
+            json_string("simty-bench-sweep/v1"),
+            self.threads,
+            self.outcomes.len(),
+            json_number(self.wall.as_secs_f64() * 1_000.0),
+            json_number(self.sequential_wall().as_secs_f64() * 1_000.0),
+            json_number(self.runs_per_sec()),
+        ));
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":{},\"wall_ms\":{},\"report\":{}}}",
+                json_string(&o.label),
+                json_number(o.wall.as_secs_f64() * 1_000.0),
+                report_to_json(&o.report)
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serializes only the deterministic payload: a JSON array of
+    /// `{label, report}` in enqueue order. Two sweeps over the same grid
+    /// must produce byte-identical output regardless of thread count.
+    pub fn reports_json(&self) -> String {
+        let mut out = String::new();
+        out.push('[');
+        for (i, o) in self.outcomes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":{},\"report\":{}}}",
+                json_string(&o.label),
+                report_to_json(&o.report)
+            ));
+        }
+        out.push(']');
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Parses a `--threads N` override from raw binary arguments, falling
+/// back to all cores. Shared by the experiment binaries.
+pub fn threads_from_args(args: &[String]) -> usize {
+    args.iter()
+        .position(|a| a == "--threads")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(available_threads)
+}
+
+/// Parses a `--json PATH` override from raw binary arguments.
+pub fn json_path_from_args(args: &[String]) -> Option<String> {
+    args.iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simty::core::SimDuration;
+    use simty::experiments::{PolicyKind, Scenario};
+
+    fn quick(policy: PolicyKind, seed: u64) -> RunSpec {
+        RunSpec::paper(policy, Scenario::Light, seed)
+            .with_duration(SimDuration::from_mins(5))
+    }
+
+    #[test]
+    fn spec_dedup_shares_handles() {
+        let mut sweep = Sweep::new();
+        let a = sweep.spec(quick(PolicyKind::Native, 1));
+        let b = sweep.spec(quick(PolicyKind::Simty, 1));
+        let c = sweep.spec(quick(PolicyKind::Native, 1));
+        assert_eq!(a, c);
+        assert_ne!(a, b);
+        assert_eq!(sweep.len(), 2);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_byte_for_byte() {
+        let grid = || {
+            let mut sweep = Sweep::new();
+            for policy in [PolicyKind::Native, PolicyKind::Simty] {
+                for seed in 1..=2 {
+                    sweep.spec(quick(policy, seed));
+                }
+            }
+            sweep
+        };
+        let sequential = grid().run_with_threads(1);
+        let parallel = grid().run_with_threads(4);
+        assert_eq!(sequential.reports_json(), parallel.reports_json());
+        assert_eq!(sequential.len(), 4);
+    }
+
+    #[test]
+    fn handles_resolve_in_enqueue_order() {
+        let mut sweep = Sweep::new();
+        let native = sweep.spec(quick(PolicyKind::Native, 1));
+        let simty = sweep.spec(quick(PolicyKind::Simty, 1));
+        let job = sweep.job("custom", || quick(PolicyKind::Exact, 1).run());
+        let results = sweep.run_with_threads(3);
+        assert_eq!(results.report(native).policy, "NATIVE");
+        assert_eq!(results.report(simty).policy, "SIMTY");
+        assert_eq!(results.report(job).policy, "EXACT");
+        assert_eq!(results.outcomes()[2].label, "custom");
+        assert!(results.runs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn json_document_shape() {
+        let mut sweep = Sweep::new();
+        sweep.spec(quick(PolicyKind::Native, 1));
+        let results = sweep.run_with_threads(1);
+        let json = results.to_json();
+        for key in [
+            "\"schema\":\"simty-bench-sweep/v1\"",
+            "\"threads\":1",
+            "\"runs\":1",
+            "\"total_wall_ms\"",
+            "\"runs_per_sec\"",
+            "\"results\":[",
+            "\"label\":\"NATIVE/light/seed1/b0.96/300s\"",
+            "\"report\":{",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn arg_parsing_helpers() {
+        let args: Vec<String> = ["--threads", "3", "--json", "out.json"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(threads_from_args(&args), 3);
+        assert_eq!(json_path_from_args(&args), Some("out.json".into()));
+        assert!(json_path_from_args(&[]).is_none());
+        assert!(threads_from_args(&[]) >= 1);
+    }
+}

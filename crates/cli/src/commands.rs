@@ -58,6 +58,7 @@ COMMANDS:
     run         simulate one scenario under one policy
     compare     run every policy on the same scenario, side by side
     diff        per-app comparison of two policies on the same workload
+    sweep       run a policy x scenario x seed x beta grid in parallel
     sweep-beta  sweep the grace fraction under SIMTY
     analyze     offline analysis of a delivery-trace CSV (--trace FILE)
     estimate    closed-form energy envelope of a workload (no simulation)
@@ -85,6 +86,15 @@ RUN FLAGS:
 
 DIFF FLAGS:
     --policy-a P --policy-b P  the two policies          [default: native, simty]
+
+SWEEP FLAGS:
+    --policies LIST            comma-separated policy names (see --policy)
+                               [default: native,simty]
+    --scenarios LIST           comma-separated light|heavy  [default: light,heavy]
+    --seeds N                  run seeds 1..=N              [default: 3]
+    --betas LIST               comma-separated grace fractions [default: 0.96]
+    --threads N                worker threads               [default: all cores]
+    --json FILE                write the sweep document (BENCH_sweep.json schema)
 
 SWEEP-BETA FLAGS:
     --from X --to Y --steps N  sweep range               [default: 0.75..0.96, 5]
@@ -241,6 +251,7 @@ pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliErro
         "run" => cmd_run(&args, out),
         "compare" => cmd_compare(&args, out),
         "diff" => cmd_diff(&args, out),
+        "sweep" => cmd_sweep(&args, out),
         "sweep-beta" => cmd_sweep_beta(&args, out),
         "analyze" => cmd_analyze(&args, out),
         "estimate" => cmd_estimate(&args, out),
@@ -414,6 +425,108 @@ fn cmd_diff<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     )?;
     let diff = simty::sim::diff::TraceDiff::between(sim_a.trace(), sim_b.trace());
     writeln!(out, "{diff}")?;
+    Ok(())
+}
+
+fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "policies",
+        "scenarios",
+        "seeds",
+        "betas",
+        "hours",
+        "threads",
+        "json",
+    ])?;
+    let policies: Vec<PolicyKind> = args
+        .get("policies")
+        .unwrap_or("native,simty")
+        .split(',')
+        .map(parse_policy)
+        .collect::<Result<_, _>>()?;
+    let scenarios: Vec<Scenario> = args
+        .get("scenarios")
+        .unwrap_or("light,heavy")
+        .split(',')
+        .map(|name| match parse_scenario(name)? {
+            ScenarioChoice::Paper(s) => Ok(s),
+            ScenarioChoice::Synthetic(_) => Err(CliError::Usage(
+                "sweep grids cover the paper scenarios (light|heavy)".into(),
+            )),
+        })
+        .collect::<Result<_, _>>()?;
+    let seeds = args.get_u64("seeds", 3)?;
+    let betas: Vec<f64> = match args.get("betas") {
+        None => vec![0.96],
+        Some(list) => list
+            .split(',')
+            .map(|v| {
+                v.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid grace fraction `{v}` in --betas"))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let hours = args.get_u64("hours", 3)?;
+    let threads = args.get_u64("threads", simty_bench::sweep::available_threads() as u64)?;
+    if seeds == 0 || hours == 0 || threads == 0 {
+        return Err(CliError::Usage(
+            "--seeds, --hours, and --threads must be positive".into(),
+        ));
+    }
+    if betas.iter().any(|b| !(0.0..1.0).contains(b)) {
+        return Err(CliError::Usage("--betas values must lie in [0, 1)".into()));
+    }
+
+    let mut sweep = simty_bench::Sweep::new();
+    for &scenario in &scenarios {
+        for &policy in &policies {
+            for seed in 1..=seeds {
+                for &beta in &betas {
+                    sweep.spec(
+                        simty_bench::RunSpec::paper(policy, scenario, seed)
+                            .with_beta(beta)
+                            .with_duration(SimDuration::from_hours(hours)),
+                    );
+                }
+            }
+        }
+    }
+    let total = sweep.len();
+    let results = sweep.run_with_threads(threads as usize);
+
+    let mut table = TextTable::new([
+        "run",
+        "total (J)",
+        "awake (J)",
+        "batch deliveries",
+        "impercept. delay",
+        "wall (ms)",
+    ]);
+    for outcome in results.outcomes() {
+        let r = &outcome.report;
+        table.row([
+            outcome.label.clone(),
+            format!("{:.1}", r.energy.total_mj() / 1_000.0),
+            format!("{:.1}", r.energy.awake_related_mj() / 1_000.0),
+            r.entry_deliveries.to_string(),
+            format!("{:.1}%", r.delays.imperceptible_avg * 100.0),
+            format!("{:.1}", outcome.wall.as_secs_f64() * 1_000.0),
+        ]);
+    }
+    writeln!(out, "{}", table.render())?;
+    writeln!(
+        out,
+        "{total} runs on {} threads in {:.1} ms ({:.1} runs/sec; sequential sum {:.1} ms)",
+        results.threads(),
+        results.total_wall().as_secs_f64() * 1_000.0,
+        results.runs_per_sec(),
+        results.sequential_wall().as_secs_f64() * 1_000.0,
+    )?;
+    if let Some(path) = args.get("json") {
+        results.write_json(path)?;
+        writeln!(out, "sweep document written to {path}")?;
+    }
     Ok(())
 }
 
@@ -624,6 +737,72 @@ mod tests {
         let text = run(&["compare", "--scenario", "light", "--hours", "1"]).unwrap();
         for name in ["EXACT", "NATIVE", "SIMTY", "DURSIM", "FIXED"] {
             assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn sweep_runs_the_grid_in_parallel() {
+        let text = run(&[
+            "sweep",
+            "--policies",
+            "native,simty",
+            "--scenarios",
+            "light",
+            "--seeds",
+            "2",
+            "--hours",
+            "1",
+            "--threads",
+            "2",
+        ])
+        .unwrap();
+        assert!(text.contains("NATIVE/light/seed1"));
+        assert!(text.contains("SIMTY/light/seed2"));
+        assert!(text.contains("4 runs on 2 threads"));
+        assert!(text.contains("runs/sec"));
+    }
+
+    #[test]
+    fn sweep_writes_the_json_document() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("simty_cli_test_sweep.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let text = run(&[
+            "sweep",
+            "--policies",
+            "simty",
+            "--scenarios",
+            "light",
+            "--seeds",
+            "1",
+            "--hours",
+            "1",
+            "--json",
+            &path_str,
+        ])
+        .unwrap();
+        assert!(text.contains("sweep document written"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\":\"simty-bench-sweep/v1\""));
+        assert!(json.contains("\"runs\":1"));
+        assert!(json.contains("\"policy\":\"SIMTY\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sweep_rejects_bad_grids() {
+        for bad in [
+            vec!["sweep", "--policies", "bogus"],
+            vec!["sweep", "--scenarios", "synthetic:5"],
+            vec!["sweep", "--seeds", "0"],
+            vec!["sweep", "--betas", "1.5"],
+            vec!["sweep", "--betas", "abc"],
+            vec!["sweep", "--threads", "0"],
+        ] {
+            assert!(
+                matches!(run(&bad), Err(CliError::Usage(_))),
+                "expected usage error for {bad:?}"
+            );
         }
     }
 

@@ -107,6 +107,7 @@ pub struct QueueEntry {
     hardware: HardwareSet,
     perceptible: bool,
     latest_nominal: SimTime,
+    delivery: SimTime,
     discipline: DeliveryDiscipline,
 }
 
@@ -120,6 +121,7 @@ impl QueueEntry {
             hardware: HardwareSet::empty(),
             perceptible: false,
             latest_nominal: SimTime::ZERO,
+            delivery: SimTime::ZERO,
             discipline,
         };
         entry.recompute();
@@ -171,10 +173,19 @@ impl QueueEntry {
 
     /// Attribute 5: the scheduled delivery time.
     ///
+    /// Cached on every membership change (this sits on the queue's
+    /// ordering hot path — every binary-search comparison reads it).
     /// Falls back to the latest member nominal time if the governing
     /// intersection is empty, so a mis-batched entry still has a defined
     /// (and experience-safe, since it is some member's nominal) time.
     pub fn delivery_time(&self) -> SimTime {
+        self.delivery
+    }
+
+    /// Recomputes the delivery time from the current intervals (the
+    /// Quantized/Escalating grids make this non-trivial, which is why the
+    /// result is cached rather than derived per call).
+    fn compute_delivery_time(&self) -> SimTime {
         let window_start = self.window.map(Interval::start);
         let grace_start = self.grace.map(Interval::start);
         let fallback = self.latest_nominal;
@@ -268,6 +279,7 @@ impl QueueEntry {
         self.hardware = hardware;
         self.perceptible = perceptible;
         self.latest_nominal = latest_nominal;
+        self.delivery = self.compute_delivery_time();
     }
 }
 

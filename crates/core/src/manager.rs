@@ -166,11 +166,26 @@ impl AlarmManager {
         self.wakeup.pop_due(now)
     }
 
+    /// Buffer-reusing variant of [`pop_due_wakeup`](Self::pop_due_wakeup):
+    /// appends due entries into `out` instead of allocating a `Vec` per
+    /// call (the simulator calls this every delivery round).
+    pub fn pop_due_wakeup_into(&mut self, now: SimTime, out: &mut Vec<QueueEntry>) {
+        self.advance_clock(now);
+        self.wakeup.pop_due_into(now, out);
+    }
+
     /// Pops every non-wakeup entry due at or before `now`. Only call while
     /// the device is awake — non-wakeup alarms must not awaken it (§2.1).
     pub fn pop_due_non_wakeup(&mut self, now: SimTime) -> Vec<QueueEntry> {
         self.advance_clock(now);
         self.non_wakeup.pop_due(now)
+    }
+
+    /// Buffer-reusing variant of
+    /// [`pop_due_non_wakeup`](Self::pop_due_non_wakeup).
+    pub fn pop_due_non_wakeup_into(&mut self, now: SimTime, out: &mut Vec<QueueEntry>) {
+        self.advance_clock(now);
+        self.non_wakeup.pop_due_into(now, out);
     }
 
     /// Finishes a delivery: records the alarm's hardware usage as known

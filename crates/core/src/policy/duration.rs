@@ -91,8 +91,20 @@ impl AlignmentPolicy for DurationSimilarityPolicy {
     fn place(&self, queue: &AlarmQueue, alarm: &Alarm) -> Placement {
         let alarm_hw = alarm.known_hardware();
         let alarm_perceptible = alarm.is_perceptible();
+        // Same delivery-ordered cutoff as SIMTY's search phase (see
+        // `SimtyPolicy::place`): past this point no entry can reach even
+        // Medium time similarity, so nothing is applicable.
+        let cutoff = alarm.window_interval().end().max(alarm.grace_interval().end());
         let mut best: Option<((u8, u8, u8), usize)> = None;
         for (idx, entry) in queue.iter().enumerate() {
+            if entry.delivery_time() > cutoff
+                && matches!(
+                    entry.discipline(),
+                    DeliveryDiscipline::Window | DeliveryDiscipline::PerceptibilityAware
+                )
+            {
+                break;
+            }
             let time = entry.time_similarity_to(alarm);
             if !SimtyPolicy::is_applicable(alarm_perceptible, entry.is_perceptible(), time) {
                 continue;

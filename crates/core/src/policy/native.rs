@@ -59,6 +59,18 @@ impl AlignmentPolicy for NativePolicy {
     fn place(&self, queue: &AlarmQueue, alarm: &Alarm) -> Placement {
         let window = alarm.window_interval();
         for (idx, entry) in queue.iter().enumerate() {
+            // A Window-discipline entry's window intersection starts at
+            // its delivery time; the queue is delivery-ordered, so once
+            // an entry's delivery time passes the candidate window's end,
+            // no entry at or after it can overlap.
+            if entry.delivery_time() > window.end()
+                && matches!(
+                    entry.discipline(),
+                    DeliveryDiscipline::Window | DeliveryDiscipline::PerceptibilityAware
+                )
+            {
+                break;
+            }
             if entry.window().is_some_and(|w| w.overlaps(window)) {
                 return Placement::Existing(idx);
             }

@@ -102,8 +102,32 @@ impl AlignmentPolicy for SimtyPolicy {
     fn place(&self, queue: &AlarmQueue, alarm: &Alarm) -> Placement {
         let alarm_hw = alarm.known_hardware();
         let alarm_perceptible = alarm.is_perceptible();
+        // Search-phase cutoff: a Window/PerceptibilityAware entry's window
+        // and grace intersections both start at its delivery time (every
+        // member interval starts at its own nominal, so the intersections
+        // start at the latest nominal — which is the delivery time under
+        // those disciplines). The queue is delivery-ordered, so once an
+        // entry's delivery time passes the end of both candidate
+        // intervals, no overlap — hence no applicable similarity — is
+        // possible for it or anything after it.
+        let cutoff = alarm.window_interval().end().max(alarm.grace_interval().end());
         let mut best: Option<(Preferability, usize)> = None;
         for (idx, entry) in queue.iter().enumerate() {
+            if entry.delivery_time() > cutoff
+                && matches!(
+                    entry.discipline(),
+                    DeliveryDiscipline::Window | DeliveryDiscipline::PerceptibilityAware
+                )
+            {
+                // A manager's queue is discipline-homogeneous (entries are
+                // only created with its policy's discipline), so everything
+                // after this point is past the cutoff too.
+                debug_assert!(queue.iter().skip(idx).all(|e| matches!(
+                    e.discipline(),
+                    DeliveryDiscipline::Window | DeliveryDiscipline::PerceptibilityAware
+                )));
+                break;
+            }
             let time = entry.time_similarity_to(alarm);
             if !Self::is_applicable(alarm_perceptible, entry.is_perceptible(), time) {
                 continue;

@@ -88,6 +88,12 @@ impl AlarmQueue {
         self.insert_entry(QueueEntry::new(alarm, discipline));
     }
 
+    /// Reserves capacity for at least `additional` more entries, so a
+    /// subsequent insert cannot trigger a reallocation.
+    pub fn reserve(&mut self, additional: usize) {
+        self.entries.reserve(additional);
+    }
+
     /// Inserts a prepared entry in delivery-time order (after any existing
     /// entries with the same delivery time).
     pub fn insert_entry(&mut self, entry: QueueEntry) {
@@ -133,10 +139,20 @@ impl AlarmQueue {
     /// Removes and returns every entry whose delivery time is at or before
     /// `now`, in delivery order.
     pub fn pop_due(&mut self, now: SimTime) -> Vec<QueueEntry> {
+        let mut out = Vec::new();
+        self.pop_due_into(now, &mut out);
+        out
+    }
+
+    /// Like [`pop_due`](Self::pop_due), but appends into a caller-owned
+    /// buffer. The simulator's delivery loop calls this every wakeup
+    /// round; reusing one buffer there avoids a `Vec` allocation per
+    /// round (most rounds pop zero or one entry).
+    pub fn pop_due_into(&mut self, now: SimTime, out: &mut Vec<QueueEntry>) {
         let cut = self
             .entries
             .partition_point(|e| e.delivery_time() <= now);
-        self.entries.drain(..cut).collect()
+        out.extend(self.entries.drain(..cut));
     }
 
     /// Iterates over the entries in delivery order.

@@ -1,0 +1,291 @@
+//! Workspace-vendored shim for the subset of the `criterion` 0.5 API
+//! used by this repository's benches.
+//!
+//! The build environment has no registry access, so the real `criterion`
+//! cannot be fetched. This shim keeps the same bench-authoring surface —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `BatchSize`, `black_box` — over a plain
+//! `std::time::Instant` measurement loop. It reports min/mean/max
+//! nanoseconds per iteration to stdout; it does not do criterion's
+//! statistical outlier analysis, HTML reports, or baseline comparisons.
+//!
+//! Environment knobs:
+//! - `CRITERION_SAMPLES`: override the per-benchmark sample count
+//!   (useful to keep CI smoke runs fast).
+
+#![warn(rust_2018_idioms)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identity function opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The shim times each routine
+/// invocation individually, so the variants are equivalent here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh input per iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id with no parameter part.
+    pub fn from_name(name: impl Into<String>) -> Self {
+        BenchmarkId { id: name.into() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId::from_name(name)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId::from_name(name)
+    }
+}
+
+/// Per-iteration timing collector handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, batching iterations so per-sample time is
+    /// measurable even for nanosecond-scale routines.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warmup + single-call estimate to size the batches.
+        black_box(routine());
+        let probe = Instant::now();
+        black_box(routine());
+        let once = probe.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.recorded.push(start.elapsed() / per_sample);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup is untimed,
+    /// and — as in upstream criterion — so is dropping the routine's
+    /// output (return the input to keep its drop off the clock).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            let output = black_box(routine(input));
+            self.recorded.push(start.elapsed());
+            drop(output);
+        }
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+fn env_samples(default: usize) -> usize {
+    std::env::var("CRITERION_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+fn run_one(label: &str, samples: usize, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::new(env_samples(samples));
+    f(&mut bencher);
+    if bencher.recorded.is_empty() {
+        println!("{label:<40} (no samples recorded)");
+        return;
+    }
+    let min = bencher.recorded.iter().min().copied().unwrap_or_default();
+    let max = bencher.recorded.iter().max().copied().unwrap_or_default();
+    let sum: Duration = bencher.recorded.iter().sum();
+    let mean = sum / bencher.recorded.len() as u32;
+    println!(
+        "{label:<40} time:   [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(mean),
+        fmt_ns(max)
+    );
+}
+
+/// The benchmark registry/driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&id.into().id, self.sample_size, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark in this group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_one(&label, self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_one(&label, self.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a callable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`. Harness arguments (`--bench`, filters)
+/// are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("iter", |b| b.iter(|| black_box(2u64) + 2));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs_and_records() {
+        benches();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("insert", 100).id, "insert/100");
+        assert_eq!(BenchmarkId::from_name("x").id, "x");
+    }
+}

@@ -1,0 +1,196 @@
+//! Workspace-vendored shim for the subset of the `rand` 0.8 API used by
+//! this repository.
+//!
+//! The build environment has no registry access, so the real `rand`
+//! crate cannot be fetched. Everything here is deterministic and
+//! dependency-free: [`rngs::StdRng`] is a SplitMix64 generator (a
+//! well-studied 64-bit mixer, not the real `StdRng`'s ChaCha12), seeded
+//! exclusively through [`SeedableRng::seed_from_u64`], which is the only
+//! construction path the workloads use. Streams therefore differ from
+//! upstream `rand`, but remain stable across runs, threads, and
+//! platforms — which is the property the simulator actually relies on.
+
+#![warn(rust_2018_idioms)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types drawable uniformly from a range, mirroring
+/// `rand::distributions::uniform::SampleUniform`.
+pub trait SampleUniform: Sized {
+    /// Draws from `[start, end)`.
+    fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+    /// Draws from `[start, end]`.
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, start: Self, end: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(start < end, "cannot sample empty range");
+                let span = (end as u128).wrapping_sub(start as u128) as u64;
+                // Modulo bias is at most span / 2^64 — irrelevant for the
+                // simulator's span sizes, and it keeps the draw one mul away.
+                start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, start: $t, end: $t) -> $t {
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128).wrapping_sub(start as u128) + 1;
+                if span > u64::MAX as u128 {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add((rng.next_u64() % span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_exclusive<R: Rng + ?Sized>(rng: &mut R, start: f64, end: f64) -> f64 {
+        assert!(start < end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        start + unit * (end - start)
+    }
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, start: f64, end: f64) -> f64 {
+        Self::sample_exclusive(rng, start, f64::from_bits(end.to_bits() + 1))
+    }
+}
+
+/// Uniform sampling over a range, mirroring the `rand` sampling traits.
+///
+/// A single generic impl per range shape (like upstream rand) so type
+/// inference can flow from the use site into the range literal — e.g.
+/// `slice.get(rng.gen_range(0..5))` infers `usize`.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_exclusive(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// The user-facing generator trait, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "p={p} out of [0, 1]");
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng`: SplitMix64.
+    ///
+    /// Not cryptographic and not stream-compatible with upstream; chosen
+    /// for full 64-bit period, good avalanche behaviour, and zero
+    /// dependencies.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood — "Fast splittable
+            // pseudorandom number generators", OOPSLA 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1_000 {
+            let v: u64 = rng.gen_range(1_000..6_000);
+            assert!((1_000..6_000).contains(&v));
+            let w: usize = rng.gen_range(0..10);
+            assert!(w < 10);
+            let x: u64 = rng.gen_range(5..=5);
+            assert_eq!(x, 5);
+            let f: f64 = rng.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "hits={hits}");
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn output_looks_mixed() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let a = rng.next_u64();
+        let b = rng.next_u64();
+        assert_ne!(a, b);
+        assert_ne!(a.count_ones(), 0);
+        assert_ne!(a.count_ones(), 64);
+    }
+}

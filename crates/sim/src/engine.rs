@@ -19,6 +19,7 @@
 use std::collections::HashSet;
 
 use simty_core::alarm::{Alarm, AlarmId};
+use simty_core::entry::QueueEntry;
 use simty_core::error::RegisterAlarmError;
 use simty_core::manager::AlarmManager;
 use simty_core::policy::AlignmentPolicy;
@@ -67,6 +68,7 @@ pub struct Simulation {
     config: SimConfig,
     now: SimTime,
     armed: HashSet<(u8, u64)>,
+    due_buffer: Vec<QueueEntry>,
 }
 
 impl Simulation {
@@ -81,6 +83,7 @@ impl Simulation {
             config,
             now: SimTime::ZERO,
             armed: HashSet::new(),
+            due_buffer: Vec::new(),
         };
         if sim.config.record_waveform {
             sim.device.attach_monitor();
@@ -286,12 +289,17 @@ impl Simulation {
     fn deliver_due(&mut self, t: SimTime) {
         debug_assert!(self.device.is_awake());
         for _round in 0..64 {
-            let mut entries = self.manager.pop_due_wakeup(t);
-            entries.extend(self.manager.pop_due_non_wakeup(t));
+            // Reuse one buffer across rounds and calls: most rounds pop
+            // zero or one entry, so a fresh Vec per round is pure churn.
+            let mut entries = std::mem::take(&mut self.due_buffer);
+            entries.clear();
+            self.manager.pop_due_wakeup_into(t, &mut entries);
+            self.manager.pop_due_non_wakeup_into(t, &mut entries);
             if entries.is_empty() {
+                self.due_buffer = entries;
                 break;
             }
-            for entry in entries {
+            for entry in entries.drain(..) {
                 self.trace.record_entry_delivery();
                 let alarms = entry.into_alarms();
                 let entry_size = alarms.len();
@@ -312,6 +320,7 @@ impl Simulation {
                     self.manager.complete_delivery(alarm, t);
                 }
             }
+            self.due_buffer = entries;
         }
         self.arm_clocks();
     }

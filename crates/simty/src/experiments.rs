@@ -11,6 +11,7 @@ use simty_core::policy::{
 };
 use simty_core::similarity::HardwareGranularity;
 use simty_core::time::{SimDuration, SimTime};
+use simty_device::PowerModel;
 use simty_sim::config::SimConfig;
 use simty_sim::engine::Simulation;
 use simty_sim::metrics::SimReport;
@@ -97,7 +98,10 @@ impl Scenario {
 }
 
 /// Parameters of one experiment run.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` lets sweep executors deduplicate identical runs (the
+/// sensitivity study shares one NATIVE baseline across perturbations).
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunSpec {
     /// The alignment policy.
     pub policy: PolicyKind,
@@ -109,6 +113,9 @@ pub struct RunSpec {
     pub beta: f64,
     /// Simulated span (the paper uses 3 h).
     pub duration: SimDuration,
+    /// Power-model override (`None` = the calibrated Nexus 5 model); used
+    /// by the sensitivity study's perturbation grid.
+    pub power: Option<PowerModel>,
 }
 
 impl RunSpec {
@@ -120,6 +127,7 @@ impl RunSpec {
             seed,
             beta: 0.96,
             duration: SimDuration::from_hours(3),
+            power: None,
         }
     }
 
@@ -133,6 +141,31 @@ impl RunSpec {
     pub fn with_duration(mut self, duration: SimDuration) -> Self {
         self.duration = duration;
         self
+    }
+
+    /// Overrides the power model (sensitivity perturbations).
+    pub fn with_power(mut self, power: PowerModel) -> Self {
+        self.power = Some(power);
+        self
+    }
+
+    /// A compact, human-readable identity for sweep outputs, e.g.
+    /// `SIMTY/heavy/seed1/b0.96`.
+    pub fn label(&self) -> String {
+        let mut label = format!(
+            "{}/{}/seed{}/b{}",
+            self.policy.name(),
+            self.scenario.name(),
+            self.seed,
+            self.beta
+        );
+        if self.duration != SimDuration::from_hours(3) {
+            label.push_str(&format!("/{}s", self.duration.as_millis() / 1_000));
+        }
+        if self.power.is_some() {
+            label.push_str("/power~");
+        }
+        label
     }
 
     /// Executes the run and returns its report.
@@ -149,7 +182,10 @@ impl RunSpec {
             .with_beta(self.beta)
             .with_duration(self.duration)
             .build();
-        let config = SimConfig::new().with_duration(self.duration);
+        let mut config = SimConfig::new().with_duration(self.duration);
+        if let Some(power) = &self.power {
+            config = config.with_power(power.clone());
+        }
         let mut sim = Simulation::new(self.policy.build(), config);
         for alarm in workload.alarms {
             sim.register(alarm).expect("workload alarm registers cleanly");
@@ -234,11 +270,21 @@ impl Averages {
     }
 }
 
+/// The paper's three seeded repetitions (seeds `1..=3`) of one
+/// configuration, as specs — feed these to a sweep executor to run them
+/// in parallel with other configurations.
+pub fn paper_specs(policy: PolicyKind, scenario: Scenario) -> Vec<RunSpec> {
+    (1..=3)
+        .map(|seed| RunSpec::paper(policy, scenario, seed))
+        .collect()
+}
+
 /// Runs one configuration for the paper's three repetitions (seeds
 /// `1..=3`) and returns the individual reports.
 pub fn paper_runs(policy: PolicyKind, scenario: Scenario) -> Vec<SimReport> {
-    (1..=3)
-        .map(|seed| RunSpec::paper(policy, scenario, seed).run())
+    paper_specs(policy, scenario)
+        .iter()
+        .map(RunSpec::run)
         .collect()
 }
 
@@ -294,6 +340,12 @@ impl Spread {
 /// The paper's measured numbers are 7 520 mJ for the native alignment and
 /// 4 050 mJ for similarity-based alignment.
 pub fn motivating_example(policy: PolicyKind) -> f64 {
+    motivating_example_report(policy).energy.awake_related_mj()
+}
+
+/// [`motivating_example`] but returning the full report, so sweep
+/// executors can run it like any other job.
+pub fn motivating_example_report(policy: PolicyKind) -> SimReport {
     let calendar = {
         let mut a = Alarm::builder("calendar")
             .nominal(SimTime::from_secs(100))
@@ -332,7 +384,7 @@ pub fn motivating_example(policy: PolicyKind) -> f64 {
         report.total_deliveries, 3,
         "all three alarms deliver exactly once in the snapshot window"
     );
-    report.energy.awake_related_mj()
+    report
 }
 
 #[cfg(test)]
