@@ -99,15 +99,25 @@ impl PushPlan {
     /// Generates the arrival times for every subscription over
     /// `duration`, without touching a simulation (exposed for tests and
     /// offline analysis). Returned per subscription, sorted in time.
+    ///
+    /// Arrivals are drawn per whole second over `(0, duration]` — the
+    /// final second is a valid arrival slot. A `duration` shorter than
+    /// one second has no whole-second slots and yields no arrivals
+    /// (debug builds assert on it, since it is almost certainly a
+    /// unit mix-up).
     pub fn arrivals(&self, duration: SimDuration) -> Vec<(AlarmId, Vec<SimTime>)> {
+        let total_secs = duration.as_millis() / 1_000;
+        debug_assert!(
+            total_secs > 0 || duration.is_zero(),
+            "push plan duration {duration} truncates to zero whole seconds"
+        );
         let mut out = Vec::with_capacity(self.subscriptions.len());
         for (i, sub) in self.subscriptions.iter().enumerate() {
             let mut rng =
                 StdRng::seed_from_u64(self.seed.wrapping_add(0x9e37 * (i as u64 + 1)));
             let p = (1.0 / sub.mean_interval.as_secs_f64()).min(1.0);
             let mut times = Vec::new();
-            let total_secs = duration.as_millis() / 1_000;
-            for s in 1..total_secs {
+            for s in 1..=total_secs {
                 if rng.gen_bool(p) {
                     times.push(SimTime::from_secs(s));
                 }
@@ -221,6 +231,27 @@ mod tests {
             assert!(d.delivered_at >= d.nominal);
             assert!(d.delivered_at <= d.grace_end + latency, "{d}");
         }
+    }
+
+    #[test]
+    fn arrivals_include_the_final_second() {
+        // With mean 1 s, p = 1: every whole second of the span arrives,
+        // including the last one (1..=total, not the old 1..total).
+        let id = chat_alarm(300).id();
+        let plan = PushPlan::new(0).subscribe(id, SimDuration::from_secs(1));
+        let arrivals = &plan.arrivals(SimDuration::from_secs(10))[0].1;
+        assert_eq!(arrivals.len(), 10);
+        assert_eq!(*arrivals.last().unwrap(), SimTime::from_secs(10));
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "truncates to zero whole seconds")]
+    fn sub_second_duration_asserts_in_debug() {
+        let id = chat_alarm(300).id();
+        let _ = PushPlan::new(0)
+            .subscribe(id, SimDuration::from_secs(1))
+            .arrivals(SimDuration::from_millis(500));
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! Chaos campaign: fault-matrix resilience sweeps.
+//!
+//! The paper's guarantee — perceptible alarms never slip past their
+//! windows — is easy to keep on a healthy device. This module asks the
+//! harder question the paper's §1 motivates with no-sleep bugs: does the
+//! guarantee survive a *hostile* device? A chaos campaign runs a grid of
+//! policy × scenario × [fault profile](FaultProfile) × seed cells, each a
+//! full simulation with deterministic fault injection ([`FaultPlan`]),
+//! the online watchdog ([`OnlineWatchdogConfig`]), and the runtime
+//! invariant monitor armed in report mode. The campaign fans out
+//! on the [`Sweep`] executor, so results are byte-identical
+//! regardless of thread count, and serializes to the
+//! `simty-bench-chaos/v1` document (`BENCH_chaos.json`).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::io;
+use std::path::Path;
+
+use simty::core::{SimDuration, SimTime};
+use simty::experiments::{PolicyKind, Scenario};
+use simty::sim::json::{json_number, json_string, report_to_json};
+use simty::sim::{FaultPlan, OnlineWatchdogConfig, SimConfig, SimReport, Simulation};
+
+use crate::sweep::Sweep;
+
+/// A named bundle of fault-injection knobs: one adversary per campaign
+/// cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultProfile {
+    /// No faults: the control cell (its resilience stats must be quiet).
+    Baseline,
+    /// RTC fires land up to 2 s late.
+    Jitter,
+    /// 5% of RTC fires are lost; the supervisory re-arm retries after 1 s.
+    Drops,
+    /// 2% of tasks overrun their declared duration by 5 minutes — the
+    /// synthetic no-sleep bug the online watchdog exists for.
+    Overruns,
+    /// 2% of tasks leak their hardware wakelocks for 3 minutes.
+    Leaks,
+    /// 5% of hardware activations fail transiently and are retried with
+    /// capped exponential backoff.
+    Flaky,
+    /// One app crashes at 40% of the run and restarts 2 minutes later.
+    Crashes,
+    /// A 2-minute push storm (mean inter-arrival 5 s) hits at 30% of the
+    /// run.
+    Storm,
+    /// Everything at once, at milder rates.
+    Mixed,
+}
+
+impl FaultProfile {
+    /// Every profile, in campaign order.
+    pub const ALL: [FaultProfile; 9] = [
+        FaultProfile::Baseline,
+        FaultProfile::Jitter,
+        FaultProfile::Drops,
+        FaultProfile::Overruns,
+        FaultProfile::Leaks,
+        FaultProfile::Flaky,
+        FaultProfile::Crashes,
+        FaultProfile::Storm,
+        FaultProfile::Mixed,
+    ];
+
+    /// The profile's CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultProfile::Baseline => "baseline",
+            FaultProfile::Jitter => "jitter",
+            FaultProfile::Drops => "drops",
+            FaultProfile::Overruns => "overruns",
+            FaultProfile::Leaks => "leaks",
+            FaultProfile::Flaky => "flaky",
+            FaultProfile::Crashes => "crashes",
+            FaultProfile::Storm => "storm",
+            FaultProfile::Mixed => "mixed",
+        }
+    }
+
+    /// Parses a profile name (the inverse of [`name`](Self::name)).
+    pub fn parse(name: &str) -> Option<FaultProfile> {
+        FaultProfile::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// Compiles the profile into a concrete [`FaultPlan`] for a run of
+    /// `duration`. `crash_app` is the label sacrificed by crash-bearing
+    /// profiles (callers pick it deterministically from the workload).
+    pub fn plan(self, seed: u64, duration: SimDuration, crash_app: &str) -> FaultPlan {
+        let at = |fraction_pct: u64| {
+            SimTime::ZERO + SimDuration::from_millis(duration.as_millis() * fraction_pct / 100)
+        };
+        let plan = FaultPlan::new(seed);
+        match self {
+            FaultProfile::Baseline => plan,
+            FaultProfile::Jitter => plan.with_rtc_jitter(SimDuration::from_secs(2)),
+            FaultProfile::Drops => plan.with_dropped_fires(0.05, SimDuration::from_secs(1)),
+            FaultProfile::Overruns => {
+                plan.with_task_overruns(0.02, SimDuration::from_secs(300))
+            }
+            FaultProfile::Leaks => plan.with_wakelock_leaks(0.02, SimDuration::from_secs(180)),
+            FaultProfile::Flaky => plan.with_activation_failures(0.05),
+            FaultProfile::Crashes => {
+                plan.with_app_crash(crash_app, at(40), SimDuration::from_secs(120))
+            }
+            FaultProfile::Storm => plan.with_push_storm(
+                at(30),
+                SimDuration::from_secs(120),
+                SimDuration::from_secs(5),
+            ),
+            FaultProfile::Mixed => plan
+                .with_rtc_jitter(SimDuration::from_secs(1))
+                .with_dropped_fires(0.03, SimDuration::from_secs(1))
+                .with_task_overruns(0.01, SimDuration::from_secs(120))
+                .with_wakelock_leaks(0.01, SimDuration::from_secs(90))
+                .with_activation_failures(0.03)
+                .with_app_crash(crash_app, at(40), SimDuration::from_secs(120))
+                .with_push_storm(
+                    at(30),
+                    SimDuration::from_secs(120),
+                    SimDuration::from_secs(5),
+                ),
+        }
+    }
+}
+
+/// One campaign cell: a policy defending a scenario against a fault
+/// profile under a seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// The alignment policy under test.
+    pub policy: PolicyKind,
+    /// The workload scenario.
+    pub scenario: Scenario,
+    /// The adversary.
+    pub profile: FaultProfile,
+    /// RNG seed shared by the workload and the fault plan.
+    pub seed: u64,
+    /// Simulated span.
+    pub duration: SimDuration,
+}
+
+impl ChaosSpec {
+    /// A compact identity for sweep outputs, e.g.
+    /// `SIMTY/heavy/mixed/seed1/3600s`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/seed{}/{}s",
+            self.policy.name(),
+            self.scenario.name(),
+            self.profile.name(),
+            self.seed,
+            self.duration.as_millis() / 1_000
+        )
+    }
+
+    /// Executes the cell: builds the workload, arms the online watchdog
+    /// and the invariant monitor (report mode), injects the profile's
+    /// fault plan, and runs to the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a catalogue alarm fails to register, which would be a
+    /// bug in the workload generator.
+    pub fn run(&self) -> SimReport {
+        let workload = self
+            .scenario
+            .builder()
+            .with_seed(self.seed)
+            .with_beta(0.96)
+            .with_duration(self.duration)
+            .build();
+        // Crash-bearing profiles sacrifice one app, picked
+        // deterministically from the workload's label set by seed.
+        let labels: BTreeSet<&str> = workload.alarms.iter().map(|a| a.label()).collect();
+        let crash_app = labels
+            .iter()
+            .nth(self.seed as usize % labels.len().max(1))
+            .copied()
+            .unwrap_or("none");
+        let plan = self.profile.plan(self.seed, self.duration, crash_app);
+        let config = SimConfig::new()
+            .with_duration(self.duration)
+            .with_online_watchdog(OnlineWatchdogConfig::default())
+            .with_invariants();
+        let mut sim = Simulation::new(self.policy.build(), config);
+        for alarm in workload.alarms {
+            sim.register(alarm).expect("workload alarm registers cleanly");
+        }
+        sim.inject_faults(&plan);
+        sim.run()
+    }
+}
+
+/// Builds the full campaign grid in deterministic enqueue order
+/// (policy-major, then scenario, profile, seed 1..=`seeds`).
+pub fn chaos_matrix(
+    policies: &[PolicyKind],
+    scenarios: &[Scenario],
+    profiles: &[FaultProfile],
+    seeds: u64,
+    duration: SimDuration,
+) -> Vec<ChaosSpec> {
+    let mut specs = Vec::new();
+    for &policy in policies {
+        for &scenario in scenarios {
+            for &profile in profiles {
+                for seed in 1..=seeds {
+                    specs.push(ChaosSpec {
+                        policy,
+                        scenario,
+                        profile,
+                        seed,
+                        duration,
+                    });
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Runs a campaign on `threads` sweep workers and collects the results
+/// in matrix order (byte-identical across thread counts).
+pub fn run_chaos(specs: &[ChaosSpec], threads: usize) -> ChaosResults {
+    let mut sweep = Sweep::new();
+    for &spec in specs {
+        sweep.job(spec.label(), move || spec.run());
+    }
+    let results = sweep.run_with_threads(threads);
+    ChaosResults {
+        runs: specs
+            .iter()
+            .copied()
+            .zip(results.outcomes().iter().map(|o| o.report.clone()))
+            .collect(),
+    }
+}
+
+/// Per-policy resilience aggregate over every cell the policy defended.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyResilience {
+    /// The policy's display name.
+    pub policy: String,
+    /// How many cells it ran.
+    pub runs: u64,
+    /// Total invariant violations (the headline: must be zero).
+    pub invariant_violations: u64,
+    /// Total perceptible-window misses.
+    pub perceptible_window_misses: u64,
+    /// Total watchdog/retry interventions.
+    pub interventions: u64,
+    /// Total forced wakelock releases.
+    pub forced_releases: u64,
+    /// Total hardware-activation retries.
+    pub activation_retries: u64,
+    /// Total quarantines imposed.
+    pub quarantines: u64,
+    /// Total quarantine recoveries.
+    pub recoveries: u64,
+    /// Mean time from quarantine to recovery, in ms, weighted by
+    /// recoveries (0 when nothing recovered).
+    pub mean_time_to_recovery_ms: f64,
+    /// Total energy spent by interventions (mJ).
+    pub intervention_overhead_mj: f64,
+    /// Mean normalized perceptible delay across cells.
+    pub perceptible_delay_avg: f64,
+    /// Worst normalized perceptible delay across cells.
+    pub perceptible_delay_max: f64,
+}
+
+/// A finished campaign: every cell's report, in matrix order.
+#[derive(Debug, Clone)]
+pub struct ChaosResults {
+    runs: Vec<(ChaosSpec, SimReport)>,
+}
+
+impl ChaosResults {
+    /// The cells and their reports, in matrix order.
+    pub fn runs(&self) -> &[(ChaosSpec, SimReport)] {
+        &self.runs
+    }
+
+    /// Total invariant violations across the whole campaign.
+    pub fn total_violations(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|(_, r)| r.resilience.invariant_violations)
+            .sum()
+    }
+
+    /// Per-policy aggregates, sorted by policy name.
+    pub fn aggregates(&self) -> Vec<PolicyResilience> {
+        let mut by_policy: BTreeMap<String, Vec<&SimReport>> = BTreeMap::new();
+        for (spec, report) in &self.runs {
+            by_policy.entry(spec.policy.name()).or_default().push(report);
+        }
+        by_policy
+            .into_iter()
+            .map(|(policy, reports)| {
+                let n = reports.len() as u64;
+                let sum = |f: fn(&SimReport) -> u64| reports.iter().map(|r| f(r)).sum::<u64>();
+                let recoveries = sum(|r| r.resilience.recoveries);
+                let mttr_weighted: f64 = reports
+                    .iter()
+                    .map(|r| {
+                        r.resilience.mean_time_to_recovery_ms
+                            * r.resilience.recoveries as f64
+                    })
+                    .sum();
+                PolicyResilience {
+                    policy,
+                    runs: n,
+                    invariant_violations: sum(|r| r.resilience.invariant_violations),
+                    perceptible_window_misses: sum(|r| r.resilience.perceptible_window_misses),
+                    interventions: sum(|r| r.resilience.interventions),
+                    forced_releases: sum(|r| r.resilience.forced_releases),
+                    activation_retries: sum(|r| r.resilience.activation_retries),
+                    quarantines: sum(|r| r.resilience.quarantines),
+                    recoveries,
+                    mean_time_to_recovery_ms: if recoveries > 0 {
+                        mttr_weighted / recoveries as f64
+                    } else {
+                        0.0
+                    },
+                    intervention_overhead_mj: reports
+                        .iter()
+                        .map(|r| r.resilience.intervention_overhead_mj)
+                        .sum(),
+                    perceptible_delay_avg: reports
+                        .iter()
+                        .map(|r| r.delays.perceptible_avg)
+                        .sum::<f64>()
+                        / n as f64,
+                    perceptible_delay_max: reports
+                        .iter()
+                        .map(|r| r.delays.perceptible_max)
+                        .fold(0.0, f64::max),
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes the campaign as the `simty-bench-chaos/v1` document.
+    /// Fully deterministic: no wall-clock fields, so parallel and
+    /// sequential campaigns produce byte-identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":\"simty-bench-chaos/v1\"");
+        out.push_str(&format!(",\"runs\":{}", self.runs.len()));
+        out.push_str(",\"results\":[");
+        for (i, (spec, report)) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":{},\"profile\":{},\"seed\":{},\"report\":{}}}",
+                json_string(&spec.label()),
+                json_string(spec.profile.name()),
+                spec.seed,
+                report_to_json(report)
+            ));
+        }
+        out.push_str("],\"policies\":[");
+        for (i, agg) in self.aggregates().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"policy\":{},\"runs\":{},\"invariant_violations\":{},\
+                 \"perceptible_window_misses\":{},\"interventions\":{},\
+                 \"forced_releases\":{},\"activation_retries\":{},\
+                 \"quarantines\":{},\"recoveries\":{},\
+                 \"mean_time_to_recovery_ms\":{},\"intervention_overhead_mj\":{},\
+                 \"perceptible_delay_avg\":{},\"perceptible_delay_max\":{}}}",
+                json_string(&agg.policy),
+                agg.runs,
+                agg.invariant_violations,
+                agg.perceptible_window_misses,
+                agg.interventions,
+                agg.forced_releases,
+                agg.activation_retries,
+                agg.quarantines,
+                agg.recoveries,
+                json_number(agg.mean_time_to_recovery_ms),
+                json_number(agg.intervention_overhead_mj),
+                json_number(agg.perceptible_delay_avg),
+                json_number(agg.perceptible_delay_max),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(profile: FaultProfile, policy: PolicyKind) -> ChaosSpec {
+        ChaosSpec {
+            policy,
+            scenario: Scenario::Light,
+            profile,
+            seed: 1,
+            duration: SimDuration::from_mins(20),
+        }
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in FaultProfile::ALL {
+            assert_eq!(FaultProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(FaultProfile::parse("bogus"), None);
+    }
+
+    #[test]
+    fn baseline_cell_is_quiet() {
+        let report = tiny(FaultProfile::Baseline, PolicyKind::Simty).run();
+        assert!(report.resilience.is_quiet(), "{:?}", report.resilience);
+    }
+
+    #[test]
+    fn overrun_cell_triggers_the_watchdog_without_violations() {
+        // An hour gives the 2% overrun draw enough deliveries to land.
+        let mut spec = tiny(FaultProfile::Overruns, PolicyKind::Simty);
+        spec.duration = SimDuration::from_hours(1);
+        let report = spec.run();
+        assert!(report.resilience.forced_releases > 0);
+        assert_eq!(report.resilience.invariant_violations, 0);
+    }
+
+    #[test]
+    fn matrix_covers_the_grid_in_order() {
+        let specs = chaos_matrix(
+            &[PolicyKind::Native, PolicyKind::Simty],
+            &[Scenario::Light],
+            &FaultProfile::ALL,
+            2,
+            SimDuration::from_hours(1),
+        );
+        assert_eq!(specs.len(), 2 * 9 * 2);
+        assert_eq!(specs[0].label(), "NATIVE/light/baseline/seed1/3600s");
+        assert!(specs.last().unwrap().label().starts_with("SIMTY/light/mixed"));
+    }
+
+    #[test]
+    fn campaign_aggregates_and_serializes() {
+        let specs = chaos_matrix(
+            &[PolicyKind::Native, PolicyKind::Simty],
+            &[Scenario::Light],
+            &[FaultProfile::Baseline, FaultProfile::Overruns],
+            1,
+            SimDuration::from_mins(20),
+        );
+        let results = run_chaos(&specs, 2);
+        assert_eq!(results.runs().len(), 4);
+        let aggs = results.aggregates();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].policy, "NATIVE");
+        assert_eq!(aggs[1].policy, "SIMTY");
+        assert_eq!(aggs[0].runs, 2);
+        assert_eq!(results.total_violations(), 0);
+        let json = results.to_json();
+        assert!(json.starts_with("{\"schema\":\"simty-bench-chaos/v1\""));
+        assert!(json.contains("\"profile\":\"overruns\""));
+        assert!(json.contains("\"policies\":["));
+        assert!(!json.contains("wall"), "chaos documents must be deterministic");
+    }
+}

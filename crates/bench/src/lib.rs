@@ -17,8 +17,10 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod sweep;
 
+pub use chaos::{chaos_matrix, run_chaos, ChaosResults, ChaosSpec, FaultProfile, PolicyResilience};
 pub use simty::experiments::{
     motivating_example, motivating_example_report, paper_runs, paper_specs, Averages, PolicyKind,
     RunSpec, Scenario,

@@ -6,7 +6,10 @@
 
 use simty::core::similarity::HardwareGranularity;
 use simty::core::time::SimDuration;
-use simty_bench::{motivating_example_report, PolicyKind, RunSpec, Scenario, Sweep};
+use simty_bench::{
+    chaos_matrix, motivating_example_report, run_chaos, FaultProfile, PolicyKind, RunSpec,
+    Scenario, Sweep,
+};
 
 /// A mixed grid exercising every spec dimension: policy, scenario, seed,
 /// β, granularity, and a closure job — 14 runs, kept short.
@@ -59,6 +62,28 @@ fn repeated_parallel_sweeps_are_byte_identical() {
     let first = grid().run_with_threads(3);
     let second = grid().run_with_threads(3);
     assert_eq!(first.reports_json(), second.reports_json());
+}
+
+#[test]
+fn chaos_campaigns_are_byte_identical_across_thread_counts() {
+    // Every fault profile over both headline policies: faults, watchdog
+    // interventions, quarantines, and invariant accounting must all be
+    // scheduling-independent.
+    let specs = chaos_matrix(
+        &[PolicyKind::Native, PolicyKind::Simty],
+        &[Scenario::Light],
+        &FaultProfile::ALL,
+        1,
+        SimDuration::from_mins(20),
+    );
+    let sequential = run_chaos(&specs, 1);
+    let parallel = run_chaos(&specs, 3);
+    assert_eq!(sequential.runs().len(), specs.len());
+    assert_eq!(
+        sequential.to_json(),
+        parallel.to_json(),
+        "parallel chaos campaign diverged from sequential"
+    );
 }
 
 #[test]

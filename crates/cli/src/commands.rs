@@ -60,6 +60,8 @@ COMMANDS:
     diff        per-app comparison of two policies on the same workload
     sweep       run a policy x scenario x seed x beta grid in parallel
     sweep-beta  sweep the grace fraction under SIMTY
+    chaos       fault-injection resilience campaign (policy x scenario x
+                fault profile x seed), with online watchdog + invariants
     analyze     offline analysis of a delivery-trace CSV (--trace FILE)
     estimate    closed-form energy envelope of a workload (no simulation)
     catalog     print the paper's Table 3 app catalogue
@@ -98,6 +100,17 @@ SWEEP FLAGS:
 
 SWEEP-BETA FLAGS:
     --from X --to Y --steps N  sweep range               [default: 0.75..0.96, 5]
+
+CHAOS FLAGS:
+    --policies LIST            comma-separated policy names [default: native,simty]
+    --scenarios LIST           comma-separated light|heavy  [default: light,heavy]
+    --profiles LIST            comma-separated fault profiles: baseline|jitter|
+                               drops|overruns|leaks|flaky|crashes|storm|mixed
+                               [default: all]
+    --seeds N                  run seeds 1..=N              [default: 2]
+    --hours N                  simulated hours per cell     [default: 1]
+    --threads N                worker threads               [default: all cores]
+    --json FILE                write the campaign document (BENCH_chaos.json schema)
 ";
 
 /// Parses a policy name.
@@ -253,6 +266,7 @@ pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliErro
         "diff" => cmd_diff(&args, out),
         "sweep" => cmd_sweep(&args, out),
         "sweep-beta" => cmd_sweep_beta(&args, out),
+        "chaos" => cmd_chaos(&args, out),
         "analyze" => cmd_analyze(&args, out),
         "estimate" => cmd_estimate(&args, out),
         "catalog" => cmd_catalog(&args, out),
@@ -530,6 +544,121 @@ fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_chaos<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "policies",
+        "scenarios",
+        "profiles",
+        "seeds",
+        "hours",
+        "threads",
+        "json",
+    ])?;
+    let policies: Vec<PolicyKind> = args
+        .get("policies")
+        .unwrap_or("native,simty")
+        .split(',')
+        .map(parse_policy)
+        .collect::<Result<_, _>>()?;
+    let scenarios: Vec<Scenario> = args
+        .get("scenarios")
+        .unwrap_or("light,heavy")
+        .split(',')
+        .map(|name| match parse_scenario(name)? {
+            ScenarioChoice::Paper(s) => Ok(s),
+            ScenarioChoice::Synthetic(_) => Err(CliError::Usage(
+                "chaos campaigns cover the paper scenarios (light|heavy)".into(),
+            )),
+        })
+        .collect::<Result<_, _>>()?;
+    let profiles: Vec<simty_bench::FaultProfile> = match args.get("profiles") {
+        None => simty_bench::FaultProfile::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                simty_bench::FaultProfile::parse(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown fault profile `{name}` (see `standby --help`)"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let seeds = args.get_u64("seeds", 2)?;
+    let hours = args.get_u64("hours", 1)?;
+    let threads = args.get_u64("threads", simty_bench::sweep::available_threads() as u64)?;
+    if seeds == 0 || hours == 0 || threads == 0 {
+        return Err(CliError::Usage(
+            "--seeds, --hours, and --threads must be positive".into(),
+        ));
+    }
+
+    let specs = simty_bench::chaos_matrix(
+        &policies,
+        &scenarios,
+        &profiles,
+        seeds,
+        SimDuration::from_hours(hours),
+    );
+    let results = simty_bench::run_chaos(&specs, threads as usize);
+
+    let mut table = TextTable::new([
+        "cell",
+        "total (J)",
+        "violations",
+        "window misses",
+        "interventions",
+        "quarantines",
+    ]);
+    for (spec, report) in results.runs() {
+        let r = &report.resilience;
+        table.row([
+            spec.label(),
+            format!("{:.1}", report.energy.total_mj() / 1_000.0),
+            r.invariant_violations.to_string(),
+            r.perceptible_window_misses.to_string(),
+            r.interventions.to_string(),
+            r.quarantines.to_string(),
+        ]);
+    }
+    writeln!(out, "{}", table.render())?;
+
+    let mut summary = TextTable::new([
+        "policy",
+        "cells",
+        "violations",
+        "interventions",
+        "quarantines",
+        "recoveries",
+        "MTTR (s)",
+        "overhead (J)",
+    ]);
+    for agg in results.aggregates() {
+        summary.row([
+            agg.policy.clone(),
+            agg.runs.to_string(),
+            agg.invariant_violations.to_string(),
+            agg.interventions.to_string(),
+            agg.quarantines.to_string(),
+            agg.recoveries.to_string(),
+            format!("{:.1}", agg.mean_time_to_recovery_ms / 1_000.0),
+            format!("{:.3}", agg.intervention_overhead_mj / 1_000.0),
+        ]);
+    }
+    writeln!(out, "\n{}", summary.render())?;
+    writeln!(
+        out,
+        "{} chaos cells, {} invariant violations",
+        results.runs().len(),
+        results.total_violations()
+    )?;
+    if let Some(path) = args.get("json") {
+        results.write_json(path)?;
+        writeln!(out, "chaos document written to {path}")?;
+    }
+    Ok(())
+}
+
 fn cmd_sweep_beta<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     args.ensure_known(&["scenario", "seed", "hours", "from", "to", "steps", "workload"])?;
     let mut opts = CommonOpts::from_args(args)?;
@@ -798,6 +927,54 @@ mod tests {
             vec!["sweep", "--betas", "1.5"],
             vec!["sweep", "--betas", "abc"],
             vec!["sweep", "--threads", "0"],
+        ] {
+            assert!(
+                matches!(run(&bad), Err(CliError::Usage(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn chaos_runs_a_small_campaign() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("simty_cli_test_chaos.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let text = run(&[
+            "chaos",
+            "--policies",
+            "simty",
+            "--scenarios",
+            "light",
+            "--profiles",
+            "baseline,overruns",
+            "--seeds",
+            "1",
+            "--hours",
+            "1",
+            "--threads",
+            "2",
+            "--json",
+            &path_str,
+        ])
+        .unwrap();
+        assert!(text.contains("SIMTY/light/baseline/seed1"));
+        assert!(text.contains("SIMTY/light/overruns/seed1"));
+        assert!(text.contains("2 chaos cells, 0 invariant violations"));
+        assert!(text.contains("chaos document written"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\":\"simty-bench-chaos/v1\""));
+        assert!(json.contains("\"policy\":\"SIMTY\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chaos_rejects_bad_grids() {
+        for bad in [
+            vec!["chaos", "--profiles", "bogus"],
+            vec!["chaos", "--policies", "bogus"],
+            vec!["chaos", "--scenarios", "synthetic:5"],
+            vec!["chaos", "--seeds", "0"],
         ] {
             assert!(
                 matches!(run(&bad), Err(CliError::Usage(_))),

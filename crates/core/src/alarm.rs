@@ -139,6 +139,7 @@ pub struct Alarm {
     hardware: HardwareSet,
     hardware_known: bool,
     task_duration: SimDuration,
+    quarantined: bool,
 }
 
 impl Alarm {
@@ -232,12 +233,34 @@ impl Alarm {
     /// footnote 5): one-shot alarms and alarms whose hardware set is not
     /// yet known are deemed perceptible; otherwise perceptibility follows
     /// the hardware set.
+    ///
+    /// A [quarantined](Self::is_quarantined) alarm is always treated as
+    /// imperceptible: the watchdog has judged the owning app to be
+    /// misbehaving (a no-sleep bug, §1), so its deliveries lose their
+    /// window guarantee and may be deferred anywhere inside the grace
+    /// interval, exactly like other postponable work.
     pub fn is_perceptible(&self) -> bool {
-        if self.repeat.is_one_shot() || !self.hardware_known {
+        if self.quarantined {
+            false
+        } else if self.repeat.is_one_shot() || !self.hardware_known {
             true
         } else {
             self.hardware.is_perceptible()
         }
+    }
+
+    /// Whether the alarm is currently demoted by the online watchdog.
+    ///
+    /// See [`is_perceptible`](Self::is_perceptible) for the effect; the
+    /// simulator's quarantine/probation state machine flips this flag via
+    /// the alarm manager.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Sets or clears the watchdog quarantine demotion.
+    pub fn set_quarantined(&mut self, quarantined: bool) {
+        self.quarantined = quarantined;
     }
 
     /// How long the alarm's task holds its wakelocks after delivery.
@@ -456,6 +479,7 @@ impl AlarmBuilder {
             hardware: self.hardware,
             hardware_known: false,
             task_duration: self.task_duration,
+            quarantined: false,
         })
     }
 

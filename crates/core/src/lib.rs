@@ -5,20 +5,20 @@
 //! Connected Standby"* (Kao, Cheng, Hsiu — DAC 2016).
 //!
 //! Resident mobile apps register **alarms** that periodically awaken a
-//! device in connected standby. The [`AlarmManager`](manager::AlarmManager)
-//! batches alarms into [`QueueEntry`](entry::QueueEntry) groups that are
+//! device in connected standby. The [`AlarmManager`]
+//! batches alarms into [`QueueEntry`] groups that are
 //! delivered together, governed by a pluggable
-//! [`AlignmentPolicy`](policy::AlignmentPolicy):
+//! [`AlignmentPolicy`]:
 //!
-//! * [`NativePolicy`](policy::NativePolicy) — Android ≥ 4.4's
+//! * [`NativePolicy`] — Android ≥ 4.4's
 //!   window-overlap batching;
-//! * [`SimtyPolicy`](policy::SimtyPolicy) — the paper's contribution:
+//! * [`SimtyPolicy`] — the paper's contribution:
 //!   align by [hardware similarity](similarity::HardwareSimilarity)
 //!   (degree of energy savings) and [time similarity](similarity::TimeSimilarity)
 //!   (impact on user experience), postponing *imperceptible* alarms into
 //!   their grace intervals;
-//! * [`ExactPolicy`](policy::ExactPolicy) — no alignment (baseline);
-//! * [`DurationSimilarityPolicy`](policy::DurationSimilarityPolicy) — the
+//! * [`ExactPolicy`] — no alignment (baseline);
+//! * [`DurationSimilarityPolicy`] — the
 //!   §5 duration-similarity extension.
 //!
 //! # Quick start

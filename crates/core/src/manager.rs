@@ -141,6 +141,63 @@ impl AlarmManager {
             .or_else(|| self.non_wakeup.remove_alarm(id))
     }
 
+    /// Cancels every queued alarm whose label is `label`, across both
+    /// queues, returning them in nominal order.
+    ///
+    /// This is the crash-injection path (`simty_sim`'s fault plans): a
+    /// crashed app loses all of its registrations at once and re-registers
+    /// them only after its process restarts.
+    pub fn cancel_app(&mut self, label: &str) -> Vec<Alarm> {
+        let mut ids = Vec::new();
+        for queue in [&self.wakeup, &self.non_wakeup] {
+            for entry in queue.entries() {
+                for alarm in entry.alarms() {
+                    if alarm.label() == label {
+                        ids.push(alarm.id());
+                    }
+                }
+            }
+        }
+        let mut cancelled: Vec<Alarm> = ids.into_iter().filter_map(|id| self.cancel(id)).collect();
+        cancelled.sort_by_key(Alarm::nominal);
+        cancelled
+    }
+
+    /// Sets or clears the watchdog quarantine demotion on every queued
+    /// alarm of `label` (see [`Alarm::is_quarantined`]), returning how
+    /// many alarms changed state.
+    ///
+    /// Affected entries are re-placed under the policy so batching,
+    /// perceptibility, and delivery times are recomputed: a quarantined
+    /// alarm's entry may move later in the queue (SIMTY defers it into its
+    /// grace interval), and a recovered alarm's entry snaps back to its
+    /// window.
+    pub fn set_app_quarantined(&mut self, label: &str, quarantined: bool) -> usize {
+        let mut changed = 0;
+        for kind in [AlarmKind::Wakeup, AlarmKind::NonWakeup] {
+            loop {
+                let idx = self.queue(kind).entries().iter().position(|e| {
+                    e.alarms()
+                        .iter()
+                        .any(|a| a.label() == label && a.is_quarantined() != quarantined)
+                });
+                let Some(idx) = idx else { break };
+                let mut batch = self.queue_mut(kind).take_entry(idx).into_alarms();
+                for alarm in &mut batch {
+                    if alarm.label() == label && alarm.is_quarantined() != quarantined {
+                        alarm.set_quarantined(quarantined);
+                        changed += 1;
+                    }
+                }
+                batch.sort_by_key(Alarm::nominal);
+                for alarm in batch {
+                    self.place(alarm);
+                }
+            }
+        }
+        changed
+    }
+
     /// Looks up a queued alarm by id (either queue).
     pub fn find_alarm(&self, id: AlarmId) -> Option<&Alarm> {
         for queue in [&self.wakeup, &self.non_wakeup] {
@@ -414,5 +471,38 @@ mod tests {
         let m = AlarmManager::new(Box::new(SimtyPolicy::new()));
         let s = format!("{m:?}");
         assert!(s.contains("SIMTY"));
+    }
+
+    #[test]
+    fn cancel_app_removes_every_alarm_with_the_label() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        m.register(wifi_alarm("victim", 100, 600, 0.75)).unwrap();
+        m.register(wifi_alarm("victim", 300, 900, 0.75)).unwrap();
+        m.register(wifi_alarm("bystander", 200, 600, 0.75)).unwrap();
+        let gone = m.cancel_app("victim");
+        assert_eq!(gone.len(), 2);
+        assert_eq!(gone[0].nominal(), SimTime::from_secs(100));
+        assert_eq!(m.alarm_count(), 1);
+        assert!(m.cancel_app("victim").is_empty());
+    }
+
+    #[test]
+    fn quarantine_demotes_and_recovery_restores_perceptibility() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        let a = wifi_alarm("leaky", 100, 600, 0.75);
+        let id = a.id();
+        m.register(a).unwrap();
+        // Deliver once so hardware is known and Wi-Fi reads imperceptible;
+        // quarantine must flip the *flag* regardless.
+        assert_eq!(m.set_app_quarantined("leaky", true), 1);
+        assert_eq!(m.set_app_quarantined("leaky", true), 0);
+        let queued = m.find_alarm(id).unwrap();
+        assert!(queued.is_quarantined());
+        assert!(!queued.is_perceptible());
+        assert_eq!(m.set_app_quarantined("leaky", false), 1);
+        let queued = m.find_alarm(id).unwrap();
+        assert!(!queued.is_quarantined());
+        // Hardware still unknown, so the alarm is perceptible again.
+        assert!(queued.is_perceptible());
     }
 }

@@ -3,7 +3,7 @@
 //! On Android, `AlarmManager` is a *system service*: many app processes
 //! register and cancel alarms concurrently while the system delivers
 //! them. [`AlarmService`] provides that shape over
-//! [`AlarmManager`](crate::manager::AlarmManager): a cheaply cloneable
+//! [`AlarmManager`]: a cheaply cloneable
 //! handle whose operations serialize through a [`parking_lot::Mutex`]
 //! (chosen over `std::sync::Mutex` for its non-poisoning semantics — a
 //! panicking app thread must not wedge the system service).

@@ -315,6 +315,66 @@ impl Device {
         }
     }
 
+    /// Extends already-held wakelocks on `set` until at least `until`
+    /// without marking the CPU busy — failure injection: a leaked lock
+    /// outliving its task (the no-sleep bugs of the paper's §1).
+    /// Components in `set` that happen to be inactive are activated and
+    /// charged like a normal acquire.
+    pub fn leak_locks(&mut self, set: HardwareSet, until: SimTime, now: SimTime) {
+        self.advance_to(now);
+        let newly = self.locks.acquire(set, until);
+        for c in newly {
+            self.meter.charge_activation(&self.model, c);
+            self.impulse_monitor(now, self.model.component(c).activation_energy_mj);
+        }
+        if !set.is_empty() {
+            self.idle_since = None;
+        }
+        self.sample_monitor(now);
+    }
+
+    /// Rescopes the lock table and the CPU-busy deadline to the given
+    /// surviving holds — the per-offender failure remedy: one app's
+    /// leaked locks are revoked while every other task keeps its own.
+    ///
+    /// Each surviving hold is a hardware set plus the instant it lets go.
+    /// Active components claimed by no surviving hold are released now
+    /// and returned; claimed components have their expiries clamped down
+    /// to the latest surviving claim. The CPU-busy deadline is likewise
+    /// clamped to the survivors (never extended).
+    pub fn rescope_holds(
+        &mut self,
+        survivors: &[(HardwareSet, SimTime)],
+        now: SimTime,
+    ) -> HardwareSet {
+        self.advance_to(now);
+        let mut released = HardwareSet::empty();
+        for c in self.locks.active() {
+            let latest = survivors
+                .iter()
+                .filter(|(set, until)| set.contains(c) && *until > now)
+                .map(|(_, until)| *until)
+                .max();
+            match latest {
+                Some(t) => self.locks.clamp_expiry(c, t),
+                None => {
+                    self.locks.release_component(c);
+                    released.insert(c);
+                }
+            }
+        }
+        let mut cpu_until = now;
+        for (_, until) in survivors {
+            if *until > now {
+                cpu_until = cpu_until.max(*until);
+            }
+        }
+        self.cpu_busy_until = self.cpu_busy_until.min(cpu_until).max(now);
+        self.refresh_idle(now);
+        self.sample_monitor(now);
+        released
+    }
+
     /// Force-releases every wakelock (failure injection: e.g. the user
     /// force-stops all apps). The CPU busy deadline is cleared too.
     pub fn force_release_all(&mut self, now: SimTime) -> HardwareSet {
@@ -508,6 +568,69 @@ mod tests {
         let released = d.force_release_all(ready + SimDuration::from_secs(1));
         assert_eq!(released, HardwareComponent::Gps.into());
         assert!(d.earliest_sleep_time().is_some());
+    }
+
+    #[test]
+    fn rescope_releases_only_the_unclaimed_components() {
+        let mut d = device();
+        let ready = d.request_wake(SimTime::from_secs(10));
+        d.complete_wake(ready);
+        // Offender holds GPS for 600 s; a bystander holds Wi-Fi for 5 s.
+        d.run_task(HardwareComponent::Gps.into(), SimDuration::from_secs(600), ready);
+        d.run_task(HardwareComponent::Wifi.into(), SimDuration::from_secs(5), ready);
+        let now = ready + SimDuration::from_secs(1);
+        let survivor = (
+            HardwareSet::from(HardwareComponent::Wifi),
+            ready + SimDuration::from_secs(5),
+        );
+        let released = d.rescope_holds(&[survivor], now);
+        assert_eq!(released, HardwareComponent::Gps.into());
+        assert_eq!(d.active_components(), HardwareComponent::Wifi.into());
+        // CPU-busy deadline shrinks to the survivor's end, so the device
+        // becomes idle right after it.
+        let end = d.next_internal_event().unwrap();
+        assert_eq!(end, ready + SimDuration::from_secs(5));
+        d.release_expired(end);
+        assert!(d.earliest_sleep_time().is_some());
+    }
+
+    #[test]
+    fn rescope_clamps_shared_components_to_the_surviving_claim() {
+        let mut d = device();
+        let ready = d.request_wake(SimTime::from_secs(10));
+        d.complete_wake(ready);
+        // Both tasks hold Wi-Fi; the offender's claim reaches 600 s.
+        d.run_task(HardwareComponent::Wifi.into(), SimDuration::from_secs(600), ready);
+        d.run_task(HardwareComponent::Wifi.into(), SimDuration::from_secs(5), ready);
+        let survivor = (
+            HardwareSet::from(HardwareComponent::Wifi),
+            ready + SimDuration::from_secs(5),
+        );
+        d.rescope_holds(&[survivor], ready + SimDuration::from_secs(1));
+        // Still active, but now expiring with the survivor.
+        assert_eq!(d.active_components(), HardwareComponent::Wifi.into());
+        let released = d.release_expired(ready + SimDuration::from_secs(5));
+        assert_eq!(released, HardwareComponent::Wifi.into());
+    }
+
+    #[test]
+    fn leaked_locks_outlive_the_task_without_cpu_busy() {
+        let mut d = device();
+        let ready = d.request_wake(SimTime::from_secs(10));
+        d.complete_wake(ready);
+        d.run_task(HardwareComponent::Wifi.into(), SimDuration::from_secs(2), ready);
+        d.leak_locks(
+            HardwareComponent::Wifi.into(),
+            ready + SimDuration::from_secs(30),
+            ready,
+        );
+        // One activation only — the leak extends the existing lock.
+        assert_eq!(d.activation_count(HardwareComponent::Wifi), 1);
+        assert!(d.release_expired(ready + SimDuration::from_secs(2)).is_empty());
+        // The device cannot sleep while the leak persists.
+        assert_eq!(d.earliest_sleep_time(), None);
+        let released = d.release_expired(ready + SimDuration::from_secs(30));
+        assert_eq!(released, HardwareComponent::Wifi.into());
     }
 
     #[test]

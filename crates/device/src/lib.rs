@@ -2,10 +2,10 @@
 //!
 //! The paper evaluates SIMTY on a physical LG Nexus 5 measured with a
 //! Monsoon power monitor. This crate is the synthetic equivalent: a
-//! [`Device`](device::Device) state machine (asleep / waking / awake)
-//! with a [`WakeLockTable`](wakelock::WakeLockTable), an exact
-//! [`EnergyMeter`](energy::EnergyMeter) playing the role of the power
-//! monitor, and a [`PowerModel`](power::PowerModel) calibrated to the
+//! [`Device`] state machine (asleep / waking / awake)
+//! with a [`WakeLockTable`], an exact
+//! [`EnergyMeter`] playing the role of the power
+//! monitor, and a [`PowerModel`] calibrated to the
 //! paper's three published measurements (180 mJ bare wakeup, 3 650 mJ WPS
 //! positioning, 400 mJ calendar notification).
 //!

@@ -107,6 +107,24 @@ impl WakeLockTable {
         active
     }
 
+    /// Releases one component immediately, regardless of its expiry.
+    /// Returns whether it was active. Used by the per-offender failure
+    /// remedy to drop exactly the locks no surviving task still claims.
+    pub fn release_component(&mut self, c: HardwareComponent) -> bool {
+        self.expiry[Self::index(c)].take().is_some()
+    }
+
+    /// Clamps an active component's expiry down to `until` (never
+    /// extends, never reactivates). No-op if the component is inactive or
+    /// already expires earlier. Used when an offender's share of a
+    /// coalesced lock is revoked but other holders keep the component.
+    pub fn clamp_expiry(&mut self, c: HardwareComponent, until: SimTime) {
+        let idx = Self::index(c);
+        if let Some(existing) = self.expiry[idx] {
+            self.expiry[idx] = Some(existing.min(until));
+        }
+    }
+
     /// How many times `c` transitioned from inactive to active — the
     /// numerator of the paper's Table 4 for that hardware row.
     pub fn activation_count(&self, c: HardwareComponent) -> u64 {

@@ -46,6 +46,7 @@ pub struct AttributionLedger {
     model: PowerModel,
     active: Vec<ActiveTask>,
     per_app: BTreeMap<String, f64>,
+    interventions: BTreeMap<String, u64>,
     overhead_mj: f64,
     pending_transition_mj: f64,
     last: SimTime,
@@ -59,6 +60,7 @@ impl AttributionLedger {
             model,
             active: Vec::new(),
             per_app: BTreeMap::new(),
+            interventions: BTreeMap::new(),
             overhead_mj: 0.0,
             pending_transition_mj: 0.0,
             last: SimTime::ZERO,
@@ -145,6 +147,21 @@ impl AttributionLedger {
     pub fn drop_all_tasks(&mut self, now: SimTime) {
         self.advance_to(now, self.awake);
         self.active.clear();
+    }
+
+    /// Drops one app's active tasks, leaving every other task running —
+    /// the ledger half of the per-offender forced release: the offender
+    /// keeps everything already attributed to it, and stops accruing from
+    /// `now` on. Also counts one watchdog intervention against the app.
+    pub fn drop_app_tasks(&mut self, app: &str, now: SimTime) {
+        self.advance_to(now, self.awake);
+        self.active.retain(|t| t.app != app);
+        *self.interventions.entry(app.to_owned()).or_insert(0) += 1;
+    }
+
+    /// How many watchdog interventions were attributed to each app.
+    pub fn interventions_per_app(&self) -> &BTreeMap<String, u64> {
+        &self.interventions
     }
 
     /// Apps ranked by attributed energy, highest first.
@@ -289,6 +306,25 @@ mod tests {
         // A second wake with the first still unclaimed.
         l.note_wake_transition();
         assert!((l.overhead_mj() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn drop_app_tasks_spares_the_bystander() {
+        let mut l = ledger();
+        l.advance_to(SimTime::from_secs(0), true);
+        l.start_task("offender", HardwareSet::empty(), SimTime::from_secs(100), HardwareSet::empty(), 1);
+        l.start_task("bystander", HardwareSet::empty(), SimTime::from_secs(4), HardwareSet::empty(), 1);
+        l.advance_to(SimTime::from_secs(2), true);
+        l.drop_app_tasks("offender", SimTime::from_secs(2));
+        l.advance_to(SimTime::from_secs(4), false);
+        // Both split base power for 2 s; the bystander then accrues the
+        // remaining 2 s alone.
+        let offender = l.per_app_mj()["offender"];
+        let bystander = l.per_app_mj()["bystander"];
+        assert!((offender - 160.0).abs() < 1e-9, "offender = {offender}");
+        assert!((bystander - (160.0 + 320.0)).abs() < 1e-9, "bystander = {bystander}");
+        assert_eq!(l.interventions_per_app()["offender"], 1);
+        assert!(!l.interventions_per_app().contains_key("bystander"));
     }
 
     #[test]

@@ -3,6 +3,21 @@
 use simty_core::time::{SimDuration, SimTime};
 use simty_device::power::PowerModel;
 
+use crate::watchdog::OnlineWatchdogConfig;
+
+/// How the runtime [`InvariantMonitor`](crate::invariant::InvariantMonitor)
+/// reacts to a violation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InvariantMode {
+    /// No monitor attached (the default; zero overhead).
+    Off,
+    /// Violations accumulate and surface in the report's resilience
+    /// section.
+    Report,
+    /// Violations panic at the instant they occur — the test mode.
+    Strict,
+}
+
 /// Configuration of one simulation run.
 ///
 /// The defaults mirror the paper's setup: a 3-hour connected-standby
@@ -29,6 +44,11 @@ pub struct SimConfig {
     /// Whether to attach the simulated Monsoon monitor and record the
     /// transient power waveform (memory-proportional to state changes).
     pub record_waveform: bool,
+    /// The online watchdog (force-release, quarantine, probation); `None`
+    /// keeps the watchdog a post-hoc scan as in the plain paper setup.
+    pub online_watchdog: Option<OnlineWatchdogConfig>,
+    /// Runtime invariant checking mode.
+    pub invariants: InvariantMode,
 }
 
 impl Default for SimConfig {
@@ -38,6 +58,8 @@ impl Default for SimConfig {
             power: PowerModel::nexus5(),
             external_wakes: Vec::new(),
             record_waveform: false,
+            online_watchdog: None,
+            invariants: InvariantMode::Off,
         }
     }
 }
@@ -69,6 +91,27 @@ impl SimConfig {
     /// Enables the transient power waveform recording.
     pub fn with_waveform(mut self) -> Self {
         self.record_waveform = true;
+        self
+    }
+
+    /// Promotes the watchdog into the event loop (see
+    /// [`OnlineWatchdogConfig`]).
+    pub fn with_online_watchdog(mut self, watchdog: OnlineWatchdogConfig) -> Self {
+        self.online_watchdog = Some(watchdog);
+        self
+    }
+
+    /// Attaches the runtime invariant monitor in report mode: violations
+    /// are counted into the report's resilience section.
+    pub fn with_invariants(mut self) -> Self {
+        self.invariants = InvariantMode::Report;
+        self
+    }
+
+    /// Attaches the runtime invariant monitor in strict mode: any
+    /// violation panics immediately. Use in tests.
+    pub fn with_strict_invariants(mut self) -> Self {
+        self.invariants = InvariantMode::Strict;
         self
     }
 }

@@ -16,21 +16,49 @@
 //! is awake, and external wake events (push messages, the user pressing
 //! the power button) can be injected.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 
-use simty_core::alarm::{Alarm, AlarmId};
+use simty_core::alarm::{Alarm, AlarmId, AlarmKind};
 use simty_core::entry::QueueEntry;
 use simty_core::error::RegisterAlarmError;
+use simty_core::hardware::HardwareSet;
 use simty_core::manager::AlarmManager;
 use simty_core::policy::AlignmentPolicy;
-use simty_core::time::SimTime;
+use simty_core::time::{SimDuration, SimTime};
 use simty_device::device::Device;
 
 use crate::attribution::AttributionLedger;
-use crate::config::SimConfig;
+use crate::config::{InvariantMode, SimConfig};
 use crate::event::{EventKind, EventQueue};
+use crate::fault::{FaultPlan, FaultState};
+use crate::invariant::InvariantMonitor;
 use crate::metrics::SimReport;
-use crate::trace::{DeliveryRecord, Trace};
+use crate::trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
+use crate::watchdog::OnlineWatchdogConfig;
+
+/// One outstanding task hold: who is keeping which hardware until when.
+/// The engine tracks these so the online watchdog (and the targeted
+/// [`Simulation::force_release_app`]) can cut a single offender loose
+/// while every bystander keeps its locks.
+#[derive(Debug, Clone)]
+struct TaskHold {
+    app: String,
+    hardware: HardwareSet,
+    started: SimTime,
+    until: SimTime,
+}
+
+/// A pending hardware-activation retry after a transient failure.
+#[derive(Debug, Clone)]
+struct RetrySlot {
+    app: String,
+    hardware: HardwareSet,
+    until: SimTime,
+    attempt: u32,
+    done: bool,
+    /// Wake-transition energy paid so far just to run this retry.
+    overhead_mj: f64,
+}
 
 /// A deterministic connected-standby simulation.
 ///
@@ -69,11 +97,30 @@ pub struct Simulation {
     now: SimTime,
     armed: HashSet<(u8, u64)>,
     due_buffer: Vec<QueueEntry>,
+    faults: Option<FaultState>,
+    monitor: Option<InvariantMonitor>,
+    watchdog: Option<OnlineWatchdogConfig>,
+    holds: Vec<TaskHold>,
+    /// Forced-release counts per app (the quarantine trigger).
+    offenses: BTreeMap<String, u32>,
+    /// Quarantined apps: when they entered, and their clean-delivery
+    /// streak toward probation.
+    quarantined: BTreeMap<String, (SimTime, u32)>,
+    activation_retries: Vec<RetrySlot>,
+    /// Alarms cancelled by an injected crash, waiting for the restart.
+    crash_stash: BTreeMap<String, Vec<Alarm>>,
+    energy_checked: bool,
 }
 
 impl Simulation {
     /// Creates a simulation with the given policy and configuration.
     pub fn new(policy: Box<dyn AlignmentPolicy>, config: SimConfig) -> Self {
+        let monitor = match config.invariants {
+            InvariantMode::Off => None,
+            InvariantMode::Report => Some(InvariantMonitor::new(config.power.wake_latency, false)),
+            InvariantMode::Strict => Some(InvariantMonitor::new(config.power.wake_latency, true)),
+        };
+        let watchdog = config.online_watchdog;
         let mut sim = Simulation {
             manager: AlarmManager::new(policy),
             device: Device::new(config.power.clone()),
@@ -84,6 +131,15 @@ impl Simulation {
             now: SimTime::ZERO,
             armed: HashSet::new(),
             due_buffer: Vec::new(),
+            faults: None,
+            monitor,
+            watchdog,
+            holds: Vec::new(),
+            offenses: BTreeMap::new(),
+            quarantined: BTreeMap::new(),
+            activation_retries: Vec::new(),
+            crash_stash: BTreeMap::new(),
+            energy_checked: false,
         };
         if sim.config.record_waveform {
             sim.device.attach_monitor();
@@ -125,7 +181,13 @@ impl Simulation {
     /// # Errors
     ///
     /// Propagates [`RegisterAlarmError`] from the manager.
-    pub fn register(&mut self, alarm: Alarm) -> Result<AlarmId, RegisterAlarmError> {
+    pub fn register(&mut self, mut alarm: Alarm) -> Result<AlarmId, RegisterAlarmError> {
+        // Quarantine is a per-app sentence: alarms registered while the
+        // label is quarantined are demoted too, so re-registering cannot
+        // launder an offender back to perceptible.
+        if self.quarantined.contains_key(alarm.label()) {
+            alarm.set_quarantined(true);
+        }
         let id = self.manager.register(alarm)?;
         self.arm_clocks();
         Ok(id)
@@ -157,9 +219,78 @@ impl Simulation {
         }
     }
 
+    /// Compiles a [`FaultPlan`] into the run: storm arrivals become
+    /// external wakes, crashes become scheduled events, the invariant
+    /// monitor's slack widens by exactly the plan's declared delay bound,
+    /// and per-delivery perturbations (jitter, drops, overruns, leaks,
+    /// activation failures) activate. Call before [`run`](Self::run);
+    /// injecting a second plan replaces the per-delivery perturbations
+    /// but keeps already-scheduled storm/crash events.
+    pub fn inject_faults(&mut self, plan: &FaultPlan) {
+        for t in plan.storm_arrivals() {
+            self.inject_external_wake(t);
+        }
+        for crash in plan.crashes() {
+            if crash.at >= self.now {
+                self.events.schedule(
+                    crash.at,
+                    EventKind::AppCrash {
+                        app: crash.app.clone(),
+                        restart_after: crash.restart_after,
+                    },
+                );
+            }
+        }
+        if let Some(m) = &mut self.monitor {
+            m.add_slack(plan.delivery_slack());
+        }
+        self.faults = Some(FaultState::new(plan.clone()));
+    }
+
+    /// The runtime invariant monitor, if one is attached.
+    pub fn invariants(&self) -> Option<&InvariantMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Whether the online watchdog currently has `app` quarantined.
+    pub fn is_app_quarantined(&self, app: &str) -> bool {
+        self.quarantined.contains_key(app)
+    }
+
+    /// Force-releases the wakelocks of *one* app's outstanding tasks at
+    /// the current instant, leaving every other task's locks and
+    /// attribution untouched (the targeted no-sleep-bug remedy; the
+    /// online watchdog calls this internally). Returns `false` if the
+    /// app holds nothing right now.
+    pub fn force_release_app(&mut self, app: &str) -> bool {
+        let now = self.now;
+        let held = self
+            .holds
+            .iter()
+            .filter(|h| h.app == app && h.until > now)
+            .map(|h| now - h.started)
+            .max();
+        match held {
+            Some(held) => {
+                self.force_release_app_inner(app, now, held);
+                self.arm_sleep();
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Force-releases every wakelock at the current instant (failure
     /// injection: the user force-stops all apps).
+    #[deprecated(
+        note = "indiscriminate; use `force_release_app` to cut one offender loose \
+                while bystanders keep their locks"
+    )]
     pub fn force_release_wakelocks(&mut self) {
+        self.holds.clear();
+        for slot in &mut self.activation_retries {
+            slot.done = true;
+        }
         self.device.force_release_all(self.now);
         self.ledger.drop_all_tasks(self.now);
         self.arm_sleep();
@@ -195,6 +326,19 @@ impl Simulation {
         self.now = self.now.max(end);
         self.device.advance_to(self.now);
         self.ledger.advance_to(self.now, !self.device.is_asleep());
+        if !self.energy_checked && self.now >= SimTime::ZERO + self.config.duration {
+            self.energy_checked = true;
+            if let Some(m) = &mut self.monitor {
+                let e = self.device.energy();
+                let parts = e.sleep_mj + e.transition_mj + e.awake_base_mj + e.hardware_mj();
+                m.check_energy(
+                    self.ledger.attributed_mj() + self.ledger.overhead_mj(),
+                    e.awake_related_mj(),
+                    parts,
+                    e.total_mj(),
+                );
+            }
+        }
     }
 
     /// The report over the time span processed so far.
@@ -205,7 +349,13 @@ impl Simulation {
     pub fn report(&self) -> SimReport {
         let span = self.now - SimTime::ZERO;
         assert!(!span.is_zero(), "report requested before running");
-        SimReport::compute(self.manager.policy_name(), span, &self.trace, &self.device)
+        let mut report =
+            SimReport::compute(self.manager.policy_name(), span, &self.trace, &self.device);
+        if let Some(m) = &self.monitor {
+            report.resilience.invariant_violations = m.violations().len() as u64;
+            report.resilience.perceptible_window_misses = m.window_misses();
+        }
+        report
     }
 
     fn handle(&mut self, kind: EventKind, t: SimTime) {
@@ -217,8 +367,35 @@ impl Simulation {
                 // re-arm for a due-but-undelivered head — its WakeComplete
                 // event is already pending and will flush it.
                 match self.manager.next_wakeup_time() {
-                    Some(n) if n <= t => self.wake_and_deliver(t),
-                    Some(n) => self.schedule_once(EventKind::RtcAlarm, n),
+                    Some(n) if n <= t => {
+                        let dropped = match &mut self.faults {
+                            Some(f) => f.drop_fire(n, t),
+                            None => None,
+                        };
+                        if let Some(retry) = dropped {
+                            let app = self
+                                .manager
+                                .wakeup_queue()
+                                .entries()
+                                .first()
+                                .and_then(|e| e.alarms().first())
+                                .map(|a| a.label().to_owned())
+                                .unwrap_or_default();
+                            self.trace.record_intervention(InterventionRecord {
+                                at: t,
+                                app,
+                                kind: InterventionKind::DroppedFireRetry { delay: retry },
+                                overhead_mj: 0.0,
+                            });
+                            self.schedule_once(EventKind::RtcAlarm, t + retry);
+                        } else {
+                            self.wake_and_deliver(t);
+                        }
+                    }
+                    Some(n) => {
+                        let fire = self.rtc_fire_time(n).max(t);
+                        self.schedule_once(EventKind::RtcAlarm, fire);
+                    }
                     None => {}
                 }
             }
@@ -246,6 +423,7 @@ impl Simulation {
             }
             EventKind::TaskEnd => {
                 self.device.release_expired(t);
+                self.holds.retain(|h| h.until > t);
                 self.arm_sleep();
             }
             EventKind::TrySleep => {
@@ -263,6 +441,216 @@ impl Simulation {
                     }
                 }
             }
+            EventKind::WatchdogCheck => {
+                self.watchdog_check(t);
+            }
+            EventKind::ActivationRetry { slot } => {
+                self.activation_retry(slot, t);
+            }
+            EventKind::AppCrash { app, restart_after } => {
+                let cancelled = self.manager.cancel_app(&app);
+                let count = cancelled.len();
+                self.crash_stash
+                    .entry(app.clone())
+                    .or_default()
+                    .extend(cancelled);
+                self.trace.record_intervention(InterventionRecord {
+                    at: t,
+                    app: app.clone(),
+                    kind: InterventionKind::AppCrash { cancelled: count },
+                    overhead_mj: 0.0,
+                });
+                self.events
+                    .schedule(t + restart_after, EventKind::AppRestart { app });
+                self.arm_clocks();
+            }
+            EventKind::AppRestart { app } => {
+                let stash = self.crash_stash.remove(&app).unwrap_or_default();
+                let mut reregistered = 0;
+                for mut alarm in stash {
+                    if alarm.nominal() < t {
+                        // Advance the schedule past the outage; a one-shot
+                        // whose moment passed during the crash is lost, as
+                        // it would be on a real phone.
+                        if !alarm.advance_after_delivery(t) {
+                            continue;
+                        }
+                    }
+                    if self.quarantined.contains_key(&app) {
+                        alarm.set_quarantined(true);
+                    }
+                    self.manager
+                        .register(alarm)
+                        .expect("restart nominal is in the future");
+                    reregistered += 1;
+                }
+                self.trace.record_intervention(InterventionRecord {
+                    at: t,
+                    app,
+                    kind: InterventionKind::AppRestart { reregistered },
+                    overhead_mj: 0.0,
+                });
+                self.arm_clocks();
+            }
+        }
+    }
+
+    /// Inspects outstanding holds; any hold older than the watchdog's
+    /// budget gets its app force-released, and repeat offenders are
+    /// quarantined.
+    fn watchdog_check(&mut self, t: SimTime) {
+        let Some(cfg) = self.watchdog else { return };
+        self.holds.retain(|h| h.until > t);
+        let mut offenders: BTreeSet<String> = BTreeSet::new();
+        for h in &self.holds {
+            if t >= h.started + cfg.policy.max_task_hold {
+                offenders.insert(h.app.clone());
+            }
+        }
+        for app in offenders {
+            let held = self
+                .holds
+                .iter()
+                .filter(|h| h.app == app)
+                .map(|h| t - h.started)
+                .max()
+                .unwrap_or(SimDuration::ZERO);
+            self.force_release_app_inner(&app, t, held);
+            let offenses = self.offenses.entry(app.clone()).or_insert(0);
+            *offenses += 1;
+            if *offenses >= cfg.quarantine_after && !self.quarantined.contains_key(&app) {
+                self.manager.set_app_quarantined(&app, true);
+                self.quarantined.insert(app.clone(), (t, 0));
+                self.trace.record_intervention(InterventionRecord {
+                    at: t,
+                    app,
+                    kind: InterventionKind::Quarantine,
+                    overhead_mj: 0.0,
+                });
+            }
+        }
+        self.arm_clocks();
+        self.arm_sleep();
+    }
+
+    /// The shared core of the targeted release: drop the offender's
+    /// holds, rescope the device's wakelocks to the surviving claims,
+    /// stop attributing the offender, and record the intervention.
+    fn force_release_app_inner(&mut self, app: &str, now: SimTime, held: SimDuration) {
+        self.holds.retain(|h| h.app != app && h.until > now);
+        let survivors: Vec<(HardwareSet, SimTime)> = self
+            .holds
+            .iter()
+            .map(|h| (h.hardware, h.until))
+            .collect();
+        self.device.rescope_holds(&survivors, now);
+        self.ledger.drop_app_tasks(app, now);
+        for slot in &mut self.activation_retries {
+            if slot.app == app {
+                slot.done = true;
+            }
+        }
+        self.trace.record_intervention(InterventionRecord {
+            at: now,
+            app: app.to_owned(),
+            kind: InterventionKind::ForcedRelease { held },
+            overhead_mj: 0.0,
+        });
+    }
+
+    /// Retries a transiently-failed hardware activation.
+    fn activation_retry(&mut self, slot: usize, t: SimTime) {
+        let Some(s) = self.activation_retries.get(slot).cloned() else {
+            return;
+        };
+        if s.done {
+            return;
+        }
+        if s.until <= t {
+            // The task ended before its hardware ever powered up.
+            self.activation_retries[slot].done = true;
+            return;
+        }
+        // The retry needs the device awake; if it went back to sleep, the
+        // retry itself pays a wake transition (intervention overhead).
+        let wakeups_before = self.device.wake_count();
+        let ready = self.device.request_wake(t);
+        if self.device.wake_count() > wakeups_before {
+            self.trace.record_wakeup(t);
+            self.ledger.note_wake_transition();
+            self.activation_retries[slot].overhead_mj +=
+                self.config.power.wake_transition_energy_mj;
+        }
+        if !self.device.is_awake() {
+            self.schedule_once(EventKind::WakeComplete, ready);
+            self.events.schedule(ready, EventKind::ActivationRetry { slot });
+            return;
+        }
+        let fails = match &mut self.faults {
+            Some(f) => f.activation_fails(s.attempt),
+            None => None,
+        };
+        match fails {
+            Some(backoff) => {
+                self.activation_retries[slot].attempt += 1;
+                self.events
+                    .schedule(t + backoff, EventKind::ActivationRetry { slot });
+            }
+            None => {
+                let newly = self.device.run_task(s.hardware, s.until - t, t);
+                // batch size 0: the retry claims no share of the original
+                // delivery's wake transition (already attributed).
+                self.ledger.start_task(&s.app, s.hardware, s.until, newly, 0);
+                self.schedule_once(EventKind::TaskEnd, s.until);
+                let done = &mut self.activation_retries[slot];
+                done.done = true;
+                let overhead_mj = done.overhead_mj;
+                let attempt = done.attempt;
+                self.trace.record_intervention(InterventionRecord {
+                    at: t,
+                    app: s.app,
+                    kind: InterventionKind::ActivationRetry { attempt },
+                    overhead_mj,
+                });
+                self.arm_sleep();
+            }
+        }
+    }
+
+    /// A quarantined app delivered; within-budget holds count toward its
+    /// probation, an over-budget hold resets the streak.
+    fn note_clean_delivery(&mut self, app: &str, hold: SimDuration, t: SimTime) {
+        let Some(cfg) = self.watchdog else { return };
+        let Some((since, clean)) = self.quarantined.get_mut(app) else {
+            return;
+        };
+        if hold > cfg.policy.max_task_hold {
+            *clean = 0;
+            return;
+        }
+        *clean += 1;
+        if *clean < cfg.probation {
+            return;
+        }
+        let quarantined_for = t - *since;
+        self.quarantined.remove(app);
+        self.offenses.remove(app);
+        self.manager.set_app_quarantined(app, false);
+        self.trace.record_intervention(InterventionRecord {
+            at: t,
+            app: app.to_owned(),
+            kind: InterventionKind::Recovery { quarantined_for },
+            overhead_mj: 0.0,
+        });
+    }
+
+    /// The RTC fire instant for a head nominally due at `head`:
+    /// jitter-shifted when a fault plan injects RTC jitter. Pure in
+    /// `head`, so repeated arming stays dedup-friendly.
+    fn rtc_fire_time(&self, head: SimTime) -> SimTime {
+        match &self.faults {
+            Some(f) => head + f.jitter_for(head),
+            None => head,
         }
     }
 
@@ -304,31 +692,120 @@ impl Simulation {
                 let alarms = entry.into_alarms();
                 let entry_size = alarms.len();
                 for alarm in alarms {
-                    self.trace
-                        .record_delivery(DeliveryRecord::observe(&alarm, t, entry_size));
-                    let newly = self
-                        .device
-                        .run_task(alarm.hardware(), alarm.task_duration(), t);
-                    self.ledger.start_task(
-                        alarm.label(),
-                        alarm.hardware(),
-                        t + alarm.task_duration(),
-                        newly,
-                        entry_size,
-                    );
-                    self.schedule_once(EventKind::TaskEnd, t + alarm.task_duration());
-                    self.manager.complete_delivery(alarm, t);
+                    self.deliver_alarm(alarm, t, entry_size);
                 }
             }
             self.due_buffer = entries;
         }
+        if let Some(m) = self.monitor.as_mut() {
+            m.check_queue_order(
+                self.manager
+                    .wakeup_queue()
+                    .entries()
+                    .iter()
+                    .map(QueueEntry::delivery_time),
+            );
+        }
         self.arm_clocks();
+    }
+
+    /// Delivers one alarm at `t`: draws this delivery's faults (overrun,
+    /// leak, activation failure), runs the task, attributes it, tracks
+    /// the hold for the watchdog, and checks the perceptible-window
+    /// invariant.
+    fn deliver_alarm(&mut self, alarm: Alarm, t: SimTime, entry_size: usize) {
+        let quarantined = alarm.is_quarantined();
+        let (overrun, leak, failure) = match &mut self.faults {
+            Some(f) => {
+                let overrun = f.overrun();
+                let leak = f.leak();
+                let failure = if alarm.hardware().is_empty() {
+                    None
+                } else {
+                    f.activation_fails(0)
+                };
+                (overrun, leak, failure)
+            }
+            None => (SimDuration::ZERO, SimDuration::ZERO, None),
+        };
+        let cpu_until = t + alarm.task_duration() + overrun;
+        let hold_until = cpu_until + leak;
+
+        let mut rec = DeliveryRecord::observe(&alarm, t, entry_size);
+        rec.task_duration = hold_until - t;
+        if alarm.kind() == AlarmKind::Wakeup {
+            if let Some(m) = &mut self.monitor {
+                m.check_delivery(&rec, quarantined);
+            }
+        }
+        self.trace.record_delivery(rec);
+
+        match failure {
+            Some(backoff) => {
+                // The CPU part of the task runs, but the hardware fails
+                // to power up; a retry slot takes over.
+                let _ = self.device.run_task(HardwareSet::empty(), hold_until - t, t);
+                self.ledger.start_task(
+                    alarm.label(),
+                    HardwareSet::empty(),
+                    hold_until,
+                    HardwareSet::empty(),
+                    entry_size,
+                );
+                let slot = self.activation_retries.len();
+                self.activation_retries.push(RetrySlot {
+                    app: alarm.label().to_owned(),
+                    hardware: alarm.hardware(),
+                    until: hold_until,
+                    attempt: 1,
+                    done: false,
+                    overhead_mj: 0.0,
+                });
+                self.events
+                    .schedule(t + backoff, EventKind::ActivationRetry { slot });
+            }
+            None => {
+                let newly = self.device.run_task(alarm.hardware(), cpu_until - t, t);
+                self.ledger.start_task(
+                    alarm.label(),
+                    alarm.hardware(),
+                    hold_until,
+                    newly,
+                    entry_size,
+                );
+                if hold_until > cpu_until {
+                    // Leak: the hardware locks outlive the task's CPU time.
+                    self.device.leak_locks(alarm.hardware(), hold_until, t);
+                }
+            }
+        }
+        self.schedule_once(EventKind::TaskEnd, cpu_until);
+        if hold_until > cpu_until {
+            self.schedule_once(EventKind::TaskEnd, hold_until);
+        }
+        self.holds.push(TaskHold {
+            app: alarm.label().to_owned(),
+            hardware: alarm.hardware(),
+            started: t,
+            until: hold_until,
+        });
+        if let Some(cfg) = &self.watchdog {
+            if hold_until - t > cfg.policy.max_task_hold {
+                self.schedule_once(EventKind::WatchdogCheck, t + cfg.policy.max_task_hold);
+            }
+        }
+        let label = alarm.label().to_owned();
+        self.manager.complete_delivery(alarm, t);
+        if quarantined {
+            self.note_clean_delivery(&label, hold_until - t, t);
+        }
     }
 
     /// Arms RTC and non-wakeup check events for the current queue heads.
     fn arm_clocks(&mut self) {
         if let Some(t) = self.manager.next_wakeup_time() {
-            self.schedule_once(EventKind::RtcAlarm, t.max(self.now));
+            let fire = self.rtc_fire_time(t).max(self.now);
+            self.schedule_once(EventKind::RtcAlarm, fire);
         }
         if let Some(t) = self.manager.non_wakeup_queue().next_delivery_time() {
             self.schedule_once(EventKind::NonWakeupCheck, t.max(self.now));
@@ -360,9 +837,14 @@ impl Simulation {
             EventKind::TrySleep => 3,
             EventKind::NonWakeupCheck => 4,
             EventKind::ExternalWake => 5,
-            // Reregister events are scheduled directly (never deduped),
-            // but still need a stable tag for the disarm bookkeeping.
+            // Reregister/retry/crash/restart events are scheduled directly
+            // (never deduped), but still need stable tags for the disarm
+            // bookkeeping.
             EventKind::Reregister { .. } => 6,
+            EventKind::WatchdogCheck => 7,
+            EventKind::ActivationRetry { .. } => 8,
+            EventKind::AppCrash { .. } => 9,
+            EventKind::AppRestart { .. } => 10,
         }
     }
 }
@@ -580,6 +1062,273 @@ mod tests {
         assert!(sim.cancel(id).is_some());
         sim.run_until(SimTime::from_secs(600));
         assert_eq!(sim.trace().deliveries().len(), 2);
+    }
+
+    #[test]
+    fn online_watchdog_releases_the_offender_and_spares_bystanders() {
+        use crate::watchdog::OnlineWatchdogConfig;
+        let config = SimConfig::new()
+            .with_duration(SimDuration::from_mins(10))
+            .with_online_watchdog(OnlineWatchdogConfig::default());
+        let mut sim = Simulation::new(Box::new(ExactPolicy::new()), config);
+        // The buggy app holds Wi-Fi for 5 minutes; the watchdog budget is
+        // 60 s, so it is cut at 60 + 60 s.
+        sim.register(
+            Alarm::builder("nosleep")
+                .nominal(SimTime::from_secs(60))
+                .repeating_static(SimDuration::from_secs(450))
+                .hardware(HardwareComponent::Wifi.into())
+                .task_duration(SimDuration::from_secs(300))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        // A bystander delivered at 90 s holds GPS for 40 s (within budget).
+        sim.register(
+            Alarm::builder("bystander")
+                .nominal(SimTime::from_secs(90))
+                .repeating_static(SimDuration::from_secs(450))
+                .hardware(HardwareComponent::Gps.into())
+                .task_duration(SimDuration::from_secs(40))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let report = sim.run();
+        // Deliveries at 60 s and 510 s each overrun the 60 s budget.
+        assert_eq!(report.resilience.forced_releases, 2);
+        let release = sim
+            .trace()
+            .interventions()
+            .iter()
+            .find(|i| matches!(i.kind, InterventionKind::ForcedRelease { .. }))
+            .unwrap();
+        assert_eq!(release.app, "nosleep");
+        // Cut at delivery (60 s + 250 ms latency) + 60 s budget.
+        assert_eq!(release.at, SimTime::from_millis(120_250));
+        // The bystander's GPS hold ran its full 40 s: attribution kept it.
+        let per_app = sim.attribution().per_app_mj();
+        assert!(per_app.contains_key("bystander"));
+        // The offender's awake time was cut: the device slept well before
+        // the 300 s hold would have ended.
+        assert!(report.awake_time < SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn repeat_offender_is_quarantined_then_recovers_after_probation() {
+        use crate::watchdog::{OnlineWatchdogConfig, WatchdogPolicy};
+        let config = SimConfig::new()
+            .with_duration(SimDuration::from_hours(2))
+            .with_online_watchdog(OnlineWatchdogConfig {
+                policy: WatchdogPolicy {
+                    max_task_hold: SimDuration::from_secs(60),
+                    max_duty_cycle: 0.10,
+                },
+                quarantine_after: 2,
+                probation: 3,
+            });
+        let mut sim = Simulation::new(Box::new(SimtyPolicy::new()), config);
+        // A 90 s task offends on every delivery (budget: 60 s). Two
+        // offenses quarantine it; the app then "ships a fix" (cancel +
+        // re-register with a sane duration) and must earn its way out
+        // through three clean deliveries.
+        let buggy_id = sim
+            .register(
+                Alarm::builder("buggy")
+                    .nominal(SimTime::from_secs(60))
+                    .repeating_static(SimDuration::from_secs(300))
+                    .hardware(HardwareComponent::Wifi.into())
+                    .task_duration(SimDuration::from_secs(90))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        // Offense 1 at ~120 s, offense 2 at ~420 s -> quarantined.
+        sim.run_until(SimTime::from_secs(500));
+        assert!(sim.is_app_quarantined("buggy"));
+        // The app ships a fix: same label, sane 5 s task.
+        sim.cancel(buggy_id);
+        sim.register(
+            Alarm::builder("buggy")
+                .nominal(SimTime::from_secs(600))
+                .repeating_static(SimDuration::from_secs(300))
+                .hardware(HardwareComponent::Wifi.into())
+                .task_duration(SimDuration::from_secs(5))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let report = sim.run();
+        assert!(!sim.is_app_quarantined("buggy"));
+        assert_eq!(report.resilience.quarantines, 1);
+        assert_eq!(report.resilience.recoveries, 1);
+        assert!(report.resilience.mean_time_to_recovery_ms > 0.0);
+        let recovery = sim
+            .trace()
+            .interventions()
+            .iter()
+            .find(|i| matches!(i.kind, InterventionKind::Recovery { .. }))
+            .unwrap();
+        assert_eq!(recovery.app, "buggy");
+    }
+
+    #[test]
+    fn faulty_run_reaches_the_end_with_zero_violations_under_strict_invariants() {
+        use crate::fault::FaultPlan;
+        use crate::watchdog::OnlineWatchdogConfig;
+        for policy in [
+            Box::new(NativePolicy::new()) as Box<dyn AlignmentPolicy>,
+            Box::new(SimtyPolicy::new()),
+        ] {
+            let config = SimConfig::new()
+                .with_duration(SimDuration::from_mins(30))
+                .with_online_watchdog(OnlineWatchdogConfig::default())
+                .with_strict_invariants();
+            let mut sim = Simulation::new(policy, config);
+            sim.register(wifi_alarm("a", 60, 60, 0.0, 0.9)).unwrap();
+            sim.register(wifi_alarm("b", 90, 120, 0.25, 0.9)).unwrap();
+            sim.register(
+                Alarm::builder("ring")
+                    .nominal(SimTime::from_secs(300))
+                    .repeating_static(SimDuration::from_secs(600))
+                    .hardware(HardwareComponent::Vibrator.into())
+                    .task_duration(SimDuration::from_secs(1))
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            let plan = FaultPlan::new(42)
+                .with_rtc_jitter(SimDuration::from_secs(2))
+                .with_dropped_fires(0.05, SimDuration::from_secs(1))
+                .with_task_overruns(0.05, SimDuration::from_secs(120))
+                .with_wakelock_leaks(0.05, SimDuration::from_secs(90))
+                .with_activation_failures(0.10)
+                .with_push_storm(
+                    SimTime::from_secs(600),
+                    SimDuration::from_secs(120),
+                    SimDuration::from_secs(5),
+                );
+            sim.inject_faults(&plan);
+            let report = sim.run();
+            // Strict mode would have panicked on any violation; the run
+            // also must reach its configured end.
+            assert_eq!(sim.now(), SimTime::ZERO + SimDuration::from_mins(30));
+            assert_eq!(report.resilience.invariant_violations, 0);
+            assert!(report.total_deliveries > 0);
+        }
+    }
+
+    #[test]
+    fn faulty_runs_are_seed_deterministic() {
+        use crate::fault::FaultPlan;
+        use crate::watchdog::OnlineWatchdogConfig;
+        let run = || {
+            let config = SimConfig::new()
+                .with_duration(SimDuration::from_mins(30))
+                .with_online_watchdog(OnlineWatchdogConfig::default())
+                .with_invariants();
+            let mut sim = Simulation::new(Box::new(SimtyPolicy::new()), config);
+            sim.register(wifi_alarm("a", 60, 60, 0.0, 0.9)).unwrap();
+            sim.register(wifi_alarm("b", 90, 120, 0.25, 0.9)).unwrap();
+            let plan = FaultPlan::new(7)
+                .with_rtc_jitter(SimDuration::from_secs(1))
+                .with_dropped_fires(0.1, SimDuration::from_secs(1))
+                .with_task_overruns(0.1, SimDuration::from_secs(120))
+                .with_activation_failures(0.2);
+            sim.inject_faults(&plan);
+            let r = sim.run();
+            (
+                r.total_deliveries,
+                r.cpu_wakeups,
+                r.energy.total_mj().to_bits(),
+                r.resilience.interventions,
+                r.resilience.intervention_overhead_mj.to_bits(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn activation_failures_retry_and_attribute_overhead() {
+        use crate::fault::FaultPlan;
+        let config = SimConfig::new()
+            .with_duration(SimDuration::from_mins(10))
+            .with_strict_invariants();
+        let mut sim = Simulation::new(Box::new(ExactPolicy::new()), config);
+        sim.register(
+            Alarm::builder("sync")
+                .nominal(SimTime::from_secs(60))
+                .repeating_static(SimDuration::from_secs(120))
+                .hardware(HardwareComponent::Wifi.into())
+                .task_duration(SimDuration::from_secs(30))
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        sim.inject_faults(&FaultPlan::new(3).with_activation_failures(1.0));
+        let report = sim.run();
+        // p = 1: every delivery's first activation fails, and every retry
+        // fails until the forced-success attempt cap.
+        assert!(report.resilience.activation_retries > 0);
+        let retries = sim
+            .trace()
+            .interventions()
+            .iter()
+            .filter(|i| matches!(i.kind, InterventionKind::ActivationRetry { .. }))
+            .count() as u64;
+        assert_eq!(retries, report.resilience.activation_retries);
+        // Wi-Fi still activated (late), on every delivery.
+        assert!(report.wakeup_row(HardwareComponent::Wifi).unwrap().actual > 0);
+    }
+
+    #[test]
+    fn app_crash_cancels_and_restart_reregisters() {
+        use crate::fault::FaultPlan;
+        let config = SimConfig::new()
+            .with_duration(SimDuration::from_mins(20))
+            .with_strict_invariants();
+        let mut sim = Simulation::new(Box::new(NativePolicy::new()), config);
+        sim.register(wifi_alarm("mail", 60, 120, 0.0, 0.9)).unwrap();
+        let plan = FaultPlan::new(1).with_app_crash(
+            "mail",
+            SimTime::from_secs(300),
+            SimDuration::from_secs(120),
+        );
+        sim.inject_faults(&plan);
+        let report = sim.run();
+        assert_eq!(report.resilience.app_crashes, 1);
+        assert_eq!(report.resilience.app_restarts, 1);
+        // No deliveries during the outage [300, 420].
+        let outage: Vec<_> = sim
+            .trace()
+            .deliveries()
+            .iter()
+            .filter(|d| {
+                d.delivered_at > SimTime::from_secs(300)
+                    && d.delivered_at < SimTime::from_secs(420)
+            })
+            .collect();
+        assert!(outage.is_empty(), "delivered during the outage: {outage:?}");
+        // Deliveries resume after the restart.
+        assert!(sim
+            .trace()
+            .deliveries()
+            .iter()
+            .any(|d| d.delivered_at >= SimTime::from_secs(420)));
+    }
+
+    #[test]
+    fn targeted_release_beats_the_deprecated_global_drop() {
+        // The deprecated shim still works but drops every app's tasks.
+        let mut sim = ten_minute_sim(Box::new(ExactPolicy::new()));
+        sim.register(wifi_alarm("a", 60, 300, 0.0, 0.5)).unwrap();
+        sim.run_until(SimTime::from_secs(61));
+        assert!(!sim.device().active_components().is_empty());
+        #[allow(deprecated)]
+        sim.force_release_wakelocks();
+        assert!(sim.device().active_components().is_empty());
+        // force_release_app on an app with no holds reports false.
+        assert!(!sim.force_release_app("a"));
     }
 
     #[test]

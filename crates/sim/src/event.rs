@@ -8,7 +8,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use simty_core::alarm::AlarmId;
-use simty_core::time::SimTime;
+use simty_core::time::{SimDuration, SimTime};
 
 /// What the engine should do when an event fires.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -36,6 +36,31 @@ pub enum EventKind {
     Reregister {
         /// The alarm being re-registered.
         id: AlarmId,
+    },
+    /// The online watchdog inspects outstanding task holds and
+    /// force-releases any that exceeded the policy's hold budget (see
+    /// [`crate::watchdog`] and [`crate::fault`]).
+    WatchdogCheck,
+    /// A transient hardware-activation failure is retried: the engine
+    /// re-attempts the activation recorded in the retry slot, with capped
+    /// exponential backoff between attempts.
+    ActivationRetry {
+        /// Index into the engine's retry-slot table.
+        slot: usize,
+    },
+    /// A fault-injected app crash: every alarm registered under the label
+    /// is cancelled and stashed for re-registration at the restart.
+    AppCrash {
+        /// The crashing app's label.
+        app: String,
+        /// How long until the process restarts.
+        restart_after: SimDuration,
+    },
+    /// The crashed app's process restarts and re-registers its stashed
+    /// alarms (with nominal times advanced past the outage if needed).
+    AppRestart {
+        /// The restarting app's label.
+        app: String,
     },
 }
 

@@ -109,7 +109,25 @@ pub fn report_to_json(report: &SimReport) -> String {
             row.expected
         );
     }
-    out.push_str("]}");
+    out.push_str("],");
+    let r = &report.resilience;
+    let _ = write!(
+        out,
+        "\"resilience\":{{\"invariant_violations\":{},\"perceptible_window_misses\":{},\"interventions\":{},\"forced_releases\":{},\"activation_retries\":{},\"dropped_fire_retries\":{},\"quarantines\":{},\"recoveries\":{},\"app_crashes\":{},\"app_restarts\":{},\"mean_time_to_recovery_ms\":{},\"intervention_overhead_mj\":{}}}",
+        r.invariant_violations,
+        r.perceptible_window_misses,
+        r.interventions,
+        r.forced_releases,
+        r.activation_retries,
+        r.dropped_fire_retries,
+        r.quarantines,
+        r.recoveries,
+        r.app_crashes,
+        r.app_restarts,
+        json_number(r.mean_time_to_recovery_ms),
+        json_number(r.intervention_overhead_mj)
+    );
+    out.push('}');
     out
 }
 
@@ -165,6 +183,8 @@ mod tests {
             "\"wakeups\":[",
             "\"component\":\"Wi-Fi\"",
             "\"cpu_wakeups\"",
+            "\"resilience\"",
+            "\"perceptible_window_misses\":0",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

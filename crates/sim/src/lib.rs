@@ -2,10 +2,10 @@
 //!
 //! The discrete-event engine that stands in for the paper's physical
 //! testbed (a 3-hour connected-standby session on an LG Nexus 5 measured
-//! with a Monsoon power monitor). A [`Simulation`](engine::Simulation)
+//! with a Monsoon power monitor). A [`Simulation`]
 //! drives an `AlarmManager` and a `Device` through wakeups, deliveries,
 //! wakelocked tasks, and sleep transitions, producing a
-//! [`Trace`](trace::Trace) and a [`SimReport`](metrics::SimReport) with
+//! [`Trace`] and a [`SimReport`] with
 //! every metric the paper's evaluation section reports.
 //!
 //! # Examples
@@ -44,6 +44,8 @@ pub mod diff;
 pub mod estimate;
 pub mod engine;
 pub mod event;
+pub mod fault;
+pub mod invariant;
 pub mod json;
 pub mod metrics;
 pub mod report;
@@ -51,7 +53,10 @@ pub mod trace;
 pub mod watchdog;
 
 pub use attribution::AttributionLedger;
-pub use config::SimConfig;
+pub use config::{InvariantMode, SimConfig};
 pub use engine::Simulation;
-pub use metrics::{DelayStats, SimReport, WakeupRow};
-pub use trace::{DeliveryRecord, Trace};
+pub use fault::FaultPlan;
+pub use invariant::{InvariantMonitor, InvariantViolation};
+pub use metrics::{DelayStats, ResilienceStats, SimReport, WakeupRow};
+pub use trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
+pub use watchdog::OnlineWatchdogConfig;

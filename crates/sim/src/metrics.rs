@@ -12,7 +12,7 @@ use simty_core::time::SimDuration;
 use simty_device::device::Device;
 use simty_device::energy::EnergyBreakdown;
 
-use crate::trace::Trace;
+use crate::trace::{InterventionKind, Trace};
 
 /// Normalized-delivery-delay statistics, split by ground-truth
 /// perceptibility (the paper's Fig. 4).
@@ -61,6 +61,81 @@ impl DelayStats {
             stats.imperceptible_avg = imperceptible_sum / stats.imperceptible_count as f64;
         }
         stats
+    }
+}
+
+/// Resilience accounting for a run under fault injection: what the
+/// online watchdog and [`InvariantMonitor`](crate::invariant::InvariantMonitor)
+/// observed and did (see [`crate::fault`]).
+///
+/// All-zero for a fault-free run without the monitor attached, in which
+/// case [`SimReport`]'s `Display` omits the resilience lines entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResilienceStats {
+    /// Total invariant violations recorded by the runtime monitor.
+    pub invariant_violations: u64,
+    /// Perceptible-window misses (the headline chaos metric; a subset of
+    /// `invariant_violations`).
+    pub perceptible_window_misses: u64,
+    /// Total watchdog/engine interventions of any kind.
+    pub interventions: u64,
+    /// Forced releases of a single offender's wakelocks.
+    pub forced_releases: u64,
+    /// Hardware-activation retries after transient failures.
+    pub activation_retries: u64,
+    /// RTC fires that were dropped and rescheduled.
+    pub dropped_fire_retries: u64,
+    /// Apps quarantined (demoted to imperceptible) by the watchdog.
+    pub quarantines: u64,
+    /// Apps recovered from quarantine after clean probation.
+    pub recoveries: u64,
+    /// Injected app crashes.
+    pub app_crashes: u64,
+    /// App restarts that re-registered the crashed app's alarms.
+    pub app_restarts: u64,
+    /// Mean time from quarantine to recovery, in milliseconds (0 when no
+    /// app recovered).
+    pub mean_time_to_recovery_ms: f64,
+    /// Energy paid by interventions themselves (e.g. extra wake
+    /// transitions for activation retries), in mJ.
+    pub intervention_overhead_mj: f64,
+}
+
+impl ResilienceStats {
+    /// Derives the intervention-side counters from the trace. Monitor
+    /// counters (`invariant_violations`, `perceptible_window_misses`) are
+    /// not in the trace; the engine fills them in afterwards.
+    pub fn from_trace(trace: &Trace) -> Self {
+        let mut stats = ResilienceStats::default();
+        let mut recovery_total = SimDuration::ZERO;
+        for i in trace.interventions() {
+            stats.interventions += 1;
+            stats.intervention_overhead_mj += i.overhead_mj;
+            match i.kind {
+                InterventionKind::ForcedRelease { .. } => stats.forced_releases += 1,
+                InterventionKind::ActivationRetry { .. } => stats.activation_retries += 1,
+                InterventionKind::DroppedFireRetry { .. } => stats.dropped_fire_retries += 1,
+                InterventionKind::Quarantine => stats.quarantines += 1,
+                InterventionKind::Recovery { quarantined_for } => {
+                    stats.recoveries += 1;
+                    recovery_total += quarantined_for;
+                }
+                InterventionKind::AppCrash { .. } => stats.app_crashes += 1,
+                InterventionKind::AppRestart { .. } => stats.app_restarts += 1,
+            }
+        }
+        if stats.recoveries > 0 {
+            stats.mean_time_to_recovery_ms =
+                recovery_total.as_millis() as f64 / stats.recoveries as f64;
+        }
+        stats
+    }
+
+    /// Whether anything at all happened (drives `Display` brevity).
+    pub fn is_quiet(&self) -> bool {
+        self.invariant_violations == 0
+            && self.interventions == 0
+            && self.intervention_overhead_mj == 0.0
     }
 }
 
@@ -115,6 +190,8 @@ pub struct SimReport {
     pub wakeup_rows: Vec<WakeupRow>,
     /// Normalized delivery delays.
     pub delays: DelayStats,
+    /// Fault-injection resilience accounting (all-zero for clean runs).
+    pub resilience: ResilienceStats,
 }
 
 impl SimReport {
@@ -146,6 +223,7 @@ impl SimReport {
             awake_time: device.awake_time(),
             wakeup_rows,
             delays: DelayStats::from_trace(trace),
+            resilience: ResilienceStats::from_trace(trace),
         }
     }
 
@@ -192,7 +270,28 @@ impl fmt::Display for SimReport {
             self.delays.perceptible_count,
             self.delays.imperceptible_avg,
             self.delays.imperceptible_count
-        )
+        )?;
+        if !self.resilience.is_quiet() {
+            let r = &self.resilience;
+            write!(
+                f,
+                "\nresilience: {} violations ({} window misses), {} interventions \
+                 ({} releases, {} retries, {} drops, {} quarantines, {} recoveries, \
+                 {} crashes), MTTR {:.0} ms, overhead {:.2} mJ",
+                r.invariant_violations,
+                r.perceptible_window_misses,
+                r.interventions,
+                r.forced_releases,
+                r.activation_retries,
+                r.dropped_fire_retries,
+                r.quarantines,
+                r.recoveries,
+                r.app_crashes,
+                r.mean_time_to_recovery_ms,
+                r.intervention_overhead_mj
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -264,6 +363,49 @@ mod tests {
             expected: 0,
         };
         assert_eq!(row.ratio(), 1.0);
+    }
+
+    #[test]
+    fn resilience_stats_aggregate_interventions() {
+        use crate::trace::{InterventionKind, InterventionRecord};
+        let mut t = Trace::new();
+        t.record_intervention(InterventionRecord {
+            at: SimTime::from_secs(10),
+            app: "bug".into(),
+            kind: InterventionKind::Quarantine,
+            overhead_mj: 0.0,
+        });
+        t.record_intervention(InterventionRecord {
+            at: SimTime::from_secs(70),
+            app: "bug".into(),
+            kind: InterventionKind::Recovery {
+                quarantined_for: SimDuration::from_secs(60),
+            },
+            overhead_mj: 0.0,
+        });
+        t.record_intervention(InterventionRecord {
+            at: SimTime::from_secs(80),
+            app: "flaky".into(),
+            kind: InterventionKind::ActivationRetry { attempt: 1 },
+            overhead_mj: 2.5,
+        });
+        let s = ResilienceStats::from_trace(&t);
+        assert_eq!(s.interventions, 3);
+        assert_eq!(s.quarantines, 1);
+        assert_eq!(s.recoveries, 1);
+        assert_eq!(s.activation_retries, 1);
+        assert!((s.mean_time_to_recovery_ms - 60_000.0).abs() < 1e-9);
+        assert!((s.intervention_overhead_mj - 2.5).abs() < 1e-12);
+        assert!(!s.is_quiet());
+        assert!(ResilienceStats::default().is_quiet());
+    }
+
+    #[test]
+    fn display_stays_quiet_without_interventions() {
+        let t = Trace::new();
+        let device = Device::new(PowerModel::nexus5());
+        let r = SimReport::compute("SIMTY", SimDuration::from_hours(3), &t, &device);
+        assert!(!r.to_string().contains("resilience:"));
     }
 
     #[test]

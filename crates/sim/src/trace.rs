@@ -93,6 +93,97 @@ impl fmt::Display for DeliveryRecord {
     }
 }
 
+/// What a runtime intervention (or injected fault) did. Recorded by the
+/// engine's online watchdog and fault layer (see [`crate::fault`]) so
+/// resilience metrics can be computed from the trace alone.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterventionKind {
+    /// The watchdog force-released one app's holds after they exceeded
+    /// the hold budget.
+    ForcedRelease {
+        /// How long the offending hold had lasted when it was cut.
+        held: SimDuration,
+    },
+    /// A transient hardware-activation failure was retried (and this
+    /// attempt succeeded).
+    ActivationRetry {
+        /// Which attempt finally activated the hardware (1 = first retry).
+        attempt: u32,
+    },
+    /// A dropped RTC fire was detected and the wakeup re-armed.
+    DroppedFireRetry {
+        /// How long after the lost fire the retry was scheduled.
+        delay: SimDuration,
+    },
+    /// The app entered quarantine: its alarms were demoted to
+    /// imperceptible/postponable status.
+    Quarantine,
+    /// The app left quarantine after its probation period of clean
+    /// deliveries.
+    Recovery {
+        /// How long the app spent quarantined — the per-app
+        /// time-to-recovery.
+        quarantined_for: SimDuration,
+    },
+    /// A fault-injected app crash cancelled the app's registrations.
+    AppCrash {
+        /// How many alarms were cancelled.
+        cancelled: usize,
+    },
+    /// The crashed app restarted and re-registered its alarms.
+    AppRestart {
+        /// How many alarms were re-registered.
+        reregistered: usize,
+    },
+}
+
+impl fmt::Display for InterventionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterventionKind::ForcedRelease { held } => {
+                write!(f, "forced release after a {held} hold")
+            }
+            InterventionKind::ActivationRetry { attempt } => {
+                write!(f, "hardware activation retried (attempt {attempt})")
+            }
+            InterventionKind::DroppedFireRetry { delay } => {
+                write!(f, "dropped RTC fire re-armed after {delay}")
+            }
+            InterventionKind::Quarantine => write!(f, "quarantined"),
+            InterventionKind::Recovery { quarantined_for } => {
+                write!(f, "recovered after {quarantined_for} in quarantine")
+            }
+            InterventionKind::AppCrash { cancelled } => {
+                write!(f, "crash cancelled {cancelled} alarms")
+            }
+            InterventionKind::AppRestart { reregistered } => {
+                write!(f, "restart re-registered {reregistered} alarms")
+            }
+        }
+    }
+}
+
+/// One runtime intervention, timestamped and attributed to an app.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterventionRecord {
+    /// When the intervention happened.
+    pub at: SimTime,
+    /// The app it targeted (alarm label).
+    pub app: String,
+    /// What was done.
+    pub kind: InterventionKind,
+    /// Estimated extra energy this intervention cost (e.g. the wake
+    /// transition paid by a retry), in millijoules. Zero for
+    /// interventions that only release resources.
+    pub overhead_mj: f64,
+}
+
+impl fmt::Display for InterventionRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}: {}", self.at, self.app, self.kind)
+    }
+}
+
 /// Error produced while loading a trace CSV.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseTraceError {
@@ -116,6 +207,7 @@ pub struct Trace {
     deliveries: Vec<DeliveryRecord>,
     wakeups: Vec<SimTime>,
     entry_deliveries: u64,
+    interventions: Vec<InterventionRecord>,
 }
 
 impl Trace {
@@ -144,6 +236,17 @@ impl Trace {
     /// Number of queue entries delivered so far.
     pub fn entry_deliveries(&self) -> u64 {
         self.entry_deliveries
+    }
+
+    /// Appends a runtime intervention (watchdog remedy or injected
+    /// fault).
+    pub fn record_intervention(&mut self, record: InterventionRecord) {
+        self.interventions.push(record);
+    }
+
+    /// All interventions in order of occurrence.
+    pub fn interventions(&self) -> &[InterventionRecord] {
+        &self.interventions
     }
 
     /// All deliveries in order of occurrence.

@@ -7,10 +7,22 @@
 //! scans a finished run for tasks whose wakelock holds exceed a budget
 //! and for abnormally long awake streaks, and reports the offending apps.
 //!
-//! The engine's
-//! [`force_release_wakelocks`](crate::engine::Simulation::force_release_wakelocks)
-//! is the corresponding remedy; `tests/failure_injection.rs` exercises
-//! the detect-then-remedy loop end to end.
+//! Two remedies exist in the engine. Post hoc, the targeted
+//! [`force_release_app`](crate::engine::Simulation::force_release_app)
+//! cuts one offender's holds while every other task keeps its locks and
+//! attribution (the older
+//! [`force_release_wakelocks`](crate::engine::Simulation::force_release_wakelocks),
+//! which drops *everything*, remains as a deprecated shim). Online, the
+//! same [`WatchdogPolicy`] can be promoted into the event loop via
+//! [`OnlineWatchdogConfig`] and
+//! [`SimConfig::with_online_watchdog`](crate::config::SimConfig::with_online_watchdog):
+//! the engine then detects long holds at runtime, force-releases the
+//! offender, quarantines repeat offenders (demoting their alarms to
+//! imperceptible, see [`simty_core::alarm::Alarm::is_quarantined`]), and
+//! lifts the quarantine after a probation period of clean deliveries.
+//! The fault-injection side that provokes all of this lives in
+//! [`crate::fault`]; `tests/failure_injection.rs` exercises the
+//! detect-then-remedy loop end to end.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -36,6 +48,39 @@ impl Default for WatchdogPolicy {
             // almost certainly leaking its wakelock.
             max_task_hold: SimDuration::from_secs(60),
             max_duty_cycle: 0.10,
+        }
+    }
+}
+
+/// Configuration for the *online* watchdog: the same [`WatchdogPolicy`]
+/// promoted into the event loop, plus the quarantine state machine.
+///
+/// When enabled via
+/// [`SimConfig::with_online_watchdog`](crate::config::SimConfig::with_online_watchdog),
+/// the engine checks every hold that outlives `policy.max_task_hold` and
+/// force-releases the specific offender. An app force-released
+/// `quarantine_after` times is quarantined — its alarms are demoted to
+/// imperceptible so the policy may defer them — and recovers
+/// automatically after `probation` consecutive clean deliveries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineWatchdogConfig {
+    /// The hold/duty thresholds (only `max_task_hold` is used online;
+    /// duty cycles remain a post-hoc scan concern).
+    pub policy: WatchdogPolicy,
+    /// Forced releases before an app is quarantined.
+    pub quarantine_after: u32,
+    /// Consecutive clean (within-budget) deliveries before a quarantined
+    /// app recovers.
+    pub probation: u32,
+}
+
+impl Default for OnlineWatchdogConfig {
+    fn default() -> Self {
+        OnlineWatchdogConfig {
+            policy: WatchdogPolicy::default(),
+            // Tolerate one incident; a second within the run is a pattern.
+            quarantine_after: 2,
+            probation: 3,
         }
     }
 }
@@ -149,23 +194,33 @@ pub fn scan(trace: &Trace, span: SimDuration, policy: WatchdogPolicy) -> Watchdo
             *w = (hold, d.delivered_at);
         }
     }
-    for (app, (hold, at)) in &worst {
-        if *hold > policy.max_task_hold {
-            report.findings.push(WatchdogFinding {
-                app: app.clone(),
-                anomaly: Anomaly::LongHold { hold: *hold, at: *at },
-            });
-        }
-    }
+    // One candidate list per app so the documented order holds: apps in
+    // name order, and within an app the finding that overshoots its
+    // threshold by the larger factor first.
     for (app, total) in &totals {
+        let mut candidates: Vec<(f64, Anomaly)> = Vec::new();
+        if let Some((hold, at)) = worst.get(app) {
+            if *hold > policy.max_task_hold {
+                let severity = hold.as_secs_f64() / policy.max_task_hold.as_secs_f64();
+                candidates.push((severity, Anomaly::LongHold { hold: *hold, at: *at }));
+            }
+        }
         let duty = total.as_secs_f64() / span.as_secs_f64();
         if duty > policy.max_duty_cycle {
-            report.findings.push(WatchdogFinding {
-                app: app.clone(),
-                anomaly: Anomaly::HighDutyCycle {
+            let severity = duty / policy.max_duty_cycle;
+            candidates.push((
+                severity,
+                Anomaly::HighDutyCycle {
                     total_hold: *total,
                     duty_cycle: duty,
                 },
+            ));
+        }
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("severities are finite"));
+        for (_, anomaly) in candidates {
+            report.findings.push(WatchdogFinding {
+                app: app.clone(),
+                anomaly,
             });
         }
     }
@@ -238,5 +293,63 @@ mod tests {
     #[should_panic(expected = "must be positive")]
     fn zero_span_is_rejected() {
         let _ = scan(&Trace::new(), SimDuration::ZERO, WatchdogPolicy::default());
+    }
+
+    #[test]
+    fn findings_are_worst_first_within_an_app() {
+        // One 90 s hold in a 600 s span: LongHold overshoots its 60 s
+        // budget by 1.5x, while the 15 % duty cycle also exceeds the 10 %
+        // budget... by the same 1.5x. Tip the balance with a second short
+        // delivery: duty rises to 1.75x while the worst hold stays 1.5x,
+        // so HighDutyCycle must come first.
+        let mut t = trace_of(90, &[60]);
+        let mut short = Alarm::builder("suspect")
+            .nominal(SimTime::from_secs(300))
+            .repeating_static(SimDuration::from_secs(600))
+            .hardware(HardwareComponent::Gps.into())
+            .task_duration(SimDuration::from_secs(15))
+            .build()
+            .unwrap();
+        short.mark_hardware_known();
+        t.record_delivery(DeliveryRecord::observe(&short, SimTime::from_secs(300), 1));
+        let r = scan(&t, SimDuration::from_secs(600), WatchdogPolicy::default());
+        assert_eq!(r.findings.len(), 2);
+        assert_eq!(r.findings[0].app, "suspect");
+        assert!(
+            matches!(r.findings[0].anomaly, Anomaly::HighDutyCycle { .. }),
+            "worst finding first: {:?}",
+            r.findings
+        );
+        assert!(matches!(r.findings[1].anomaly, Anomaly::LongHold { .. }));
+    }
+
+    #[test]
+    fn apps_stay_grouped_and_name_ordered() {
+        let mut t = trace_of(300, &[60]);
+        let mut other = Alarm::builder("another")
+            .nominal(SimTime::from_secs(120))
+            .repeating_static(SimDuration::from_secs(600))
+            .hardware(HardwareComponent::Gps.into())
+            .task_duration(SimDuration::from_secs(400))
+            .build()
+            .unwrap();
+        other.mark_hardware_known();
+        t.record_delivery(DeliveryRecord::observe(&other, SimTime::from_secs(120), 1));
+        let r = scan(&t, SimDuration::from_hours(1), WatchdogPolicy::default());
+        // `another` sorts before `suspect`; each app's findings stay
+        // contiguous.
+        assert_eq!(r.flagged_apps(), vec!["another", "suspect"]);
+        let apps: Vec<&str> = r.findings.iter().map(|f| f.app.as_str()).collect();
+        let mut grouped = apps.clone();
+        grouped.sort();
+        assert_eq!(apps, grouped);
+    }
+
+    #[test]
+    fn online_config_defaults_are_sane() {
+        let c = OnlineWatchdogConfig::default();
+        assert_eq!(c.policy, WatchdogPolicy::default());
+        assert!(c.quarantine_after >= 1);
+        assert!(c.probation >= 1);
     }
 }

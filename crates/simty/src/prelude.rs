@@ -25,6 +25,7 @@ pub use simty_core::{
 };
 pub use simty_device::{Battery, Device, DevicePowerState, EnergyBreakdown, PowerModel};
 pub use simty_sim::{
-    AttributionLedger, DelayStats, DeliveryRecord, SimConfig, SimReport, Simulation, Trace,
-    WakeupRow,
+    AttributionLedger, DelayStats, DeliveryRecord, FaultPlan, InterventionKind,
+    InterventionRecord, InvariantMode, InvariantMonitor, InvariantViolation,
+    OnlineWatchdogConfig, ResilienceStats, SimConfig, SimReport, Simulation, Trace, WakeupRow,
 };

@@ -77,7 +77,7 @@ fn conservation_survives_forced_release() {
     )
     .expect("registers");
     sim.run_until(SimTime::from_secs(120));
-    sim.force_release_wakelocks();
+    assert!(sim.force_release_app("greedy"));
     sim.run_until(SimTime::ZERO + SimDuration::from_mins(30));
     assert_conserved(&sim);
 }

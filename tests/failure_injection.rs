@@ -87,10 +87,14 @@ fn forced_wakelock_release_lets_the_device_sleep_early() {
             .unwrap(),
     )
     .unwrap();
-    // Let the buggy task start, then force-stop it (WakeScope-style remedy).
+    // Let the buggy task start, then force-stop *that app* (the
+    // targeted WakeScope-style remedy; the blunt drop-everything shim
+    // is covered by the engine's unit tests).
     sim.run_until(SimTime::from_secs(120));
     assert!(sim.device().is_awake());
-    sim.force_release_wakelocks();
+    assert!(sim.force_release_app("nosleep-bug"));
+    // A second release finds nothing left to free.
+    assert!(!sim.force_release_app("nosleep-bug"));
     sim.run_until(SimTime::from_secs(400));
     assert!(
         sim.device().is_asleep(),
@@ -151,6 +155,58 @@ fn watchdog_detects_the_no_sleep_bug_the_remedy_fixes() {
         .findings
         .iter()
         .any(|f| matches!(f.anomaly, Anomaly::HighDutyCycle { .. })));
+}
+
+#[test]
+fn quarantine_and_recovery_round_trip_end_to_end() {
+    // A no-sleep bug offends twice, gets quarantined (demoted to
+    // imperceptible batching), is then patched (re-registered with a
+    // short task), delivers cleanly through probation, and recovers —
+    // all under strict invariants.
+    let config = SimConfig::new()
+        .with_duration(SimDuration::from_hours(1))
+        .with_online_watchdog(OnlineWatchdogConfig::default())
+        .with_strict_invariants();
+    let mut sim = Simulation::new(Box::new(SimtyPolicy::new()), config);
+    let greedy = |nominal_s: u64, task_s: u64| {
+        Alarm::builder("greedy")
+            .nominal(SimTime::from_secs(nominal_s))
+            .repeating_static(SimDuration::from_secs(300))
+            .hardware(HardwareComponent::Gps.into())
+            .task_duration(SimDuration::from_secs(task_s))
+            .build()
+            .unwrap()
+    };
+    // 90 s task > the 60 s hold budget: every delivery is an offense.
+    let id = sim.register(greedy(60, 90)).unwrap();
+    sim.register(wifi("honest", 120, 300)).unwrap();
+    sim.run_until(SimTime::from_secs(700));
+    assert!(
+        sim.is_app_quarantined("greedy"),
+        "two offenses must trigger quarantine"
+    );
+    // The "patch": cancel the buggy alarm, re-register a 5 s version.
+    assert!(sim.cancel(id).is_some());
+    sim.register(greedy(900, 5)).unwrap();
+    let report = sim.run();
+    assert!(
+        !sim.is_app_quarantined("greedy"),
+        "probation-clean deliveries must recover the app"
+    );
+    let r = &report.resilience;
+    assert_eq!(r.invariant_violations, 0);
+    assert_eq!(r.quarantines, 1);
+    assert_eq!(r.recoveries, 1);
+    assert!(r.forced_releases >= 2);
+    assert!(r.mean_time_to_recovery_ms > 0.0);
+    // Every intervention is attributed to the offender in the trace.
+    assert!(sim
+        .trace()
+        .interventions()
+        .iter()
+        .all(|i| i.app == "greedy"));
+    // The honest bystander kept delivering throughout.
+    assert!(sim.trace().deliveries().iter().any(|d| d.label == "honest"));
 }
 
 #[test]

@@ -87,6 +87,38 @@ fn run_population(policy: Box<dyn AlignmentPolicy>, alarms: &[ArbAlarm]) -> Simu
     sim
 }
 
+/// A random-but-bounded fault plan: every knob the chaos campaign turns,
+/// drawn independently.
+fn arb_fault_plan() -> impl Strategy<Value = FaultPlan> {
+    (
+        any::<u64>(),
+        0u64..2_000,
+        0.0..0.2f64,
+        0.0..0.1f64,
+        0.0..0.1f64,
+        0.0..0.3f64,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(seed, jitter_ms, drop_p, overrun_p, leak_p, activation_p, storm)| {
+                let mut plan = FaultPlan::new(seed)
+                    .with_rtc_jitter(SimDuration::from_millis(jitter_ms))
+                    .with_dropped_fires(drop_p, SimDuration::from_secs(1))
+                    .with_task_overruns(overrun_p, SimDuration::from_secs(150))
+                    .with_wakelock_leaks(leak_p, SimDuration::from_secs(90))
+                    .with_activation_failures(activation_p);
+                if storm {
+                    plan = plan.with_push_storm(
+                        SimTime::from_secs(300),
+                        SimDuration::from_secs(120),
+                        SimDuration::from_secs(5),
+                    );
+                }
+                plan
+            },
+        )
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -190,6 +222,40 @@ proptest! {
         let a = run_population(Box::new(SimtyPolicy::new()), &alarms);
         let b = run_population(Box::new(SimtyPolicy::new()), &alarms);
         prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+    }
+
+    /// Any random fault plan, under any policy, with the online watchdog
+    /// armed: the run reaches its full duration and the strict invariant
+    /// monitor records zero violations — the paper's perceptible-window
+    /// guarantee survives the injected chaos (strict mode panics at the
+    /// first violation, so survival *is* the assertion).
+    #[test]
+    fn fault_plans_never_break_the_window_guarantee(
+        plan in arb_fault_plan(),
+        policy_idx in 0usize..3,
+        alarms in prop::collection::vec(arb_alarm(), 1..6),
+    ) {
+        let policy: Box<dyn AlignmentPolicy> = match policy_idx {
+            0 => Box::new(NativePolicy::new()),
+            1 => Box::new(SimtyPolicy::new()),
+            _ => Box::new(ExactPolicy::new()),
+        };
+        let duration = SimDuration::from_mins(30);
+        let mut sim = Simulation::new(
+            policy,
+            SimConfig::new()
+                .with_duration(duration)
+                .with_online_watchdog(OnlineWatchdogConfig::default())
+                .with_strict_invariants(),
+        );
+        for (i, a) in alarms.iter().enumerate() {
+            sim.register(a.build(i)).expect("registers cleanly");
+        }
+        sim.inject_faults(&plan);
+        let report = sim.run();
+        prop_assert_eq!(sim.now(), SimTime::ZERO + duration, "run stalled short of the end");
+        prop_assert_eq!(report.resilience.invariant_violations, 0);
+        prop_assert_eq!(report.resilience.perceptible_window_misses, 0);
     }
 
     /// Hardware similarity is symmetric, and identical non-empty sets are
