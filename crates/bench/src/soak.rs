@@ -1,0 +1,608 @@
+//! Soak campaign: long-horizon endurance with reboots and checkpoint
+//! corruption.
+//!
+//! The chaos campaign ([`crate::chaos`]) asks whether the
+//! perceptible-window guarantee survives a hostile device; this module
+//! asks whether it survives *time* — multi-day connected-standby
+//! horizons laced with device reboots — and whether the
+//! crash-consistent checkpoint subsystem actually earns its keep: every
+//! cell runs straight through with periodic captures, then re-runs from
+//! a snapshot (optionally after corrupting the newest snapshots on disk
+//! to force the last-good fallback) and asserts the resumed run is
+//! byte-identical in trace and report. Results serialize to the
+//! `simty-bench-soak/v1` document (`BENCH_soak.json`).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use simty::core::{SimDuration, SimTime};
+use simty::experiments::{PolicyKind, Scenario};
+use simty::sim::json::{json_number, json_string, report_to_json};
+use simty::sim::{
+    CheckpointStore, OnlineWatchdogConfig, RebootPlan, SimConfig, SimReport, Simulation,
+};
+
+use crate::sweep::Sweep;
+
+/// A named endurance adversary: how the device dies and how its
+/// snapshots rot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SoakProfile {
+    /// No reboots: the control cell. Resumes from a mid-run snapshot.
+    Steady,
+    /// One reboot at 45% of the horizon (5-minute outage).
+    SingleReboot,
+    /// Periodic reboots, roughly one per fifth of the horizon.
+    RebootStorm,
+    /// A reboot plus a bit-flipped newest snapshot: restore must detect
+    /// the checksum mismatch and fall back to the previous good one.
+    BitFlip,
+    /// Periodic reboots plus a truncated newest snapshot *and* a
+    /// stale-version second-newest: restore must skip both.
+    TornStale,
+}
+
+impl SoakProfile {
+    /// Every profile, in campaign order.
+    pub const ALL: [SoakProfile; 5] = [
+        SoakProfile::Steady,
+        SoakProfile::SingleReboot,
+        SoakProfile::RebootStorm,
+        SoakProfile::BitFlip,
+        SoakProfile::TornStale,
+    ];
+
+    /// The profile's CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SoakProfile::Steady => "steady",
+            SoakProfile::SingleReboot => "single-reboot",
+            SoakProfile::RebootStorm => "reboot-storm",
+            SoakProfile::BitFlip => "bitflip",
+            SoakProfile::TornStale => "torn-stale",
+        }
+    }
+
+    /// Parses a profile name (the inverse of [`name`](Self::name)).
+    pub fn parse(name: &str) -> Option<SoakProfile> {
+        SoakProfile::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The profile's reboot schedule for a run of `duration`. Outages
+    /// are 5 minutes — longer than the shortest catalogue alarm period,
+    /// so every reboot strands overdue entries for boot catch-up.
+    pub fn reboots(self, seed: u64, duration: SimDuration) -> RebootPlan {
+        let outage = SimDuration::from_secs(310);
+        let plan = RebootPlan::new(seed);
+        match self {
+            SoakProfile::Steady => plan,
+            SoakProfile::SingleReboot | SoakProfile::BitFlip => plan.with_reboot(
+                SimTime::ZERO + SimDuration::from_millis(duration.as_millis() * 45 / 100),
+                outage,
+            ),
+            SoakProfile::RebootStorm | SoakProfile::TornStale => plan.with_periodic(
+                SimDuration::from_millis(duration.as_millis() / 5),
+                SimDuration::from_mins(7),
+                outage,
+                duration,
+            ),
+        }
+    }
+
+    /// How many of the newest on-disk snapshots the profile corrupts
+    /// before the recovery drill.
+    pub fn corrupted(self) -> usize {
+        match self {
+            SoakProfile::Steady | SoakProfile::SingleReboot | SoakProfile::RebootStorm => 0,
+            SoakProfile::BitFlip => 1,
+            SoakProfile::TornStale => 2,
+        }
+    }
+}
+
+/// One campaign cell: a policy enduring a scenario under a soak profile
+/// and seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoakSpec {
+    /// The alignment policy under test.
+    pub policy: PolicyKind,
+    /// The workload scenario.
+    pub scenario: Scenario,
+    /// The endurance adversary.
+    pub profile: SoakProfile,
+    /// RNG seed shared by the workload and the reboot plan.
+    pub seed: u64,
+    /// Simulated span (soak horizons are typically multi-day).
+    pub duration: SimDuration,
+}
+
+/// What the recovery drill observed for one cell, alongside its
+/// straight-through report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SoakRecovery {
+    /// Snapshots captured during the straight-through run.
+    pub checkpoints: u64,
+    /// Corrupt snapshots the store skipped to reach a good one.
+    pub corrupt_skipped: u64,
+    /// The resumed run matched the straight-through run byte-for-byte
+    /// (trace CSV and report JSON).
+    pub resumed_identical: bool,
+    /// The drill restored successfully (always required; `false` marks
+    /// an unrecoverable cell).
+    pub restore_ok: bool,
+}
+
+impl SoakSpec {
+    /// A compact identity for sweep outputs, e.g.
+    /// `SIMTY/light/bitflip/seed1/172800s`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/seed{}/{}s",
+            self.policy.name(),
+            self.scenario.name(),
+            self.profile.name(),
+            self.seed,
+            self.duration.as_millis() / 1_000
+        )
+    }
+
+    fn fingerprint(sim: &Simulation) -> (Vec<u8>, String) {
+        let mut csv = Vec::new();
+        sim.trace()
+            .write_csv(&mut csv)
+            .expect("writing a trace to memory cannot fail");
+        (csv, report_to_json(&sim.report()))
+    }
+
+    fn build_sim(&self) -> Simulation {
+        let workload = self
+            .scenario
+            .builder()
+            .with_seed(self.seed)
+            .with_beta(0.96)
+            .with_duration(self.duration)
+            .build();
+        let config = SimConfig::new()
+            .with_duration(self.duration)
+            .with_checkpoints(SimDuration::from_millis(
+                (self.duration.as_millis() / 8).max(1),
+            ))
+            .with_online_watchdog(OnlineWatchdogConfig::default())
+            .with_invariants();
+        let mut sim = Simulation::new(self.policy.build(), config);
+        for alarm in workload.alarms {
+            sim.register(alarm).expect("workload alarm registers cleanly");
+        }
+        sim.inject_reboots(&self.profile.reboots(self.seed, self.duration));
+        sim
+    }
+
+    /// Executes the cell: the straight-through run, then the recovery
+    /// drill — persist every snapshot, corrupt the newest ones per the
+    /// profile, restore from the last good snapshot, run to the end, and
+    /// compare bytes. `scratch` hosts the cell's snapshot directory and
+    /// is wiped afterwards.
+    pub fn run(&self, scratch: &Path) -> (SimReport, SoakRecovery) {
+        let mut straight = self.build_sim();
+        let report = straight.run();
+        let expected = Self::fingerprint(&straight);
+        let mut recovery = SoakRecovery {
+            checkpoints: straight.checkpoints().len() as u64,
+            ..SoakRecovery::default()
+        };
+        if straight.checkpoints().is_empty() {
+            return (report, recovery);
+        }
+
+        let dir = scratch.join(self.label().replace('/', "_"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let drill = || -> Result<(u64, bool), Box<dyn std::error::Error>> {
+            let mut store = CheckpointStore::open(&dir)?;
+            for ckpt in straight.checkpoints() {
+                store.save(ckpt)?;
+            }
+            corrupt_newest(&dir, self.profile.corrupted())?;
+            let (snapshot, skipped) = store.load_latest_good()?;
+            let mut resumed = Simulation::restore(self.policy.build(), &snapshot)?;
+            resumed.run();
+            Ok((skipped as u64, Self::fingerprint(&resumed) == expected))
+        };
+        match drill() {
+            Ok((skipped, identical)) => {
+                recovery.corrupt_skipped = skipped;
+                recovery.resumed_identical = identical;
+                recovery.restore_ok = true;
+            }
+            Err(_) => {
+                recovery.restore_ok = false;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        (report, recovery)
+    }
+}
+
+/// Damages the `n` newest snapshots in `dir`, cycling through the
+/// corruption taxonomy: the newest gets a truncation, the next a
+/// stale-version header, then a bit flip, so multi-file profiles
+/// exercise distinct detection paths.
+fn corrupt_newest(dir: &Path, n: usize) -> io::Result<()> {
+    if n == 0 {
+        return Ok(());
+    }
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("ckpt-"))
+        })
+        .collect();
+    files.sort();
+    for (i, path) in files.iter().rev().take(n).enumerate() {
+        let bytes = std::fs::read(path)?;
+        let damaged = match i % 3 {
+            0 => bytes[..bytes.len() / 2].to_vec(),
+            1 => {
+                let body = bytes.splitn(2, |&b| b == b'\n').nth(1).unwrap_or(&[]).to_vec();
+                let mut out = b"simty-checkpoint/v0\n".to_vec();
+                out.extend_from_slice(&body);
+                out
+            }
+            _ => {
+                let mut out = bytes.clone();
+                let pos = out.len() * 4 / 5;
+                out[pos] ^= 0x10;
+                out
+            }
+        };
+        std::fs::write(path, damaged)?;
+    }
+    Ok(())
+}
+
+/// Builds the full campaign grid in deterministic enqueue order
+/// (policy-major, then scenario, profile, seed 1..=`seeds`).
+pub fn soak_matrix(
+    policies: &[PolicyKind],
+    scenarios: &[Scenario],
+    profiles: &[SoakProfile],
+    seeds: u64,
+    duration: SimDuration,
+) -> Vec<SoakSpec> {
+    let mut specs = Vec::new();
+    for &policy in policies {
+        for &scenario in scenarios {
+            for &profile in profiles {
+                for seed in 1..=seeds {
+                    specs.push(SoakSpec {
+                        policy,
+                        scenario,
+                        profile,
+                        seed,
+                        duration,
+                    });
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Runs a campaign on `threads` sweep workers and collects the results
+/// in matrix order (byte-identical across thread counts). Snapshot
+/// directories live under the system temp dir for the drill's duration.
+pub fn run_soak(specs: &[SoakSpec], threads: usize) -> SoakResults {
+    let scratch = std::env::temp_dir().join(format!("simty-soak-{}", std::process::id()));
+    let recoveries: Arc<Mutex<BTreeMap<usize, SoakRecovery>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let mut sweep = Sweep::new();
+    for (i, &spec) in specs.iter().enumerate() {
+        let recoveries = Arc::clone(&recoveries);
+        let scratch = scratch.clone();
+        sweep.job(spec.label(), move || {
+            let (report, recovery) = spec.run(&scratch);
+            recoveries
+                .lock()
+                .expect("soak recovery table poisoned")
+                .insert(i, recovery);
+            report
+        });
+    }
+    let results = sweep.run_with_threads(threads);
+    let _ = std::fs::remove_dir_all(&scratch);
+    let recoveries = recoveries.lock().expect("soak recovery table poisoned");
+    SoakResults {
+        runs: specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
+                (
+                    spec,
+                    results.outcomes()[i].report.clone(),
+                    recoveries.get(&i).copied().unwrap_or_default(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Per-policy endurance aggregate over every cell the policy survived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyEndurance {
+    /// The policy's display name.
+    pub policy: String,
+    /// How many cells it ran.
+    pub runs: u64,
+    /// Total reboots endured.
+    pub reboots: u64,
+    /// Mean outage from kill to boot completion, in ms, weighted by
+    /// reboots (the per-reboot recovery time; 0 when nothing rebooted).
+    pub mean_recovery_ms: f64,
+    /// Queue entries boot catch-up had to deliver late, summed.
+    pub catch_up_entries: u64,
+    /// Worst catch-up delay at any boot across all cells, in ms.
+    pub worst_catch_up_delay_ms: f64,
+    /// Total invariant violations (must be zero).
+    pub invariant_violations: u64,
+    /// Total perceptible-window misses (the headline: must be zero).
+    pub perceptible_window_misses: u64,
+    /// Snapshots captured across all cells.
+    pub checkpoints: u64,
+    /// Corrupt snapshots the recovery drills skipped.
+    pub corrupt_skipped: u64,
+    /// Every cell's resumed run was byte-identical to its
+    /// straight-through run.
+    pub all_resumed_identical: bool,
+    /// Every cell's recovery drill restored successfully.
+    pub all_restores_ok: bool,
+}
+
+/// A finished campaign: every cell's report and recovery outcome, in
+/// matrix order.
+#[derive(Debug, Clone)]
+pub struct SoakResults {
+    runs: Vec<(SoakSpec, SimReport, SoakRecovery)>,
+}
+
+impl SoakResults {
+    /// The cells, their reports, and their recovery outcomes, in matrix
+    /// order.
+    pub fn runs(&self) -> &[(SoakSpec, SimReport, SoakRecovery)] {
+        &self.runs
+    }
+
+    /// Total perceptible-window misses across the whole campaign.
+    pub fn total_misses(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|(_, r, _)| r.resilience.perceptible_window_misses)
+            .sum()
+    }
+
+    /// Whether every recovery drill restored and matched bytes.
+    pub fn all_recovered(&self) -> bool {
+        self.runs
+            .iter()
+            .all(|(_, _, rec)| rec.restore_ok && rec.resumed_identical)
+    }
+
+    /// Per-policy aggregates, sorted by policy name.
+    pub fn aggregates(&self) -> Vec<PolicyEndurance> {
+        let mut by_policy: BTreeMap<String, Vec<(&SimReport, &SoakRecovery)>> = BTreeMap::new();
+        for (spec, report, rec) in &self.runs {
+            by_policy
+                .entry(spec.policy.name())
+                .or_default()
+                .push((report, rec));
+        }
+        by_policy
+            .into_iter()
+            .map(|(policy, cells)| {
+                let reboots: u64 = cells.iter().map(|(r, _)| r.resilience.reboots).sum();
+                let recovery_weighted: f64 = cells
+                    .iter()
+                    .map(|(r, _)| r.resilience.mean_recovery_ms * r.resilience.reboots as f64)
+                    .sum();
+                PolicyEndurance {
+                    policy,
+                    runs: cells.len() as u64,
+                    reboots,
+                    mean_recovery_ms: if reboots > 0 {
+                        recovery_weighted / reboots as f64
+                    } else {
+                        0.0
+                    },
+                    catch_up_entries: cells
+                        .iter()
+                        .map(|(r, _)| r.resilience.catch_up_entries)
+                        .sum(),
+                    worst_catch_up_delay_ms: cells
+                        .iter()
+                        .map(|(r, _)| r.resilience.worst_catch_up_delay_ms)
+                        .fold(0.0, f64::max),
+                    invariant_violations: cells
+                        .iter()
+                        .map(|(r, _)| r.resilience.invariant_violations)
+                        .sum(),
+                    perceptible_window_misses: cells
+                        .iter()
+                        .map(|(r, _)| r.resilience.perceptible_window_misses)
+                        .sum(),
+                    checkpoints: cells.iter().map(|(_, rec)| rec.checkpoints).sum(),
+                    corrupt_skipped: cells.iter().map(|(_, rec)| rec.corrupt_skipped).sum(),
+                    all_resumed_identical: cells.iter().all(|(_, rec)| rec.resumed_identical),
+                    all_restores_ok: cells.iter().all(|(_, rec)| rec.restore_ok),
+                }
+            })
+            .collect()
+    }
+
+    /// Serializes the campaign as the `simty-bench-soak/v1` document.
+    /// Fully deterministic: no wall-clock fields, so parallel and
+    /// sequential campaigns produce byte-identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":\"simty-bench-soak/v1\"");
+        out.push_str(&format!(",\"runs\":{}", self.runs.len()));
+        out.push_str(",\"results\":[");
+        for (i, (spec, report, rec)) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":{},\"profile\":{},\"seed\":{},\"checkpoints\":{},\
+                 \"corrupt_skipped\":{},\"restore_ok\":{},\"resumed_identical\":{},\
+                 \"report\":{}}}",
+                json_string(&spec.label()),
+                json_string(spec.profile.name()),
+                spec.seed,
+                rec.checkpoints,
+                rec.corrupt_skipped,
+                rec.restore_ok,
+                rec.resumed_identical,
+                report_to_json(report)
+            ));
+        }
+        out.push_str("],\"policies\":[");
+        for (i, agg) in self.aggregates().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"policy\":{},\"runs\":{},\"reboots\":{},\"mean_recovery_ms\":{},\
+                 \"catch_up_entries\":{},\"worst_catch_up_delay_ms\":{},\
+                 \"invariant_violations\":{},\"perceptible_window_misses\":{},\
+                 \"checkpoints\":{},\"corrupt_skipped\":{},\
+                 \"all_resumed_identical\":{},\"all_restores_ok\":{}}}",
+                json_string(&agg.policy),
+                agg.runs,
+                agg.reboots,
+                json_number(agg.mean_recovery_ms),
+                agg.catch_up_entries,
+                json_number(agg.worst_catch_up_delay_ms),
+                agg.invariant_violations,
+                agg.perceptible_window_misses,
+                agg.checkpoints,
+                agg.corrupt_skipped,
+                agg.all_resumed_identical,
+                agg.all_restores_ok,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(profile: SoakProfile, policy: PolicyKind) -> SoakSpec {
+        SoakSpec {
+            policy,
+            scenario: Scenario::Light,
+            profile,
+            seed: 1,
+            duration: SimDuration::from_hours(2),
+        }
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in SoakProfile::ALL {
+            assert_eq!(SoakProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(SoakProfile::parse("bogus"), None);
+    }
+
+    #[test]
+    fn steady_cell_resumes_identically_with_no_reboots() {
+        let scratch = std::env::temp_dir().join(format!("simty-soak-t1-{}", std::process::id()));
+        let (report, rec) = tiny(SoakProfile::Steady, PolicyKind::Simty).run(&scratch);
+        let _ = std::fs::remove_dir_all(&scratch);
+        assert_eq!(report.resilience.reboots, 0);
+        assert!(rec.checkpoints >= 7, "{rec:?}");
+        assert_eq!(rec.corrupt_skipped, 0);
+        assert!(rec.restore_ok && rec.resumed_identical, "{rec:?}");
+    }
+
+    #[test]
+    fn corruption_profiles_fall_back_to_the_last_good_snapshot() {
+        let scratch = std::env::temp_dir().join(format!("simty-soak-t2-{}", std::process::id()));
+        let (report, rec) = tiny(SoakProfile::BitFlip, PolicyKind::Native).run(&scratch);
+        assert_eq!(report.resilience.reboots, 1);
+        assert_eq!(rec.corrupt_skipped, 1, "{rec:?}");
+        assert!(rec.restore_ok && rec.resumed_identical, "{rec:?}");
+        let (_, rec) = tiny(SoakProfile::TornStale, PolicyKind::Simty).run(&scratch);
+        let _ = std::fs::remove_dir_all(&scratch);
+        assert_eq!(rec.corrupt_skipped, 2, "{rec:?}");
+        assert!(rec.restore_ok && rec.resumed_identical, "{rec:?}");
+    }
+
+    #[test]
+    fn matrix_covers_the_grid_in_order() {
+        let specs = soak_matrix(
+            &[PolicyKind::Native, PolicyKind::Simty],
+            &[Scenario::Light],
+            &SoakProfile::ALL,
+            2,
+            SimDuration::from_hours(24),
+        );
+        assert_eq!(specs.len(), 2 * 5 * 2);
+        assert_eq!(specs[0].label(), "NATIVE/light/steady/seed1/86400s");
+        assert!(specs.last().unwrap().label().starts_with("SIMTY/light/torn-stale"));
+    }
+
+    #[test]
+    fn campaign_aggregates_and_serializes() {
+        let specs = soak_matrix(
+            &[PolicyKind::Native, PolicyKind::Simty],
+            &[Scenario::Light],
+            &[SoakProfile::SingleReboot, SoakProfile::BitFlip],
+            1,
+            SimDuration::from_hours(2),
+        );
+        let results = run_soak(&specs, 2);
+        assert_eq!(results.runs().len(), 4);
+        assert!(results.all_recovered());
+        assert_eq!(results.total_misses(), 0);
+        let aggs = results.aggregates();
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].policy, "NATIVE");
+        assert!(aggs.iter().all(|a| a.reboots == 2));
+        assert!(aggs.iter().all(|a| a.all_resumed_identical && a.all_restores_ok));
+        assert!(aggs.iter().all(|a| a.corrupt_skipped == 1));
+        let json = results.to_json();
+        assert!(json.starts_with("{\"schema\":\"simty-bench-soak/v1\""));
+        assert!(json.contains("\"profile\":\"bitflip\""));
+        assert!(json.contains("\"resumed_identical\":true"));
+        assert!(!json.contains("wall"), "soak documents must be deterministic");
+    }
+
+    #[test]
+    fn parallel_and_sequential_campaigns_are_byte_identical() {
+        let specs = soak_matrix(
+            &[PolicyKind::Simty],
+            &[Scenario::Light],
+            &[SoakProfile::SingleReboot],
+            2,
+            SimDuration::from_hours(1),
+        );
+        let a = run_soak(&specs, 1).to_json();
+        let b = run_soak(&specs, 4).to_json();
+        assert_eq!(a, b);
+    }
+}

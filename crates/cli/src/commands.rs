@@ -21,6 +21,12 @@ pub enum CliError {
     Usage(String),
     /// An I/O error (e.g. writing a trace file).
     Io(io::Error),
+    /// A campaign detected runtime invariant violations (the guarantee
+    /// the paper makes did not hold); the binary exits non-zero.
+    Invariants(u64),
+    /// A checkpoint recovery drill failed — restore errored out or the
+    /// resumed run diverged from the straight-through run.
+    Recovery(String),
 }
 
 impl fmt::Display for CliError {
@@ -29,6 +35,10 @@ impl fmt::Display for CliError {
             CliError::Args(e) => write!(f, "{e}"),
             CliError::Usage(msg) => f.write_str(msg),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Invariants(n) => {
+                write!(f, "{n} runtime invariant violation(s) detected")
+            }
+            CliError::Recovery(msg) => write!(f, "unrecoverable checkpoint: {msg}"),
         }
     }
 }
@@ -62,6 +72,8 @@ COMMANDS:
     sweep-beta  sweep the grace fraction under SIMTY
     chaos       fault-injection resilience campaign (policy x scenario x
                 fault profile x seed), with online watchdog + invariants
+    soak        long-horizon endurance campaign with reboots, checkpoint
+                corruption, and resume-vs-straight-through byte checks
     analyze     offline analysis of a delivery-trace CSV (--trace FILE)
     estimate    closed-form energy envelope of a workload (no simulation)
     catalog     print the paper's Table 3 app catalogue
@@ -111,6 +123,20 @@ CHAOS FLAGS:
     --hours N                  simulated hours per cell     [default: 1]
     --threads N                worker threads               [default: all cores]
     --json FILE                write the campaign document (BENCH_chaos.json schema)
+
+SOAK FLAGS:
+    --policies LIST            comma-separated policy names [default: native,simty]
+    --scenarios LIST           comma-separated light|heavy  [default: light,heavy]
+    --profiles LIST            comma-separated soak profiles: steady|
+                               single-reboot|reboot-storm|bitflip|torn-stale
+                               [default: all]
+    --seeds N                  run seeds 1..=N              [default: 2]
+    --hours N                  simulated hours per cell     [default: 48]
+    --threads N                worker threads               [default: all cores]
+    --json FILE                write the campaign document (BENCH_soak.json schema)
+
+Campaign commands exit non-zero when a runtime invariant is violated or
+a checkpoint recovery drill fails (restore error or byte divergence).
 ";
 
 /// Parses a policy name.
@@ -267,6 +293,7 @@ pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliErro
         "sweep" => cmd_sweep(&args, out),
         "sweep-beta" => cmd_sweep_beta(&args, out),
         "chaos" => cmd_chaos(&args, out),
+        "soak" => cmd_soak(&args, out),
         "analyze" => cmd_analyze(&args, out),
         "estimate" => cmd_estimate(&args, out),
         "catalog" => cmd_catalog(&args, out),
@@ -352,10 +379,9 @@ fn cmd_run<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         writeln!(out, "trace written to {path}")?;
     }
     if let Some(path) = args.get("waveform") {
-        let monitor = sim
-            .device()
-            .monitor()
-            .expect("waveform recording was enabled");
+        let monitor = sim.device().monitor().ok_or_else(|| {
+            CliError::Usage("waveform recording was not enabled for this run".into())
+        })?;
         let file = BufWriter::new(File::create(path)?);
         monitor.write_csv(file)?;
         writeln!(
@@ -655,6 +681,154 @@ fn cmd_chaos<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     if let Some(path) = args.get("json") {
         results.write_json(path)?;
         writeln!(out, "chaos document written to {path}")?;
+    }
+    if results.total_violations() > 0 {
+        return Err(CliError::Invariants(results.total_violations()));
+    }
+    Ok(())
+}
+
+fn cmd_soak<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "policies",
+        "scenarios",
+        "profiles",
+        "seeds",
+        "hours",
+        "threads",
+        "json",
+    ])?;
+    let policies: Vec<PolicyKind> = args
+        .get("policies")
+        .unwrap_or("native,simty")
+        .split(',')
+        .map(parse_policy)
+        .collect::<Result<_, _>>()?;
+    let scenarios: Vec<Scenario> = args
+        .get("scenarios")
+        .unwrap_or("light,heavy")
+        .split(',')
+        .map(|name| match parse_scenario(name)? {
+            ScenarioChoice::Paper(s) => Ok(s),
+            ScenarioChoice::Synthetic(_) => Err(CliError::Usage(
+                "soak campaigns cover the paper scenarios (light|heavy)".into(),
+            )),
+        })
+        .collect::<Result<_, _>>()?;
+    let profiles: Vec<simty_bench::SoakProfile> = match args.get("profiles") {
+        None => simty_bench::SoakProfile::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                simty_bench::SoakProfile::parse(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown soak profile `{name}` (see `standby --help`)"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let seeds = args.get_u64("seeds", 2)?;
+    let hours = args.get_u64("hours", 48)?;
+    let threads = args.get_u64("threads", simty_bench::sweep::available_threads() as u64)?;
+    if seeds == 0 || hours == 0 || threads == 0 {
+        return Err(CliError::Usage(
+            "--seeds, --hours, and --threads must be positive".into(),
+        ));
+    }
+
+    let specs = simty_bench::soak_matrix(
+        &policies,
+        &scenarios,
+        &profiles,
+        seeds,
+        SimDuration::from_hours(hours),
+    );
+    let results = simty_bench::run_soak(&specs, threads as usize);
+
+    let mut table = TextTable::new([
+        "cell",
+        "reboots",
+        "catch-up",
+        "window misses",
+        "snapshots",
+        "skipped",
+        "resume",
+    ]);
+    for (spec, report, rec) in results.runs() {
+        let r = &report.resilience;
+        table.row([
+            spec.label(),
+            r.reboots.to_string(),
+            r.catch_up_entries.to_string(),
+            r.perceptible_window_misses.to_string(),
+            rec.checkpoints.to_string(),
+            rec.corrupt_skipped.to_string(),
+            if rec.restore_ok && rec.resumed_identical {
+                "identical".to_owned()
+            } else if rec.restore_ok {
+                "DIVERGED".to_owned()
+            } else {
+                "FAILED".to_owned()
+            },
+        ]);
+    }
+    writeln!(out, "{}", table.render())?;
+
+    let mut summary = TextTable::new([
+        "policy",
+        "cells",
+        "reboots",
+        "recovery (s)",
+        "catch-up",
+        "worst delay (s)",
+        "window misses",
+        "resume",
+    ]);
+    for agg in results.aggregates() {
+        summary.row([
+            agg.policy.clone(),
+            agg.runs.to_string(),
+            agg.reboots.to_string(),
+            format!("{:.1}", agg.mean_recovery_ms / 1_000.0),
+            agg.catch_up_entries.to_string(),
+            format!("{:.1}", agg.worst_catch_up_delay_ms / 1_000.0),
+            agg.perceptible_window_misses.to_string(),
+            if agg.all_resumed_identical && agg.all_restores_ok {
+                "identical".to_owned()
+            } else {
+                "BROKEN".to_owned()
+            },
+        ]);
+    }
+    writeln!(out, "\n{}", summary.render())?;
+    writeln!(
+        out,
+        "{} soak cells, {} perceptible-window misses, recovery {}",
+        results.runs().len(),
+        results.total_misses(),
+        if results.all_recovered() { "clean" } else { "BROKEN" },
+    )?;
+    if let Some(path) = args.get("json") {
+        results.write_json(path)?;
+        writeln!(out, "soak document written to {path}")?;
+    }
+    let violations: u64 = results
+        .runs()
+        .iter()
+        .map(|(_, r, _)| r.resilience.invariant_violations)
+        .sum();
+    if violations > 0 {
+        return Err(CliError::Invariants(violations));
+    }
+    if !results.all_recovered() {
+        let broken: Vec<String> = results
+            .runs()
+            .iter()
+            .filter(|(_, _, rec)| !(rec.restore_ok && rec.resumed_identical))
+            .map(|(spec, _, _)| spec.label())
+            .collect();
+        return Err(CliError::Recovery(broken.join(", ")));
     }
     Ok(())
 }
@@ -966,6 +1140,54 @@ mod tests {
         assert!(json.contains("\"schema\":\"simty-bench-chaos/v1\""));
         assert!(json.contains("\"policy\":\"SIMTY\""));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn soak_runs_a_small_campaign() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("simty_cli_test_soak.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let text = run(&[
+            "soak",
+            "--policies",
+            "simty",
+            "--scenarios",
+            "light",
+            "--profiles",
+            "single-reboot,bitflip",
+            "--seeds",
+            "1",
+            "--hours",
+            "2",
+            "--threads",
+            "2",
+            "--json",
+            &path_str,
+        ])
+        .unwrap();
+        assert!(text.contains("SIMTY/light/single-reboot/seed1"));
+        assert!(text.contains("SIMTY/light/bitflip/seed1"));
+        assert!(text.contains("2 soak cells, 0 perceptible-window misses, recovery clean"));
+        assert!(text.contains("soak document written"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\":\"simty-bench-soak/v1\""));
+        assert!(json.contains("\"resumed_identical\":true"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn soak_rejects_bad_grids() {
+        for bad in [
+            vec!["soak", "--profiles", "bogus"],
+            vec!["soak", "--policies", "bogus"],
+            vec!["soak", "--scenarios", "synthetic:5"],
+            vec!["soak", "--seeds", "0"],
+        ] {
+            assert!(
+                matches!(run(&bad), Err(CliError::Usage(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
     }
 
     #[test]

@@ -44,11 +44,28 @@ use crate::time::{Interval, SimDuration, SimTime};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct AlarmId(u64);
 
+/// The next identifier [`AlarmId::fresh`] will hand out.
+static NEXT_ALARM_ID: AtomicU64 = AtomicU64::new(1);
+
 impl AlarmId {
     /// Allocates a fresh, process-unique identifier.
     pub fn fresh() -> AlarmId {
-        static NEXT: AtomicU64 = AtomicU64::new(1);
-        AlarmId(NEXT.fetch_add(1, Ordering::Relaxed))
+        AlarmId(NEXT_ALARM_ID.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Rebuilds an identifier from a persisted raw value (checkpoint
+    /// restore). Pair with [`reserve_through`](Self::reserve_through) so
+    /// later [`fresh`](Self::fresh) calls cannot collide with restored
+    /// identifiers.
+    pub fn from_raw(raw: u64) -> AlarmId {
+        AlarmId(raw)
+    }
+
+    /// Advances the process-wide id counter past `max_seen`, guaranteeing
+    /// that every subsequently [`fresh`](Self::fresh) identifier is
+    /// strictly greater than `max_seen`.
+    pub fn reserve_through(max_seen: u64) {
+        NEXT_ALARM_ID.fetch_max(max_seen + 1, Ordering::Relaxed);
     }
 
     /// The raw numeric value (for traces and reports).
@@ -148,6 +165,44 @@ impl Alarm {
     /// See the [module documentation](self) for a complete example.
     pub fn builder(label: impl Into<String>) -> AlarmBuilder {
         AlarmBuilder::new(label)
+    }
+
+    /// Rebuilds an alarm from persisted state (checkpoint restore).
+    ///
+    /// This is a trusted constructor: it bypasses the builder's interval
+    /// validation because the persisted alarm was already validated when
+    /// it was first built, and a mid-flight alarm may legitimately carry
+    /// state a fresh registration could not (e.g. a known hardware set or
+    /// an active quarantine). The caller must pass values captured from a
+    /// live alarm and must call [`AlarmId::reserve_through`] with the
+    /// largest restored raw id so fresh ids cannot collide.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore(
+        id: AlarmId,
+        label: String,
+        nominal: SimTime,
+        window: SimDuration,
+        grace: SimDuration,
+        repeat: Repeat,
+        kind: AlarmKind,
+        hardware: HardwareSet,
+        hardware_known: bool,
+        task_duration: SimDuration,
+        quarantined: bool,
+    ) -> Alarm {
+        Alarm {
+            id,
+            label,
+            nominal,
+            window,
+            grace,
+            repeat,
+            kind,
+            hardware,
+            hardware_known,
+            task_duration,
+            quarantined,
+        }
     }
 
     /// The alarm's stable identifier.

@@ -149,6 +149,21 @@ impl HardwareSet {
         HardwareSet(component.bit())
     }
 
+    /// The raw bit representation (for persistence).
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Rebuilds a set from its raw bits, dropping any bits that do not
+    /// correspond to a known component.
+    pub fn from_bits(bits: u16) -> Self {
+        let mut known = 0u16;
+        for c in HardwareComponent::ALL {
+            known |= c.bit();
+        }
+        HardwareSet(bits & known)
+    }
+
     /// Whether the set is empty.
     pub const fn is_empty(self) -> bool {
         self.0 == 0

@@ -60,6 +60,27 @@ impl AlarmManager {
         }
     }
 
+    /// Rebuilds a manager from persisted state (checkpoint restore).
+    ///
+    /// The queues must have been captured from a live manager governed by
+    /// an identical policy: restore bypasses [`register`](Self::register)
+    /// because mid-flight state is not re-registrable — entries already
+    /// reflect the policy's historical placement decisions, and alarms may
+    /// carry nominal times at (or, transiently, before) `now`.
+    pub fn restore(
+        policy: Box<dyn AlignmentPolicy>,
+        wakeup: AlarmQueue,
+        non_wakeup: AlarmQueue,
+        now: SimTime,
+    ) -> Self {
+        AlarmManager {
+            policy,
+            wakeup,
+            non_wakeup,
+            now,
+        }
+    }
+
     /// The governing policy's display name.
     pub fn policy_name(&self) -> &str {
         self.policy.name()

@@ -37,6 +37,30 @@ pub enum DevicePowerState {
     Awake,
 }
 
+/// The complete resumable state of a [`Device`] (checkpoint capture),
+/// minus the power model, which lives in the simulation config.
+#[derive(Debug, Clone)]
+pub struct DeviceSnapshot {
+    /// The power state at capture time.
+    pub state: DevicePowerState,
+    /// The energy accumulators.
+    pub meter: EnergyMeter,
+    /// The wakelock table.
+    pub locks: WakeLockTable,
+    /// The instant up to which energy has been integrated.
+    pub clock: SimTime,
+    /// The CPU-busy deadline.
+    pub cpu_busy_until: SimTime,
+    /// When the device last became idle, if it currently is.
+    pub idle_since: Option<SimTime>,
+    /// Sleep→awake transitions so far.
+    pub wake_count: u64,
+    /// Total time spent waking or awake.
+    pub awake_time: SimDuration,
+    /// The recorded power waveform, if a monitor was attached.
+    pub monitor: Option<PowerTrace>,
+}
+
 /// A simulated smartphone in connected standby.
 ///
 /// # Examples
@@ -81,6 +105,56 @@ impl Device {
             awake_time: SimDuration::ZERO,
             monitor: None,
         }
+    }
+
+    /// Captures the device's complete resumable state.
+    pub fn snapshot(&self) -> DeviceSnapshot {
+        DeviceSnapshot {
+            state: self.state,
+            meter: self.meter.clone(),
+            locks: self.locks.clone(),
+            clock: self.clock,
+            cpu_busy_until: self.cpu_busy_until,
+            idle_since: self.idle_since,
+            wake_count: self.wake_count,
+            awake_time: self.awake_time,
+            monitor: self.monitor.clone(),
+        }
+    }
+
+    /// Rebuilds a device from a persisted snapshot under `model`
+    /// (checkpoint restore).
+    pub fn restore(model: PowerModel, snapshot: DeviceSnapshot) -> Self {
+        Device {
+            model,
+            state: snapshot.state,
+            meter: snapshot.meter,
+            locks: snapshot.locks,
+            clock: snapshot.clock,
+            cpu_busy_until: snapshot.cpu_busy_until,
+            idle_since: snapshot.idle_since,
+            wake_count: snapshot.wake_count,
+            awake_time: snapshot.awake_time,
+            monitor: snapshot.monitor,
+        }
+    }
+
+    /// Hard-kills the device at `now`: every wakelock drops, the CPU-busy
+    /// deadline clears, and the device falls straight to the sleep-floor
+    /// power state (the outage accrues sleep-floor power, modelling the
+    /// powered-off baseline). Returns the components that were active.
+    ///
+    /// No wake-transition energy is charged and no activation state
+    /// survives — boot-time re-acquisition pays full activation costs,
+    /// which is exactly the recovery overhead a reboot plan measures.
+    pub fn reboot(&mut self, now: SimTime) -> HardwareSet {
+        self.advance_to(now);
+        let released = self.locks.release_all();
+        self.cpu_busy_until = now;
+        self.idle_since = None;
+        self.state = DevicePowerState::Asleep;
+        self.sample_monitor(now);
+        released
     }
 
     /// Attaches a simulated Monsoon power monitor, recording the power
@@ -666,6 +740,46 @@ mod tests {
         assert_eq!(impulses.len(), 2);
         assert!((impulses[0].1 - 100.0).abs() < 1e-9); // wake transition
         assert!((impulses[1].1 - 200.0).abs() < 1e-9); // wifi activation
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip_is_exact() {
+        let mut d = device();
+        let ready = d.request_wake(SimTime::from_secs(10));
+        d.complete_wake(ready);
+        d.run_task(HardwareComponent::Wifi.into(), SimDuration::from_secs(3), ready);
+        let mut r = Device::restore(PowerModel::nexus5(), d.snapshot());
+        let end = d.next_internal_event().unwrap();
+        assert_eq!(r.next_internal_event(), Some(end));
+        d.release_expired(end);
+        r.release_expired(end);
+        assert!(d.try_sleep(d.earliest_sleep_time().unwrap()));
+        assert!(r.try_sleep(r.earliest_sleep_time().unwrap()));
+        // Bit-exact energy: the restored run must be indistinguishable.
+        assert_eq!(
+            d.energy().total_mj().to_bits(),
+            r.energy().total_mj().to_bits()
+        );
+        assert_eq!(d.wake_count(), r.wake_count());
+        assert_eq!(d.awake_time(), r.awake_time());
+    }
+
+    #[test]
+    fn reboot_drops_everything_and_sleeps() {
+        let mut d = device();
+        let ready = d.request_wake(SimTime::from_secs(10));
+        d.complete_wake(ready);
+        d.run_task(HardwareComponent::Gps.into(), SimDuration::from_secs(600), ready);
+        let released = d.reboot(ready + SimDuration::from_secs(1));
+        assert_eq!(released, HardwareComponent::Gps.into());
+        assert!(d.is_asleep());
+        assert_eq!(d.next_internal_event(), None);
+        // The outage accrues sleep-floor power only.
+        let before = d.energy().sleep_mj;
+        d.advance_to(ready + SimDuration::from_secs(11));
+        assert!((d.energy().sleep_mj - before - 500.0).abs() < 1e-9);
+        // No transition was charged by the kill itself.
+        assert!((d.energy().transition_mj - 100.0).abs() < 1e-9);
     }
 
     #[test]

@@ -52,6 +52,34 @@ impl EnergyMeter {
         self.component_mj[PowerModel::index(c)] += model.component(c).activation_energy_mj;
     }
 
+    /// The raw accumulators `(sleep, transition, awake_base, component)`,
+    /// in mJ (checkpoint capture).
+    pub fn parts(&self) -> (f64, f64, f64, [f64; HardwareComponent::ALL.len()]) {
+        (
+            self.sleep_mj,
+            self.transition_mj,
+            self.awake_base_mj,
+            self.component_mj,
+        )
+    }
+
+    /// Rebuilds a meter from persisted accumulators (checkpoint restore).
+    /// Exact bit-for-bit restoration of the accumulators is what makes a
+    /// resumed run's energy report byte-identical to the original.
+    pub fn from_parts(
+        sleep_mj: f64,
+        transition_mj: f64,
+        awake_base_mj: f64,
+        component_mj: [f64; HardwareComponent::ALL.len()],
+    ) -> Self {
+        EnergyMeter {
+            sleep_mj,
+            transition_mj,
+            awake_base_mj,
+            component_mj,
+        }
+    }
+
     /// A snapshot of the totals.
     pub fn breakdown(&self) -> EnergyBreakdown {
         EnergyBreakdown {

@@ -42,6 +42,13 @@ impl PowerTrace {
         PowerTrace::default()
     }
 
+    /// Rebuilds a waveform from persisted samples (checkpoint restore).
+    /// Both vectors must be in nondecreasing time order, as produced by
+    /// [`levels`](Self::levels) and [`impulses`](Self::impulses).
+    pub fn from_parts(levels: Vec<(SimTime, f64)>, impulses: Vec<(SimTime, f64)>) -> Self {
+        PowerTrace { levels, impulses }
+    }
+
     /// Records that the power level changed to `mw` at `t`. Consecutive
     /// identical levels coalesce.
     pub fn record_level(&mut self, t: SimTime, mw: f64) {

@@ -42,6 +42,29 @@ impl WakeLockTable {
         WakeLockTable::default()
     }
 
+    /// The per-component expiries and activation counters, indexed per
+    /// [`HardwareComponent::ALL`] (checkpoint capture).
+    pub fn parts(
+        &self,
+    ) -> (
+        [Option<SimTime>; HardwareComponent::ALL.len()],
+        [u64; HardwareComponent::ALL.len()],
+    ) {
+        (self.expiry, self.activations)
+    }
+
+    /// Rebuilds a table from persisted expiries and activation counters
+    /// (checkpoint restore).
+    pub fn from_parts(
+        expiry: [Option<SimTime>; HardwareComponent::ALL.len()],
+        activations: [u64; HardwareComponent::ALL.len()],
+    ) -> Self {
+        WakeLockTable {
+            expiry,
+            activations,
+        }
+    }
+
     /// Acquires (or extends) locks on every component in `set` until
     /// `until`, returning the components that were newly activated —
     /// the caller charges their activation energy.

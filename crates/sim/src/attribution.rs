@@ -30,10 +30,10 @@ use simty_device::power::PowerModel;
 
 /// A task currently holding the device awake.
 #[derive(Debug, Clone)]
-struct ActiveTask {
-    app: String,
-    hardware: HardwareSet,
-    until: SimTime,
+pub(crate) struct ActiveTask {
+    pub(crate) app: String,
+    pub(crate) hardware: HardwareSet,
+    pub(crate) until: SimTime,
 }
 
 /// The per-app energy ledger (all values in mJ).
@@ -43,14 +43,14 @@ struct ActiveTask {
 /// [`Simulation::attribution`](crate::engine::Simulation::attribution).
 #[derive(Debug, Clone)]
 pub struct AttributionLedger {
-    model: PowerModel,
-    active: Vec<ActiveTask>,
-    per_app: BTreeMap<String, f64>,
-    interventions: BTreeMap<String, u64>,
-    overhead_mj: f64,
-    pending_transition_mj: f64,
-    last: SimTime,
-    awake: bool,
+    pub(crate) model: PowerModel,
+    pub(crate) active: Vec<ActiveTask>,
+    pub(crate) per_app: BTreeMap<String, f64>,
+    pub(crate) interventions: BTreeMap<String, u64>,
+    pub(crate) overhead_mj: f64,
+    pub(crate) pending_transition_mj: f64,
+    pub(crate) last: SimTime,
+    pub(crate) awake: bool,
 }
 
 impl AttributionLedger {

@@ -49,6 +49,9 @@ pub struct SimConfig {
     pub online_watchdog: Option<OnlineWatchdogConfig>,
     /// Runtime invariant checking mode.
     pub invariants: InvariantMode,
+    /// Capture a crash-consistent checkpoint every this often (see
+    /// [`crate::checkpoint`]); `None` disables checkpointing.
+    pub checkpoint_every: Option<SimDuration>,
 }
 
 impl Default for SimConfig {
@@ -60,6 +63,7 @@ impl Default for SimConfig {
             record_waveform: false,
             online_watchdog: None,
             invariants: InvariantMode::Off,
+            checkpoint_every: None,
         }
     }
 }
@@ -112,6 +116,21 @@ impl SimConfig {
     /// violation panics immediately. Use in tests.
     pub fn with_strict_invariants(mut self) -> Self {
         self.invariants = InvariantMode::Strict;
+        self
+    }
+
+    /// Captures a crash-consistent in-memory checkpoint every `every` of
+    /// simulated time; retrieve them with
+    /// [`Simulation::checkpoints`](crate::engine::Simulation::checkpoints)
+    /// and resume with
+    /// [`Simulation::restore`](crate::engine::Simulation::restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn with_checkpoints(mut self, every: SimDuration) -> Self {
+        assert!(!every.is_zero(), "checkpoint interval must be positive");
+        self.checkpoint_every = Some(every);
         self
     }
 }

@@ -28,9 +28,11 @@ use simty_core::time::{SimDuration, SimTime};
 use simty_device::device::Device;
 
 use crate::attribution::AttributionLedger;
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::{InvariantMode, SimConfig};
+use crate::error::SimError;
 use crate::event::{EventKind, EventQueue};
-use crate::fault::{FaultPlan, FaultState};
+use crate::fault::{FaultPlan, FaultState, RebootPlan};
 use crate::invariant::InvariantMonitor;
 use crate::metrics::SimReport;
 use crate::trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
@@ -41,23 +43,23 @@ use crate::watchdog::OnlineWatchdogConfig;
 /// [`Simulation::force_release_app`]) can cut a single offender loose
 /// while every bystander keeps its locks.
 #[derive(Debug, Clone)]
-struct TaskHold {
-    app: String,
-    hardware: HardwareSet,
-    started: SimTime,
-    until: SimTime,
+pub(crate) struct TaskHold {
+    pub(crate) app: String,
+    pub(crate) hardware: HardwareSet,
+    pub(crate) started: SimTime,
+    pub(crate) until: SimTime,
 }
 
 /// A pending hardware-activation retry after a transient failure.
 #[derive(Debug, Clone)]
-struct RetrySlot {
-    app: String,
-    hardware: HardwareSet,
-    until: SimTime,
-    attempt: u32,
-    done: bool,
+pub(crate) struct RetrySlot {
+    pub(crate) app: String,
+    pub(crate) hardware: HardwareSet,
+    pub(crate) until: SimTime,
+    pub(crate) attempt: u32,
+    pub(crate) done: bool,
     /// Wake-transition energy paid so far just to run this retry.
-    overhead_mj: f64,
+    pub(crate) overhead_mj: f64,
 }
 
 /// A deterministic connected-standby simulation.
@@ -88,28 +90,33 @@ struct RetrySlot {
 /// # }
 /// ```
 pub struct Simulation {
-    manager: AlarmManager,
-    device: Device,
-    events: EventQueue,
-    trace: Trace,
-    ledger: AttributionLedger,
-    config: SimConfig,
-    now: SimTime,
-    armed: HashSet<(u8, u64)>,
-    due_buffer: Vec<QueueEntry>,
-    faults: Option<FaultState>,
-    monitor: Option<InvariantMonitor>,
-    watchdog: Option<OnlineWatchdogConfig>,
-    holds: Vec<TaskHold>,
+    pub(crate) manager: AlarmManager,
+    pub(crate) device: Device,
+    pub(crate) events: EventQueue,
+    pub(crate) trace: Trace,
+    pub(crate) ledger: AttributionLedger,
+    pub(crate) config: SimConfig,
+    pub(crate) now: SimTime,
+    pub(crate) armed: HashSet<(u8, u64)>,
+    pub(crate) due_buffer: Vec<QueueEntry>,
+    pub(crate) faults: Option<FaultState>,
+    pub(crate) monitor: Option<InvariantMonitor>,
+    pub(crate) watchdog: Option<OnlineWatchdogConfig>,
+    pub(crate) holds: Vec<TaskHold>,
     /// Forced-release counts per app (the quarantine trigger).
-    offenses: BTreeMap<String, u32>,
+    pub(crate) offenses: BTreeMap<String, u32>,
     /// Quarantined apps: when they entered, and their clean-delivery
     /// streak toward probation.
-    quarantined: BTreeMap<String, (SimTime, u32)>,
-    activation_retries: Vec<RetrySlot>,
+    pub(crate) quarantined: BTreeMap<String, (SimTime, u32)>,
+    pub(crate) activation_retries: Vec<RetrySlot>,
     /// Alarms cancelled by an injected crash, waiting for the restart.
-    crash_stash: BTreeMap<String, Vec<Alarm>>,
-    energy_checked: bool,
+    pub(crate) crash_stash: BTreeMap<String, Vec<Alarm>>,
+    pub(crate) energy_checked: bool,
+    /// While rebooting: when boot completes. Device-local events that
+    /// fire during the outage are dead (the power is off).
+    pub(crate) down_until: Option<SimTime>,
+    /// In-memory checkpoints captured by [`EventKind::Checkpoint`].
+    pub(crate) checkpoints: Vec<Checkpoint>,
 }
 
 impl Simulation {
@@ -140,6 +147,8 @@ impl Simulation {
             activation_retries: Vec::new(),
             crash_stash: BTreeMap::new(),
             energy_checked: false,
+            down_until: None,
+            checkpoints: Vec::new(),
         };
         if sim.config.record_waveform {
             sim.device.attach_monitor();
@@ -147,6 +156,9 @@ impl Simulation {
         let wakes = sim.config.external_wakes.clone();
         for t in wakes {
             sim.schedule_once(EventKind::ExternalWake, t);
+        }
+        if let Some(every) = sim.config.checkpoint_every {
+            sim.schedule_once(EventKind::Checkpoint, SimTime::ZERO + every);
         }
         sim
     }
@@ -245,6 +257,50 @@ impl Simulation {
             m.add_slack(plan.delivery_slack());
         }
         self.faults = Some(FaultState::new(plan.clone()));
+    }
+
+    /// Compiles a [`RebootPlan`] into the run: each scheduled reboot
+    /// becomes an event that kills the simulated device mid-standby, and
+    /// the invariant monitor's slack widens by the plan's worst outage
+    /// (an alarm due the instant the power dies waits out the whole
+    /// outage). Composable with [`inject_faults`](Self::inject_faults).
+    pub fn inject_reboots(&mut self, plan: &RebootPlan) {
+        for r in plan.reboots() {
+            if r.at >= self.now {
+                self.schedule_once(EventKind::Reboot { outage: r.outage }, r.at);
+            }
+        }
+        if let Some(m) = &mut self.monitor {
+            m.add_slack(plan.delivery_slack());
+        }
+    }
+
+    /// The checkpoints captured so far (see
+    /// [`SimConfig::with_checkpoints`]).
+    pub fn checkpoints(&self) -> &[Checkpoint] {
+        &self.checkpoints
+    }
+
+    /// Captures a crash-consistent checkpoint of the current state on
+    /// demand (the periodic capture calls this too).
+    pub fn checkpoint(&self) -> Checkpoint {
+        crate::checkpoint::capture(self)
+    }
+
+    /// Rebuilds a simulation from a checkpoint, resuming exactly where
+    /// the capture left off. `policy` must be the same (stateless) policy
+    /// the checkpointed run used; a resumed run is byte-identical in
+    /// trace and report to the straight-through run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CheckpointError`] if the policy name does not match
+    /// the checkpoint or the snapshot is internally inconsistent.
+    pub fn restore(
+        policy: Box<dyn AlignmentPolicy>,
+        checkpoint: &Checkpoint,
+    ) -> Result<Simulation, CheckpointError> {
+        crate::checkpoint::restore(policy, checkpoint)
     }
 
     /// The runtime invariant monitor, if one is attached.
@@ -347,15 +403,28 @@ impl Simulation {
     ///
     /// Panics if no time has been processed yet.
     pub fn report(&self) -> SimReport {
+        self.try_report().expect("report requested before running")
+    }
+
+    /// The report over the time span processed so far, or a typed error
+    /// instead of a panic when no time has been processed yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ReportBeforeRun`] if the simulation has not
+    /// advanced past time zero.
+    pub fn try_report(&self) -> Result<SimReport, SimError> {
         let span = self.now - SimTime::ZERO;
-        assert!(!span.is_zero(), "report requested before running");
+        if span.is_zero() {
+            return Err(SimError::ReportBeforeRun);
+        }
         let mut report =
             SimReport::compute(self.manager.policy_name(), span, &self.trace, &self.device);
         if let Some(m) = &self.monitor {
             report.resilience.invariant_violations = m.violations().len() as u64;
             report.resilience.perceptible_window_misses = m.window_misses();
         }
-        report
+        Ok(report)
     }
 
     fn handle(&mut self, kind: EventKind, t: SimTime) {
@@ -492,7 +561,105 @@ impl Simulation {
                 });
                 self.arm_clocks();
             }
+            EventKind::Reboot { outage } => {
+                self.reboot(t, outage);
+            }
+            EventKind::BootComplete => {
+                self.boot_complete(t);
+            }
+            EventKind::Checkpoint => {
+                // Arm the next capture first so the snapshot's event
+                // queue already carries it — a run resumed from this
+                // checkpoint keeps checkpointing on schedule.
+                if let Some(every) = self.config.checkpoint_every {
+                    let next = t + every;
+                    if next <= SimTime::ZERO + self.config.duration {
+                        self.schedule_once(EventKind::Checkpoint, next);
+                    }
+                }
+                let snapshot = crate::checkpoint::capture(self);
+                self.checkpoints.push(snapshot);
+            }
         }
+    }
+
+    /// Kills the simulated device at `t`: every wakelock, in-flight
+    /// task, and pending retry dies with the power. Device-local events
+    /// are purged from the queue; app/system-level events survive,
+    /// deferred to boot completion when they land inside the outage.
+    fn reboot(&mut self, t: SimTime, outage: SimDuration) {
+        let boot_at = t + outage;
+        self.device.reboot(t);
+        self.holds.clear();
+        for slot in &mut self.activation_retries {
+            slot.done = true;
+        }
+        self.ledger.drop_all_tasks(t);
+        // Rebuild the event queue. RTC fires, wake transitions, task
+        // ends, sleep attempts, watchdog checks, and activation retries
+        // referenced state that no longer exists; external wakes during
+        // the outage hit a powered-off radio and are lost.
+        let (pending, _) = self.events.snapshot();
+        self.events = EventQueue::new();
+        self.armed.clear();
+        for ev in pending {
+            match ev.kind {
+                EventKind::Reboot { .. } | EventKind::BootComplete | EventKind::Checkpoint => {
+                    self.schedule_once(ev.kind, ev.time);
+                }
+                EventKind::ExternalWake if ev.time >= boot_at => {
+                    self.schedule_once(ev.kind, ev.time);
+                }
+                EventKind::Reregister { .. }
+                | EventKind::AppCrash { .. }
+                | EventKind::AppRestart { .. } => {
+                    // The OS replays these once it is back up.
+                    self.events.schedule(ev.time.max(boot_at), ev.kind);
+                }
+                _ => {}
+            }
+        }
+        self.down_until = Some(boot_at);
+        self.trace.record_intervention(InterventionRecord {
+            at: t,
+            app: "device".to_owned(),
+            kind: InterventionKind::Reboot { outage },
+            overhead_mj: 0.0,
+        });
+        self.schedule_once(EventKind::BootComplete, boot_at);
+    }
+
+    /// Boot finished: account the missed-alarm catch-up, then wake and
+    /// deliver everything that came due during the outage (apps
+    /// re-register at boot, so the queues are intact).
+    fn boot_complete(&mut self, t: SimTime) {
+        match self.down_until {
+            // A later reboot superseded this boot while we were down.
+            Some(du) if t < du => return,
+            _ => {}
+        }
+        self.down_until = None;
+        let mut caught_up = 0usize;
+        let mut worst_delay = SimDuration::ZERO;
+        for entry in self.manager.wakeup_queue().entries() {
+            let due = entry.delivery_time();
+            if due <= t {
+                caught_up += 1;
+                worst_delay = worst_delay.max(t - due);
+            }
+        }
+        self.trace.record_intervention(InterventionRecord {
+            at: t,
+            app: "device".to_owned(),
+            kind: InterventionKind::BootCatchUp {
+                caught_up,
+                worst_delay,
+            },
+            overhead_mj: 0.0,
+        });
+        // Boot itself powers the device up — the catch-up deliveries (if
+        // any) ride the boot transition.
+        self.wake_and_deliver(t);
     }
 
     /// Inspects outstanding holds; any hold older than the watchdog's
@@ -845,6 +1012,9 @@ impl Simulation {
             EventKind::ActivationRetry { .. } => 8,
             EventKind::AppCrash { .. } => 9,
             EventKind::AppRestart { .. } => 10,
+            EventKind::Reboot { .. } => 11,
+            EventKind::BootComplete => 12,
+            EventKind::Checkpoint => 13,
         }
     }
 }

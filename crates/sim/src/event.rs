@@ -62,6 +62,21 @@ pub enum EventKind {
         /// The restarting app's label.
         app: String,
     },
+    /// A fault-injected device reboot: the simulated phone loses power
+    /// mid-standby. Every wakelock, in-flight task, and pending retry is
+    /// dropped; alarms survive only because apps re-register them at boot
+    /// (see [`crate::fault::RebootPlan`]).
+    Reboot {
+        /// How long the device stays down before the OS is back up.
+        outage: SimDuration,
+    },
+    /// Boot finished after a [`EventKind::Reboot`]: apps re-register
+    /// their alarms and the engine catches up on fires missed during the
+    /// outage.
+    BootComplete,
+    /// The engine captures a crash-consistent checkpoint of the full
+    /// simulation state (see [`crate::checkpoint`]).
+    Checkpoint,
 }
 
 /// A scheduled event.
@@ -142,6 +157,27 @@ impl EventQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The pending events in deterministic `(time, seq)` order plus the
+    /// next sequence number (checkpoint capture). Sequence numbers are
+    /// preserved so a restored queue breaks ties exactly like the
+    /// original.
+    pub fn snapshot(&self) -> (Vec<Event>, u64) {
+        let mut events: Vec<Event> = self.heap.iter().cloned().collect();
+        events.sort_by(|a, b| a.time.cmp(&b.time).then_with(|| a.seq.cmp(&b.seq)));
+        (events, self.next_seq)
+    }
+
+    /// Rebuilds a queue from a [`snapshot`](Self::snapshot). Events keep
+    /// their recorded sequence numbers; `next_seq` must be at least one
+    /// past the largest of them.
+    pub fn restore(events: Vec<Event>, next_seq: u64) -> Self {
+        debug_assert!(events.iter().all(|e| e.seq < next_seq));
+        EventQueue {
+            heap: events.into_iter().collect(),
+            next_seq,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +206,26 @@ mod tests {
         assert_eq!(q.pop().unwrap().kind, EventKind::WakeComplete);
         assert_eq!(q.pop().unwrap().kind, EventKind::RtcAlarm);
         assert_eq!(q.pop().unwrap().kind, EventKind::TrySleep);
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_order_and_ties() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        q.schedule(t, EventKind::WakeComplete);
+        q.schedule(SimTime::from_secs(1), EventKind::RtcAlarm);
+        q.schedule(t, EventKind::TrySleep);
+        let (events, next_seq) = q.snapshot();
+        assert_eq!(events.len(), 3);
+        assert_eq!(next_seq, 3);
+        let mut r = EventQueue::restore(events, next_seq);
+        // New scheduling continues the sequence, so restored ties still
+        // lose to pre-existing events at the same instant.
+        r.schedule(t, EventKind::TaskEnd);
+        assert_eq!(r.pop().unwrap().kind, EventKind::RtcAlarm);
+        assert_eq!(r.pop().unwrap().kind, EventKind::WakeComplete);
+        assert_eq!(r.pop().unwrap().kind, EventKind::TrySleep);
+        assert_eq!(r.pop().unwrap().kind, EventKind::TaskEnd);
     }
 
     #[test]

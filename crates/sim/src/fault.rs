@@ -91,21 +91,21 @@ pub struct StormSpec {
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
-    seed: u64,
-    rtc_jitter: SimDuration,
-    drop_fire_p: f64,
-    drop_retry: SimDuration,
-    drop_cap: u32,
-    overrun_p: f64,
-    overrun: SimDuration,
-    leak_p: f64,
-    leak: SimDuration,
-    activation_failure_p: f64,
-    backoff_base: SimDuration,
-    backoff_cap: SimDuration,
-    max_attempts: u32,
-    crashes: Vec<CrashSpec>,
-    storms: Vec<StormSpec>,
+    pub(crate) seed: u64,
+    pub(crate) rtc_jitter: SimDuration,
+    pub(crate) drop_fire_p: f64,
+    pub(crate) drop_retry: SimDuration,
+    pub(crate) drop_cap: u32,
+    pub(crate) overrun_p: f64,
+    pub(crate) overrun: SimDuration,
+    pub(crate) leak_p: f64,
+    pub(crate) leak: SimDuration,
+    pub(crate) activation_failure_p: f64,
+    pub(crate) backoff_base: SimDuration,
+    pub(crate) backoff_cap: SimDuration,
+    pub(crate) max_attempts: u32,
+    pub(crate) crashes: Vec<CrashSpec>,
+    pub(crate) storms: Vec<StormSpec>,
 }
 
 fn assert_probability(p: f64, what: &str) {
@@ -279,14 +279,137 @@ impl FaultPlan {
     }
 }
 
+/// One scheduled device reboot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RebootSpec {
+    /// When the device loses power.
+    pub at: SimTime,
+    /// How long it stays down before boot completes.
+    pub outage: SimDuration,
+}
+
+/// A deterministic, seeded schedule of device reboots — the harshest
+/// fault in the vocabulary: the simulated phone loses power mid-standby,
+/// dropping every wakelock, in-flight task, and pending retry. Alarms
+/// survive only because apps re-register them at boot, and the engine
+/// catches up on fires missed during the outage (charged against the
+/// perceptible-window guarantee, widened by exactly
+/// [`delivery_slack`](Self::delivery_slack)).
+///
+/// Composable with a [`FaultPlan`]: hand both to the engine and the
+/// reboots land on top of the plan's jitter/drops/crashes.
+///
+/// # Examples
+///
+/// ```
+/// use simty_core::time::{SimDuration, SimTime};
+/// use simty_sim::fault::RebootPlan;
+///
+/// let plan = RebootPlan::new(7)
+///     .with_reboot(SimTime::from_secs(2 * 3600), SimDuration::from_secs(90))
+///     .with_periodic(
+///         SimDuration::from_hours(8),
+///         SimDuration::from_mins(30),
+///         SimDuration::from_secs(60),
+///         SimDuration::from_hours(24),
+///     );
+/// assert!(plan.reboots().len() >= 3);
+/// assert_eq!(plan.delivery_slack(), SimDuration::from_secs(90));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RebootPlan {
+    pub(crate) seed: u64,
+    pub(crate) reboots: Vec<RebootSpec>,
+}
+
+impl RebootPlan {
+    /// Creates an empty (reboot-free) plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        RebootPlan {
+            seed,
+            reboots: Vec::new(),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Schedules one reboot: the device dies at `at` and boot completes
+    /// `outage` later.
+    pub fn with_reboot(mut self, at: SimTime, outage: SimDuration) -> Self {
+        assert!(!outage.is_zero(), "reboot outage must be positive");
+        self.reboots.push(RebootSpec { at, outage });
+        self.reboots.sort_by_key(|r| r.at);
+        self
+    }
+
+    /// Schedules seeded-periodic reboots: one kill roughly every `every`
+    /// up to `horizon`, each shifted by a deterministic jitter in
+    /// `[0, jitter]` (a pure function of the seed and the period index),
+    /// with a fixed `outage` per reboot.
+    pub fn with_periodic(
+        mut self,
+        every: SimDuration,
+        jitter: SimDuration,
+        outage: SimDuration,
+        horizon: SimDuration,
+    ) -> Self {
+        assert!(!every.is_zero(), "reboot period must be positive");
+        assert!(!outage.is_zero(), "reboot outage must be positive");
+        let mut k = 0u64;
+        loop {
+            k += 1;
+            let base = every * k;
+            if base > horizon {
+                break;
+            }
+            let shift = if jitter.is_zero() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_millis(
+                    mix64(self.seed ^ mix64(0x12E_B007u64.wrapping_add(k)))
+                        % (jitter.as_millis() + 1),
+                )
+            };
+            self.reboots.push(RebootSpec {
+                at: SimTime::ZERO + base + shift,
+                outage,
+            });
+        }
+        self.reboots.sort_by_key(|r| r.at);
+        self
+    }
+
+    /// The scheduled reboots in kill order.
+    pub fn reboots(&self) -> &[RebootSpec] {
+        &self.reboots
+    }
+
+    /// How late a delivery can land purely because of an outage: an
+    /// alarm due the instant the device dies waits out the whole outage
+    /// and is caught up at boot completion. The
+    /// [`InvariantMonitor`](crate::invariant::InvariantMonitor) widens
+    /// its perceptible-window check by exactly this much — the longest
+    /// scheduled outage.
+    pub fn delivery_slack(&self) -> SimDuration {
+        self.reboots
+            .iter()
+            .map(|r| r.outage)
+            .max()
+            .unwrap_or(SimDuration::ZERO)
+    }
+}
+
 /// The engine-side runtime of a [`FaultPlan`]: a stateful RNG stream
 /// drawn in event order, plus the per-fire drop bookkeeping.
 #[derive(Debug)]
 pub(crate) struct FaultState {
-    plan: FaultPlan,
-    rng: StdRng,
+    pub(crate) plan: FaultPlan,
+    pub(crate) rng: StdRng,
     /// The fire time currently being dropped, and how many times.
-    dropping: Option<(SimTime, u32)>,
+    pub(crate) dropping: Option<(SimTime, u32)>,
 }
 
 impl FaultState {
@@ -296,6 +419,22 @@ impl FaultState {
             plan,
             rng,
             dropping: None,
+        }
+    }
+
+    /// Rebuilds the runtime from checkpointed parts: the plan, the RNG's
+    /// raw state word, and the in-flight drop bookkeeping. Because the
+    /// vendored RNG's `seed_from_u64` is the identity on its state, the
+    /// restored stream continues exactly where the original left off.
+    pub(crate) fn restore(
+        plan: FaultPlan,
+        rng_state: u64,
+        dropping: Option<(SimTime, u32)>,
+    ) -> Self {
+        FaultState {
+            plan,
+            rng: StdRng::seed_from_u64(rng_state),
+            dropping,
         }
     }
 
@@ -476,5 +615,53 @@ mod tests {
     #[should_panic(expected = "out of [0, 1]")]
     fn probabilities_are_validated() {
         let _ = FaultPlan::new(0).with_task_overruns(1.5, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reboot_plan_is_sorted_and_seed_deterministic() {
+        let plan = |seed| {
+            RebootPlan::new(seed).with_periodic(
+                SimDuration::from_hours(6),
+                SimDuration::from_hours(1),
+                SimDuration::from_secs(45),
+                SimDuration::from_hours(24),
+            )
+        };
+        let a = plan(1);
+        let b = plan(1);
+        let c = plan(2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.reboots().len(), 4);
+        assert!(a.reboots().windows(2).all(|w| w[0].at <= w[1].at));
+        // Every kill lands within [k*period, k*period + jitter].
+        for (k, r) in a.reboots().iter().enumerate() {
+            let base = SimTime::ZERO + SimDuration::from_hours(6) * (k as u64 + 1);
+            assert!(r.at >= base && r.at <= base + SimDuration::from_hours(1));
+        }
+        assert_eq!(a.delivery_slack(), SimDuration::from_secs(45));
+    }
+
+    #[test]
+    fn explicit_reboots_sort_into_place() {
+        let plan = RebootPlan::new(0)
+            .with_reboot(SimTime::from_secs(5 * 3600), SimDuration::from_secs(30))
+            .with_reboot(SimTime::from_secs(3600), SimDuration::from_secs(120));
+        assert_eq!(plan.reboots()[0].at, SimTime::from_secs(3600));
+        assert_eq!(plan.delivery_slack(), SimDuration::from_secs(120));
+        assert_eq!(RebootPlan::new(0).delivery_slack(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fault_state_restore_resumes_the_stream() {
+        let plan = FaultPlan::new(9).with_task_overruns(0.5, SimDuration::from_secs(10));
+        let mut a = FaultState::new(plan.clone());
+        for _ in 0..7 {
+            let _ = a.overrun();
+        }
+        let mut b = FaultState::restore(plan, a.rng.state(), a.dropping);
+        for _ in 0..50 {
+            assert_eq!(a.overrun(), b.overrun());
+        }
     }
 }

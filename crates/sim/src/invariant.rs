@@ -95,10 +95,10 @@ impl fmt::Display for InvariantViolation {
 /// (panic — the test mode).
 #[derive(Debug, Clone)]
 pub struct InvariantMonitor {
-    slack: SimDuration,
-    panic_on_violation: bool,
-    violations: Vec<InvariantViolation>,
-    window_misses: u64,
+    pub(crate) slack: SimDuration,
+    pub(crate) panic_on_violation: bool,
+    pub(crate) violations: Vec<InvariantViolation>,
+    pub(crate) window_misses: u64,
 }
 
 impl InvariantMonitor {

@@ -113,7 +113,7 @@ pub fn report_to_json(report: &SimReport) -> String {
     let r = &report.resilience;
     let _ = write!(
         out,
-        "\"resilience\":{{\"invariant_violations\":{},\"perceptible_window_misses\":{},\"interventions\":{},\"forced_releases\":{},\"activation_retries\":{},\"dropped_fire_retries\":{},\"quarantines\":{},\"recoveries\":{},\"app_crashes\":{},\"app_restarts\":{},\"mean_time_to_recovery_ms\":{},\"intervention_overhead_mj\":{}}}",
+        "\"resilience\":{{\"invariant_violations\":{},\"perceptible_window_misses\":{},\"interventions\":{},\"forced_releases\":{},\"activation_retries\":{},\"dropped_fire_retries\":{},\"quarantines\":{},\"recoveries\":{},\"app_crashes\":{},\"app_restarts\":{},\"mean_time_to_recovery_ms\":{},\"intervention_overhead_mj\":{},\"reboots\":{},\"mean_recovery_ms\":{},\"catch_up_entries\":{},\"worst_catch_up_delay_ms\":{}}}",
         r.invariant_violations,
         r.perceptible_window_misses,
         r.interventions,
@@ -125,7 +125,11 @@ pub fn report_to_json(report: &SimReport) -> String {
         r.app_crashes,
         r.app_restarts,
         json_number(r.mean_time_to_recovery_ms),
-        json_number(r.intervention_overhead_mj)
+        json_number(r.intervention_overhead_mj),
+        r.reboots,
+        json_number(r.mean_recovery_ms),
+        r.catch_up_entries,
+        json_number(r.worst_catch_up_delay_ms)
     );
     out.push('}');
     out

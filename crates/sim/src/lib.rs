@@ -39,8 +39,10 @@
 
 pub mod analysis;
 pub mod attribution;
+pub mod checkpoint;
 pub mod config;
 pub mod diff;
+pub mod error;
 pub mod estimate;
 pub mod engine;
 pub mod event;
@@ -53,9 +55,11 @@ pub mod trace;
 pub mod watchdog;
 
 pub use attribution::AttributionLedger;
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
 pub use config::{InvariantMode, SimConfig};
 pub use engine::Simulation;
-pub use fault::FaultPlan;
+pub use error::SimError;
+pub use fault::{FaultPlan, RebootPlan};
 pub use invariant::{InvariantMonitor, InvariantViolation};
 pub use metrics::{DelayStats, ResilienceStats, SimReport, WakeupRow};
 pub use trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};

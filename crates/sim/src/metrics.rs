@@ -99,6 +99,17 @@ pub struct ResilienceStats {
     /// Energy paid by interventions themselves (e.g. extra wake
     /// transitions for activation retries), in mJ.
     pub intervention_overhead_mj: f64,
+    /// Injected device reboots (see [`crate::fault::RebootPlan`]).
+    pub reboots: u64,
+    /// Mean outage from kill to boot completion, in milliseconds — the
+    /// per-reboot recovery time (0 when no reboot was injected).
+    pub mean_recovery_ms: f64,
+    /// Queue entries already overdue at boot completion, summed over all
+    /// reboots — alarms the boot catch-up had to deliver late.
+    pub catch_up_entries: u64,
+    /// Largest catch-up delay at any boot, in milliseconds: how far past
+    /// its scheduled delivery the most overdue entry was.
+    pub worst_catch_up_delay_ms: f64,
 }
 
 impl ResilienceStats {
@@ -108,6 +119,7 @@ impl ResilienceStats {
     pub fn from_trace(trace: &Trace) -> Self {
         let mut stats = ResilienceStats::default();
         let mut recovery_total = SimDuration::ZERO;
+        let mut outage_total = SimDuration::ZERO;
         for i in trace.interventions() {
             stats.interventions += 1;
             stats.intervention_overhead_mj += i.overhead_mj;
@@ -122,11 +134,27 @@ impl ResilienceStats {
                 }
                 InterventionKind::AppCrash { .. } => stats.app_crashes += 1,
                 InterventionKind::AppRestart { .. } => stats.app_restarts += 1,
+                InterventionKind::Reboot { outage } => {
+                    stats.reboots += 1;
+                    outage_total += outage;
+                }
+                InterventionKind::BootCatchUp {
+                    caught_up,
+                    worst_delay,
+                } => {
+                    stats.catch_up_entries += caught_up as u64;
+                    stats.worst_catch_up_delay_ms = stats
+                        .worst_catch_up_delay_ms
+                        .max(worst_delay.as_millis() as f64);
+                }
             }
         }
         if stats.recoveries > 0 {
             stats.mean_time_to_recovery_ms =
                 recovery_total.as_millis() as f64 / stats.recoveries as f64;
+        }
+        if stats.reboots > 0 {
+            stats.mean_recovery_ms = outage_total.as_millis() as f64 / stats.reboots as f64;
         }
         stats
     }
@@ -290,6 +318,14 @@ impl fmt::Display for SimReport {
                 r.mean_time_to_recovery_ms,
                 r.intervention_overhead_mj
             )?;
+            if r.reboots > 0 {
+                write!(
+                    f,
+                    "\nreboots: {} (mean recovery {:.0} ms), caught up {} overdue \
+                     entries, worst catch-up delay {:.0} ms",
+                    r.reboots, r.mean_recovery_ms, r.catch_up_entries, r.worst_catch_up_delay_ms
+                )?;
+            }
         }
         Ok(())
     }
@@ -398,6 +434,36 @@ mod tests {
         assert!((s.intervention_overhead_mj - 2.5).abs() < 1e-12);
         assert!(!s.is_quiet());
         assert!(ResilienceStats::default().is_quiet());
+    }
+
+    #[test]
+    fn resilience_stats_aggregate_reboots() {
+        use crate::trace::{InterventionKind, InterventionRecord};
+        let mut t = Trace::new();
+        for (at, outage_s) in [(100u64, 20u64), (500, 40)] {
+            t.record_intervention(InterventionRecord {
+                at: SimTime::from_secs(at),
+                app: "device".into(),
+                kind: InterventionKind::Reboot {
+                    outage: SimDuration::from_secs(outage_s),
+                },
+                overhead_mj: 0.0,
+            });
+            t.record_intervention(InterventionRecord {
+                at: SimTime::from_secs(at + outage_s),
+                app: "device".into(),
+                kind: InterventionKind::BootCatchUp {
+                    caught_up: 3,
+                    worst_delay: SimDuration::from_secs(outage_s / 2),
+                },
+                overhead_mj: 0.0,
+            });
+        }
+        let s = ResilienceStats::from_trace(&t);
+        assert_eq!(s.reboots, 2);
+        assert!((s.mean_recovery_ms - 30_000.0).abs() < 1e-9);
+        assert_eq!(s.catch_up_entries, 6);
+        assert!((s.worst_catch_up_delay_ms - 20_000.0).abs() < 1e-9);
     }
 
     #[test]

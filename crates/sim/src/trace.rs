@@ -135,6 +135,21 @@ pub enum InterventionKind {
         /// How many alarms were re-registered.
         reregistered: usize,
     },
+    /// A fault-injected device reboot killed the simulated phone
+    /// mid-standby (attributed to the pseudo-app `device`).
+    Reboot {
+        /// How long the device stayed down.
+        outage: SimDuration,
+    },
+    /// Boot completed after a reboot and the engine caught up on alarms
+    /// whose delivery time passed during the outage.
+    BootCatchUp {
+        /// How many queue entries were already due at boot completion.
+        caught_up: usize,
+        /// The largest catch-up delay among them: how far past its
+        /// scheduled delivery time the most overdue entry was.
+        worst_delay: SimDuration,
+    },
 }
 
 impl fmt::Display for InterventionKind {
@@ -158,6 +173,18 @@ impl fmt::Display for InterventionKind {
             }
             InterventionKind::AppRestart { reregistered } => {
                 write!(f, "restart re-registered {reregistered} alarms")
+            }
+            InterventionKind::Reboot { outage } => {
+                write!(f, "device rebooted ({outage} outage)")
+            }
+            InterventionKind::BootCatchUp {
+                caught_up,
+                worst_delay,
+            } => {
+                write!(
+                    f,
+                    "boot caught up {caught_up} overdue entries (worst delay {worst_delay})"
+                )
             }
         }
     }
@@ -204,10 +231,10 @@ impl std::error::Error for ParseTraceError {}
 /// The full log of one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
-    deliveries: Vec<DeliveryRecord>,
-    wakeups: Vec<SimTime>,
-    entry_deliveries: u64,
-    interventions: Vec<InterventionRecord>,
+    pub(crate) deliveries: Vec<DeliveryRecord>,
+    pub(crate) wakeups: Vec<SimTime>,
+    pub(crate) entry_deliveries: u64,
+    pub(crate) interventions: Vec<InterventionRecord>,
 }
 
 impl Trace {
@@ -519,6 +546,55 @@ mod tests {
         let err =
             Trace::read_csv("h\nx,app,1,2,3,4,5,none,true,1,500\n").unwrap_err();
         assert!(err.message.contains("alarm id"));
+    }
+
+    #[test]
+    fn csv_read_rejects_a_record_truncated_by_eof() {
+        // A good row followed by a row the writer died in the middle of:
+        // the column count betrays the torn tail, and the error names it.
+        let good = "1,app,1000,2000,3000,1500,0,none,true,1,500";
+        let torn = format!("h\n{good}\n2,app,1000,2000,30");
+        let err = Trace::read_csv(&torn).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.message.contains("expected 11 columns"), "{err}");
+        // EOF exactly at a record boundary parses cleanly (no trailing \n).
+        let whole = format!("h\n{good}");
+        assert_eq!(Trace::read_csv(&whole).unwrap().deliveries().len(), 1);
+    }
+
+    #[test]
+    fn csv_read_rejects_bad_fields_in_every_numeric_column() {
+        let bad_rows = [
+            ("h\n1,app,zap,2000,3000,1500,0,none,true,1,500", "nominal"),
+            ("h\n1,app,1000,zap,3000,1500,0,none,true,1,500", "window end"),
+            ("h\n1,app,1000,2000,zap,1500,0,none,true,1,500", "grace end"),
+            ("h\n1,app,1000,2000,3000,zap,0,none,true,1,500", "delivery time"),
+            ("h\n1,app,1000,2000,3000,1500,zap,none,true,1,500", "repeat interval"),
+            ("h\n1,app,1000,2000,3000,1500,0,none,maybe,1,500", "perceptible"),
+            ("h\n1,app,1000,2000,3000,1500,0,none,true,zap,500", "entry size"),
+            ("h\n1,app,1000,2000,3000,1500,0,none,true,1,zap", "task duration"),
+        ];
+        for (text, what) in bad_rows {
+            let err = Trace::read_csv(text).unwrap_err();
+            assert_eq!(err.line, 2, "{what}");
+            assert!(
+                err.message.contains(what),
+                "expected `{what}` in `{}`",
+                err.message
+            );
+        }
+        // A negative count is as invalid as a non-numeric one.
+        let err = Trace::read_csv("h\n1,app,-5,2000,3000,1500,0,none,true,1,500").unwrap_err();
+        assert!(err.message.contains("nominal"), "{err}");
+    }
+
+    #[test]
+    fn csv_read_skips_blank_lines_but_not_garbage() {
+        let good = "1,app,1000,2000,3000,1500,0,none,true,1,500";
+        let text = format!("h\n\n{good}\n   \n{good}\n");
+        let loaded = Trace::read_csv(&text).unwrap();
+        assert_eq!(loaded.deliveries().len(), 2);
+        assert!(Trace::read_csv("h\n,,,,,,,,,,\n").is_err());
     }
 
     #[test]

@@ -25,7 +25,8 @@ pub use simty_core::{
 };
 pub use simty_device::{Battery, Device, DevicePowerState, EnergyBreakdown, PowerModel};
 pub use simty_sim::{
-    AttributionLedger, DelayStats, DeliveryRecord, FaultPlan, InterventionKind,
-    InterventionRecord, InvariantMode, InvariantMonitor, InvariantViolation,
-    OnlineWatchdogConfig, ResilienceStats, SimConfig, SimReport, Simulation, Trace, WakeupRow,
+    AttributionLedger, Checkpoint, CheckpointError, CheckpointStore, DelayStats, DeliveryRecord,
+    FaultPlan, InterventionKind, InterventionRecord, InvariantMode, InvariantMonitor,
+    InvariantViolation, OnlineWatchdogConfig, RebootPlan, ResilienceStats, SimConfig, SimError,
+    SimReport, Simulation, Trace, WakeupRow,
 };
