@@ -22,11 +22,39 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use simty::experiments::RunSpec;
+use simty::obs::StageProfile;
 use simty::sim::json::{json_number, json_string, report_to_json};
 use simty::sim::SimReport;
 
-/// A closure job: any computation producing a [`SimReport`].
-type JobFn = Box<dyn FnOnce() -> SimReport + Send>;
+/// A closure job: any computation producing a [`JobResult`].
+type JobFn = Box<dyn FnOnce() -> JobResult + Send>;
+
+/// What a sweep job yields: the run's report, plus the engine's
+/// per-stage wall-clock profile when the job captured one. Closure jobs
+/// that only have a [`SimReport`] convert via `From` (no profile).
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The run's report.
+    pub report: SimReport,
+    /// Per-stage self-profiling, when captured
+    /// (e.g. via [`RunSpec::run_instrumented`]).
+    pub stages: Option<StageProfile>,
+}
+
+impl From<SimReport> for JobResult {
+    fn from(report: SimReport) -> Self {
+        JobResult { report, stages: None }
+    }
+}
+
+impl From<(SimReport, StageProfile)> for JobResult {
+    fn from((report, stages): (SimReport, StageProfile)) -> Self {
+        JobResult {
+            report,
+            stages: Some(stages),
+        }
+    }
+}
 
 struct Job {
     label: String,
@@ -85,7 +113,7 @@ impl Sweep {
         }
         let label = spec.label();
         let run = spec.clone();
-        let handle = self.push(label, move || run.run());
+        let handle = self.push(label, move || run.run_instrumented());
         self.specs.push((spec, handle));
         handle
     }
@@ -99,23 +127,23 @@ impl Sweep {
     /// Enqueues an arbitrary labelled job (for runs that need bespoke
     /// setup, e.g. the ablation's push-storm and DURSIM scenarios). No
     /// deduplication is attempted for closure jobs.
-    pub fn job(
+    pub fn job<R: Into<JobResult>>(
         &mut self,
         label: impl Into<String>,
-        task: impl FnOnce() -> SimReport + Send + 'static,
+        task: impl FnOnce() -> R + Send + 'static,
     ) -> RunHandle {
         self.push(label.into(), task)
     }
 
-    fn push(
+    fn push<R: Into<JobResult>>(
         &mut self,
         label: String,
-        task: impl FnOnce() -> SimReport + Send + 'static,
+        task: impl FnOnce() -> R + Send + 'static,
     ) -> RunHandle {
         let handle = RunHandle(self.jobs.len());
         self.jobs.push(Job {
             label,
-            task: Box::new(task),
+            task: Box::new(move || task().into()),
         });
         handle
     }
@@ -166,10 +194,11 @@ impl Sweep {
                         .take()
                         .expect("job claimed once");
                     let job_started = Instant::now();
-                    let report = (job.task)();
+                    let result = (job.task)();
                     *outcomes[idx].lock().expect("outcome slot lock") = Some(Outcome {
                         label: job.label,
-                        report,
+                        report: result.report,
+                        stages: result.stages,
                         wall: job_started.elapsed(),
                     });
                 }));
@@ -208,6 +237,9 @@ pub struct Outcome {
     pub label: String,
     /// The run's report.
     pub report: SimReport,
+    /// Per-stage self-profiling, when the job captured one (spec jobs
+    /// always do; closure jobs may not).
+    pub stages: Option<StageProfile>,
     /// Wall-clock time of this run alone.
     pub wall: Duration,
 }
@@ -262,6 +294,19 @@ impl SweepResults {
         self.outcomes.iter().map(|o| o.wall).sum()
     }
 
+    /// The per-stage self-profiling folded across every run that
+    /// captured one (wall-clock nanoseconds and call counts; host
+    /// timing, not deterministic).
+    pub fn stage_profile(&self) -> StageProfile {
+        let mut total = StageProfile::new();
+        for o in &self.outcomes {
+            if let Some(stages) = &o.stages {
+                total.merge(stages);
+            }
+        }
+        total
+    }
+
     /// Completed runs per second of wall-clock time.
     pub fn runs_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -273,22 +318,25 @@ impl SweepResults {
     }
 
     /// Serializes the sweep as the `BENCH_sweep.json` document: batch
-    /// timing plus, per run, its label, wall-clock, and full report.
+    /// timing, the aggregated per-stage self-profile, and, per run, its
+    /// label, wall-clock, and full report.
     ///
     /// Only the `results[*].label`/`report` fields are deterministic;
-    /// the timing fields vary run to run (the determinism regression
-    /// test compares [`reports_json`](Self::reports_json) instead).
+    /// the timing fields and the `stages` block vary run to run (the
+    /// determinism regression test compares
+    /// [`reports_json`](Self::reports_json) instead).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push('{');
         out.push_str(&format!(
-            "\"schema\":{},\"threads\":{},\"runs\":{},\"total_wall_ms\":{},\"sequential_wall_ms\":{},\"runs_per_sec\":{},\"results\":[",
+            "\"schema\":{},\"threads\":{},\"runs\":{},\"total_wall_ms\":{},\"sequential_wall_ms\":{},\"runs_per_sec\":{},\"stages\":{},\"results\":[",
             json_string("simty-bench-sweep/v1"),
             self.threads,
             self.outcomes.len(),
             json_number(self.wall.as_secs_f64() * 1_000.0),
             json_number(self.sequential_wall().as_secs_f64() * 1_000.0),
             json_number(self.runs_per_sec()),
+            self.stage_profile().to_json(),
         ));
         for (i, o) in self.outcomes.iter().enumerate() {
             if i > 0 {
@@ -419,6 +467,10 @@ mod tests {
             "\"runs\":1",
             "\"total_wall_ms\"",
             "\"runs_per_sec\"",
+            "\"stages\":{\"queue_search\":{\"ns\":",
+            "\"selection\":{",
+            "\"event_dispatch\":{",
+            "\"checkpoint_io\":{",
             "\"results\":[",
             "\"label\":\"NATIVE/light/seed1/b0.96/300s\"",
             "\"report\":{",

@@ -74,6 +74,11 @@ COMMANDS:
                 fault profile x seed), with online watchdog + invariants
     soak        long-horizon endurance campaign with reboots, checkpoint
                 corruption, and resume-vs-straight-through byte checks
+    explain     audit every placement decision of a run: the candidates
+                weighed, their Table 1 hardware/time similarity ranks,
+                and why each won or lost
+    metrics     run one scenario and print its metrics registry
+                (Prometheus-style exposition, JSON snapshot, or spans)
     analyze     offline analysis of a delivery-trace CSV (--trace FILE)
     estimate    closed-form energy envelope of a workload (no simulation)
     catalog     print the paper's Table 3 app catalogue
@@ -100,6 +105,15 @@ RUN FLAGS:
 
 DIFF FLAGS:
     --policy-a P --policy-b P  the two policies          [default: native, simty]
+
+EXPLAIN FLAGS:
+    --policy P                 as for run               [default: simty]
+    --jsonl                    emit one JSON object per decision instead
+                               of the readable rendering
+
+METRICS FLAGS:
+    --policy P                 as for run               [default: simty]
+    --format F                 expose|json|spans        [default: expose]
 
 SWEEP FLAGS:
     --policies LIST            comma-separated policy names (see --policy)
@@ -294,6 +308,8 @@ pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliErro
         "sweep-beta" => cmd_sweep_beta(&args, out),
         "chaos" => cmd_chaos(&args, out),
         "soak" => cmd_soak(&args, out),
+        "explain" => cmd_explain(&args, out),
+        "metrics" => cmd_metrics(&args, out),
         "analyze" => cmd_analyze(&args, out),
         "estimate" => cmd_estimate(&args, out),
         "catalog" => cmd_catalog(&args, out),
@@ -833,6 +849,114 @@ fn cmd_soak<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+/// Like [`simulate`], but with the audit ring widened so every placement
+/// decision of the run survives for export.
+fn simulate_audited(opts: &CommonOpts, policy: PolicyKind) -> Simulation {
+    let workload = opts.builder().build();
+    let config = SimConfig::new()
+        .with_duration(SimDuration::from_hours(opts.hours))
+        .with_audit_capacity(1 << 20);
+    let mut sim = Simulation::new(policy.build(), config);
+    for alarm in workload.alarms {
+        sim.register(alarm).expect("workload alarm registers cleanly");
+    }
+    sim.run_until(SimTime::ZERO + SimDuration::from_hours(opts.hours));
+    sim
+}
+
+fn cmd_explain<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    use simty::core::policy::Placement;
+
+    args.ensure_known(&[
+        "scenario", "workload", "seed", "hours", "beta", "policy", "jsonl",
+    ])?;
+    let opts = CommonOpts::from_args(args)?;
+    let policy = parse_policy(args.get("policy").unwrap_or("simty"))?;
+    let sim = simulate_audited(&opts, policy);
+    let obs = sim.obs();
+    if args.has_switch("jsonl") {
+        write!(out, "{}", obs.audits_jsonl())?;
+        return Ok(());
+    }
+    writeln!(
+        out,
+        "{} workload, {} h, seed {}, beta {}: placement decisions under {}\n",
+        opts.workload_name(),
+        opts.hours,
+        opts.seed,
+        opts.beta,
+        policy.name(),
+    )?;
+    let mut batched = 0u64;
+    let mut fresh = 0u64;
+    for a in obs.audits() {
+        let flavor = if a.perceptible { "perceptible" } else { "imperceptible" };
+        let ordinal = obs.alarm_ordinal(a.alarm_id).unwrap_or(0);
+        match a.placement {
+            Placement::Existing(idx) => {
+                batched += 1;
+                writeln!(
+                    out,
+                    "[{}] {} (alarm #{ordinal}, nominal {}, {flavor}) -> batched into entry #{idx}",
+                    a.at, a.app, a.nominal,
+                )?;
+            }
+            Placement::NewEntry => {
+                fresh += 1;
+                writeln!(
+                    out,
+                    "[{}] {} (alarm #{ordinal}, nominal {}, {flavor}) -> new entry",
+                    a.at, a.app, a.nominal,
+                )?;
+            }
+        }
+        for c in &a.candidates {
+            writeln!(
+                out,
+                "    entry #{} @{}: time={} hw_rank={} table1_rank={} -> {}",
+                c.index,
+                c.delivery_time,
+                c.time,
+                c.hw_rank.map_or_else(|| "-".to_owned(), |r| r.to_string()),
+                c.preferability
+                    .map_or_else(|| "-".to_owned(), |p| p.to_string()),
+                c.verdict.as_str(),
+            )?;
+        }
+    }
+    write!(
+        out,
+        "\n{} decisions: {batched} batched into existing entries, {fresh} opened new entries",
+        batched + fresh,
+    )?;
+    if obs.audit_dropped() > 0 {
+        write!(out, " ({} older decisions evicted)", obs.audit_dropped())?;
+    }
+    writeln!(out)?;
+    Ok(())
+}
+
+fn cmd_metrics<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "scenario", "workload", "seed", "hours", "beta", "policy", "format",
+    ])?;
+    let opts = CommonOpts::from_args(args)?;
+    let policy = parse_policy(args.get("policy").unwrap_or("simty"))?;
+    let sim = simulate(&opts, policy);
+    let obs = sim.obs();
+    match args.get("format").unwrap_or("expose") {
+        "expose" => write!(out, "{}", obs.metrics_exposition())?,
+        "json" => writeln!(out, "{}", obs.metrics_json())?,
+        "spans" => write!(out, "{}", obs.spans_jsonl())?,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown metrics format `{other}` (expose|json|spans)"
+            )))
+        }
+    }
+    Ok(())
+}
+
 fn cmd_sweep_beta<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     args.ensure_known(&["scenario", "seed", "hours", "from", "to", "steps", "workload"])?;
     let mut opts = CommonOpts::from_args(args)?;
@@ -1224,6 +1348,82 @@ mod tests {
         assert!(text.contains("0.500"));
         assert!(text.contains("0.700"));
         assert!(text.contains("0.900"));
+    }
+
+    #[test]
+    fn explain_names_the_table1_ranks() {
+        let text = run(&[
+            "explain",
+            "--policy",
+            "simty",
+            "--scenario",
+            "heavy",
+            "--hours",
+            "1",
+        ])
+        .unwrap();
+        assert!(text.contains("placement decisions under SIMTY"));
+        assert!(text.contains("batched into entry #"));
+        assert!(text.contains("table1_rank="));
+        assert!(text.contains("-> won"));
+        assert!(text.contains("decisions:"));
+    }
+
+    #[test]
+    fn explain_jsonl_is_machine_readable() {
+        let text = run(&[
+            "explain",
+            "--policy",
+            "simty",
+            "--scenario",
+            "light",
+            "--hours",
+            "1",
+            "--jsonl",
+        ])
+        .unwrap();
+        assert!(!text.is_empty());
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "bad line {line}");
+        }
+        assert!(text.contains("\"preferability\""));
+        assert!(text.contains("\"verdict\":\"won\""));
+    }
+
+    #[test]
+    fn metrics_formats_render() {
+        let expose = run(&[
+            "metrics",
+            "--policy",
+            "simty",
+            "--scenario",
+            "light",
+            "--hours",
+            "1",
+        ])
+        .unwrap();
+        assert!(expose.contains("# HELP sim_wakeups_total"));
+        assert!(expose.contains("sim_placements_total"));
+        assert!(expose.contains("sim_entry_size"));
+
+        let json = run(&[
+            "metrics", "--scenario", "light", "--hours", "1", "--format", "json",
+        ])
+        .unwrap();
+        assert!(json.trim().starts_with('{') && json.trim().ends_with('}'));
+        assert!(json.contains("\"counters\""));
+        assert!(json.contains("\"histograms\""));
+
+        let spans = run(&[
+            "metrics", "--scenario", "light", "--hours", "1", "--format", "spans",
+        ])
+        .unwrap();
+        assert!(spans.contains("\"kind\":\"wake_cycle\""));
+
+        assert!(matches!(
+            run(&["metrics", "--format", "bogus", "--hours", "1"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

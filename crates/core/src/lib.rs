@@ -68,6 +68,7 @@
 #![forbid(unsafe_code)]
 
 pub mod alarm;
+pub mod audit;
 pub mod bounds;
 pub mod entry;
 pub mod error;
@@ -80,6 +81,7 @@ pub mod similarity;
 pub mod time;
 
 pub use alarm::{Alarm, AlarmBuilder, AlarmId, AlarmKind, Repeat};
+pub use audit::{CandidateAudit, CandidateVerdict, PlacementAudit};
 pub use entry::{DeliveryDiscipline, QueueEntry};
 pub use hardware::{HardwareComponent, HardwareSet};
 pub use manager::AlarmManager;

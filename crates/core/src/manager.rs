@@ -14,6 +14,7 @@
 use std::fmt;
 
 use crate::alarm::{Alarm, AlarmId, AlarmKind};
+use crate::audit::PlacementAudit;
 use crate::entry::QueueEntry;
 use crate::error::RegisterAlarmError;
 use crate::policy::{AlignmentPolicy, Placement};
@@ -47,6 +48,9 @@ pub struct AlarmManager {
     wakeup: AlarmQueue,
     non_wakeup: AlarmQueue,
     now: SimTime,
+    /// When `Some`, every placement decision is recorded here until the
+    /// next [`take_audits`](Self::take_audits) drains it.
+    audit_sink: Option<Vec<PlacementAudit>>,
 }
 
 impl AlarmManager {
@@ -57,6 +61,7 @@ impl AlarmManager {
             wakeup: AlarmQueue::new(),
             non_wakeup: AlarmQueue::new(),
             now: SimTime::ZERO,
+            audit_sink: None,
         }
     }
 
@@ -78,6 +83,40 @@ impl AlarmManager {
             wakeup,
             non_wakeup,
             now,
+            audit_sink: None,
+        }
+    }
+
+    /// Turns placement auditing on or off.
+    ///
+    /// While enabled, every [`register`](Self::register) /
+    /// [`complete_delivery`](Self::complete_delivery) /
+    /// [`set_app_quarantined`](Self::set_app_quarantined) records one
+    /// [`PlacementAudit`] per placement decision into an internal sink;
+    /// drain it with [`take_audits`](Self::take_audits). Disabling also
+    /// discards anything not yet drained. Auditing never changes
+    /// placement outcomes.
+    pub fn set_audit_enabled(&mut self, enabled: bool) {
+        if enabled {
+            if self.audit_sink.is_none() {
+                self.audit_sink = Some(Vec::new());
+            }
+        } else {
+            self.audit_sink = None;
+        }
+    }
+
+    /// Whether placement auditing is enabled.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit_sink.is_some()
+    }
+
+    /// Drains every placement decision recorded since the last drain, in
+    /// decision order. Empty when auditing is disabled.
+    pub fn take_audits(&mut self) -> Vec<PlacementAudit> {
+        match self.audit_sink.as_mut() {
+            Some(sink) => std::mem::take(sink),
+            None => Vec::new(),
         }
     }
 
@@ -304,7 +343,28 @@ impl AlarmManager {
 
     fn place(&mut self, alarm: Alarm) {
         let kind = alarm.kind();
-        let placement = self.policy.place(self.queue(kind), &alarm);
+        // Borrow the queue by field so the sink can be borrowed mutably
+        // alongside it (`self.queue(kind)` would freeze all of `self`).
+        let queue = match kind {
+            AlarmKind::Wakeup => &self.wakeup,
+            AlarmKind::NonWakeup => &self.non_wakeup,
+        };
+        let placement = if let Some(sink) = self.audit_sink.as_mut() {
+            let mut candidates = Vec::new();
+            let placement = self.policy.place_audited(queue, &alarm, &mut candidates);
+            sink.push(PlacementAudit {
+                at: self.now,
+                alarm_id: alarm.id(),
+                app: alarm.label().to_owned(),
+                nominal: alarm.nominal(),
+                perceptible: alarm.is_perceptible(),
+                placement,
+                candidates,
+            });
+            placement
+        } else {
+            self.policy.place(queue, &alarm)
+        };
         let discipline = self.policy.discipline();
         match placement {
             Placement::Existing(idx) => self.queue_mut(kind).add_to_entry(idx, alarm),
@@ -505,6 +565,69 @@ mod tests {
         assert_eq!(gone[0].nominal(), SimTime::from_secs(100));
         assert_eq!(m.alarm_count(), 1);
         assert!(m.cancel_app("victim").is_empty());
+    }
+
+    #[test]
+    fn audit_sink_records_one_decision_per_placement() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        assert!(!m.audit_enabled());
+        m.set_audit_enabled(true);
+        m.register(wifi_alarm("a", 100, 600, 0.75)).unwrap();
+        m.register(wifi_alarm("b", 150, 600, 0.75)).unwrap();
+        let audits = m.take_audits();
+        assert_eq!(audits.len(), 2);
+        assert_eq!(audits[0].app, "a");
+        assert_eq!(audits[0].placement, Placement::NewEntry);
+        assert!(audits[0].candidates.is_empty());
+        assert_eq!(audits[1].app, "b");
+        // The second decision weighed the first alarm's entry, whatever
+        // the verdict came out to be.
+        assert_eq!(audits[1].candidates.len(), 1);
+        // Drained; sink refills on the next placement only.
+        assert!(m.take_audits().is_empty());
+        m.set_audit_enabled(false);
+        m.register(wifi_alarm("c", 200, 600, 0.75)).unwrap();
+        assert!(m.take_audits().is_empty());
+    }
+
+    #[test]
+    fn audited_placement_matches_unaudited_placement() {
+        // Auditing must be observation only: replay the same registration
+        // sequence with and without the sink and compare queues.
+        let mk = |label: &str, nominal: u64, repeat: u64| {
+            Alarm::builder(label)
+                .nominal(SimTime::from_secs(nominal))
+                .repeating_static(SimDuration::from_secs(repeat))
+                .window_fraction(0.75)
+                .grace_fraction(0.9)
+                .hardware(HardwareComponent::Wifi.into())
+                .build()
+                .unwrap()
+        };
+        for audited in [false, true] {
+            let mut plain = AlarmManager::new(Box::new(SimtyPolicy::new()));
+            let mut subject = AlarmManager::new(Box::new(SimtyPolicy::new()));
+            subject.set_audit_enabled(audited);
+            for (label, nominal, repeat) in
+                [("a", 100, 600), ("b", 150, 600), ("c", 500, 900), ("d", 160, 600)]
+            {
+                plain.register(mk(label, nominal, repeat)).unwrap();
+                subject.register(mk(label, nominal, repeat)).unwrap();
+            }
+            let shape = |m: &AlarmManager| {
+                m.wakeup_queue()
+                    .entries()
+                    .iter()
+                    .map(|e| {
+                        (
+                            e.delivery_time(),
+                            e.alarms().iter().map(|a| a.label().to_owned()).collect::<Vec<_>>(),
+                        )
+                    })
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(shape(&plain), shape(&subject));
+        }
     }
 
     #[test]

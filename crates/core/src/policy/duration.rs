@@ -1,11 +1,12 @@
 //! DURSIM: the duration-similarity extension sketched in the paper's §5.
 
 use crate::alarm::Alarm;
+use crate::audit::{CandidateAudit, CandidateVerdict};
 use crate::entry::{DeliveryDiscipline, QueueEntry};
 use crate::hardware::HardwareSet;
 use crate::policy::{AlignmentPolicy, Placement, SimtyPolicy};
 use crate::queue::AlarmQueue;
-use crate::similarity::{HardwareGranularity, TimeSimilarity};
+use crate::similarity::{HardwareGranularity, Preferability, TimeSimilarity};
 use crate::time::SimDuration;
 
 /// SIMTY extended with *duration similarity* (§5): among entries with the
@@ -81,14 +82,18 @@ impl DurationSimilarityPolicy {
         let total: SimDuration = entry.alarms().iter().map(Alarm::task_duration).sum();
         total / entry.len() as u64
     }
-}
 
-impl AlignmentPolicy for DurationSimilarityPolicy {
-    fn name(&self) -> &str {
-        "DURSIM"
-    }
-
-    fn place(&self, queue: &AlarmQueue, alarm: &Alarm) -> Placement {
+    /// Both placement entry points share this loop; `audit`, when
+    /// present, receives one [`CandidateAudit`] per entry weighed
+    /// (the recorded preferability is the Table 1 rank derived from the
+    /// hardware/time ranks — the duration tie-break is DURSIM's own
+    /// refinement on top) and never influences the outcome.
+    fn place_inner(
+        &self,
+        queue: &AlarmQueue,
+        alarm: &Alarm,
+        mut audit: Option<&mut Vec<CandidateAudit>>,
+    ) -> Placement {
         let alarm_hw = alarm.known_hardware();
         let alarm_perceptible = alarm.is_perceptible();
         // Same delivery-ordered cutoff as SIMTY's search phase (see
@@ -103,10 +108,30 @@ impl AlignmentPolicy for DurationSimilarityPolicy {
                     DeliveryDiscipline::Window | DeliveryDiscipline::PerceptibilityAware
                 )
             {
+                if let Some(a) = audit.as_deref_mut() {
+                    a.push(CandidateAudit {
+                        index: idx,
+                        delivery_time: entry.delivery_time(),
+                        time: entry.time_similarity_to(alarm),
+                        hw_rank: None,
+                        preferability: None,
+                        verdict: CandidateVerdict::PastCutoff,
+                    });
+                }
                 break;
             }
             let time = entry.time_similarity_to(alarm);
             if !SimtyPolicy::is_applicable(alarm_perceptible, entry.is_perceptible(), time) {
+                if let Some(a) = audit.as_deref_mut() {
+                    a.push(CandidateAudit {
+                        index: idx,
+                        delivery_time: entry.delivery_time(),
+                        time,
+                        hw_rank: None,
+                        preferability: None,
+                        verdict: CandidateVerdict::NotApplicable,
+                    });
+                }
                 continue;
             }
             debug_assert_ne!(time, TimeSimilarity::Low);
@@ -116,14 +141,49 @@ impl AlignmentPolicy for DurationSimilarityPolicy {
             let dur_rank =
                 Self::duration_rank(alarm.task_duration(), Self::entry_mean_duration(entry));
             let key = (hw_rank, dur_rank, time.rank());
+            if let Some(a) = audit.as_deref_mut() {
+                // Provisionally outranked; the winner is corrected below.
+                a.push(CandidateAudit {
+                    index: idx,
+                    delivery_time: entry.delivery_time(),
+                    time,
+                    hw_rank: Some(hw_rank),
+                    preferability: Some(Preferability::from_ranks(hw_rank, time)),
+                    verdict: CandidateVerdict::Outranked,
+                });
+            }
             if best.is_none_or(|(b, _)| key < b) {
                 best = Some((key, idx));
+            }
+        }
+        if let (Some((_, idx)), Some(a)) = (best, audit) {
+            if let Some(winner) = a.iter_mut().find(|c| c.index == idx) {
+                winner.verdict = CandidateVerdict::Won;
             }
         }
         match best {
             Some((_, idx)) => Placement::Existing(idx),
             None => Placement::NewEntry,
         }
+    }
+}
+
+impl AlignmentPolicy for DurationSimilarityPolicy {
+    fn name(&self) -> &str {
+        "DURSIM"
+    }
+
+    fn place(&self, queue: &AlarmQueue, alarm: &Alarm) -> Placement {
+        self.place_inner(queue, alarm, None)
+    }
+
+    fn place_audited(
+        &self,
+        queue: &AlarmQueue,
+        alarm: &Alarm,
+        audit: &mut Vec<CandidateAudit>,
+    ) -> Placement {
+        self.place_inner(queue, alarm, Some(audit))
     }
 
     fn discipline(&self) -> DeliveryDiscipline {

@@ -39,6 +39,7 @@ pub use simty::SimtyPolicy;
 use std::fmt;
 
 use crate::alarm::Alarm;
+use crate::audit::CandidateAudit;
 use crate::entry::DeliveryDiscipline;
 use crate::queue::AlarmQueue;
 
@@ -98,6 +99,25 @@ pub trait AlignmentPolicy: fmt::Debug + Send + Sync {
     /// The queue passed in has already had any stale copy of the same
     /// alarm removed by the manager.
     fn place(&self, queue: &AlarmQueue, alarm: &Alarm) -> Placement;
+
+    /// [`place`](Self::place), additionally recording how every
+    /// candidate entry fared into `audit` (one
+    /// [`CandidateAudit`] per entry weighed, in queue order).
+    ///
+    /// Must return exactly the placement [`place`](Self::place) would:
+    /// auditing is observation, never influence. The default
+    /// implementation delegates to [`place`](Self::place) and records
+    /// nothing, which is honest for policies whose search has no
+    /// similarity ranking to expose; SIMTY and DURSIM override it.
+    fn place_audited(
+        &self,
+        queue: &AlarmQueue,
+        alarm: &Alarm,
+        audit: &mut Vec<CandidateAudit>,
+    ) -> Placement {
+        let _ = audit;
+        self.place(queue, alarm)
+    }
 
     /// How entries created under this policy derive their delivery times.
     fn discipline(&self) -> DeliveryDiscipline;

@@ -1,6 +1,7 @@
 //! SIMTY: the paper's similarity-based alignment policy (§3.2).
 
 use crate::alarm::Alarm;
+use crate::audit::{CandidateAudit, CandidateVerdict};
 use crate::entry::DeliveryDiscipline;
 use crate::hardware::HardwareSet;
 use crate::policy::{AlignmentPolicy, Placement};
@@ -92,14 +93,16 @@ impl SimtyPolicy {
             TimeSimilarity::Low => false,
         }
     }
-}
 
-impl AlignmentPolicy for SimtyPolicy {
-    fn name(&self) -> &str {
-        "SIMTY"
-    }
-
-    fn place(&self, queue: &AlarmQueue, alarm: &Alarm) -> Placement {
+    /// Both placement entry points share this loop; `audit`, when
+    /// present, receives one [`CandidateAudit`] per entry weighed and
+    /// never influences the outcome.
+    fn place_inner(
+        &self,
+        queue: &AlarmQueue,
+        alarm: &Alarm,
+        mut audit: Option<&mut Vec<CandidateAudit>>,
+    ) -> Placement {
         let alarm_hw = alarm.known_hardware();
         let alarm_perceptible = alarm.is_perceptible();
         // Search-phase cutoff: a Window/PerceptibilityAware entry's window
@@ -126,25 +129,80 @@ impl AlignmentPolicy for SimtyPolicy {
                     e.discipline(),
                     DeliveryDiscipline::Window | DeliveryDiscipline::PerceptibilityAware
                 )));
+                if let Some(a) = audit.as_deref_mut() {
+                    a.push(CandidateAudit {
+                        index: idx,
+                        delivery_time: entry.delivery_time(),
+                        time: entry.time_similarity_to(alarm),
+                        hw_rank: None,
+                        preferability: None,
+                        verdict: CandidateVerdict::PastCutoff,
+                    });
+                }
                 break;
             }
             let time = entry.time_similarity_to(alarm);
             if !Self::is_applicable(alarm_perceptible, entry.is_perceptible(), time) {
+                if let Some(a) = audit.as_deref_mut() {
+                    a.push(CandidateAudit {
+                        index: idx,
+                        delivery_time: entry.delivery_time(),
+                        time,
+                        hw_rank: None,
+                        preferability: None,
+                        verdict: CandidateVerdict::NotApplicable,
+                    });
+                }
                 continue;
             }
             let hw_rank = self
                 .granularity
                 .rank(alarm_hw, entry.hardware(), self.energy_hungry);
             let pref = Preferability::from_ranks(hw_rank, time);
+            if let Some(a) = audit.as_deref_mut() {
+                // Provisionally outranked; the winner is corrected below.
+                a.push(CandidateAudit {
+                    index: idx,
+                    delivery_time: entry.delivery_time(),
+                    time,
+                    hw_rank: Some(hw_rank),
+                    preferability: Some(pref),
+                    verdict: CandidateVerdict::Outranked,
+                });
+            }
             // Strictly-better comparison keeps the first found among ties.
             if best.is_none_or(|(b, _)| pref < b) {
                 best = Some((pref, idx));
+            }
+        }
+        if let (Some((_, idx)), Some(a)) = (best, audit) {
+            if let Some(winner) = a.iter_mut().find(|c| c.index == idx) {
+                winner.verdict = CandidateVerdict::Won;
             }
         }
         match best {
             Some((_, idx)) => Placement::Existing(idx),
             None => Placement::NewEntry,
         }
+    }
+}
+
+impl AlignmentPolicy for SimtyPolicy {
+    fn name(&self) -> &str {
+        "SIMTY"
+    }
+
+    fn place(&self, queue: &AlarmQueue, alarm: &Alarm) -> Placement {
+        self.place_inner(queue, alarm, None)
+    }
+
+    fn place_audited(
+        &self,
+        queue: &AlarmQueue,
+        alarm: &Alarm,
+        audit: &mut Vec<CandidateAudit>,
+    ) -> Placement {
+        self.place_inner(queue, alarm, Some(audit))
     }
 
     fn discipline(&self) -> DeliveryDiscipline {

@@ -1,0 +1,435 @@
+//! A typed metrics registry with deterministic exports.
+//!
+//! Three metric types — monotone `u64` counters, `f64` gauges, and
+//! fixed-bucket [`Histogram`]s — keyed by name. A name may carry
+//! Prometheus-style labels inline (`sim_component_held_ms{component="wifi"}`);
+//! the portion before `{` is the metric *family* and shares one
+//! `# HELP`/`# TYPE` header in the text exposition. All storage is
+//! `BTreeMap`-backed, so both the [text exposition](MetricsRegistry::expose)
+//! and the [JSON snapshot](MetricsRegistry::to_json) are byte-deterministic.
+
+use std::collections::BTreeMap;
+
+use crate::{json_f64, json_string};
+
+/// Default bucket bounds for histograms observed before an explicit
+/// [`MetricsRegistry::register_histogram`] call.
+pub const DEFAULT_BOUNDS: [f64; 8] = [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0];
+
+/// A fixed-bucket histogram.
+///
+/// Buckets follow Prometheus `le` semantics: an observation `v` lands in
+/// the first bucket whose upper bound satisfies `v <= bound`, or in the
+/// implicit `+Inf` overflow bucket. [`counts`](Self::counts) holds
+/// per-bucket (non-cumulative) counts with the overflow bucket last, so
+/// `counts.len() == bounds.len() + 1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    counts: Vec<u64>,
+    sum: f64,
+    count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over `bounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty, non-finite, or not strictly
+    /// increasing.
+    pub fn new(bounds: Vec<f64>) -> Self {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]) && bounds.iter().all(|b| b.is_finite()),
+            "histogram bounds must be finite and strictly increasing"
+        );
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            bounds,
+            counts,
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Rebuilds a histogram from checkpointed parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counts.len() != bounds.len() + 1` or the bounds are
+    /// invalid.
+    pub fn from_parts(bounds: Vec<f64>, counts: Vec<u64>, sum: f64, count: u64) -> Self {
+        let mut h = Histogram::new(bounds);
+        assert_eq!(counts.len(), h.counts.len(), "count vector length mismatch");
+        h.counts = counts;
+        h.sum = sum;
+        h.count = count;
+        h
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self.bucket_for(v);
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// The bucket index `v` lands in: the first bound with `v <= bound`,
+    /// or the overflow index `bounds.len()`.
+    pub fn bucket_for(&self, v: f64) -> usize {
+        self.bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len())
+    }
+
+    /// The configured upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    fn to_json(&self) -> String {
+        let bounds: Vec<String> = self.bounds.iter().map(|&b| json_f64(b)).collect();
+        let counts: Vec<String> = self.counts.iter().map(|c| c.to_string()).collect();
+        format!(
+            "{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+            bounds.join(","),
+            counts.join(","),
+            json_f64(self.sum),
+            self.count
+        )
+    }
+}
+
+/// Splits a metric name into its family and an optional label body, e.g.
+/// `a{b="c"}` → (`a`, Some(`b="c"`)).
+fn split_name(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+///
+/// # Examples
+///
+/// ```
+/// use simty_obs::MetricsRegistry;
+///
+/// let mut m = MetricsRegistry::new();
+/// m.describe("sim_wakeups_total", "CPU wakeups from sleep.");
+/// m.add("sim_wakeups_total{policy=\"SIMTY\"}", 3);
+/// m.set_gauge("sim_queue_depth", 7.0);
+/// let text = m.expose();
+/// assert!(text.contains("# TYPE sim_wakeups_total counter"));
+/// assert!(text.contains("sim_wakeups_total{policy=\"SIMTY\"} 3"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    help: BTreeMap<String, String>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Registers help text for a metric family (the name *without*
+    /// labels), shown as `# HELP` in the exposition.
+    pub fn describe(&mut self, family: impl Into<String>, help: impl Into<String>) {
+        self.help.insert(family.into(), help.into());
+    }
+
+    /// Increments a counter by one, creating it at zero first if needed.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to a counter, creating it at zero first if needed.
+    pub fn add(&mut self, name: &str, delta: u64) {
+        if let Some(v) = self.counters.get_mut(name) {
+            *v += delta;
+        } else {
+            self.counters.insert(name.to_owned(), delta);
+        }
+    }
+
+    /// Overwrites a counter (checkpoint restore).
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.counters.insert(name.to_owned(), value);
+    }
+
+    /// Sets a gauge to `value`.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Registers a histogram under `name` with the given bucket bounds.
+    /// Re-registering an existing histogram leaves its state untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are invalid (see [`Histogram::new`]).
+    pub fn register_histogram(&mut self, name: &str, bounds: Vec<f64>) {
+        if !self.histograms.contains_key(name) {
+            self.histograms.insert(name.to_owned(), Histogram::new(bounds));
+        }
+    }
+
+    /// Inserts (or replaces) a fully-built histogram (checkpoint
+    /// restore).
+    pub fn insert_histogram(&mut self, name: &str, histogram: Histogram) {
+        self.histograms.insert(name.to_owned(), histogram);
+    }
+
+    /// Records an observation into the named histogram, creating it with
+    /// [`DEFAULT_BOUNDS`] if it was never registered.
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.histograms
+            .entry(name.to_owned())
+            .or_insert_with(|| Histogram::new(DEFAULT_BOUNDS.to_vec()))
+            .observe(v);
+    }
+
+    /// A counter's value (zero if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// A gauge's value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// A histogram, if registered.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order (checkpoint capture).
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All gauges in name order (checkpoint capture).
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// All histograms in name order (checkpoint capture).
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Renders the registry in the Prometheus text exposition format:
+    /// counters, then gauges, then histograms, each family prefixed by
+    /// its `# HELP` (when described) and `# TYPE` lines, keys in
+    /// lexicographic order. Fully deterministic.
+    pub fn expose(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = String::new();
+        for (name, value) in &self.counters {
+            self.header(&mut out, name, "counter", &mut last_family);
+            out.push_str(&format!("{name} {value}\n"));
+        }
+        for (name, value) in &self.gauges {
+            self.header(&mut out, name, "gauge", &mut last_family);
+            out.push_str(&format!("{name} {}\n", expose_f64(*value)));
+        }
+        for (name, h) in &self.histograms {
+            self.header(&mut out, name, "histogram", &mut last_family);
+            let (family, labels) = split_name(name);
+            let with = |le: &str| match labels {
+                Some(l) => format!("{family}_bucket{{{l},le=\"{le}\"}}"),
+                None => format!("{family}_bucket{{le=\"{le}\"}}"),
+            };
+            let suffixed = |suffix: &str| match labels {
+                Some(l) => format!("{family}_{suffix}{{{l}}}"),
+                None => format!("{family}_{suffix}"),
+            };
+            let mut cumulative = 0;
+            for (i, &bound) in h.bounds().iter().enumerate() {
+                cumulative += h.counts()[i];
+                out.push_str(&format!("{} {cumulative}\n", with(&expose_f64(bound))));
+            }
+            out.push_str(&format!("{} {}\n", with("+Inf"), h.count()));
+            out.push_str(&format!("{} {}\n", suffixed("sum"), expose_f64(h.sum())));
+            out.push_str(&format!("{} {}\n", suffixed("count"), h.count()));
+        }
+        out
+    }
+
+    fn header(&self, out: &mut String, name: &str, kind: &str, last_family: &mut String) {
+        let (family, _) = split_name(name);
+        if family != last_family {
+            if let Some(help) = self.help.get(family) {
+                out.push_str(&format!("# HELP {family} {help}\n"));
+            }
+            out.push_str(&format!("# TYPE {family} {kind}\n"));
+            *last_family = family.to_owned();
+        }
+    }
+
+    /// Renders the registry as one deterministic JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, value)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), value));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, value)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), json_f64(*value)));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{}:{}", json_string(name), h.to_json()));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Formats an `f64` for the text exposition (`+Inf`/`-Inf`/`NaN` in
+/// Prometheus style, shortest round-trip decimal otherwise).
+fn expose_f64(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".to_owned()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_owned()
+    } else if v.is_nan() {
+        "NaN".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a");
+        m.add("a", 4);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_le() {
+        let mut h = Histogram::new(vec![1.0, 2.0, 4.0]);
+        // Exactly on a bound lands *in* that bound's bucket (le
+        // semantics); just above it spills to the next.
+        h.observe(1.0);
+        h.observe(1.0000001);
+        h.observe(4.0);
+        h.observe(4.1);
+        assert_eq!(h.counts(), &[1, 1, 1, 1]);
+        assert_eq!(h.count(), 4);
+        assert!((h.sum() - 10.1000001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exposition_renders_every_type() {
+        let mut m = MetricsRegistry::new();
+        m.describe("c", "a counter");
+        m.add("c{k=\"v\"}", 2);
+        m.set_gauge("g", 1.5);
+        m.register_histogram("h", vec![1.0, 2.0]);
+        m.observe("h", 1.0);
+        m.observe("h", 3.0);
+        let text = m.expose();
+        let expected = "\
+# HELP c a counter
+# TYPE c counter
+c{k=\"v\"} 2
+# TYPE g gauge
+g 1.5
+# TYPE h histogram
+h_bucket{le=\"1\"} 1
+h_bucket{le=\"2\"} 1
+h_bucket{le=\"+Inf\"} 2
+h_sum 4
+h_count 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn labelled_histograms_splice_le_inside_the_braces() {
+        let mut m = MetricsRegistry::new();
+        m.register_histogram("h{app=\"x\"}", vec![1.0]);
+        m.observe("h{app=\"x\"}", 0.5);
+        let text = m.expose();
+        assert!(text.contains("h_bucket{app=\"x\",le=\"1\"} 1"));
+        assert!(text.contains("h_sum{app=\"x\"} 0.5"));
+        assert!(text.contains("h_count{app=\"x\"} 1"));
+    }
+
+    #[test]
+    fn unregistered_observation_uses_default_bounds() {
+        let mut m = MetricsRegistry::new();
+        m.observe("h", 3.0);
+        assert_eq!(m.histogram("h").unwrap().bounds(), &DEFAULT_BOUNDS);
+    }
+
+    #[test]
+    fn json_snapshot_shape() {
+        let mut m = MetricsRegistry::new();
+        m.add("a", 1);
+        m.set_gauge("g", 0.5);
+        m.register_histogram("h", vec![1.0]);
+        m.observe("h", 2.0);
+        assert_eq!(
+            m.to_json(),
+            "{\"counters\":{\"a\":1},\"gauges\":{\"g\":0.5},\"histograms\":\
+             {\"h\":{\"bounds\":[1],\"counts\":[0,1],\"sum\":2,\"count\":1}}}"
+        );
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut h = Histogram::new(vec![1.0, 2.0]);
+        h.observe(1.5);
+        let rebuilt = Histogram::from_parts(
+            h.bounds().to_vec(),
+            h.counts().to_vec(),
+            h.sum(),
+            h.count(),
+        );
+        assert_eq!(rebuilt, h);
+    }
+}

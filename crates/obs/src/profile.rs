@@ -1,0 +1,152 @@
+//! Per-stage wall-clock self-profiling.
+//!
+//! A [`StageProfile`] accumulates real (host) time spent in each of the
+//! simulator's hot stages. Wall time varies run to run by nature, so
+//! profiles must never leak into the deterministic exports — they
+//! surface only in benchmark documents (`BENCH_sweep.json`), alongside
+//! the other non-deterministic timing fields.
+
+use std::time::Duration;
+
+/// The simulator stages the profile distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Scanning the alarm queues for due entries and the next wakeup.
+    QueueSearch,
+    /// Alignment-policy placement (search + selection) on registration
+    /// and re-registration.
+    Selection,
+    /// Discrete-event dispatch in the engine's main loop.
+    EventDispatch,
+    /// Checkpoint capture and serialization.
+    CheckpointIo,
+}
+
+impl Stage {
+    /// Every stage, in a fixed order.
+    pub const ALL: [Stage; 4] = [
+        Stage::QueueSearch,
+        Stage::Selection,
+        Stage::EventDispatch,
+        Stage::CheckpointIo,
+    ];
+
+    /// The stage's stable snake_case name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::QueueSearch => "queue_search",
+            Stage::Selection => "selection",
+            Stage::EventDispatch => "event_dispatch",
+            Stage::CheckpointIo => "checkpoint_io",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::QueueSearch => 0,
+            Stage::Selection => 1,
+            Stage::EventDispatch => 2,
+            Stage::CheckpointIo => 3,
+        }
+    }
+}
+
+/// Accumulated wall-clock time and call counts per [`Stage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StageProfile {
+    nanos: [u64; 4],
+    calls: [u64; 4],
+}
+
+impl StageProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        StageProfile::default()
+    }
+
+    /// Adds one timed call to a stage.
+    pub fn add(&mut self, stage: Stage, elapsed: Duration) {
+        let i = stage.index();
+        self.nanos[i] += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.calls[i] += 1;
+    }
+
+    /// Folds another profile into this one (sweep aggregation).
+    pub fn merge(&mut self, other: &StageProfile) {
+        for i in 0..self.nanos.len() {
+            self.nanos[i] += other.nanos[i];
+            self.calls[i] += other.calls[i];
+        }
+    }
+
+    /// Nanoseconds accumulated in a stage.
+    pub fn nanos(&self, stage: Stage) -> u64 {
+        self.nanos[stage.index()]
+    }
+
+    /// Timed calls accumulated in a stage.
+    pub fn calls(&self, stage: Stage) -> u64 {
+        self.calls[stage.index()]
+    }
+
+    /// Total nanoseconds across all stages.
+    pub fn total_nanos(&self) -> u64 {
+        self.nanos.iter().sum()
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.calls.iter().all(|&c| c == 0)
+    }
+
+    /// Renders the profile as one JSON object keyed by stage name, each
+    /// with `ns` and `calls` fields.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, stage) in Stage::ALL.into_iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"ns\":{},\"calls\":{}}}",
+                stage.as_str(),
+                self.nanos(stage),
+                self.calls(stage)
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_merges() {
+        let mut a = StageProfile::new();
+        a.add(Stage::QueueSearch, Duration::from_nanos(100));
+        a.add(Stage::QueueSearch, Duration::from_nanos(50));
+        a.add(Stage::CheckpointIo, Duration::from_nanos(7));
+        let mut b = StageProfile::new();
+        b.add(Stage::QueueSearch, Duration::from_nanos(1));
+        b.merge(&a);
+        assert_eq!(b.nanos(Stage::QueueSearch), 151);
+        assert_eq!(b.calls(Stage::QueueSearch), 3);
+        assert_eq!(b.total_nanos(), 158);
+        assert!(!b.is_empty());
+        assert!(StageProfile::new().is_empty());
+    }
+
+    #[test]
+    fn json_names_every_stage() {
+        let mut p = StageProfile::new();
+        p.add(Stage::EventDispatch, Duration::from_nanos(3));
+        let json = p.to_json();
+        for stage in Stage::ALL {
+            assert!(json.contains(&format!("\"{}\"", stage.as_str())), "{json}");
+        }
+        assert!(json.contains("\"event_dispatch\":{\"ns\":3,\"calls\":1}"));
+    }
+}

@@ -1,0 +1,298 @@
+//! Structured, sim-clock-driven tracing spans.
+//!
+//! A [`Span`] is one bounded slice of simulated time with a kind and a
+//! small ordered attribute list; instantaneous events are spans whose
+//! start equals their end. Spans carry no wall-clock data at all — the
+//! timestamp is the *simulated* clock in milliseconds and the ordering
+//! key is a monotone sequence number — so a run's span stream is a pure
+//! function of its inputs: byte-identical across host thread counts and
+//! across a checkpoint resume.
+
+use std::collections::VecDeque;
+
+use crate::json_string;
+
+/// The kinds of span the simulator emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One awake period: from the CPU leaving sleep to it re-entering
+    /// sleep.
+    WakeCycle,
+    /// One alignment-policy placement decision (instantaneous).
+    PolicyPlace,
+    /// One delivered alarm's task, spanning its CPU time.
+    TaskRun,
+    /// One checkpoint capture (instantaneous on the simulated clock).
+    CheckpointWrite,
+    /// One watchdog intervention: a forced release or a quarantine.
+    WatchdogIntervention,
+}
+
+impl SpanKind {
+    /// Every kind, in a fixed order.
+    pub const ALL: [SpanKind; 5] = [
+        SpanKind::WakeCycle,
+        SpanKind::PolicyPlace,
+        SpanKind::TaskRun,
+        SpanKind::CheckpointWrite,
+        SpanKind::WatchdogIntervention,
+    ];
+
+    /// The kind's stable snake_case name, used in the JSONL export.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::WakeCycle => "wake_cycle",
+            SpanKind::PolicyPlace => "policy_place",
+            SpanKind::TaskRun => "task_run",
+            SpanKind::CheckpointWrite => "checkpoint_write",
+            SpanKind::WatchdogIntervention => "watchdog_intervention",
+        }
+    }
+
+    /// Parses a name produced by [`as_str`](Self::as_str).
+    pub fn parse(s: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.as_str() == s)
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Monotone sequence number, unique within a collector's lifetime.
+    pub seq: u64,
+    /// What the span covers.
+    pub kind: SpanKind,
+    /// Simulated start time, in milliseconds.
+    pub start_ms: u64,
+    /// Simulated end time, in milliseconds (equal to `start_ms` for
+    /// instantaneous events).
+    pub end_ms: u64,
+    /// Ordered key/value attributes (insertion order is preserved and
+    /// part of the deterministic export).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// Renders the span as one JSON object (one JSONL line, no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"seq\":{},\"kind\":{},\"start_ms\":{},\"end_ms\":{},\"attrs\":{{",
+            self.seq,
+            json_string(self.kind.as_str()),
+            self.start_ms,
+            self.end_ms,
+        );
+        for (i, (k, v)) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(k));
+            out.push(':');
+            out.push_str(&json_string(v));
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+/// A bounded, ring-buffered span collector.
+///
+/// When the ring is full the *oldest* span is evicted and counted in
+/// [`dropped`](Self::dropped), so the collector always holds the most
+/// recent window of activity. Eviction is a pure function of the record
+/// sequence, which keeps the surviving contents deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use simty_obs::{SpanCollector, SpanKind};
+///
+/// let mut spans = SpanCollector::new(128);
+/// spans.record(SpanKind::TaskRun, 60_000, 62_000, vec![
+///     ("app".to_owned(), "Facebook".to_owned()),
+/// ]);
+/// assert_eq!(spans.len(), 1);
+/// assert!(spans.to_jsonl().contains("\"kind\":\"task_run\""));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanCollector {
+    capacity: usize,
+    spans: VecDeque<Span>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+impl SpanCollector {
+    /// An empty collector retaining at most `capacity` spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "a span ring needs room for at least one span");
+        SpanCollector {
+            capacity,
+            spans: VecDeque::new(),
+            next_seq: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Rebuilds a collector from checkpointed parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero or `spans` exceeds it.
+    pub fn from_parts(capacity: usize, next_seq: u64, dropped: u64, spans: Vec<Span>) -> Self {
+        assert!(capacity > 0, "a span ring needs room for at least one span");
+        assert!(spans.len() <= capacity, "more spans than capacity");
+        SpanCollector {
+            capacity,
+            spans: spans.into(),
+            next_seq,
+            dropped,
+        }
+    }
+
+    /// Records a span, returning its sequence number. Evicts the oldest
+    /// span when the ring is full.
+    pub fn record(
+        &mut self,
+        kind: SpanKind,
+        start_ms: u64,
+        end_ms: u64,
+        attrs: Vec<(String, String)>,
+    ) -> u64 {
+        debug_assert!(start_ms <= end_ms, "span ends before it starts");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.spans.len() == self.capacity {
+            self.spans.pop_front();
+            self.dropped += 1;
+        }
+        self.spans.push_back(Span {
+            seq,
+            kind,
+            start_ms,
+            end_ms,
+            attrs,
+        });
+        seq
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// The ring's capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Spans evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The next sequence number to be assigned (equals the total number
+    /// of spans ever recorded).
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The retained spans, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.spans.iter()
+    }
+
+    /// Renders the retained spans as JSONL: one JSON object per line,
+    /// oldest first, trailing newline after every line.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for span in &self.spans {
+            out.push_str(&span.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span_at(c: &mut SpanCollector, ms: u64) -> u64 {
+        c.record(SpanKind::TaskRun, ms, ms + 10, Vec::new())
+    }
+
+    #[test]
+    fn kinds_round_trip() {
+        for k in SpanKind::ALL {
+            assert_eq!(SpanKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(SpanKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn sequence_numbers_are_monotone() {
+        let mut c = SpanCollector::new(8);
+        assert_eq!(span_at(&mut c, 0), 0);
+        assert_eq!(span_at(&mut c, 5), 1);
+        assert_eq!(c.next_seq(), 2);
+        assert_eq!(c.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut c = SpanCollector::new(2);
+        span_at(&mut c, 0);
+        span_at(&mut c, 1);
+        span_at(&mut c, 2);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.dropped(), 1);
+        let seqs: Vec<u64> = c.iter().map(|s| s.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let mut c = SpanCollector::new(4);
+        c.record(
+            SpanKind::PolicyPlace,
+            60_000,
+            60_000,
+            vec![("app".to_owned(), "a\"b".to_owned())],
+        );
+        span_at(&mut c, 70_000);
+        let jsonl = c.to_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        let first = jsonl.lines().next().unwrap();
+        assert_eq!(
+            first,
+            "{\"seq\":0,\"kind\":\"policy_place\",\"start_ms\":60000,\
+             \"end_ms\":60000,\"attrs\":{\"app\":\"a\\\"b\"}}"
+        );
+    }
+
+    #[test]
+    fn parts_round_trip() {
+        let mut c = SpanCollector::new(2);
+        span_at(&mut c, 0);
+        span_at(&mut c, 1);
+        span_at(&mut c, 2);
+        let rebuilt = SpanCollector::from_parts(
+            c.capacity(),
+            c.next_seq(),
+            c.dropped(),
+            c.iter().cloned().collect(),
+        );
+        assert_eq!(rebuilt, c);
+    }
+}

@@ -37,17 +37,20 @@ use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
 use simty_core::alarm::{Alarm, AlarmId, AlarmKind, Repeat};
+use simty_core::audit::{CandidateAudit, CandidateVerdict, PlacementAudit};
 use simty_core::entry::{DeliveryDiscipline, QueueEntry};
 use simty_core::hardware::{HardwareComponent, HardwareSet};
 use simty_core::manager::AlarmManager;
-use simty_core::policy::AlignmentPolicy;
+use simty_core::policy::{AlignmentPolicy, Placement};
 use simty_core::queue::AlarmQueue;
+use simty_core::similarity::{Preferability, TimeSimilarity};
 use simty_core::time::{SimDuration, SimTime};
 use simty_device::device::{Device, DevicePowerState, DeviceSnapshot};
 use simty_device::energy::EnergyMeter;
 use simty_device::monsoon::PowerTrace;
 use simty_device::power::{ComponentPower, PowerModel};
 use simty_device::wakelock::WakeLockTable;
+use simty_obs::{Histogram, Span, SpanCollector, SpanKind, StageProfile};
 
 use crate::attribution::{ActiveTask, AttributionLedger};
 use crate::config::{InvariantMode, SimConfig};
@@ -55,6 +58,7 @@ use crate::engine::{RetrySlot, Simulation, TaskHold};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::{CrashSpec, FaultPlan, FaultState, StormSpec};
 use crate::invariant::{InvariantMonitor, InvariantViolation};
+use crate::obs::{ObsLayer, SPAN_CAPACITY};
 use crate::trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
 use crate::watchdog::{OnlineWatchdogConfig, WatchdogPolicy};
 
@@ -563,6 +567,9 @@ fn fmt_violation(v: &InvariantViolation) -> String {
             ledger_mj,
             meter_mj,
         } => format!("energy:{}:{}", f64_hex(*ledger_mj), f64_hex(*meter_mj)),
+        InvariantViolation::WaveformMismatch { trace_mj, meter_mj } => {
+            format!("waveform:{}:{}", f64_hex(*trace_mj), f64_hex(*meter_mj))
+        }
     }
 }
 
@@ -642,6 +649,7 @@ pub(crate) fn capture(sim: &Simulation) -> Checkpoint {
             .checkpoint_every
             .map_or_else(|| "none".to_owned(), |d| d.as_millis().to_string())
     );
+    w!(body, "audit_capacity={}", sim.config.audit_capacity);
     w!(body, "external_wakes={}", sim.config.external_wakes.len());
     for t in &sim.config.external_wakes {
         w!(body, "xw={}", t.as_millis());
@@ -922,6 +930,108 @@ pub(crate) fn capture(sim: &Simulation) -> Checkpoint {
     }
     w!(body, "energy_checked={}", u8::from(sim.energy_checked));
     w!(body, "down_until={}", fmt_opt_time(sim.down_until));
+
+    // Observability layer. Help text and the span-ring capacity are not
+    // captured: `ObsLayer::new` re-creates both identically on restore,
+    // so only the mutable state needs to round-trip.
+    let obs = &sim.obs;
+    w!(body, "obs_next_seq={}", obs.spans.next_seq());
+    w!(body, "obs_span_dropped={}", obs.spans.dropped());
+    w!(body, "obs_spans={}", obs.spans.len());
+    for s in obs.spans.iter() {
+        let mut line = format!(
+            "os={},{},{},{},{}",
+            s.seq,
+            s.kind.as_str(),
+            s.start_ms,
+            s.end_ms,
+            s.attrs.len()
+        );
+        for (k, v) in &s.attrs {
+            line.push(',');
+            line.push_str(&esc(k));
+            line.push(',');
+            line.push_str(&esc(v));
+        }
+        w!(body, "{line}");
+    }
+    let counters: Vec<_> = obs.metrics.counters().collect();
+    w!(body, "obs_counters={}", counters.len());
+    for (name, value) in counters {
+        w!(body, "oc={value},{}", esc(name));
+    }
+    let gauges: Vec<_> = obs.metrics.gauges().collect();
+    w!(body, "obs_gauges={}", gauges.len());
+    for (name, value) in gauges {
+        w!(body, "og={},{}", f64_hex(value), esc(name));
+    }
+    let hists: Vec<_> = obs.metrics.histograms().collect();
+    w!(body, "obs_hists={}", hists.len());
+    for (name, h) in hists {
+        let mut line = format!("oh={},{}", esc(name), h.bounds().len());
+        for b in h.bounds() {
+            line.push(',');
+            line.push_str(&f64_hex(*b));
+        }
+        for c in h.counts() {
+            line.push(',');
+            line.push_str(&c.to_string());
+        }
+        line.push(',');
+        line.push_str(&f64_hex(h.sum()));
+        line.push(',');
+        line.push_str(&h.count().to_string());
+        w!(body, "{line}");
+    }
+    w!(body, "obs_audit_dropped={}", obs.audit_dropped);
+    w!(body, "obs_audits={}", obs.audits.len());
+    for a in &obs.audits {
+        let cands = if a.candidates.is_empty() {
+            "-".to_owned()
+        } else {
+            a.candidates
+                .iter()
+                .map(|c| {
+                    format!(
+                        "{}.{}.{}.{}.{}",
+                        c.index,
+                        c.delivery_time.as_millis(),
+                        match c.time {
+                            TimeSimilarity::High => "h",
+                            TimeSimilarity::Medium => "m",
+                            TimeSimilarity::Low => "l",
+                        },
+                        c.hw_rank.map_or_else(|| "-".to_owned(), |r| r.to_string()),
+                        match c.verdict {
+                            CandidateVerdict::Won => "w",
+                            CandidateVerdict::Outranked => "o",
+                            CandidateVerdict::NotApplicable => "n",
+                            CandidateVerdict::PastCutoff => "c",
+                        }
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(";")
+        };
+        w!(
+            body,
+            "oa={},{},{},{},{},{},{cands}",
+            a.at.as_millis(),
+            a.alarm_id.as_u64(),
+            a.nominal.as_millis(),
+            u8::from(a.perceptible),
+            match a.placement {
+                Placement::Existing(i) => format!("e{i}"),
+                Placement::NewEntry => "n".to_owned(),
+            },
+            esc(&a.app)
+        );
+    }
+    w!(body, "obs_aliases={}", obs.aliases.len());
+    for (raw, ordinal) in &obs.aliases {
+        w!(body, "ol={raw},{ordinal}");
+    }
+    w!(body, "obs_wake={}", fmt_opt_time(obs.wake_open));
 
     Checkpoint {
         captured_at: sim.now,
@@ -1296,6 +1406,14 @@ impl<'a> Parser<'a> {
                     meter_mj: self.f64_of(next()?)?,
                 }
             }
+            Some("waveform") => {
+                let mut next =
+                    || it.next().ok_or_else(|| self.err("waveform needs 2 parameters"));
+                InvariantViolation::WaveformMismatch {
+                    trace_mj: self.f64_of(next()?)?,
+                    meter_mj: self.f64_of(next()?)?,
+                }
+            }
             _ => return Err(self.err(format!("invalid violation `{s}`"))),
         };
         Ok(v)
@@ -1340,6 +1458,10 @@ pub(crate) fn restore(
         } else {
             Some(p.dur(v)?)
         }
+    };
+    let audit_capacity = {
+        let v = p.kv("audit_capacity")?;
+        p.usize_of(v)?
     };
     let n = p.count("external_wakes")?;
     let mut external_wakes = Vec::with_capacity(n);
@@ -1391,13 +1513,15 @@ pub(crate) fn restore(
         online_watchdog,
         invariants,
         checkpoint_every,
+        audit_capacity,
     };
 
     // Alarm manager.
     let mgr_clock = p.kv_time("mgr_clock")?;
     let wakeup = p.queue("wakeup_entries")?;
     let non_wakeup = p.queue("non_wakeup_entries")?;
-    let manager = AlarmManager::restore(policy, wakeup, non_wakeup, mgr_clock);
+    let mut manager = AlarmManager::restore(policy, wakeup, non_wakeup, mgr_clock);
+    manager.set_audit_enabled(true);
 
     // Device.
     let state = {
@@ -1729,6 +1853,155 @@ pub(crate) fn restore(
     let down_until = p.kv_opt_time("down_until")?;
     let watchdog = config.online_watchdog;
 
+    // Observability layer: re-register the families (help text, zeroed
+    // counters, histogram bounds), then overwrite with the captured
+    // state — the union is byte-identical to the straight-through run.
+    let mut obs = ObsLayer::new(&checkpoint.policy, config.audit_capacity);
+    let obs_next_seq = p.kv_u64("obs_next_seq")?;
+    let obs_span_dropped = p.kv_u64("obs_span_dropped")?;
+    let n = p.count("obs_spans")?;
+    let mut spans = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = p.kv("os")?;
+        let parts: Vec<&str> = v.split(',').collect();
+        if parts.len() < 5 {
+            return Err(p.err(format!("span needs at least 5 fields, got {}", parts.len())));
+        }
+        let nattrs = p.usize_of(parts[4])?;
+        if parts.len() != 5 + 2 * nattrs {
+            return Err(p.err(format!(
+                "span with {nattrs} attrs expects {} fields, got {}",
+                5 + 2 * nattrs,
+                parts.len()
+            )));
+        }
+        let kind = SpanKind::parse(parts[1])
+            .ok_or_else(|| p.err(format!("invalid span kind `{}`", parts[1])))?;
+        let mut attrs = Vec::with_capacity(nattrs);
+        for i in 0..nattrs {
+            attrs.push((unesc(parts[5 + 2 * i]), unesc(parts[6 + 2 * i])));
+        }
+        spans.push(Span {
+            seq: p.u64_of(parts[0])?,
+            kind,
+            start_ms: p.u64_of(parts[2])?,
+            end_ms: p.u64_of(parts[3])?,
+            attrs,
+        });
+    }
+    obs.spans = SpanCollector::from_parts(SPAN_CAPACITY, obs_next_seq, obs_span_dropped, spans);
+    let n = p.count("obs_counters")?;
+    for _ in 0..n {
+        let v = p.kv("oc")?;
+        let f = p.fields(v, 2)?;
+        obs.metrics.set_counter(&unesc(f[1]), p.u64_of(f[0])?);
+    }
+    let n = p.count("obs_gauges")?;
+    for _ in 0..n {
+        let v = p.kv("og")?;
+        let f = p.fields(v, 2)?;
+        obs.metrics.set_gauge(&unesc(f[1]), p.f64_of(f[0])?);
+    }
+    let n = p.count("obs_hists")?;
+    for _ in 0..n {
+        let v = p.kv("oh")?;
+        let parts: Vec<&str> = v.split(',').collect();
+        if parts.len() < 2 {
+            return Err(p.err("histogram needs at least a name and a bound count"));
+        }
+        let name = unesc(parts[0]);
+        let nb = p.usize_of(parts[1])?;
+        // name, bound count, bounds, counts (one overflow bucket), sum, count.
+        let want = 2 + nb + (nb + 1) + 2;
+        if parts.len() != want {
+            return Err(p.err(format!(
+                "histogram with {nb} bounds expects {want} fields, got {}",
+                parts.len()
+            )));
+        }
+        let mut bounds = Vec::with_capacity(nb);
+        for raw in &parts[2..2 + nb] {
+            bounds.push(p.f64_of(raw)?);
+        }
+        let mut counts = Vec::with_capacity(nb + 1);
+        for raw in &parts[2 + nb..2 + nb + nb + 1] {
+            counts.push(p.u64_of(raw)?);
+        }
+        let sum = p.f64_of(parts[want - 2])?;
+        let count = p.u64_of(parts[want - 1])?;
+        obs.metrics
+            .insert_histogram(&name, Histogram::from_parts(bounds, counts, sum, count));
+    }
+    obs.audit_dropped = p.kv_u64("obs_audit_dropped")?;
+    let n = p.count("obs_audits")?;
+    for _ in 0..n {
+        let v = p.kv("oa")?;
+        let f = p.fields(v, 7)?;
+        let candidates = if f[6] == "-" {
+            Vec::new()
+        } else {
+            let mut out = Vec::new();
+            for c in f[6].split(';') {
+                let cf: Vec<&str> = c.split('.').collect();
+                if cf.len() != 5 {
+                    return Err(p.err(format!("candidate needs 5 fields, got `{c}`")));
+                }
+                let time = match cf[2] {
+                    "h" => TimeSimilarity::High,
+                    "m" => TimeSimilarity::Medium,
+                    "l" => TimeSimilarity::Low,
+                    other => return Err(p.err(format!("invalid time similarity `{other}`"))),
+                };
+                let hw_rank = if cf[3] == "-" {
+                    None
+                } else {
+                    Some(cf[3].parse::<u8>().map_err(|_| {
+                        p.err(format!("invalid hardware rank `{}`", cf[3]))
+                    })?)
+                };
+                let verdict = match cf[4] {
+                    "w" => CandidateVerdict::Won,
+                    "o" => CandidateVerdict::Outranked,
+                    "n" => CandidateVerdict::NotApplicable,
+                    "c" => CandidateVerdict::PastCutoff,
+                    other => return Err(p.err(format!("invalid verdict `{other}`"))),
+                };
+                out.push(CandidateAudit {
+                    index: p.usize_of(cf[0])?,
+                    delivery_time: p.time(cf[1])?,
+                    time,
+                    hw_rank,
+                    preferability: hw_rank.map(|r| Preferability::from_ranks(r, time)),
+                    verdict,
+                });
+            }
+            out
+        };
+        let placement = if f[4] == "n" {
+            Placement::NewEntry
+        } else if let Some(idx) = f[4].strip_prefix('e') {
+            Placement::Existing(p.usize_of(idx)?)
+        } else {
+            return Err(p.err(format!("invalid placement `{}`", f[4])));
+        };
+        obs.audits.push_back(PlacementAudit {
+            at: p.time(f[0])?,
+            alarm_id: AlarmId::from_raw(p.u64_of(f[1])?),
+            app: unesc(f[5]),
+            nominal: p.time(f[2])?,
+            perceptible: p.bool_of(f[3])?,
+            placement,
+            candidates,
+        });
+    }
+    let n = p.count("obs_aliases")?;
+    for _ in 0..n {
+        let v = p.kv("ol")?;
+        let f = p.fields(v, 2)?;
+        obs.aliases.insert(p.u64_of(f[0])?, p.u64_of(f[1])?);
+    }
+    obs.wake_open = p.kv_opt_time("obs_wake")?;
+
     Ok(Simulation {
         manager,
         device,
@@ -1750,6 +2023,8 @@ pub(crate) fn restore(
         energy_checked,
         down_until,
         checkpoints: Vec::new(),
+        obs,
+        stages: StageProfile::new(),
     })
 }
 

@@ -52,6 +52,9 @@ pub struct SimConfig {
     /// Capture a crash-consistent checkpoint every this often (see
     /// [`crate::checkpoint`]); `None` disables checkpointing.
     pub checkpoint_every: Option<SimDuration>,
+    /// How many placement-decision audits the observability layer retains
+    /// (oldest evicted first; see [`crate::obs::ObsLayer`]).
+    pub audit_capacity: usize,
 }
 
 impl Default for SimConfig {
@@ -64,6 +67,7 @@ impl Default for SimConfig {
             online_watchdog: None,
             invariants: InvariantMode::Off,
             checkpoint_every: None,
+            audit_capacity: crate::obs::DEFAULT_AUDIT_CAPACITY,
         }
     }
 }
@@ -131,6 +135,20 @@ impl SimConfig {
     pub fn with_checkpoints(mut self, every: SimDuration) -> Self {
         assert!(!every.is_zero(), "checkpoint interval must be positive");
         self.checkpoint_every = Some(every);
+        self
+    }
+
+    /// Overrides how many placement-decision audits the run retains
+    /// (default [`DEFAULT_AUDIT_CAPACITY`](crate::obs::DEFAULT_AUDIT_CAPACITY)).
+    /// Raise it when a full run's decisions must survive for
+    /// post-hoc explanation, as `standby explain` does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_audit_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "audit capacity must be positive");
+        self.audit_capacity = capacity;
         self
     }
 }

@@ -17,6 +17,7 @@
 //! the power button) can be injected.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::time::Instant;
 
 use simty_core::alarm::{Alarm, AlarmId, AlarmKind};
 use simty_core::entry::QueueEntry;
@@ -26,6 +27,7 @@ use simty_core::manager::AlarmManager;
 use simty_core::policy::AlignmentPolicy;
 use simty_core::time::{SimDuration, SimTime};
 use simty_device::device::Device;
+use simty_obs::{SpanKind, Stage, StageProfile};
 
 use crate::attribution::AttributionLedger;
 use crate::checkpoint::{Checkpoint, CheckpointError};
@@ -35,6 +37,7 @@ use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultPlan, FaultState, RebootPlan};
 use crate::invariant::InvariantMonitor;
 use crate::metrics::SimReport;
+use crate::obs::ObsLayer;
 use crate::trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
 use crate::watchdog::OnlineWatchdogConfig;
 
@@ -117,6 +120,13 @@ pub struct Simulation {
     pub(crate) down_until: Option<SimTime>,
     /// In-memory checkpoints captured by [`EventKind::Checkpoint`].
     pub(crate) checkpoints: Vec<Checkpoint>,
+    /// Spans, metrics, and placement audits — all driven by the sim
+    /// clock, so every export is deterministic (and checkpointed).
+    pub(crate) obs: ObsLayer,
+    /// Wall-clock self-profiling per engine stage. Deliberately NOT
+    /// checkpointed and never part of any deterministic export: it
+    /// resets on resume and feeds only the bench harness's timing block.
+    pub(crate) stages: StageProfile,
 }
 
 impl Simulation {
@@ -128,8 +138,11 @@ impl Simulation {
             InvariantMode::Strict => Some(InvariantMonitor::new(config.power.wake_latency, true)),
         };
         let watchdog = config.online_watchdog;
+        let obs = ObsLayer::new(policy.name(), config.audit_capacity);
+        let mut manager = AlarmManager::new(policy);
+        manager.set_audit_enabled(true);
         let mut sim = Simulation {
-            manager: AlarmManager::new(policy),
+            manager,
             device: Device::new(config.power.clone()),
             events: EventQueue::new(),
             trace: Trace::new(),
@@ -149,6 +162,8 @@ impl Simulation {
             energy_checked: false,
             down_until: None,
             checkpoints: Vec::new(),
+            obs,
+            stages: StageProfile::new(),
         };
         if sim.config.record_waveform {
             sim.device.attach_monitor();
@@ -188,6 +203,20 @@ impl Simulation {
         self.now
     }
 
+    /// The observability layer: deterministic spans, metrics, and
+    /// placement-decision audits.
+    pub fn obs(&self) -> &ObsLayer {
+        &self.obs
+    }
+
+    /// Wall-clock self-profiling per engine stage (queue search,
+    /// selection, event dispatch, checkpoint I/O). Not deterministic —
+    /// never compare it across runs; aggregate it, as the sweep harness
+    /// does.
+    pub fn stage_profile(&self) -> &StageProfile {
+        &self.stages
+    }
+
     /// Registers an alarm with the manager and arms the RTC.
     ///
     /// # Errors
@@ -200,8 +229,11 @@ impl Simulation {
         if self.quarantined.contains_key(alarm.label()) {
             alarm.set_quarantined(true);
         }
+        let t0 = Instant::now();
         let id = self.manager.register(alarm)?;
+        self.stages.add(Stage::Selection, t0.elapsed());
         self.arm_clocks();
+        self.drain_audits();
         Ok(id)
     }
 
@@ -336,22 +368,6 @@ impl Simulation {
         }
     }
 
-    /// Force-releases every wakelock at the current instant (failure
-    /// injection: the user force-stops all apps).
-    #[deprecated(
-        note = "indiscriminate; use `force_release_app` to cut one offender loose \
-                while bystanders keep their locks"
-    )]
-    pub fn force_release_wakelocks(&mut self) {
-        self.holds.clear();
-        for slot in &mut self.activation_retries {
-            slot.done = true;
-        }
-        self.device.force_release_all(self.now);
-        self.ledger.drop_all_tasks(self.now);
-        self.arm_sleep();
-    }
-
     /// Runs the simulation to its configured end and returns the report.
     pub fn run(&mut self) -> SimReport {
         let end = SimTime::ZERO + self.config.duration;
@@ -375,7 +391,10 @@ impl Simulation {
             // state that held during it, then process and re-sync.
             self.ledger
                 .advance_to(self.now, !self.device.is_asleep());
+            let t0 = Instant::now();
             self.handle(event.kind, event.time);
+            self.stages.add(Stage::EventDispatch, t0.elapsed());
+            self.drain_audits();
             self.ledger
                 .advance_to(self.now, !self.device.is_asleep());
         }
@@ -393,6 +412,12 @@ impl Simulation {
                     parts,
                     e.total_mj(),
                 );
+                // Cross-check the recorded Monsoon waveform against the
+                // meter: integrating the trace over the run must land on
+                // the meter's total.
+                if let Some(tr) = self.device.monitor() {
+                    m.check_waveform(tr.energy_mj(self.now), e.total_mj());
+                }
             }
         }
     }
@@ -424,7 +449,20 @@ impl Simulation {
             report.resilience.invariant_violations = m.violations().len() as u64;
             report.resilience.perceptible_window_misses = m.window_misses();
         }
+        report.metrics_json = self.obs.metrics_json();
         Ok(report)
+    }
+
+    /// Moves every placement decision the manager recorded since the
+    /// last drain into the observability layer (a counter bump, a
+    /// `policy_place` span, and a slot in the audit ring each).
+    fn drain_audits(&mut self) {
+        if !self.manager.audit_enabled() {
+            return;
+        }
+        for audit in self.manager.take_audits() {
+            self.obs.note_placement(audit);
+        }
     }
 
     fn handle(&mut self, kind: EventKind, t: SimTime) {
@@ -496,7 +534,9 @@ impl Simulation {
                 self.arm_sleep();
             }
             EventKind::TrySleep => {
-                self.device.try_sleep(t);
+                if self.device.try_sleep(t) {
+                    self.obs.wake_ended(t);
+                }
             }
             EventKind::NonWakeupCheck => {
                 if self.device.is_awake() {
@@ -577,7 +617,19 @@ impl Simulation {
                         self.schedule_once(EventKind::Checkpoint, next);
                     }
                 }
+                // Count and span the capture *before* capturing, so the
+                // snapshot itself carries them: a resumed run and the
+                // straight-through run then agree byte-for-byte.
+                self.obs.metrics.inc("sim_checkpoints_total");
+                self.obs.spans.record(
+                    SpanKind::CheckpointWrite,
+                    t.as_millis(),
+                    t.as_millis(),
+                    Vec::new(),
+                );
+                let t0 = Instant::now();
                 let snapshot = crate::checkpoint::capture(self);
+                self.stages.add(Stage::CheckpointIo, t0.elapsed());
                 self.checkpoints.push(snapshot);
             }
         }
@@ -590,6 +642,8 @@ impl Simulation {
     fn reboot(&mut self, t: SimTime, outage: SimDuration) {
         let boot_at = t + outage;
         self.device.reboot(t);
+        // The power died: whatever wake cycle was open ends here.
+        self.obs.wake_ended(t);
         self.holds.clear();
         for slot in &mut self.activation_retries {
             slot.done = true;
@@ -688,6 +742,19 @@ impl Simulation {
             if *offenses >= cfg.quarantine_after && !self.quarantined.contains_key(&app) {
                 self.manager.set_app_quarantined(&app, true);
                 self.quarantined.insert(app.clone(), (t, 0));
+                self.obs.metrics.inc("sim_watchdog_quarantines_total");
+                self.obs
+                    .metrics
+                    .set_gauge("sim_quarantined_apps", self.quarantined.len() as f64);
+                self.obs.spans.record(
+                    SpanKind::WatchdogIntervention,
+                    t.as_millis(),
+                    t.as_millis(),
+                    vec![
+                        ("app".to_owned(), app.clone()),
+                        ("kind".to_owned(), "quarantine".to_owned()),
+                    ],
+                );
                 self.trace.record_intervention(InterventionRecord {
                     at: t,
                     app,
@@ -717,6 +784,16 @@ impl Simulation {
                 slot.done = true;
             }
         }
+        self.obs.metrics.inc("sim_watchdog_forced_releases_total");
+        self.obs.spans.record(
+            SpanKind::WatchdogIntervention,
+            (now - held).as_millis(),
+            now.as_millis(),
+            vec![
+                ("app".to_owned(), app.to_owned()),
+                ("kind".to_owned(), "forced_release".to_owned()),
+            ],
+        );
         self.trace.record_intervention(InterventionRecord {
             at: now,
             app: app.to_owned(),
@@ -745,6 +822,7 @@ impl Simulation {
         if self.device.wake_count() > wakeups_before {
             self.trace.record_wakeup(t);
             self.ledger.note_wake_transition();
+            self.obs.wake_started(t);
             self.activation_retries[slot].overhead_mj +=
                 self.config.power.wake_transition_energy_mj;
         }
@@ -803,6 +881,10 @@ impl Simulation {
         self.quarantined.remove(app);
         self.offenses.remove(app);
         self.manager.set_app_quarantined(app, false);
+        self.obs.metrics.inc("sim_watchdog_recoveries_total");
+        self.obs
+            .metrics
+            .set_gauge("sim_quarantined_apps", self.quarantined.len() as f64);
         self.trace.record_intervention(InterventionRecord {
             at: t,
             app: app.to_owned(),
@@ -829,6 +911,7 @@ impl Simulation {
         if self.device.wake_count() > wakeups_before {
             self.trace.record_wakeup(t);
             self.ledger.note_wake_transition();
+            self.obs.wake_started(t);
         }
         if self.device.is_awake() {
             self.deliver_due(t);
@@ -848,22 +931,30 @@ impl Simulation {
             // zero or one entry, so a fresh Vec per round is pure churn.
             let mut entries = std::mem::take(&mut self.due_buffer);
             entries.clear();
+            let t0 = Instant::now();
             self.manager.pop_due_wakeup_into(t, &mut entries);
             self.manager.pop_due_non_wakeup_into(t, &mut entries);
+            self.stages.add(Stage::QueueSearch, t0.elapsed());
             if entries.is_empty() {
                 self.due_buffer = entries;
                 break;
             }
             for entry in entries.drain(..) {
                 self.trace.record_entry_delivery();
+                self.obs.metrics.inc("sim_entry_deliveries_total");
                 let alarms = entry.into_alarms();
                 let entry_size = alarms.len();
+                self.obs.metrics.observe("sim_entry_size", entry_size as f64);
                 for alarm in alarms {
                     self.deliver_alarm(alarm, t, entry_size);
                 }
             }
             self.due_buffer = entries;
         }
+        self.obs.metrics.set_gauge(
+            "sim_wakeup_queue_depth",
+            self.manager.wakeup_queue().entries().len() as f64,
+        );
         if let Some(m) = self.monitor.as_mut() {
             m.check_queue_order(
                 self.manager
@@ -905,6 +996,28 @@ impl Simulation {
                 m.check_delivery(&rec, quarantined);
             }
         }
+        self.obs.metrics.inc("sim_alarm_deliveries_total");
+        if let Some(nd) = rec.normalized_delay() {
+            self.obs.metrics.observe("sim_normalized_delay", nd);
+        }
+        self.obs
+            .metrics
+            .observe("sim_task_hold_ms", (hold_until - t).as_millis() as f64);
+        for c in alarm.hardware().iter() {
+            self.obs.metrics.add(
+                &format!("sim_component_active_ms_total{{component=\"{}\"}}", c.name()),
+                (hold_until - t).as_millis(),
+            );
+        }
+        self.obs.spans.record(
+            SpanKind::TaskRun,
+            t.as_millis(),
+            hold_until.as_millis(),
+            vec![
+                ("app".to_owned(), alarm.label().to_owned()),
+                ("entry_size".to_owned(), entry_size.to_string()),
+            ],
+        );
         self.trace.record_delivery(rec);
 
         match failure {
@@ -1488,14 +1601,12 @@ mod tests {
     }
 
     #[test]
-    fn targeted_release_beats_the_deprecated_global_drop() {
-        // The deprecated shim still works but drops every app's tasks.
+    fn targeted_release_drops_exactly_the_offender() {
         let mut sim = ten_minute_sim(Box::new(ExactPolicy::new()));
         sim.register(wifi_alarm("a", 60, 300, 0.0, 0.5)).unwrap();
         sim.run_until(SimTime::from_secs(61));
         assert!(!sim.device().active_components().is_empty());
-        #[allow(deprecated)]
-        sim.force_release_wakelocks();
+        assert!(sim.force_release_app("a"));
         assert!(sim.device().active_components().is_empty());
         // force_release_app on an app with no holds reports false.
         assert!(!sim.force_release_app("a"));

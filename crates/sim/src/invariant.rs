@@ -58,6 +58,14 @@ pub enum InvariantViolation {
         /// Meter awake-related energy, in mJ.
         meter_mj: f64,
     },
+    /// The integrated Monsoon power waveform and the energy meter
+    /// disagree about the run's total energy.
+    WaveformMismatch {
+        /// Energy integrated from the recorded waveform, in mJ.
+        trace_mj: f64,
+        /// The meter's total, in mJ.
+        meter_mj: f64,
+    },
 }
 
 impl fmt::Display for InvariantViolation {
@@ -83,6 +91,11 @@ impl fmt::Display for InvariantViolation {
             } => write!(
                 f,
                 "energy not conserved: ledger {ledger_mj:.6} mJ vs meter {meter_mj:.6} mJ"
+            ),
+            InvariantViolation::WaveformMismatch { trace_mj, meter_mj } => write!(
+                f,
+                "waveform disagrees with meter: trace integrates to {trace_mj:.6} mJ vs meter \
+                 {meter_mj:.6} mJ"
             ),
         }
     }
@@ -196,6 +209,21 @@ impl InvariantMonitor {
         }
     }
 
+    /// Cross-checks the recorded Monsoon waveform against the energy
+    /// meter: integrating the power trace over the whole run must land on
+    /// the meter's total within the same relative tolerance as
+    /// [`check_energy`](Self::check_energy). Only meaningful when the
+    /// run recorded a waveform.
+    pub fn check_waveform(&mut self, trace_mj: f64, meter_total_mj: f64) {
+        let tol = 1e-6 * meter_total_mj.abs().max(1.0);
+        if (trace_mj - meter_total_mj).abs() > tol {
+            self.record(InvariantViolation::WaveformMismatch {
+                trace_mj,
+                meter_mj: meter_total_mj,
+            });
+        }
+    }
+
     fn record(&mut self, violation: InvariantViolation) {
         if self.panic_on_violation {
             panic!("invariant violated: {violation}");
@@ -275,5 +303,17 @@ mod tests {
         assert!(m.violations().is_empty());
         m.check_energy(1_000.0, 2_000.0, 5.0, 5.0);
         assert_eq!(m.violations().len(), 1);
+    }
+
+    #[test]
+    fn waveform_cross_check_uses_relative_tolerance() {
+        let mut m = InvariantMonitor::new(SimDuration::ZERO, false);
+        m.check_waveform(1_000_000.0, 1_000_000.0 + 1e-4);
+        assert!(m.violations().is_empty());
+        m.check_waveform(900.0, 1_000.0);
+        assert_eq!(m.violations().len(), 1);
+        assert!(m.violations()[0]
+            .to_string()
+            .contains("waveform disagrees with meter"));
     }
 }

@@ -131,6 +131,12 @@ pub fn report_to_json(report: &SimReport) -> String {
         r.catch_up_entries,
         json_number(r.worst_catch_up_delay_ms)
     );
+    out.push_str(",\"metrics\":");
+    if report.metrics_json.is_empty() {
+        out.push_str("null");
+    } else {
+        out.push_str(&report.metrics_json);
+    }
     out.push('}');
     out
 }
@@ -189,6 +195,8 @@ mod tests {
             "\"cpu_wakeups\"",
             "\"resilience\"",
             "\"perceptible_window_misses\":0",
+            "\"metrics\":{",
+            "\"counters\"",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }

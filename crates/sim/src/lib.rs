@@ -50,6 +50,7 @@ pub mod fault;
 pub mod invariant;
 pub mod json;
 pub mod metrics;
+pub mod obs;
 pub mod report;
 pub mod trace;
 pub mod watchdog;
@@ -62,5 +63,6 @@ pub use error::SimError;
 pub use fault::{FaultPlan, RebootPlan};
 pub use invariant::{InvariantMonitor, InvariantViolation};
 pub use metrics::{DelayStats, ResilienceStats, SimReport, WakeupRow};
+pub use obs::ObsLayer;
 pub use trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
 pub use watchdog::OnlineWatchdogConfig;

@@ -220,6 +220,11 @@ pub struct SimReport {
     pub delays: DelayStats,
     /// Fault-injection resilience accounting (all-zero for clean runs).
     pub resilience: ResilienceStats,
+    /// The observability layer's metrics snapshot as a JSON object, or
+    /// empty when the report was computed outside an engine run (the
+    /// engine fills it in
+    /// [`Simulation::try_report`](crate::engine::Simulation::try_report)).
+    pub metrics_json: String,
 }
 
 impl SimReport {
@@ -252,6 +257,7 @@ impl SimReport {
             wakeup_rows,
             delays: DelayStats::from_trace(trace),
             resilience: ResilienceStats::from_trace(trace),
+            metrics_json: String::new(),
         }
     }
 

@@ -1,0 +1,380 @@
+//! The simulation's observability layer: spans, metrics, and the
+//! placement-decision audit ring.
+//!
+//! Every piece of state here is driven exclusively by the *simulation*
+//! clock and the deterministic event order, never by wall time — so the
+//! span JSONL, the metrics snapshot, and the audit export are
+//! byte-identical across sweep thread counts and across a mid-run
+//! checkpoint/resume (both properties are asserted in tests). Wall-clock
+//! self-profiling lives apart in
+//! [`StageProfile`](simty_obs::StageProfile), which the engine keeps out
+//! of every deterministic export.
+//!
+//! The layer is always on: its hot-path cost is a few counter bumps per
+//! delivery plus one ring insertion per placement decision, which is
+//! negligible next to the event loop itself (the PR 1 benchmarks keep
+//! this honest).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+
+use simty_core::alarm::AlarmId;
+use simty_core::audit::PlacementAudit;
+use simty_core::policy::Placement;
+use simty_core::time::SimTime;
+use simty_obs::{MetricsRegistry, SpanCollector, SpanKind};
+
+use crate::json::json_string;
+
+/// How many spans the ring retains before evicting the oldest.
+pub const SPAN_CAPACITY: usize = 2048;
+
+/// Default capacity of the placement-audit ring (see
+/// [`SimConfig::with_audit_capacity`](crate::config::SimConfig::with_audit_capacity)).
+pub const DEFAULT_AUDIT_CAPACITY: usize = 4096;
+
+/// Spans + metrics + decision audits for one simulation.
+///
+/// Owned by [`Simulation`](crate::engine::Simulation); read it via
+/// [`Simulation::obs`](crate::engine::Simulation::obs).
+#[derive(Debug)]
+pub struct ObsLayer {
+    pub(crate) spans: SpanCollector,
+    pub(crate) metrics: MetricsRegistry,
+    pub(crate) audits: VecDeque<PlacementAudit>,
+    pub(crate) audit_capacity: usize,
+    pub(crate) audit_dropped: u64,
+    /// When the current wake cycle began (device asleep → awake), if one
+    /// is open.
+    pub(crate) wake_open: Option<SimTime>,
+    /// The policy label stamped onto the wakeup counter.
+    pub(crate) policy: String,
+    /// Raw [`AlarmId`] → run-local ordinal (1-based, in first-placement
+    /// order). Raw ids come from a process-global counter and differ
+    /// between runs in one process, so exports must never contain them:
+    /// every export renders the ordinal instead.
+    pub(crate) aliases: BTreeMap<u64, u64>,
+}
+
+impl ObsLayer {
+    /// Creates the layer for a run under `policy`, registering every
+    /// metric family with its help text so the exposition is
+    /// self-describing even before anything is observed.
+    pub fn new(policy: &str, audit_capacity: usize) -> Self {
+        assert!(audit_capacity > 0, "the audit ring needs room for one decision");
+        let mut metrics = MetricsRegistry::new();
+        metrics.describe("sim_wakeups_total", "Device sleep-to-awake transitions.");
+        metrics.describe(
+            "sim_entry_deliveries_total",
+            "Queue-entry (batch) deliveries.",
+        );
+        metrics.describe("sim_alarm_deliveries_total", "Individual alarm deliveries.");
+        metrics.describe(
+            "sim_placements_total",
+            "Placement decisions by outcome (existing entry vs new entry).",
+        );
+        metrics.describe(
+            "sim_watchdog_forced_releases_total",
+            "Offender wakelock sets cut loose by the watchdog.",
+        );
+        metrics.describe(
+            "sim_watchdog_quarantines_total",
+            "Apps quarantined by the online watchdog.",
+        );
+        metrics.describe(
+            "sim_watchdog_recoveries_total",
+            "Apps recovered from quarantine after clean probation.",
+        );
+        metrics.describe("sim_checkpoints_total", "Crash-consistent checkpoints captured.");
+        metrics.describe(
+            "sim_component_active_ms_total",
+            "Milliseconds each hardware component was held by delivered tasks.",
+        );
+        metrics.describe(
+            "sim_wakeup_queue_depth",
+            "Entries in the wakeup queue after the latest delivery round.",
+        );
+        metrics.describe(
+            "sim_quarantined_apps",
+            "Apps currently quarantined by the online watchdog.",
+        );
+        metrics.describe(
+            "sim_entry_size",
+            "Alarms per delivered queue entry (batching effectiveness).",
+        );
+        metrics.describe(
+            "sim_normalized_delay",
+            "Normalized delivery delay of repeating alarms (the paper's Fig. 4 metric).",
+        );
+        metrics.describe(
+            "sim_task_hold_ms",
+            "Milliseconds each delivered task held its wakelocks.",
+        );
+        metrics.set_counter(&format!("sim_wakeups_total{{policy=\"{policy}\"}}"), 0);
+        metrics.set_counter("sim_entry_deliveries_total", 0);
+        metrics.set_counter("sim_alarm_deliveries_total", 0);
+        metrics.set_gauge("sim_wakeup_queue_depth", 0.0);
+        metrics.set_gauge("sim_quarantined_apps", 0.0);
+        metrics.register_histogram(
+            "sim_entry_size",
+            vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0],
+        );
+        metrics.register_histogram(
+            "sim_normalized_delay",
+            vec![0.05, 0.1, 0.2, 0.4, 0.8, 1.6],
+        );
+        metrics.register_histogram(
+            "sim_task_hold_ms",
+            vec![10.0, 100.0, 1_000.0, 10_000.0, 60_000.0, 300_000.0],
+        );
+        ObsLayer {
+            spans: SpanCollector::new(SPAN_CAPACITY),
+            metrics,
+            audits: VecDeque::new(),
+            audit_capacity,
+            audit_dropped: 0,
+            wake_open: None,
+            policy: policy.to_owned(),
+            aliases: BTreeMap::new(),
+        }
+    }
+
+    /// The span ring.
+    pub fn spans(&self) -> &SpanCollector {
+        &self.spans
+    }
+
+    /// The metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The retained placement audits, oldest first.
+    pub fn audits(&self) -> impl Iterator<Item = &PlacementAudit> {
+        self.audits.iter()
+    }
+
+    /// Audits evicted from the ring so far.
+    pub fn audit_dropped(&self) -> u64 {
+        self.audit_dropped
+    }
+
+    /// The audit ring's capacity.
+    pub fn audit_capacity(&self) -> usize {
+        self.audit_capacity
+    }
+
+    /// The run-local ordinal of an alarm (1-based, in first-placement
+    /// order), if the alarm has been placed. Exports use this instead of
+    /// the raw id, which is process-global and run-to-run unstable.
+    pub fn alarm_ordinal(&self, id: AlarmId) -> Option<u64> {
+        self.aliases.get(&id.as_u64()).copied()
+    }
+
+    fn alias(&mut self, id: AlarmId) -> u64 {
+        let next = self.aliases.len() as u64 + 1;
+        *self.aliases.entry(id.as_u64()).or_insert(next)
+    }
+
+    /// Ingests one placement decision: bumps the placement counter,
+    /// records a `policy_place` span, and retains the audit (evicting the
+    /// oldest when the ring is full).
+    pub(crate) fn note_placement(&mut self, audit: PlacementAudit) {
+        let placement = match audit.placement {
+            Placement::Existing(idx) => format!("existing:{idx}"),
+            Placement::NewEntry => "new_entry".to_owned(),
+        };
+        let outcome = match audit.placement {
+            Placement::Existing(_) => "existing",
+            Placement::NewEntry => "new_entry",
+        };
+        self.metrics
+            .inc(&format!("sim_placements_total{{placement=\"{outcome}\"}}"));
+        let ordinal = self.alias(audit.alarm_id);
+        let at = audit.at.as_millis();
+        self.spans.record(
+            SpanKind::PolicyPlace,
+            at,
+            at,
+            vec![
+                ("app".to_owned(), audit.app.clone()),
+                ("alarm".to_owned(), ordinal.to_string()),
+                ("placement".to_owned(), placement),
+                ("candidates".to_owned(), audit.candidates.len().to_string()),
+            ],
+        );
+        if self.audits.len() == self.audit_capacity {
+            self.audits.pop_front();
+            self.audit_dropped += 1;
+        }
+        self.audits.push_back(audit);
+    }
+
+    /// The device left sleep at `t`: opens a wake cycle and counts it.
+    pub(crate) fn wake_started(&mut self, t: SimTime) {
+        let key = format!("sim_wakeups_total{{policy=\"{}\"}}", self.policy);
+        self.metrics.inc(&key);
+        if self.wake_open.is_none() {
+            self.wake_open = Some(t);
+        }
+    }
+
+    /// The device went back to sleep (or lost power) at `t`: closes the
+    /// open wake cycle, if any, into a `wake_cycle` span.
+    pub(crate) fn wake_ended(&mut self, t: SimTime) {
+        if let Some(start) = self.wake_open.take() {
+            self.spans
+                .record(SpanKind::WakeCycle, start.as_millis(), t.as_millis(), Vec::new());
+        }
+    }
+
+    /// Renders the retained spans as JSONL (oldest first, one object per
+    /// line).
+    pub fn spans_jsonl(&self) -> String {
+        self.spans.to_jsonl()
+    }
+
+    /// The Prometheus-style text exposition of every metric.
+    pub fn metrics_exposition(&self) -> String {
+        self.metrics.expose()
+    }
+
+    /// The metrics snapshot as one JSON object (embedded into the run
+    /// report by the engine).
+    pub fn metrics_json(&self) -> String {
+        self.metrics.to_json()
+    }
+
+    /// Renders the retained placement audits as JSONL, oldest first: one
+    /// decision per line with every candidate the policy weighed.
+    pub fn audits_jsonl(&self) -> String {
+        let mut out = String::new();
+        for a in &self.audits {
+            let ordinal = self
+                .alarm_ordinal(a.alarm_id)
+                .expect("every retained audit was aliased at ingest");
+            out.push_str(&audit_to_json(a, ordinal));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders one placement audit as a JSON object. `alarm_ordinal` is the
+/// run-local alarm number (see [`ObsLayer::alarm_ordinal`]) — raw
+/// [`AlarmId`]s are process-global and must not leak into exports.
+pub fn audit_to_json(a: &PlacementAudit, alarm_ordinal: u64) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"at_ms\":{},\"alarm\":{},\"app\":{},\"nominal_ms\":{},\"perceptible\":{},\"placement\":{},\"candidates\":[",
+        a.at.as_millis(),
+        alarm_ordinal,
+        json_string(&a.app),
+        a.nominal.as_millis(),
+        a.perceptible,
+        match a.placement {
+            Placement::Existing(idx) => json_string(&format!("existing:{idx}")),
+            Placement::NewEntry => json_string("new_entry"),
+        }
+    );
+    for (i, c) in a.candidates.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"index\":{},\"delivery_ms\":{},\"time\":{},\"hw_rank\":{},\"preferability\":{},\"verdict\":{}}}",
+            c.index,
+            c.delivery_time.as_millis(),
+            json_string(&c.time.to_string()),
+            c.hw_rank.map_or_else(|| "null".to_owned(), |r| r.to_string()),
+            c.preferability
+                .map_or_else(|| "null".to_owned(), |p| json_string(&p.to_string())),
+            json_string(c.verdict.as_str())
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simty_core::alarm::AlarmId;
+    use simty_core::audit::{CandidateAudit, CandidateVerdict};
+    use simty_core::similarity::{Preferability, TimeSimilarity};
+
+    fn sample_audit(at_s: u64) -> PlacementAudit {
+        PlacementAudit {
+            at: SimTime::from_secs(at_s),
+            alarm_id: AlarmId::from_raw(3),
+            app: "Line".to_owned(),
+            nominal: SimTime::from_secs(at_s + 60),
+            perceptible: false,
+            placement: Placement::Existing(0),
+            candidates: vec![CandidateAudit {
+                index: 0,
+                delivery_time: SimTime::from_secs(at_s + 50),
+                time: TimeSimilarity::High,
+                hw_rank: Some(0),
+                preferability: Some(Preferability::from_ranks(0, TimeSimilarity::High)),
+                verdict: CandidateVerdict::Won,
+            }],
+        }
+    }
+
+    #[test]
+    fn placement_feeds_counter_span_and_ring() {
+        let mut obs = ObsLayer::new("SIMTY", 2);
+        obs.note_placement(sample_audit(10));
+        obs.note_placement(sample_audit(20));
+        obs.note_placement(sample_audit(30));
+        assert_eq!(
+            obs.metrics()
+                .counter("sim_placements_total{placement=\"existing\"}"),
+            3
+        );
+        assert_eq!(obs.audits().count(), 2);
+        assert_eq!(obs.audit_dropped(), 1);
+        assert_eq!(obs.audits().next().unwrap().at, SimTime::from_secs(20));
+        assert_eq!(obs.spans().len(), 3);
+        let jsonl = obs.audits_jsonl();
+        assert_eq!(jsonl.lines().count(), 2);
+        assert!(jsonl.contains("\"verdict\":\"won\""));
+        assert!(jsonl.contains("\"preferability\":\"1\""));
+    }
+
+    #[test]
+    fn wake_cycle_opens_and_closes_once() {
+        let mut obs = ObsLayer::new("EXACT", 8);
+        obs.wake_started(SimTime::from_secs(5));
+        obs.wake_started(SimTime::from_secs(5)); // merged wake: cycle stays open
+        obs.wake_ended(SimTime::from_secs(9));
+        obs.wake_ended(SimTime::from_secs(9)); // no open cycle: ignored
+        assert_eq!(obs.spans().len(), 1);
+        let span = obs.spans().iter().next().unwrap();
+        assert_eq!(span.start_ms, 5_000);
+        assert_eq!(span.end_ms, 9_000);
+        assert_eq!(
+            obs.metrics().counter("sim_wakeups_total{policy=\"EXACT\"}"),
+            2
+        );
+    }
+
+    #[test]
+    fn exposition_is_self_describing_before_any_event() {
+        let obs = ObsLayer::new("SIMTY", 4);
+        let text = obs.metrics_exposition();
+        for family in [
+            "sim_wakeups_total",
+            "sim_entry_deliveries_total",
+            "sim_entry_size",
+            "sim_normalized_delay",
+            "sim_wakeup_queue_depth",
+        ] {
+            assert!(text.contains(&format!("# HELP {family} ")), "missing {family}");
+        }
+        assert!(obs.metrics_json().starts_with('{'));
+    }
+}

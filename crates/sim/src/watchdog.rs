@@ -10,9 +10,7 @@
 //! Two remedies exist in the engine. Post hoc, the targeted
 //! [`force_release_app`](crate::engine::Simulation::force_release_app)
 //! cuts one offender's holds while every other task keeps its locks and
-//! attribution (the older
-//! [`force_release_wakelocks`](crate::engine::Simulation::force_release_wakelocks),
-//! which drops *everything*, remains as a deprecated shim). Online, the
+//! attribution. Online, the
 //! same [`WatchdogPolicy`] can be promoted into the event loop via
 //! [`OnlineWatchdogConfig`] and
 //! [`SimConfig::with_online_watchdog`](crate::config::SimConfig::with_online_watchdog):

@@ -12,6 +12,7 @@ use simty_core::policy::{
 use simty_core::similarity::HardwareGranularity;
 use simty_core::time::{SimDuration, SimTime};
 use simty_device::PowerModel;
+use simty_obs::StageProfile;
 use simty_sim::config::SimConfig;
 use simty_sim::engine::Simulation;
 use simty_sim::metrics::SimReport;
@@ -175,6 +176,19 @@ impl RunSpec {
     /// Panics if a catalogue alarm fails to register, which would be a
     /// bug in the workload generator.
     pub fn run(&self) -> SimReport {
+        self.run_instrumented().0
+    }
+
+    /// Executes the run and returns its report together with the
+    /// engine's per-stage wall-clock profile. The profile is host timing
+    /// — it varies run to run and must never enter deterministic
+    /// outputs; sweep executors aggregate it into benchmark documents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a catalogue alarm fails to register, which would be a
+    /// bug in the workload generator.
+    pub fn run_instrumented(&self) -> (SimReport, StageProfile) {
         let workload = self
             .scenario
             .builder()
@@ -190,7 +204,8 @@ impl RunSpec {
         for alarm in workload.alarms {
             sim.register(alarm).expect("workload alarm registers cleanly");
         }
-        sim.run()
+        let report = sim.run();
+        (report, *sim.stage_profile())
     }
 }
 

@@ -46,4 +46,5 @@ pub mod prelude;
 pub use simty_apps as apps;
 pub use simty_core as core;
 pub use simty_device as device;
+pub use simty_obs as obs;
 pub use simty_sim as sim;
