@@ -19,10 +19,14 @@
 
 pub mod chaos;
 pub mod soak;
+pub mod storm;
 pub mod sweep;
 
 pub use chaos::{chaos_matrix, run_chaos, ChaosResults, ChaosSpec, FaultProfile, PolicyResilience};
 pub use soak::{run_soak, soak_matrix, PolicyEndurance, SoakProfile, SoakRecovery, SoakResults, SoakSpec};
+pub use storm::{
+    run_storm, storm_matrix, PolicyOverload, StormProfile, StormRecovery, StormResults, StormSpec,
+};
 pub use simty::experiments::{
     motivating_example, motivating_example_report, paper_runs, paper_specs, Averages, PolicyKind,
     RunSpec, Scenario,

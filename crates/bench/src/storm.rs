@@ -1,0 +1,584 @@
+//! Overload campaign: registration storms against admission control and
+//! battery-aware degradation.
+//!
+//! The chaos campaign ([`crate::chaos`]) attacks the *device* and the
+//! soak campaign ([`crate::soak`]) attacks *time*; this module attacks
+//! the *front door*: seeded registration storms flood the alarm manager
+//! while the battery drains through the degradation tiers. Every cell
+//! runs under the invariant monitor — the perceptible-window guarantee
+//! must hold in every tier, protected or not — and re-runs from its
+//! final mid-run snapshot to prove admission and governor state resume
+//! byte-identically. Results serialize to the `simty-bench-storm/v1`
+//! document (`BENCH_storm.json`).
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+use simty::core::admission::AdmissionConfig;
+use simty::core::{SimDuration, SimTime};
+use simty::experiments::{PolicyKind, Scenario};
+use simty::sim::json::{json_string, report_to_json};
+use simty::sim::{
+    GovernorConfig, RegistrationStormPlan, SimConfig, SimReport, Simulation, StormBurst,
+};
+
+use crate::sweep::Sweep;
+
+/// A named overload adversary: what floods the manager and how far the
+/// battery falls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StormProfile {
+    /// Storms against a healthy battery: the admission quota is the only
+    /// defence (no degradation tiers are reached).
+    QuotaStorm,
+    /// Battery sized to end the run inside the saver band; the governor
+    /// widens imperceptible grace mid-run.
+    DrainSaver,
+    /// Battery sized to traverse saver into critical; deferrable
+    /// registrations are shed near the end.
+    DrainCritical,
+    /// A doubled storm against the critical-bound battery: quota,
+    /// demotion, stretch, and shedding all fire in one cell.
+    StormAndDrain,
+    /// The control cell: the same storm with no admission control and no
+    /// governor. The invariant monitor still must report zero
+    /// perceptible-window misses.
+    Unprotected,
+}
+
+impl StormProfile {
+    /// Every profile, in campaign order.
+    pub const ALL: [StormProfile; 5] = [
+        StormProfile::QuotaStorm,
+        StormProfile::DrainSaver,
+        StormProfile::DrainCritical,
+        StormProfile::StormAndDrain,
+        StormProfile::Unprotected,
+    ];
+
+    /// The profile's CLI / report name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StormProfile::QuotaStorm => "quota-storm",
+            StormProfile::DrainSaver => "drain-saver",
+            StormProfile::DrainCritical => "drain-critical",
+            StormProfile::StormAndDrain => "storm-and-drain",
+            StormProfile::Unprotected => "unprotected",
+        }
+    }
+
+    /// Parses a profile name (the inverse of [`name`](Self::name)).
+    pub fn parse(name: &str) -> Option<StormProfile> {
+        StormProfile::ALL.into_iter().find(|p| p.name() == name)
+    }
+
+    /// The admission quota the profile registers under.
+    fn admission(self) -> Option<AdmissionConfig> {
+        match self {
+            StormProfile::Unprotected => None,
+            _ => Some(AdmissionConfig::default()),
+        }
+    }
+
+    /// Battery capacity as a multiple of the cell's measured draw
+    /// (`None` = no governor). 1.6x leaves the run ending in the saver
+    /// band; 1.05x pushes it through to critical.
+    fn capacity_factor(self) -> Option<f64> {
+        match self {
+            StormProfile::QuotaStorm | StormProfile::Unprotected => None,
+            StormProfile::DrainSaver => Some(1.6),
+            StormProfile::DrainCritical | StormProfile::StormAndDrain => Some(1.05),
+        }
+    }
+
+    /// How many seeded burst pairs the profile's storm plan carries.
+    fn storm_scale(self) -> u64 {
+        match self {
+            StormProfile::StormAndDrain => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// One campaign cell: a policy enduring a scenario under a storm profile
+/// and seed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StormSpec {
+    /// The alignment policy under test.
+    pub policy: PolicyKind,
+    /// The workload scenario beneath the storm.
+    pub scenario: Scenario,
+    /// The overload adversary.
+    pub profile: StormProfile,
+    /// RNG seed shared by the workload and the storm plan.
+    pub seed: u64,
+    /// Simulated span.
+    pub duration: SimDuration,
+}
+
+/// What the resume drill observed for one cell, alongside its
+/// straight-through report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StormRecovery {
+    /// Snapshots captured during the straight-through run.
+    pub checkpoints: u64,
+    /// The run resumed from its final snapshot matched the
+    /// straight-through run byte-for-byte (trace CSV and report JSON).
+    pub resumed_identical: bool,
+    /// The drill restored successfully.
+    pub restore_ok: bool,
+}
+
+impl StormSpec {
+    /// A compact identity for sweep outputs, e.g.
+    /// `SIMTY/light/quota-storm/seed1/10800s`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/seed{}/{}s",
+            self.policy.name(),
+            self.scenario.name(),
+            self.profile.name(),
+            self.seed,
+            self.duration.as_millis() / 1_000
+        )
+    }
+
+    /// The cell's seeded storm plan: most bursts land in the first two
+    /// thirds of the horizon and are mostly imperceptible (perceptible
+    /// bursts keep the invariant monitor honest in degraded tiers); the
+    /// final burst lands at 85–90 % so drain profiles register into the
+    /// critical tier and exercise the shedder.
+    pub fn plan(&self) -> RegistrationStormPlan {
+        let mut state = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(0xd1b5_4a32_d192_ed03);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let span = self.duration.as_millis();
+        let bursts = 2 * self.profile.storm_scale();
+        let mut plan = RegistrationStormPlan::new();
+        for b in 0..bursts {
+            let start_ms = if b + 1 == bursts {
+                span * 17 / 20 + next() % (span / 20).max(1)
+            } else {
+                span / 10 + next() % (span / 2).max(1)
+            };
+            plan = plan.burst(StormBurst {
+                app: format!("storm{b}"),
+                start: SimTime::ZERO + SimDuration::from_millis(start_ms),
+                count: (20 + next() % 40) as u32,
+                every: SimDuration::from_millis(500 + next() % 4_500),
+                period: SimDuration::from_secs(60 + next() % 540),
+                perceptible: next() % 4 == 0,
+                task: SimDuration::from_millis(500 + next() % 1_500),
+                window_milli: (next() % 250) as u32,
+                grace_milli: (250 + next() % 700) as u32,
+            });
+        }
+        plan
+    }
+
+    fn fingerprint(sim: &Simulation) -> (Vec<u8>, String) {
+        let mut csv = Vec::new();
+        sim.trace()
+            .write_csv(&mut csv)
+            .expect("writing a trace to memory cannot fail");
+        (csv, report_to_json(&sim.report()))
+    }
+
+    fn build_sim(&self, capacity_mj: Option<f64>) -> Simulation {
+        let workload = self
+            .scenario
+            .builder()
+            .with_seed(self.seed)
+            .with_beta(0.96)
+            .with_duration(self.duration)
+            .build();
+        let mut config = SimConfig::new()
+            .with_duration(self.duration)
+            .with_checkpoints(SimDuration::from_millis(
+                (self.duration.as_millis() / 8).max(1),
+            ))
+            .with_invariants();
+        if let Some(quota) = self.profile.admission() {
+            config = config.with_admission(quota);
+        }
+        if let Some(capacity_mj) = capacity_mj {
+            config = config.with_degradation(GovernorConfig {
+                capacity_mj,
+                check_every: SimDuration::from_millis((self.duration.as_millis() / 180).max(30_000)),
+                ..GovernorConfig::default()
+            });
+        }
+        let mut sim = Simulation::new(self.policy.build(), config);
+        for alarm in workload.alarms {
+            // The catalogue apps register under distinct labels, far
+            // below any per-app burst; only storm apps face pushback.
+            sim.register(alarm).expect("workload alarm registers cleanly");
+        }
+        sim.inject_storm(&self.plan());
+        sim
+    }
+
+    /// Executes the cell: an ungoverned probe sizes the battery for
+    /// drain profiles, the straight-through run produces the report, and
+    /// the resume drill restores from the final mid-run snapshot and
+    /// compares bytes.
+    pub fn run(&self) -> (SimReport, StormRecovery) {
+        let capacity = self.profile.capacity_factor().map(|factor| {
+            let mut probe = self.build_sim(None);
+            probe.run().energy.total_mj() * factor
+        });
+        let mut straight = self.build_sim(capacity);
+        let report = straight.run();
+        let expected = Self::fingerprint(&straight);
+        let mut recovery = StormRecovery {
+            checkpoints: straight.checkpoints().len() as u64,
+            ..StormRecovery::default()
+        };
+        if let Some(snapshot) = straight.checkpoints().last() {
+            match Simulation::restore(self.policy.build(), snapshot) {
+                Ok(mut resumed) => {
+                    resumed.run();
+                    recovery.restore_ok = true;
+                    recovery.resumed_identical = Self::fingerprint(&resumed) == expected;
+                }
+                Err(_) => recovery.restore_ok = false,
+            }
+        }
+        (report, recovery)
+    }
+}
+
+/// Builds the full campaign grid in deterministic enqueue order
+/// (policy-major, then scenario, profile, seed 1..=`seeds`).
+pub fn storm_matrix(
+    policies: &[PolicyKind],
+    scenarios: &[Scenario],
+    profiles: &[StormProfile],
+    seeds: u64,
+    duration: SimDuration,
+) -> Vec<StormSpec> {
+    let mut specs = Vec::new();
+    for &policy in policies {
+        for &scenario in scenarios {
+            for &profile in profiles {
+                for seed in 1..=seeds {
+                    specs.push(StormSpec {
+                        policy,
+                        scenario,
+                        profile,
+                        seed,
+                        duration,
+                    });
+                }
+            }
+        }
+    }
+    specs
+}
+
+/// Runs a campaign on `threads` sweep workers and collects the results
+/// in matrix order (byte-identical across thread counts).
+pub fn run_storm(specs: &[StormSpec], threads: usize) -> StormResults {
+    let recoveries: Arc<Mutex<BTreeMap<usize, StormRecovery>>> =
+        Arc::new(Mutex::new(BTreeMap::new()));
+    let mut sweep = Sweep::new();
+    for (i, &spec) in specs.iter().enumerate() {
+        let recoveries = Arc::clone(&recoveries);
+        sweep.job(spec.label(), move || {
+            let (report, recovery) = spec.run();
+            recoveries
+                .lock()
+                .expect("storm recovery table poisoned")
+                .insert(i, recovery);
+            report
+        });
+    }
+    let results = sweep.run_with_threads(threads);
+    let recoveries = recoveries.lock().expect("storm recovery table poisoned");
+    StormResults {
+        runs: specs
+            .iter()
+            .enumerate()
+            .map(|(i, &spec)| {
+                (
+                    spec,
+                    results.outcomes()[i].report.clone(),
+                    recoveries.get(&i).copied().unwrap_or_default(),
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Per-policy overload aggregate across every cell the policy endured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyOverload {
+    /// The policy's display name.
+    pub policy: String,
+    /// How many cells it ran.
+    pub runs: u64,
+    /// Storm registrations fired at the front door, summed.
+    pub storm_registrations: u64,
+    /// Registrations the quota admitted outright.
+    pub admitted: u64,
+    /// Registrations admitted late with a pushed-back nominal.
+    pub deferred: u64,
+    /// Registrations rejected with a typed retry-after error.
+    pub rejected: u64,
+    /// Registrations shed by the critical tier.
+    pub shed: u64,
+    /// Apps demoted into quarantine for sustained storming.
+    pub demotions: u64,
+    /// Degradation tier transitions across all cells.
+    pub tier_changes: u64,
+    /// Total invariant violations (must be zero).
+    pub invariant_violations: u64,
+    /// Total perceptible-window misses (the headline: must be zero, in
+    /// every tier, protected or not).
+    pub perceptible_window_misses: u64,
+    /// Every cell's resumed run was byte-identical.
+    pub all_resumed_identical: bool,
+    /// Every cell's resume drill restored successfully.
+    pub all_restores_ok: bool,
+}
+
+/// A finished campaign: every cell's report and resume outcome, in
+/// matrix order.
+#[derive(Debug, Clone)]
+pub struct StormResults {
+    runs: Vec<(StormSpec, SimReport, StormRecovery)>,
+}
+
+impl StormResults {
+    /// The cells, their reports, and their resume outcomes, in matrix
+    /// order.
+    pub fn runs(&self) -> &[(StormSpec, SimReport, StormRecovery)] {
+        &self.runs
+    }
+
+    /// Total perceptible-window misses across the whole campaign.
+    pub fn total_misses(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|(_, r, _)| r.resilience.perceptible_window_misses)
+            .sum()
+    }
+
+    /// Total invariant violations across the whole campaign.
+    pub fn total_violations(&self) -> u64 {
+        self.runs
+            .iter()
+            .map(|(_, r, _)| r.resilience.invariant_violations)
+            .sum()
+    }
+
+    /// Whether every resume drill restored and matched bytes.
+    pub fn all_recovered(&self) -> bool {
+        self.runs
+            .iter()
+            .all(|(_, _, rec)| rec.restore_ok && rec.resumed_identical)
+    }
+
+    /// Per-policy aggregates, sorted by policy name.
+    pub fn aggregates(&self) -> Vec<PolicyOverload> {
+        let mut by_policy: BTreeMap<String, Vec<(&SimReport, &StormRecovery)>> = BTreeMap::new();
+        for (spec, report, rec) in &self.runs {
+            by_policy
+                .entry(spec.policy.name())
+                .or_default()
+                .push((report, rec));
+        }
+        by_policy
+            .into_iter()
+            .map(|(policy, cells)| PolicyOverload {
+                policy,
+                runs: cells.len() as u64,
+                storm_registrations: cells
+                    .iter()
+                    .map(|(r, _)| r.overload.storm_registrations)
+                    .sum(),
+                admitted: cells.iter().map(|(r, _)| r.overload.admitted).sum(),
+                deferred: cells.iter().map(|(r, _)| r.overload.deferred).sum(),
+                rejected: cells.iter().map(|(r, _)| r.overload.rejected).sum(),
+                shed: cells.iter().map(|(r, _)| r.overload.shed).sum(),
+                demotions: cells.iter().map(|(r, _)| r.overload.demotions).sum(),
+                tier_changes: cells.iter().map(|(r, _)| r.overload.tier_changes).sum(),
+                invariant_violations: cells
+                    .iter()
+                    .map(|(r, _)| r.resilience.invariant_violations)
+                    .sum(),
+                perceptible_window_misses: cells
+                    .iter()
+                    .map(|(r, _)| r.resilience.perceptible_window_misses)
+                    .sum(),
+                all_resumed_identical: cells.iter().all(|(_, rec)| rec.resumed_identical),
+                all_restores_ok: cells.iter().all(|(_, rec)| rec.restore_ok),
+            })
+            .collect()
+    }
+
+    /// Serializes the campaign as the `simty-bench-storm/v1` document.
+    /// Fully deterministic: no wall-clock fields, so parallel and
+    /// sequential campaigns produce byte-identical bytes.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\"schema\":\"simty-bench-storm/v1\"");
+        out.push_str(&format!(",\"runs\":{}", self.runs.len()));
+        out.push_str(",\"results\":[");
+        for (i, (spec, report, rec)) in self.runs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":{},\"profile\":{},\"seed\":{},\"checkpoints\":{},\
+                 \"restore_ok\":{},\"resumed_identical\":{},\"report\":{}}}",
+                json_string(&spec.label()),
+                json_string(spec.profile.name()),
+                spec.seed,
+                rec.checkpoints,
+                rec.restore_ok,
+                rec.resumed_identical,
+                report_to_json(report)
+            ));
+        }
+        out.push_str("],\"policies\":[");
+        for (i, agg) in self.aggregates().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"policy\":{},\"runs\":{},\"storm_registrations\":{},\"admitted\":{},\
+                 \"deferred\":{},\"rejected\":{},\"shed\":{},\"demotions\":{},\
+                 \"tier_changes\":{},\"invariant_violations\":{},\
+                 \"perceptible_window_misses\":{},\"all_resumed_identical\":{},\
+                 \"all_restores_ok\":{}}}",
+                json_string(&agg.policy),
+                agg.runs,
+                agg.storm_registrations,
+                agg.admitted,
+                agg.deferred,
+                agg.rejected,
+                agg.shed,
+                agg.demotions,
+                agg.tier_changes,
+                agg.invariant_violations,
+                agg.perceptible_window_misses,
+                agg.all_resumed_identical,
+                agg.all_restores_ok,
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`to_json`](Self::to_json) to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(profile: StormProfile, policy: PolicyKind) -> StormSpec {
+        StormSpec {
+            policy,
+            scenario: Scenario::Light,
+            profile,
+            seed: 1,
+            duration: SimDuration::from_hours(1),
+        }
+    }
+
+    #[test]
+    fn profile_names_round_trip() {
+        for p in StormProfile::ALL {
+            assert_eq!(StormProfile::parse(p.name()), Some(p));
+        }
+        assert_eq!(StormProfile::parse("bogus"), None);
+    }
+
+    #[test]
+    fn matrix_is_policy_major() {
+        let specs = storm_matrix(
+            &[PolicyKind::Native, PolicyKind::Simty],
+            &[Scenario::Light],
+            &StormProfile::ALL,
+            2,
+            SimDuration::from_hours(1),
+        );
+        assert_eq!(specs.len(), 2 * 5 * 2);
+        assert_eq!(specs[0].policy, PolicyKind::Native);
+        assert_eq!(specs[0].seed, 1);
+        assert_eq!(specs[1].seed, 2);
+        assert_eq!(specs.last().unwrap().policy, PolicyKind::Simty);
+    }
+
+    #[test]
+    fn quota_storm_rejects_and_holds_invariants() {
+        let (report, rec) = tiny(StormProfile::QuotaStorm, PolicyKind::Simty).run();
+        let ov = &report.overload;
+        assert!(ov.storm_registrations > 0);
+        assert!(ov.rejected > 0, "quota never pushed back: {ov:?}");
+        assert!(ov.demotions > 0, "storm app never demoted: {ov:?}");
+        assert_eq!(report.resilience.perceptible_window_misses, 0);
+        assert_eq!(report.resilience.invariant_violations, 0);
+        assert!(rec.restore_ok && rec.resumed_identical, "{rec:?}");
+    }
+
+    #[test]
+    fn drain_profiles_traverse_their_tiers() {
+        let (saver, _) = tiny(StormProfile::DrainSaver, PolicyKind::Simty).run();
+        assert_eq!(saver.overload.final_tier, "saver", "{:?}", saver.overload);
+        assert!(saver.overload.time_in_saver_ms > 0);
+        let (critical, rec) = tiny(StormProfile::DrainCritical, PolicyKind::Simty).run();
+        assert_eq!(
+            critical.overload.final_tier, "critical",
+            "{:?}",
+            critical.overload
+        );
+        assert!(critical.overload.time_in_critical_ms > 0);
+        assert_eq!(critical.resilience.perceptible_window_misses, 0);
+        assert!(rec.restore_ok && rec.resumed_identical, "{rec:?}");
+    }
+
+    #[test]
+    fn unprotected_cell_reports_no_pushback() {
+        let (report, _) = tiny(StormProfile::Unprotected, PolicyKind::Native).run();
+        let ov = &report.overload;
+        assert!(ov.storm_registrations > 0);
+        assert_eq!(ov.rejected + ov.shed + ov.demotions, 0, "{ov:?}");
+        // The guarantee holds even without the defences.
+        assert_eq!(report.resilience.perceptible_window_misses, 0);
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let specs = storm_matrix(
+            &[PolicyKind::Native, PolicyKind::Simty],
+            &[Scenario::Light],
+            &[StormProfile::QuotaStorm, StormProfile::StormAndDrain],
+            1,
+            SimDuration::from_hours(1),
+        );
+        let sequential = run_storm(&specs, 1).to_json();
+        let parallel = run_storm(&specs, 3).to_json();
+        assert_eq!(sequential, parallel);
+        assert!(sequential.contains("\"schema\":\"simty-bench-storm/v1\""));
+        assert!(sequential.contains("\"storm_registrations\""));
+    }
+}

@@ -74,6 +74,8 @@ COMMANDS:
                 fault profile x seed), with online watchdog + invariants
     soak        long-horizon endurance campaign with reboots, checkpoint
                 corruption, and resume-vs-straight-through byte checks
+    storm       registration-storm overload campaign: per-app admission
+                quotas and battery-aware degradation tiers under flood
     explain     audit every placement decision of a run: the candidates
                 weighed, their Table 1 hardware/time similarity ranks,
                 and why each won or lost
@@ -148,6 +150,17 @@ SOAK FLAGS:
     --hours N                  simulated hours per cell     [default: 48]
     --threads N                worker threads               [default: all cores]
     --json FILE                write the campaign document (BENCH_soak.json schema)
+
+STORM FLAGS:
+    --policies LIST            comma-separated policy names [default: native,simty]
+    --scenarios LIST           comma-separated light|heavy  [default: light,heavy]
+    --profiles LIST            comma-separated storm profiles: quota-storm|
+                               drain-saver|drain-critical|storm-and-drain|
+                               unprotected              [default: all]
+    --seeds N                  run seeds 1..=N              [default: 2]
+    --hours N                  simulated hours per cell     [default: 3]
+    --threads N                worker threads               [default: all cores]
+    --json FILE                write the campaign document (BENCH_storm.json schema)
 
 Campaign commands exit non-zero when a runtime invariant is violated or
 a checkpoint recovery drill fails (restore error or byte divergence).
@@ -308,6 +321,7 @@ pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliErro
         "sweep-beta" => cmd_sweep_beta(&args, out),
         "chaos" => cmd_chaos(&args, out),
         "soak" => cmd_soak(&args, out),
+        "storm" => cmd_storm(&args, out),
         "explain" => cmd_explain(&args, out),
         "metrics" => cmd_metrics(&args, out),
         "analyze" => cmd_analyze(&args, out),
@@ -849,6 +863,154 @@ fn cmd_soak<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_storm<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "policies",
+        "scenarios",
+        "profiles",
+        "seeds",
+        "hours",
+        "threads",
+        "json",
+    ])?;
+    let policies: Vec<PolicyKind> = args
+        .get("policies")
+        .unwrap_or("native,simty")
+        .split(',')
+        .map(parse_policy)
+        .collect::<Result<_, _>>()?;
+    let scenarios: Vec<Scenario> = args
+        .get("scenarios")
+        .unwrap_or("light,heavy")
+        .split(',')
+        .map(|name| match parse_scenario(name)? {
+            ScenarioChoice::Paper(s) => Ok(s),
+            ScenarioChoice::Synthetic(_) => Err(CliError::Usage(
+                "storm campaigns cover the paper scenarios (light|heavy)".into(),
+            )),
+        })
+        .collect::<Result<_, _>>()?;
+    let profiles: Vec<simty_bench::StormProfile> = match args.get("profiles") {
+        None => simty_bench::StormProfile::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|name| {
+                simty_bench::StormProfile::parse(name).ok_or_else(|| {
+                    CliError::Usage(format!(
+                        "unknown storm profile `{name}` (see `standby --help`)"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let seeds = args.get_u64("seeds", 2)?;
+    let hours = args.get_u64("hours", 3)?;
+    let threads = args.get_u64("threads", simty_bench::sweep::available_threads() as u64)?;
+    if seeds == 0 || hours == 0 || threads == 0 {
+        return Err(CliError::Usage(
+            "--seeds, --hours, and --threads must be positive".into(),
+        ));
+    }
+
+    let specs = simty_bench::storm_matrix(
+        &policies,
+        &scenarios,
+        &profiles,
+        seeds,
+        SimDuration::from_hours(hours),
+    );
+    let results = simty_bench::run_storm(&specs, threads as usize);
+
+    let mut table = TextTable::new([
+        "cell",
+        "storm regs",
+        "rejected",
+        "shed",
+        "demotions",
+        "final tier",
+        "window misses",
+        "resume",
+    ]);
+    for (spec, report, rec) in results.runs() {
+        let ov = &report.overload;
+        table.row([
+            spec.label(),
+            ov.storm_registrations.to_string(),
+            ov.rejected.to_string(),
+            ov.shed.to_string(),
+            ov.demotions.to_string(),
+            ov.final_tier.clone(),
+            report.resilience.perceptible_window_misses.to_string(),
+            if rec.restore_ok && rec.resumed_identical {
+                "identical".to_owned()
+            } else if rec.restore_ok {
+                "DIVERGED".to_owned()
+            } else {
+                "FAILED".to_owned()
+            },
+        ]);
+    }
+    writeln!(out, "{}", table.render())?;
+
+    let mut summary = TextTable::new([
+        "policy",
+        "cells",
+        "storm regs",
+        "admitted",
+        "deferred",
+        "rejected",
+        "shed",
+        "demotions",
+        "tier changes",
+        "window misses",
+        "resume",
+    ]);
+    for agg in results.aggregates() {
+        summary.row([
+            agg.policy.clone(),
+            agg.runs.to_string(),
+            agg.storm_registrations.to_string(),
+            agg.admitted.to_string(),
+            agg.deferred.to_string(),
+            agg.rejected.to_string(),
+            agg.shed.to_string(),
+            agg.demotions.to_string(),
+            agg.tier_changes.to_string(),
+            agg.perceptible_window_misses.to_string(),
+            if agg.all_resumed_identical && agg.all_restores_ok {
+                "identical".to_owned()
+            } else {
+                "BROKEN".to_owned()
+            },
+        ]);
+    }
+    writeln!(out, "\n{}", summary.render())?;
+    writeln!(
+        out,
+        "{} storm cells, {} perceptible-window misses, resume {}",
+        results.runs().len(),
+        results.total_misses(),
+        if results.all_recovered() { "clean" } else { "BROKEN" },
+    )?;
+    if let Some(path) = args.get("json") {
+        results.write_json(path)?;
+        writeln!(out, "storm document written to {path}")?;
+    }
+    if results.total_violations() > 0 {
+        return Err(CliError::Invariants(results.total_violations()));
+    }
+    if !results.all_recovered() {
+        let broken: Vec<String> = results
+            .runs()
+            .iter()
+            .filter(|(_, _, rec)| !(rec.restore_ok && rec.resumed_identical))
+            .map(|(spec, _, _)| spec.label())
+            .collect();
+        return Err(CliError::Recovery(broken.join(", ")));
+    }
+    Ok(())
+}
+
 /// Like [`simulate`], but with the audit ring widened so every placement
 /// decision of the run survives for export.
 fn simulate_audited(opts: &CommonOpts, policy: PolicyKind) -> Simulation {
@@ -1306,6 +1468,55 @@ mod tests {
             vec!["soak", "--policies", "bogus"],
             vec!["soak", "--scenarios", "synthetic:5"],
             vec!["soak", "--seeds", "0"],
+        ] {
+            assert!(
+                matches!(run(&bad), Err(CliError::Usage(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn storm_runs_a_small_campaign() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("simty_cli_test_storm.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let text = run(&[
+            "storm",
+            "--policies",
+            "simty",
+            "--scenarios",
+            "light",
+            "--profiles",
+            "quota-storm,drain-critical",
+            "--seeds",
+            "1",
+            "--hours",
+            "1",
+            "--threads",
+            "2",
+            "--json",
+            &path_str,
+        ])
+        .unwrap();
+        assert!(text.contains("SIMTY/light/quota-storm/seed1"));
+        assert!(text.contains("SIMTY/light/drain-critical/seed1"));
+        assert!(text.contains("2 storm cells, 0 perceptible-window misses, resume clean"));
+        assert!(text.contains("storm document written"));
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\":\"simty-bench-storm/v1\""));
+        assert!(json.contains("\"resumed_identical\":true"));
+        assert!(json.contains("\"final_tier\":\"critical\""));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn storm_rejects_bad_grids() {
+        for bad in [
+            vec!["storm", "--profiles", "bogus"],
+            vec!["storm", "--policies", "bogus"],
+            vec!["storm", "--scenarios", "synthetic:5"],
+            vec!["storm", "--seeds", "0"],
         ] {
             assert!(
                 matches!(run(&bad), Err(CliError::Usage(_))),

@@ -157,7 +157,12 @@ pub struct Alarm {
     hardware_known: bool,
     task_duration: SimDuration,
     quarantined: bool,
+    grace_stretch: u32,
 }
+
+/// The neutral [`Alarm::grace_stretch`] value (millis-style fixed point:
+/// 1000 = 1.0×, i.e. the grace interval is exactly as registered).
+pub const GRACE_STRETCH_UNIT: u32 = 1_000;
 
 impl Alarm {
     /// Starts building an alarm with the given human-readable label.
@@ -189,6 +194,7 @@ impl Alarm {
         hardware_known: bool,
         task_duration: SimDuration,
         quarantined: bool,
+        grace_stretch: u32,
     ) -> Alarm {
         Alarm {
             id,
@@ -202,6 +208,7 @@ impl Alarm {
             hardware_known,
             task_duration,
             quarantined,
+            grace_stretch,
         }
     }
 
@@ -226,9 +233,44 @@ impl Alarm {
         self.window
     }
 
-    /// The grace interval length.
+    /// The *effective* grace interval length: the registered length,
+    /// widened by any [`grace_stretch`](Self::grace_stretch) the
+    /// degradation governor applied — but only for imperceptible alarms,
+    /// and never to (or past) the repeating interval, so once-per-period
+    /// delivery survives every degradation tier.
+    ///
+    /// Perceptible alarms always keep their registered grace: degradation
+    /// must never weaken the window guarantee the user can perceive.
     pub fn grace(&self) -> SimDuration {
+        if self.grace_stretch == GRACE_STRETCH_UNIT || self.is_perceptible() {
+            return self.grace;
+        }
+        let stretched = SimDuration::from_millis(
+            (self.grace.as_millis() as u128 * self.grace_stretch as u128 / 1_000) as u64,
+        );
+        let cap = match self.repeat.interval() {
+            Some(i) => i.saturating_sub(SimDuration::from_millis(1)),
+            None => stretched,
+        };
+        stretched.min(cap).max(self.grace)
+    }
+
+    /// The grace interval length as registered, ignoring any degradation
+    /// stretch (this is what checkpoints persist and β reports).
+    pub fn grace_base(&self) -> SimDuration {
         self.grace
+    }
+
+    /// The degradation-governor grace multiplier in millis-style fixed
+    /// point ([`GRACE_STRETCH_UNIT`] = 1.0×, no stretch).
+    pub fn grace_stretch(&self) -> u32 {
+        self.grace_stretch
+    }
+
+    /// Applies a degradation-governor grace multiplier (see
+    /// [`grace`](Self::grace) for how it takes effect).
+    pub fn set_grace_stretch(&mut self, stretch_milli: u32) {
+        self.grace_stretch = stretch_milli.max(GRACE_STRETCH_UNIT);
     }
 
     /// The window interval `[nominal, nominal + window]`, inside which
@@ -238,9 +280,11 @@ impl Alarm {
     }
 
     /// The grace interval `[nominal, nominal + grace]`, inside which SIMTY
-    /// must deliver imperceptible alarms.
+    /// must deliver imperceptible alarms. Uses the *effective* grace
+    /// length (see [`grace`](Self::grace)), so degradation-tier stretches
+    /// widen the placement flexibility the policies see.
     pub fn grace_interval(&self) -> Interval {
-        Interval::starting_at(self.nominal, self.grace)
+        Interval::starting_at(self.nominal, self.grace())
     }
 
     /// The repetition mode.
@@ -535,6 +579,7 @@ impl AlarmBuilder {
             hardware_known: false,
             task_duration: self.task_duration,
             quarantined: false,
+            grace_stretch: GRACE_STRETCH_UNIT,
         })
     }
 
@@ -715,5 +760,45 @@ mod tests {
         let s = a.to_string();
         assert!(s.contains("test"));
         assert!(s.contains("static"));
+    }
+
+    #[test]
+    fn grace_stretch_widens_only_imperceptible_alarms() {
+        // interval 100 s, grace 50 s.
+        let mut a = wifi_alarm(0.25, 0.5);
+        a.set_grace_stretch(1_500);
+        // Hardware still unknown -> perceptible -> no stretch.
+        assert!(a.is_perceptible());
+        assert_eq!(a.grace(), SimDuration::from_secs(50));
+        a.mark_hardware_known();
+        assert!(!a.is_perceptible());
+        assert_eq!(a.grace(), SimDuration::from_secs(75));
+        assert_eq!(a.grace_base(), SimDuration::from_secs(50));
+        assert_eq!(a.grace_interval().end(), SimTime::from_secs(175));
+        // Beta reports the registered fraction, not the stretched one.
+        assert!((a.beta().unwrap() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grace_stretch_is_capped_below_the_repeating_interval() {
+        let mut a = wifi_alarm(0.25, 0.5);
+        a.mark_hardware_known();
+        a.set_grace_stretch(10_000); // 10x of 50 s would blow past 100 s
+        assert_eq!(a.grace(), SimDuration::from_millis(99_999));
+        // Resetting to the unit restores the registered grace exactly.
+        a.set_grace_stretch(GRACE_STRETCH_UNIT);
+        assert_eq!(a.grace(), SimDuration::from_secs(50));
+        // Below-unit requests clamp to the unit: degradation may only
+        // widen, never shrink (§3.1.2 forbids grace < window).
+        a.set_grace_stretch(100);
+        assert_eq!(a.grace_stretch(), GRACE_STRETCH_UNIT);
+    }
+
+    #[test]
+    fn quarantined_alarms_are_stretched_too() {
+        let mut a = wifi_alarm(0.25, 0.5);
+        a.set_quarantined(true); // quarantine demotes to imperceptible
+        a.set_grace_stretch(2_000);
+        assert_eq!(a.grace(), SimDuration::from_secs(100).min(SimDuration::from_millis(99_999)));
     }
 }

@@ -74,13 +74,78 @@ impl fmt::Display for BuildAlarmError {
 impl Error for BuildAlarmError {}
 
 /// Error returned by
-/// [`AlarmManager::register`](crate::manager::AlarmManager::register).
+/// [`AlarmManager::register`](crate::manager::AlarmManager::register) and by
+/// the simulator's registration front door.
+///
+/// The builder already enforces the paper's interval constraints, but the
+/// manager re-validates at registration: degenerate alarms can reach it via
+/// the trusted [`Alarm::restore`](crate::alarm::Alarm::restore) constructor
+/// (a corrupted or adversarial snapshot), and silently enqueueing them would
+/// break the once-per-period delivery guarantee the policies depend on.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RegisterAlarmError {
     /// The alarm's nominal delivery time lies before the manager's current
     /// clock — alarms cannot be scheduled in the past.
     NominalInPast {
         /// The offending alarm.
+        id: AlarmId,
+    },
+    /// A repeating alarm carries a zero repeating interval, which would
+    /// make the reinsertion loop in `complete_delivery` spin forever.
+    ZeroRepeatInterval {
+        /// The offending alarm.
+        id: AlarmId,
+    },
+    /// The window interval is longer than the repeating interval, so
+    /// consecutive windows would overlap and once-per-period delivery
+    /// could double up.
+    WindowExceedsRepeat {
+        /// The offending alarm.
+        id: AlarmId,
+        /// The window interval length.
+        window: SimDuration,
+        /// The repeating interval.
+        repeat: SimDuration,
+    },
+    /// The grace interval is shorter than the window interval, which would
+    /// let SIMTY deliver *earlier* than NATIVE allows (§3.1.2).
+    GraceShorterThanWindow {
+        /// The offending alarm.
+        id: AlarmId,
+        /// The window interval length.
+        window: SimDuration,
+        /// The grace interval length.
+        grace: SimDuration,
+    },
+    /// A repeating alarm's grace interval is not strictly below its
+    /// repeating interval, which would break once-per-period delivery
+    /// (§3.2.2).
+    GraceNotBelowRepeat {
+        /// The offending alarm.
+        id: AlarmId,
+        /// The grace interval length.
+        grace: SimDuration,
+        /// The repeating interval.
+        repeat: SimDuration,
+    },
+    /// The alarm's grace fraction β is not a finite number (defensive: a
+    /// degenerate repeat/grace pairing slipped past every other check).
+    NonFiniteGraceFraction {
+        /// The offending alarm.
+        id: AlarmId,
+    },
+    /// The owning app is out of registration tokens and the registration
+    /// could not be deferred (see `simty_core::admission`).
+    QuotaExceeded {
+        /// The rejected alarm.
+        id: AlarmId,
+        /// How long until the app's token bucket earns its next token.
+        retry_after: SimDuration,
+    },
+    /// The degradation governor shed this deferrable registration to
+    /// preserve standby life under critical battery.
+    RegistrationShed {
+        /// The shed alarm.
         id: AlarmId,
     },
 }
@@ -91,6 +156,32 @@ impl fmt::Display for RegisterAlarmError {
             RegisterAlarmError::NominalInPast { id } => {
                 write!(f, "alarm {id} has a nominal delivery time in the past")
             }
+            RegisterAlarmError::ZeroRepeatInterval { id } => {
+                write!(f, "alarm {id} repeats with a zero interval")
+            }
+            RegisterAlarmError::WindowExceedsRepeat { id, window, repeat } => write!(
+                f,
+                "alarm {id} window {window} exceeds its repeating interval {repeat}"
+            ),
+            RegisterAlarmError::GraceShorterThanWindow { id, window, grace } => write!(
+                f,
+                "alarm {id} grace {grace} is shorter than its window {window}"
+            ),
+            RegisterAlarmError::GraceNotBelowRepeat { id, grace, repeat } => write!(
+                f,
+                "alarm {id} grace {grace} is not strictly below its repeating interval {repeat}"
+            ),
+            RegisterAlarmError::NonFiniteGraceFraction { id } => {
+                write!(f, "alarm {id} has a non-finite grace fraction")
+            }
+            RegisterAlarmError::QuotaExceeded { id, retry_after } => write!(
+                f,
+                "alarm {id} rejected: registration quota exhausted (retry after {retry_after})"
+            ),
+            RegisterAlarmError::RegistrationShed { id } => write!(
+                f,
+                "alarm {id} shed by the degradation governor under critical battery"
+            ),
         }
     }
 }

@@ -67,6 +67,7 @@
 #![warn(rust_2018_idioms)]
 #![forbid(unsafe_code)]
 
+pub mod admission;
 pub mod alarm;
 pub mod audit;
 pub mod bounds;
@@ -80,7 +81,10 @@ pub mod service;
 pub mod similarity;
 pub mod time;
 
-pub use alarm::{Alarm, AlarmBuilder, AlarmId, AlarmKind, Repeat};
+pub use admission::{
+    Admission, AdmissionConfig, AdmissionController, AdmissionDecision, AppClass, ClassQuota,
+};
+pub use alarm::{Alarm, AlarmBuilder, AlarmId, AlarmKind, Repeat, GRACE_STRETCH_UNIT};
 pub use audit::{CandidateAudit, CandidateVerdict, PlacementAudit};
 pub use entry::{DeliveryDiscipline, QueueEntry};
 pub use hardware::{HardwareComponent, HardwareSet};

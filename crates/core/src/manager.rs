@@ -13,7 +13,7 @@
 
 use std::fmt;
 
-use crate::alarm::{Alarm, AlarmId, AlarmKind};
+use crate::alarm::{Alarm, AlarmId, AlarmKind, GRACE_STRETCH_UNIT};
 use crate::audit::PlacementAudit;
 use crate::entry::QueueEntry;
 use crate::error::RegisterAlarmError;
@@ -51,6 +51,11 @@ pub struct AlarmManager {
     /// When `Some`, every placement decision is recorded here until the
     /// next [`take_audits`](Self::take_audits) drains it.
     audit_sink: Option<Vec<PlacementAudit>>,
+    /// The degradation governor's current grace multiplier (millis-style
+    /// fixed point; [`GRACE_STRETCH_UNIT`] = no stretch). Stamped onto
+    /// every alarm at registration/reinsertion so placement sees the
+    /// widened grace intervals.
+    grace_stretch: u32,
 }
 
 impl AlarmManager {
@@ -62,6 +67,7 @@ impl AlarmManager {
             non_wakeup: AlarmQueue::new(),
             now: SimTime::ZERO,
             audit_sink: None,
+            grace_stretch: GRACE_STRETCH_UNIT,
         }
     }
 
@@ -84,7 +90,17 @@ impl AlarmManager {
             non_wakeup,
             now,
             audit_sink: None,
+            grace_stretch: GRACE_STRETCH_UNIT,
         }
+    }
+
+    /// Restores the degradation grace multiplier without re-placing any
+    /// queued entries (checkpoint restore only: restored alarms already
+    /// carry their historical stamps, and re-running placement here would
+    /// diverge from the original run). Use
+    /// [`set_grace_stretch`](Self::set_grace_stretch) everywhere else.
+    pub fn restore_grace_stretch(&mut self, stretch_milli: u32) {
+        self.grace_stretch = stretch_milli.max(GRACE_STRETCH_UNIT);
     }
 
     /// Turns placement auditing on or off.
@@ -166,11 +182,15 @@ impl AlarmManager {
     /// # Errors
     ///
     /// Returns [`RegisterAlarmError::NominalInPast`] if the alarm's
-    /// nominal delivery time precedes the manager's clock.
-    pub fn register(&mut self, alarm: Alarm) -> Result<AlarmId, RegisterAlarmError> {
-        if alarm.nominal() < self.now {
-            return Err(RegisterAlarmError::NominalInPast { id: alarm.id() });
-        }
+    /// nominal delivery time precedes the manager's clock, and a
+    /// shape-specific variant if the alarm's intervals are degenerate
+    /// (zero repeat, window > repeat, grace < window, grace ≥ repeat, or a
+    /// non-finite grace fraction). The builder already rejects such specs,
+    /// but [`Alarm::restore`] is a trusted constructor and must not let a
+    /// corrupted snapshot poison the queues silently.
+    pub fn register(&mut self, mut alarm: Alarm) -> Result<AlarmId, RegisterAlarmError> {
+        self.validate(&alarm)?;
+        alarm.set_grace_stretch(self.grace_stretch);
         let id = alarm.id();
         let kind = alarm.kind();
         let queued = self.queue(kind).position_of(id);
@@ -192,6 +212,85 @@ impl AlarmManager {
             None => self.place(alarm),
         }
         Ok(id)
+    }
+
+    /// Shape-validates a registration (see [`register`](Self::register)).
+    fn validate(&self, alarm: &Alarm) -> Result<(), RegisterAlarmError> {
+        let id = alarm.id();
+        if let Some(interval) = alarm.repeat().interval() {
+            if interval.is_zero() {
+                return Err(RegisterAlarmError::ZeroRepeatInterval { id });
+            }
+            if alarm.window() > interval {
+                return Err(RegisterAlarmError::WindowExceedsRepeat {
+                    id,
+                    window: alarm.window(),
+                    repeat: interval,
+                });
+            }
+            if alarm.grace_base() >= interval {
+                return Err(RegisterAlarmError::GraceNotBelowRepeat {
+                    id,
+                    grace: alarm.grace_base(),
+                    repeat: interval,
+                });
+            }
+            if alarm.beta().is_some_and(|b| !b.is_finite()) {
+                return Err(RegisterAlarmError::NonFiniteGraceFraction { id });
+            }
+        }
+        if alarm.grace_base() < alarm.window() {
+            return Err(RegisterAlarmError::GraceShorterThanWindow {
+                id,
+                window: alarm.window(),
+                grace: alarm.grace_base(),
+            });
+        }
+        if alarm.nominal() < self.now {
+            return Err(RegisterAlarmError::NominalInPast { id });
+        }
+        Ok(())
+    }
+
+    /// The degradation governor's current grace multiplier.
+    pub fn grace_stretch(&self) -> u32 {
+        self.grace_stretch
+    }
+
+    /// Applies a degradation-tier grace multiplier (millis-style fixed
+    /// point; [`GRACE_STRETCH_UNIT`] = 1.0×, values below it clamp to it)
+    /// to every queued alarm and to all future registrations, returning
+    /// how many queued alarms were restamped.
+    ///
+    /// On a change, both queues are drained and every alarm re-placed
+    /// under the policy in nominal order, exactly like
+    /// [`set_app_quarantined`](Self::set_app_quarantined): imperceptible
+    /// alarms' wider (or re-narrowed) grace intervals change how entries
+    /// batch, and stale batching would under- or over-defer them.
+    pub fn set_grace_stretch(&mut self, stretch_milli: u32) -> usize {
+        let stretch = stretch_milli.max(GRACE_STRETCH_UNIT);
+        if stretch == self.grace_stretch {
+            return 0;
+        }
+        self.grace_stretch = stretch;
+        let mut changed = 0;
+        for kind in [AlarmKind::Wakeup, AlarmKind::NonWakeup] {
+            let mut batch: Vec<Alarm> = Vec::new();
+            while !self.queue(kind).is_empty() {
+                batch.extend(self.queue_mut(kind).take_entry(0).into_alarms());
+            }
+            for alarm in &mut batch {
+                if alarm.grace_stretch() != stretch {
+                    alarm.set_grace_stretch(stretch);
+                    changed += 1;
+                }
+            }
+            batch.sort_by_key(Alarm::nominal);
+            for alarm in batch {
+                self.place(alarm);
+            }
+        }
+        changed
     }
 
     /// Cancels a registered alarm, returning it if it was queued.
@@ -628,6 +727,134 @@ mod tests {
             };
             assert_eq!(shape(&plain), shape(&subject));
         }
+    }
+
+    /// A degenerate alarm, buildable only through the trusted
+    /// [`Alarm::restore`] path (the builder rejects these shapes).
+    fn restored_alarm(
+        nominal_s: u64,
+        window_s: u64,
+        grace_s: u64,
+        repeat_s: u64,
+    ) -> Alarm {
+        use crate::alarm::{Repeat, GRACE_STRETCH_UNIT};
+        Alarm::restore(
+            AlarmId::fresh(),
+            "degenerate".to_owned(),
+            SimTime::from_secs(nominal_s),
+            SimDuration::from_secs(window_s),
+            SimDuration::from_secs(grace_s),
+            if repeat_s == 0 {
+                Repeat::Static(SimDuration::ZERO)
+            } else {
+                Repeat::Static(SimDuration::from_secs(repeat_s))
+            },
+            AlarmKind::Wakeup,
+            HardwareComponent::Wifi.into(),
+            false,
+            SimDuration::from_secs(1),
+            false,
+            GRACE_STRETCH_UNIT,
+        )
+    }
+
+    #[test]
+    fn register_rejects_zero_repeat_interval() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        let err = m.register(restored_alarm(100, 0, 0, 0)).unwrap_err();
+        assert!(matches!(err, RegisterAlarmError::ZeroRepeatInterval { .. }));
+        assert_eq!(m.alarm_count(), 0);
+    }
+
+    #[test]
+    fn register_rejects_window_exceeding_repeat() {
+        let mut m = AlarmManager::new(Box::new(NativePolicy::new()));
+        // window 120 s > repeat 100 s (grace kept ≥ window so only the
+        // window check can fire... except grace ≥ repeat fires first; use
+        // grace = window = 120 to pin the precedence explicitly).
+        let err = m.register(restored_alarm(100, 120, 99, 100)).unwrap_err();
+        assert!(
+            matches!(err, RegisterAlarmError::WindowExceedsRepeat { .. }),
+            "got {err:?}"
+        );
+        assert_eq!(m.alarm_count(), 0);
+    }
+
+    #[test]
+    fn register_rejects_grace_shorter_than_window() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        let err = m.register(restored_alarm(100, 80, 40, 100)).unwrap_err();
+        assert!(matches!(
+            err,
+            RegisterAlarmError::GraceShorterThanWindow { .. }
+        ));
+        assert_eq!(m.alarm_count(), 0);
+    }
+
+    #[test]
+    fn register_rejects_grace_at_or_above_repeat() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        let err = m.register(restored_alarm(100, 50, 100, 100)).unwrap_err();
+        assert!(matches!(err, RegisterAlarmError::GraceNotBelowRepeat { .. }));
+        assert_eq!(m.alarm_count(), 0);
+    }
+
+    #[test]
+    fn register_still_accepts_valid_restored_alarms() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        assert!(m.register(restored_alarm(100, 50, 90, 100)).is_ok());
+        assert_eq!(m.alarm_count(), 1);
+    }
+
+    #[test]
+    fn grace_stretch_restamps_queued_alarms_and_new_registrations() {
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        let a = wifi_alarm("a", 100, 600, 0.0);
+        let a_id = a.id();
+        m.register(a).unwrap();
+        assert_eq!(m.grace_stretch(), GRACE_STRETCH_UNIT);
+        // Same value: no work, no restamp.
+        assert_eq!(m.set_grace_stretch(GRACE_STRETCH_UNIT), 0);
+        assert_eq!(m.set_grace_stretch(1_500), 1);
+        assert_eq!(m.find_alarm(a_id).unwrap().grace_stretch(), 1_500);
+        // A new registration inherits the live stretch.
+        let b = wifi_alarm("b", 200, 600, 0.0);
+        let b_id = b.id();
+        m.register(b).unwrap();
+        assert_eq!(m.find_alarm(b_id).unwrap().grace_stretch(), 1_500);
+        // Returning to the unit restamps both.
+        assert_eq!(m.set_grace_stretch(GRACE_STRETCH_UNIT), 2);
+        assert_eq!(
+            m.find_alarm(a_id).unwrap().grace_stretch(),
+            GRACE_STRETCH_UNIT
+        );
+    }
+
+    #[test]
+    fn grace_stretch_re_placement_widens_imperceptible_batching() {
+        // Two Wi-Fi alarms whose grace intervals do not overlap at the
+        // unit stretch but do at 2.5x: under SIMTY they must merge into
+        // one entry once the stretch applies.
+        let mk = |label: &str, nominal: u64| {
+            let mut a = Alarm::builder(label)
+                .nominal(SimTime::from_secs(nominal))
+                .repeating_static(SimDuration::from_secs(600))
+                .window(SimDuration::from_secs(10))
+                .grace(SimDuration::from_secs(60))
+                .hardware(HardwareComponent::Wifi.into())
+                .build()
+                .unwrap();
+            a.mark_hardware_known(); // imperceptible from the start
+            a
+        };
+        let mut m = AlarmManager::new(Box::new(SimtyPolicy::new()));
+        m.register(mk("a", 100)).unwrap();
+        m.register(mk("b", 200)).unwrap();
+        assert_eq!(m.wakeup_queue().len(), 2, "disjoint grace at 1.0x");
+        m.set_grace_stretch(2_500); // grace 60 s -> 150 s: [100,250] ∩ [200,350]
+        assert_eq!(m.wakeup_queue().len(), 1, "merged at 2.5x");
+        m.set_grace_stretch(GRACE_STRETCH_UNIT);
+        assert_eq!(m.wakeup_queue().len(), 2, "re-narrowed at 1.0x");
     }
 
     #[test]

@@ -26,16 +26,19 @@ pub enum SpanKind {
     CheckpointWrite,
     /// One watchdog intervention: a forced release or a quarantine.
     WatchdogIntervention,
+    /// One degradation-governor tier transition (instantaneous).
+    DegradationTransition,
 }
 
 impl SpanKind {
     /// Every kind, in a fixed order.
-    pub const ALL: [SpanKind; 5] = [
+    pub const ALL: [SpanKind; 6] = [
         SpanKind::WakeCycle,
         SpanKind::PolicyPlace,
         SpanKind::TaskRun,
         SpanKind::CheckpointWrite,
         SpanKind::WatchdogIntervention,
+        SpanKind::DegradationTransition,
     ];
 
     /// The kind's stable snake_case name, used in the JSONL export.
@@ -46,6 +49,7 @@ impl SpanKind {
             SpanKind::TaskRun => "task_run",
             SpanKind::CheckpointWrite => "checkpoint_write",
             SpanKind::WatchdogIntervention => "watchdog_intervention",
+            SpanKind::DegradationTransition => "degradation_transition",
         }
     }
 

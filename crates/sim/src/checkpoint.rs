@@ -36,6 +36,9 @@ use std::fs;
 use std::io::{self, Write as _};
 use std::path::{Path, PathBuf};
 
+use simty_core::admission::{
+    AdmissionConfig, AdmissionController, AppAdmission, ClassQuota, TokenBucket,
+};
 use simty_core::alarm::{Alarm, AlarmId, AlarmKind, Repeat};
 use simty_core::audit::{CandidateAudit, CandidateVerdict, PlacementAudit};
 use simty_core::entry::{DeliveryDiscipline, QueueEntry};
@@ -54,11 +57,14 @@ use simty_obs::{Histogram, Span, SpanCollector, SpanKind, StageProfile};
 
 use crate::attribution::{ActiveTask, AttributionLedger};
 use crate::config::{InvariantMode, SimConfig};
+use crate::degrade::{DegradationGovernor, DegradationTier, GovernorConfig};
 use crate::engine::{RetrySlot, Simulation, TaskHold};
 use crate::event::{Event, EventKind, EventQueue};
 use crate::fault::{CrashSpec, FaultPlan, FaultState, StormSpec};
 use crate::invariant::{InvariantMonitor, InvariantViolation};
+use crate::metrics::OverloadStats;
 use crate::obs::{ObsLayer, SPAN_CAPACITY};
+use crate::overload::StormBurst;
 use crate::trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
 use crate::watchdog::{OnlineWatchdogConfig, WatchdogPolicy};
 
@@ -469,12 +475,15 @@ fn fmt_alarm(a: &Alarm) -> String {
         Repeat::Dynamic(i) => format!("d:{}", i.as_millis()),
     };
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{}",
         a.id().as_u64(),
         esc(a.label()),
         a.nominal().as_millis(),
         a.window().as_millis(),
-        a.grace().as_millis(),
+        // The registered base grace: `grace()` reports the effective
+        // (possibly stretched) value, which is re-derived on restore
+        // from the persisted stretch factor below.
+        a.grace_base().as_millis(),
         repeat,
         match a.kind() {
             AlarmKind::Wakeup => "w",
@@ -484,6 +493,7 @@ fn fmt_alarm(a: &Alarm) -> String {
         u8::from(a.is_hardware_known()),
         a.task_duration().as_millis(),
         u8::from(a.is_quarantined()),
+        a.grace_stretch(),
     )
 }
 
@@ -505,6 +515,8 @@ fn fmt_event_kind(kind: &EventKind) -> String {
         EventKind::Reboot { outage } => format!("reboot:{}", outage.as_millis()),
         EventKind::BootComplete => "boot".to_owned(),
         EventKind::Checkpoint => "checkpoint".to_owned(),
+        EventKind::GovernorTick => "govtick".to_owned(),
+        EventKind::StormRegister { burst, k } => format!("storm:{burst}:{k}"),
     }
 }
 
@@ -665,6 +677,35 @@ pub(crate) fn capture(sim: &Simulation) -> Checkpoint {
             wd.probation
         ),
     }
+    match &sim.config.admission {
+        None => w!(body, "admission=none"),
+        Some(a) => w!(
+            body,
+            "admission={},{},{},{},{},{}",
+            a.perceptible.replenish_every.as_millis(),
+            a.perceptible.burst,
+            a.deferrable.replenish_every.as_millis(),
+            a.deferrable.burst,
+            a.defer_limit,
+            a.demote_after
+        ),
+    }
+    match &sim.config.degradation {
+        None => w!(body, "degradation=none"),
+        Some(g) => w!(
+            body,
+            "degradation={},{},{},{},{},{},{},{},{}",
+            f64_hex(g.capacity_mj),
+            g.check_every.as_millis(),
+            g.saver_enter_milli,
+            g.saver_exit_milli,
+            g.critical_enter_milli,
+            g.critical_exit_milli,
+            g.saver_stretch_milli,
+            g.critical_stretch_milli,
+            u8::from(g.shed_in_critical)
+        ),
+    }
 
     // Power model.
     let power = &sim.config.power;
@@ -685,6 +726,7 @@ pub(crate) fn capture(sim: &Simulation) -> Checkpoint {
 
     // Alarm manager.
     w!(body, "mgr_clock={}", sim.manager.now().as_millis());
+    w!(body, "mgr_stretch={}", sim.manager.grace_stretch());
     write_queue(&mut body, "wakeup_entries", sim.manager.wakeup_queue());
     write_queue(&mut body, "non_wakeup_entries", sim.manager.non_wakeup_queue());
 
@@ -931,6 +973,76 @@ pub(crate) fn capture(sim: &Simulation) -> Checkpoint {
     w!(body, "energy_checked={}", u8::from(sim.energy_checked));
     w!(body, "down_until={}", fmt_opt_time(sim.down_until));
 
+    // Admission controller: per-app bucket state in BTreeMap order, so
+    // the rendering is deterministic. The escaped app label goes last.
+    match &sim.admission {
+        None => w!(body, "adm=none"),
+        Some(ctl) => {
+            w!(body, "adm={}", ctl.app_count());
+            for (app, st) in ctl.apps() {
+                w!(
+                    body,
+                    "aa={},{},{},{},{},{},{},{}",
+                    st.perceptible.tokens,
+                    st.perceptible.last_refill.as_millis(),
+                    st.deferrable.tokens,
+                    st.deferrable.last_refill.as_millis(),
+                    st.defer_horizon.as_millis(),
+                    st.rejections,
+                    u8::from(st.demoted),
+                    esc(app)
+                );
+            }
+        }
+    }
+
+    // Degradation governor runtime state (config is captured above).
+    match &sim.governor {
+        None => w!(body, "gov=none"),
+        Some(g) => w!(
+            body,
+            "gov={},{},{},{}",
+            g.tier.name(),
+            g.tier_since.as_millis(),
+            g.in_saver.as_millis(),
+            g.in_critical.as_millis()
+        ),
+    }
+
+    // Registration-storm bursts (needed so pending StormRegister events
+    // can rebuild their alarms after restore).
+    w!(body, "storm_bursts={}", sim.storm.len());
+    for b in &sim.storm {
+        w!(
+            body,
+            "sb={},{},{},{},{},{},{},{},{}",
+            b.start.as_millis(),
+            b.count,
+            b.every.as_millis(),
+            b.period.as_millis(),
+            u8::from(b.perceptible),
+            b.task.as_millis(),
+            b.window_milli,
+            b.grace_milli,
+            esc(&b.app)
+        );
+    }
+
+    // Overload counters. Time-in-tier and the final tier are derived
+    // from the governor at report time, so only counters persist.
+    let ov = &sim.overload;
+    w!(
+        body,
+        "ov={},{},{},{},{},{},{}",
+        ov.storm_registrations,
+        ov.admitted,
+        ov.deferred,
+        ov.rejected,
+        ov.shed,
+        ov.demotions,
+        ov.tier_changes
+    );
+
     // Observability layer. Help text and the span-ring capacity are not
     // captured: `ObsLayer::new` re-creates both identically on restore,
     // so only the mutable state needs to round-trip.
@@ -1169,7 +1281,7 @@ impl<'a> Parser<'a> {
 
     fn alarm(&mut self) -> Result<Alarm, CheckpointError> {
         let v = self.kv("alarm")?;
-        let f = self.fields(v, 11)?;
+        let f = self.fields(v, 12)?;
         let repeat = self.repeat_of(f[5])?;
         let kind = self.kind_of(f[6])?;
         Ok(Alarm::restore(
@@ -1184,6 +1296,7 @@ impl<'a> Parser<'a> {
             self.bool_of(f[8])?,
             self.dur(f[9])?,
             self.bool_of(f[10])?,
+            self.u32_of(f[11])?,
         ))
     }
 
@@ -1307,6 +1420,15 @@ impl<'a> Parser<'a> {
                 let ms = it.next().ok_or_else(|| self.err("reboot without outage"))?;
                 EventKind::Reboot {
                     outage: self.dur(ms)?,
+                }
+            }
+            Some("govtick") => EventKind::GovernorTick,
+            Some("storm") => {
+                let burst = it.next().ok_or_else(|| self.err("storm without burst"))?;
+                let k = it.next().ok_or_else(|| self.err("storm without index"))?;
+                EventKind::StormRegister {
+                    burst: self.usize_of(burst)?,
+                    k: self.u32_of(k)?,
                 }
             }
             _ => return Err(self.err(format!("invalid event kind `{s}`"))),
@@ -1484,6 +1606,45 @@ pub(crate) fn restore(
             })
         }
     };
+    let admission_cfg = {
+        let v = p.kv("admission")?;
+        if v == "none" {
+            None
+        } else {
+            let f = p.fields(v, 6)?;
+            Some(AdmissionConfig {
+                perceptible: ClassQuota {
+                    replenish_every: p.dur(f[0])?,
+                    burst: p.u32_of(f[1])?,
+                },
+                deferrable: ClassQuota {
+                    replenish_every: p.dur(f[2])?,
+                    burst: p.u32_of(f[3])?,
+                },
+                defer_limit: p.u32_of(f[4])?,
+                demote_after: p.u32_of(f[5])?,
+            })
+        }
+    };
+    let degradation_cfg = {
+        let v = p.kv("degradation")?;
+        if v == "none" {
+            None
+        } else {
+            let f = p.fields(v, 9)?;
+            Some(GovernorConfig {
+                capacity_mj: p.f64_of(f[0])?,
+                check_every: p.dur(f[1])?,
+                saver_enter_milli: p.u32_of(f[2])?,
+                saver_exit_milli: p.u32_of(f[3])?,
+                critical_enter_milli: p.u32_of(f[4])?,
+                critical_exit_milli: p.u32_of(f[5])?,
+                saver_stretch_milli: p.u32_of(f[6])?,
+                critical_stretch_milli: p.u32_of(f[7])?,
+                shed_in_critical: p.bool_of(f[8])?,
+            })
+        }
+    };
 
     // Power model: start from the calibrated default, then overwrite
     // every field from the recorded values.
@@ -1514,13 +1675,17 @@ pub(crate) fn restore(
         invariants,
         checkpoint_every,
         audit_capacity,
+        admission: admission_cfg,
+        degradation: degradation_cfg,
     };
 
     // Alarm manager.
     let mgr_clock = p.kv_time("mgr_clock")?;
+    let mgr_stretch = p.kv_u32("mgr_stretch")?;
     let wakeup = p.queue("wakeup_entries")?;
     let non_wakeup = p.queue("non_wakeup_entries")?;
     let mut manager = AlarmManager::restore(policy, wakeup, non_wakeup, mgr_clock);
+    manager.restore_grace_stretch(mgr_stretch);
     manager.set_audit_enabled(true);
 
     // Device.
@@ -1853,6 +2018,102 @@ pub(crate) fn restore(
     let down_until = p.kv_opt_time("down_until")?;
     let watchdog = config.online_watchdog;
 
+    // Admission controller runtime state.
+    let admission = {
+        let v = p.kv("adm")?;
+        if v == "none" {
+            None
+        } else {
+            let cfg = config
+                .admission
+                .ok_or_else(|| p.err("admission state without admission config"))?;
+            let n = p.usize_of(v)?;
+            let mut apps = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = p.kv("aa")?;
+                let f = p.fields(v, 8)?;
+                apps.push((
+                    unesc(f[7]),
+                    AppAdmission {
+                        perceptible: TokenBucket {
+                            tokens: p.u32_of(f[0])?,
+                            last_refill: p.time(f[1])?,
+                        },
+                        deferrable: TokenBucket {
+                            tokens: p.u32_of(f[2])?,
+                            last_refill: p.time(f[3])?,
+                        },
+                        defer_horizon: p.time(f[4])?,
+                        rejections: p.u32_of(f[5])?,
+                        demoted: p.bool_of(f[6])?,
+                    },
+                ));
+            }
+            Some(AdmissionController::restore(cfg, apps))
+        }
+    };
+
+    // Degradation governor runtime state.
+    let governor = {
+        let v = p.kv("gov")?;
+        if v == "none" {
+            None
+        } else {
+            let cfg = config
+                .degradation
+                .ok_or_else(|| p.err("governor state without degradation config"))?;
+            let f = p.fields(v, 4)?;
+            let tier = match f[0] {
+                "normal" => DegradationTier::Normal,
+                "saver" => DegradationTier::Saver,
+                "critical" => DegradationTier::Critical,
+                other => return Err(p.err(format!("invalid tier `{other}`"))),
+            };
+            Some(DegradationGovernor::restore(
+                cfg,
+                tier,
+                p.time(f[1])?,
+                p.dur(f[2])?,
+                p.dur(f[3])?,
+            ))
+        }
+    };
+
+    // Storm bursts.
+    let n = p.count("storm_bursts")?;
+    let mut storm = Vec::with_capacity(n);
+    for _ in 0..n {
+        let v = p.kv("sb")?;
+        let f = p.fields(v, 9)?;
+        storm.push(StormBurst {
+            start: p.time(f[0])?,
+            count: p.u32_of(f[1])?,
+            every: p.dur(f[2])?,
+            period: p.dur(f[3])?,
+            perceptible: p.bool_of(f[4])?,
+            task: p.dur(f[5])?,
+            window_milli: p.u32_of(f[6])?,
+            grace_milli: p.u32_of(f[7])?,
+            app: unesc(f[8]),
+        });
+    }
+
+    // Overload counters.
+    let overload = {
+        let v = p.kv("ov")?;
+        let f = p.fields(v, 7)?;
+        OverloadStats {
+            storm_registrations: p.u64_of(f[0])?,
+            admitted: p.u64_of(f[1])?,
+            deferred: p.u64_of(f[2])?,
+            rejected: p.u64_of(f[3])?,
+            shed: p.u64_of(f[4])?,
+            demotions: p.u64_of(f[5])?,
+            tier_changes: p.u64_of(f[6])?,
+            ..OverloadStats::default()
+        }
+    };
+
     // Observability layer: re-register the families (help text, zeroed
     // counters, histogram bounds), then overwrite with the captured
     // state — the union is byte-identical to the straight-through run.
@@ -2022,6 +2283,10 @@ pub(crate) fn restore(
         crash_stash,
         energy_checked,
         down_until,
+        admission,
+        governor,
+        storm,
+        overload,
         checkpoints: Vec::new(),
         obs,
         stages: StageProfile::new(),

@@ -1,8 +1,10 @@
 //! Simulation configuration.
 
+use simty_core::admission::AdmissionConfig;
 use simty_core::time::{SimDuration, SimTime};
 use simty_device::power::PowerModel;
 
+use crate::degrade::GovernorConfig;
 use crate::watchdog::OnlineWatchdogConfig;
 
 /// How the runtime [`InvariantMonitor`](crate::invariant::InvariantMonitor)
@@ -55,6 +57,12 @@ pub struct SimConfig {
     /// How many placement-decision audits the observability layer retains
     /// (oldest evicted first; see [`crate::obs::ObsLayer`]).
     pub audit_capacity: usize,
+    /// Per-app admission quotas at the registration front door; `None`
+    /// admits everything (the plain paper setup).
+    pub admission: Option<AdmissionConfig>,
+    /// The battery-aware degradation governor; `None` keeps the run at
+    /// full fidelity regardless of the modeled state of charge.
+    pub degradation: Option<GovernorConfig>,
 }
 
 impl Default for SimConfig {
@@ -68,6 +76,8 @@ impl Default for SimConfig {
             invariants: InvariantMode::Off,
             checkpoint_every: None,
             audit_capacity: crate::obs::DEFAULT_AUDIT_CAPACITY,
+            admission: None,
+            degradation: None,
         }
     }
 }
@@ -149,6 +159,29 @@ impl SimConfig {
     pub fn with_audit_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "audit capacity must be positive");
         self.audit_capacity = capacity;
+        self
+    }
+
+    /// Puts per-app admission quotas on the registration front door:
+    /// over-quota registrations are deferred or rejected with typed
+    /// errors, and persistent offenders are demoted into the quarantine
+    /// ledger (see [`AdmissionConfig`]).
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
+        self.admission = Some(admission);
+        self
+    }
+
+    /// Attaches the battery-aware degradation governor: as the modeled
+    /// state of charge drains through `governor`'s thresholds, the run
+    /// widens imperceptible grace intervals and (in the critical tier)
+    /// sheds deferrable registrations (see [`GovernorConfig`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `governor` fails [`GovernorConfig::validate`].
+    pub fn with_degradation(mut self, governor: GovernorConfig) -> Self {
+        governor.validate();
+        self.degradation = Some(governor);
         self
     }
 }

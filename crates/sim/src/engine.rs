@@ -19,6 +19,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::Instant;
 
+use simty_core::admission::{AdmissionController, AdmissionDecision, AppClass};
 use simty_core::alarm::{Alarm, AlarmId, AlarmKind};
 use simty_core::entry::QueueEntry;
 use simty_core::error::RegisterAlarmError;
@@ -32,12 +33,14 @@ use simty_obs::{SpanKind, Stage, StageProfile};
 use crate::attribution::AttributionLedger;
 use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::config::{InvariantMode, SimConfig};
+use crate::degrade::{DegradationGovernor, DegradationTier};
 use crate::error::SimError;
 use crate::event::{EventKind, EventQueue};
 use crate::fault::{FaultPlan, FaultState, RebootPlan};
 use crate::invariant::InvariantMonitor;
-use crate::metrics::SimReport;
+use crate::metrics::{OverloadStats, SimReport};
 use crate::obs::ObsLayer;
+use crate::overload::{RegistrationStormPlan, StormBurst};
 use crate::trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
 use crate::watchdog::OnlineWatchdogConfig;
 
@@ -118,6 +121,15 @@ pub struct Simulation {
     /// While rebooting: when boot completes. Device-local events that
     /// fire during the outage are dead (the power is off).
     pub(crate) down_until: Option<SimTime>,
+    /// Per-app registration quotas at the front door, when configured.
+    pub(crate) admission: Option<AdmissionController>,
+    /// The battery-aware degradation governor, when configured.
+    pub(crate) governor: Option<DegradationGovernor>,
+    /// Injected registration-storm bursts, indexed by
+    /// [`EventKind::StormRegister`]'s `burst`.
+    pub(crate) storm: Vec<StormBurst>,
+    /// Admission/degradation/storm counters for the report.
+    pub(crate) overload: OverloadStats,
     /// In-memory checkpoints captured by [`EventKind::Checkpoint`].
     pub(crate) checkpoints: Vec<Checkpoint>,
     /// Spans, metrics, and placement audits — all driven by the sim
@@ -138,6 +150,8 @@ impl Simulation {
             InvariantMode::Strict => Some(InvariantMonitor::new(config.power.wake_latency, true)),
         };
         let watchdog = config.online_watchdog;
+        let admission = config.admission.map(AdmissionController::new);
+        let governor = config.degradation.map(DegradationGovernor::new);
         let obs = ObsLayer::new(policy.name(), config.audit_capacity);
         let mut manager = AlarmManager::new(policy);
         manager.set_audit_enabled(true);
@@ -161,6 +175,10 @@ impl Simulation {
             crash_stash: BTreeMap::new(),
             energy_checked: false,
             down_until: None,
+            admission,
+            governor,
+            storm: Vec::new(),
+            overload: OverloadStats::default(),
             checkpoints: Vec::new(),
             obs,
             stages: StageProfile::new(),
@@ -174,6 +192,10 @@ impl Simulation {
         }
         if let Some(every) = sim.config.checkpoint_every {
             sim.schedule_once(EventKind::Checkpoint, SimTime::ZERO + every);
+        }
+        if let Some(g) = &sim.governor {
+            let first = SimTime::ZERO + g.config().check_every;
+            sim.schedule_once(EventKind::GovernorTick, first);
         }
         sim
     }
@@ -219,15 +241,101 @@ impl Simulation {
 
     /// Registers an alarm with the manager and arms the RTC.
     ///
+    /// This is the *only* registration front door: injected storms and
+    /// app restarts come through here too, so admission quotas and the
+    /// degradation governor see every registration. With admission
+    /// configured, an over-quota registration is deferred (its first
+    /// deadline slides to the deferral horizon) or rejected with
+    /// [`RegisterAlarmError::QuotaExceeded`]; in the critical
+    /// degradation tier, deferrable registrations may be shed with
+    /// [`RegisterAlarmError::RegistrationShed`].
+    ///
     /// # Errors
     ///
-    /// Propagates [`RegisterAlarmError`] from the manager.
+    /// Propagates [`RegisterAlarmError`] from the manager, plus the
+    /// admission and shedding rejections above.
     pub fn register(&mut self, mut alarm: Alarm) -> Result<AlarmId, RegisterAlarmError> {
         // Quarantine is a per-app sentence: alarms registered while the
         // label is quarantined are demoted too, so re-registering cannot
         // launder an offender back to perceptible.
         if self.quarantined.contains_key(alarm.label()) {
             alarm.set_quarantined(true);
+        }
+        // Battery-aware shedding: under critical battery the device
+        // stops accepting new deferrable work outright. Perceptible
+        // registrations always pass this gate.
+        if let Some(g) = &self.governor {
+            if g.tier() == DegradationTier::Critical
+                && g.config().shed_in_critical
+                && !alarm.is_perceptible()
+            {
+                self.overload.shed += 1;
+                self.obs.metrics.inc("sim_registrations_shed_total");
+                return Err(RegisterAlarmError::RegistrationShed { id: alarm.id() });
+            }
+        }
+        if let Some(ctl) = &mut self.admission {
+            let class = if alarm.is_perceptible() {
+                AppClass::Perceptible
+            } else {
+                AppClass::Deferrable
+            };
+            let t = self.now;
+            let outcome = ctl.decide(alarm.label(), class, t);
+            let verdict = match outcome.decision {
+                AdmissionDecision::Admit => "admit",
+                AdmissionDecision::Defer { .. } => "defer",
+                AdmissionDecision::Reject { .. } => "reject",
+            };
+            self.obs
+                .metrics
+                .inc(&format!("sim_admission_decisions_total{{decision=\"{verdict}\"}}"));
+            if outcome.newly_demoted {
+                // A storm offender crossed the demotion threshold: it
+                // joins the same quarantine ledger the watchdog uses, so
+                // the sentence is sticky across cancel/re-register and
+                // the demoted app's alarms turn imperceptible.
+                self.overload.demotions += 1;
+                let app = alarm.label().to_owned();
+                self.manager.set_app_quarantined(&app, true);
+                self.quarantined.insert(app.clone(), (t, 0));
+                self.obs.metrics.inc("sim_admission_demotions_total");
+                self.obs
+                    .metrics
+                    .set_gauge("sim_quarantined_apps", self.quarantined.len() as f64);
+                self.obs.spans.record(
+                    SpanKind::WatchdogIntervention,
+                    t.as_millis(),
+                    t.as_millis(),
+                    vec![
+                        ("app".to_owned(), app.clone()),
+                        ("kind".to_owned(), "admission_demotion".to_owned()),
+                    ],
+                );
+                self.trace.record_intervention(InterventionRecord {
+                    at: t,
+                    app,
+                    kind: InterventionKind::Quarantine,
+                    overhead_mj: 0.0,
+                });
+                alarm.set_quarantined(true);
+            }
+            match outcome.decision {
+                AdmissionDecision::Admit => self.overload.admitted += 1,
+                AdmissionDecision::Defer { until } => {
+                    self.overload.deferred += 1;
+                    if until > alarm.nominal() {
+                        alarm.reschedule(until);
+                    }
+                }
+                AdmissionDecision::Reject { retry_after } => {
+                    self.overload.rejected += 1;
+                    return Err(RegisterAlarmError::QuotaExceeded {
+                        id: alarm.id(),
+                        retry_after,
+                    });
+                }
+            }
         }
         let t0 = Instant::now();
         let id = self.manager.register(alarm)?;
@@ -305,6 +413,35 @@ impl Simulation {
         if let Some(m) = &mut self.monitor {
             m.add_slack(plan.delivery_slack());
         }
+    }
+
+    /// Compiles a [`RegistrationStormPlan`] into the run: every planned
+    /// registration becomes a scheduled event whose alarm will face the
+    /// admission-controlled front door at fire time. Registrations whose
+    /// instant is already past are dropped. Composable with fault and
+    /// reboot plans, and callable more than once.
+    pub fn inject_storm(&mut self, plan: &RegistrationStormPlan) {
+        for b in &plan.bursts {
+            let idx = self.storm.len();
+            for k in 0..b.count {
+                let at = b.fire_at(k);
+                if at >= self.now {
+                    self.events
+                        .schedule(at, EventKind::StormRegister { burst: idx, k });
+                }
+            }
+            self.storm.push(b.clone());
+        }
+    }
+
+    /// The admission controller, when one is configured.
+    pub fn admission(&self) -> Option<&AdmissionController> {
+        self.admission.as_ref()
+    }
+
+    /// The degradation governor's current tier, when one is configured.
+    pub fn degradation_tier(&self) -> Option<DegradationTier> {
+        self.governor.as_ref().map(DegradationGovernor::tier)
     }
 
     /// The checkpoints captured so far (see
@@ -449,6 +586,14 @@ impl Simulation {
             report.resilience.invariant_violations = m.violations().len() as u64;
             report.resilience.perceptible_window_misses = m.window_misses();
         }
+        report.overload = self.overload.clone();
+        if let Some(g) = &self.governor {
+            let (saver, critical) = g.time_degraded(self.now);
+            report.overload.time_in_saver_ms = saver.as_millis();
+            report.overload.time_in_critical_ms = critical.as_millis();
+            report.overload.final_tier = g.tier().name().to_owned();
+        }
+        report.overload.grace_stretch_milli = self.manager.grace_stretch();
         report.metrics_json = self.obs.metrics_json();
         Ok(report)
     }
@@ -632,7 +777,74 @@ impl Simulation {
                 self.stages.add(Stage::CheckpointIo, t0.elapsed());
                 self.checkpoints.push(snapshot);
             }
+            EventKind::GovernorTick => {
+                self.governor_tick(t);
+            }
+            EventKind::StormRegister { burst, k: _ } => {
+                self.storm_register(burst, t);
+            }
         }
+    }
+
+    /// The degradation governor samples the meter and shifts tier when
+    /// the state of charge crossed a hysteresis threshold.
+    fn governor_tick(&mut self, t: SimTime) {
+        let Some(cfg) = self.governor.as_ref().map(|g| *g.config()) else {
+            return;
+        };
+        // Arm the next tick first so a checkpoint captured between the
+        // two carries it (mirrors the Checkpoint event's own re-arm).
+        let next = t + cfg.check_every;
+        if next <= SimTime::ZERO + self.config.duration {
+            self.schedule_once(EventKind::GovernorTick, next);
+        }
+        // Settle the meter through this instant so the sampled spend is
+        // exact (idempotent; the run loop advances it anyway).
+        self.device.advance_to(t);
+        let spent = self.device.energy().total_mj();
+        let g = self.governor.as_mut().expect("governor checked above");
+        let soc = g.soc_milli(spent);
+        let from = g.tier();
+        let target = g.target_tier(soc);
+        self.obs
+            .metrics
+            .set_gauge("sim_battery_soc_milli", f64::from(soc));
+        if target == from {
+            return;
+        }
+        g.transition(target, t);
+        self.overload.tier_changes += 1;
+        let restamped = self.manager.set_grace_stretch(cfg.stretch_for(target));
+        self.obs.metrics.inc("sim_degradation_transitions_total");
+        self.obs.metrics.set_gauge("sim_degradation_tier", target.gauge());
+        self.obs.spans.record(
+            SpanKind::DegradationTransition,
+            t.as_millis(),
+            t.as_millis(),
+            vec![
+                ("from".to_owned(), from.name().to_owned()),
+                ("to".to_owned(), target.name().to_owned()),
+                ("soc_milli".to_owned(), soc.to_string()),
+                ("restamped".to_owned(), restamped.to_string()),
+            ],
+        );
+        // Restamping re-placed every queued imperceptible alarm; the
+        // wakeup head may have moved either direction.
+        self.drain_audits();
+        self.arm_clocks();
+    }
+
+    /// One planned storm registration fires: build the burst's alarm and
+    /// push it through the admission-controlled front door. The outcome
+    /// (admit/defer/reject/shed) is counted there; a rejection is the
+    /// expected behavior under quota, not an error of the run.
+    fn storm_register(&mut self, burst: usize, t: SimTime) {
+        let Some(b) = self.storm.get(burst).cloned() else {
+            return;
+        };
+        self.overload.storm_registrations += 1;
+        self.obs.metrics.inc("sim_storm_registrations_total");
+        let _ = self.register(b.build_alarm(t));
     }
 
     /// Kills the simulated device at `t`: every wakelock, in-flight
@@ -666,9 +878,15 @@ impl Simulation {
                 }
                 EventKind::Reregister { .. }
                 | EventKind::AppCrash { .. }
-                | EventKind::AppRestart { .. } => {
-                    // The OS replays these once it is back up.
+                | EventKind::AppRestart { .. }
+                | EventKind::StormRegister { .. } => {
+                    // The OS (or the storming app) replays these once it
+                    // is back up.
                     self.events.schedule(ev.time.max(boot_at), ev.kind);
+                }
+                EventKind::GovernorTick => {
+                    // The governor resumes its cadence at boot.
+                    self.schedule_once(ev.kind, ev.time.max(boot_at));
                 }
                 _ => {}
             }
@@ -1128,6 +1346,11 @@ impl Simulation {
             EventKind::Reboot { .. } => 11,
             EventKind::BootComplete => 12,
             EventKind::Checkpoint => 13,
+            EventKind::GovernorTick => 14,
+            // StormRegister events are scheduled directly (two distinct
+            // (burst, k) registrations may share an instant, which the
+            // dedup key cannot tell apart).
+            EventKind::StormRegister { .. } => 15,
         }
     }
 }
@@ -1617,5 +1840,268 @@ mod tests {
         let sim = ten_minute_sim(Box::new(ExactPolicy::new()));
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.report()));
         assert!(result.is_err());
+    }
+
+    fn deferrable_alarm(label: &str, nominal_s: u64, repeat_s: u64) -> Alarm {
+        let mut alarm = wifi_alarm(label, nominal_s, repeat_s, 0.1, 0.5);
+        alarm.mark_hardware_known();
+        alarm
+    }
+
+    #[test]
+    fn admission_quota_rejects_storms_with_typed_errors() {
+        use simty_core::admission::AdmissionConfig;
+        let config = SimConfig::new()
+            .with_duration(SimDuration::from_mins(10))
+            .with_admission(AdmissionConfig::default());
+        let mut sim = Simulation::new(Box::new(NativePolicy::new()), config);
+        let (mut admitted, mut rejected) = (0u64, 0u64);
+        for i in 0..30u64 {
+            match sim.register(deferrable_alarm("noisy", 60 + i, 600)) {
+                Ok(_) => admitted += 1,
+                Err(RegisterAlarmError::QuotaExceeded { retry_after, .. }) => {
+                    assert!(retry_after > SimDuration::ZERO);
+                    rejected += 1;
+                }
+                Err(other) => panic!("unexpected rejection: {other}"),
+            }
+        }
+        // Default deferrable quota: burst of 8, then 4 deferred admits,
+        // then rejections.
+        assert_eq!(admitted, 12);
+        assert_eq!(rejected, 18);
+        assert_eq!(sim.overload.admitted, 8);
+        assert_eq!(sim.overload.deferred, 4);
+        assert_eq!(sim.overload.rejected, 18);
+        // Eight rejections demote the offender into quarantine.
+        assert!(sim.admission().unwrap().is_demoted("noisy"));
+        assert_eq!(sim.overload.demotions, 1);
+        let report = sim.run();
+        assert_eq!(report.overload.rejected, 18);
+        assert!(report.metrics_json.contains("sim_admission_demotions_total"));
+    }
+
+    #[test]
+    fn admission_debt_survives_cancel_app_and_reregister() {
+        use simty_core::admission::AdmissionConfig;
+        let config = SimConfig::new()
+            .with_duration(SimDuration::from_mins(10))
+            .with_admission(AdmissionConfig::default());
+        let mut sim = Simulation::new(Box::new(NativePolicy::new()), config);
+        for i in 0..30u64 {
+            let _ = sim.register(deferrable_alarm("noisy", 60 + i, 600));
+        }
+        assert!(sim.admission().unwrap().is_demoted("noisy"));
+        // Cancelling the app's alarms does not refund its quota debt.
+        let cancelled = sim.manager.cancel_app("noisy");
+        assert!(!cancelled.is_empty());
+        match sim.register(deferrable_alarm("noisy", 300, 600)) {
+            Ok(id) => {
+                // Still demoted: the fresh registration lands quarantined.
+                assert!(sim.manager.find_alarm(id).unwrap().is_quarantined());
+            }
+            Err(RegisterAlarmError::QuotaExceeded { .. }) => {}
+            Err(other) => panic!("unexpected rejection: {other}"),
+        }
+        assert!(sim.admission().unwrap().is_demoted("noisy"));
+    }
+
+    #[test]
+    fn governor_descends_tiers_and_widens_grace() {
+        use crate::degrade::{DegradationTier, GovernorConfig};
+        let build = |capacity: Option<f64>| {
+            let mut config = SimConfig::new()
+                .with_duration(SimDuration::from_mins(30))
+                .with_strict_invariants();
+            if let Some(capacity_mj) = capacity {
+                config = config.with_degradation(GovernorConfig {
+                    capacity_mj,
+                    check_every: SimDuration::from_secs(30),
+                    ..GovernorConfig::default()
+                });
+            }
+            let mut sim = Simulation::new(Box::new(SimtyPolicy::new()), config);
+            sim.register(wifi_alarm("clock", 60, 120, 0.0, 0.9)).unwrap();
+            sim.register(deferrable_alarm("sync", 90, 60)).unwrap();
+            sim
+        };
+        // Probe the workload's energy draw, then size the battery so the
+        // governed run traverses both degraded tiers.
+        let mut probe = build(None);
+        let spent = probe.run().energy.total_mj();
+        let mut sim = build(Some(spent * 1.05));
+        let report = sim.run();
+        assert_eq!(sim.degradation_tier(), Some(DegradationTier::Critical));
+        assert_eq!(report.overload.final_tier, "critical");
+        assert!(report.overload.tier_changes >= 2, "{}", report.overload.tier_changes);
+        assert!(report.overload.time_in_saver_ms > 0);
+        assert!(report.overload.time_in_critical_ms > 0);
+        // Critical stretches imperceptible grace to 2.5x by default.
+        assert_eq!(report.overload.grace_stretch_milli, 2_500);
+        // Strict invariants: perceptible alarms never missed a window in
+        // any tier (a violation would have panicked mid-run).
+        assert_eq!(report.resilience.invariant_violations, 0);
+        assert_eq!(report.resilience.perceptible_window_misses, 0);
+    }
+
+    #[test]
+    fn critical_tier_sheds_deferrable_registrations_only() {
+        use crate::degrade::{DegradationTier, GovernorConfig};
+        let config = SimConfig::new()
+            .with_duration(SimDuration::from_mins(10))
+            .with_degradation(GovernorConfig {
+                capacity_mj: 1.0,
+                check_every: SimDuration::from_secs(30),
+                ..GovernorConfig::default()
+            });
+        let mut sim = Simulation::new(Box::new(NativePolicy::new()), config);
+        sim.register(wifi_alarm("clock", 60, 120, 0.0, 0.9)).unwrap();
+        // A 1 mJ battery is flat by the first governor tick.
+        sim.run_until(SimTime::from_secs(61));
+        assert_eq!(sim.degradation_tier(), Some(DegradationTier::Critical));
+        match sim.register(deferrable_alarm("late", 120, 300)) {
+            Err(RegisterAlarmError::RegistrationShed { .. }) => {}
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(sim.overload.shed, 1);
+        // Perceptible registrations are never shed.
+        sim.register(wifi_alarm("urgent", 120, 300, 0.0, 0.5)).unwrap();
+        let report = sim.run();
+        assert_eq!(report.overload.shed, 1);
+        assert_eq!(report.overload.final_tier, "critical");
+    }
+
+    fn fingerprint(sim: &Simulation) -> (Vec<u8>, String) {
+        let mut csv = Vec::new();
+        sim.trace().write_csv(&mut csv).unwrap();
+        (csv, crate::json::report_to_json(&sim.report()))
+    }
+
+    fn storm_sim(capacity_mj: f64) -> Simulation {
+        use crate::degrade::GovernorConfig;
+        use crate::overload::{RegistrationStormPlan, StormBurst};
+        use simty_core::admission::AdmissionConfig;
+        let config = SimConfig::new()
+            .with_duration(SimDuration::from_mins(30))
+            .with_invariants()
+            .with_checkpoints(SimDuration::from_mins(5))
+            .with_admission(AdmissionConfig::default())
+            .with_degradation(GovernorConfig {
+                capacity_mj,
+                check_every: SimDuration::from_secs(60),
+                ..GovernorConfig::default()
+            });
+        let mut sim = Simulation::new(Box::new(SimtyPolicy::new()), config);
+        sim.register(wifi_alarm("base", 60, 120, 0.1, 0.9)).unwrap();
+        let plan = RegistrationStormPlan::new().burst(StormBurst {
+            app: "flood".to_owned(),
+            start: SimTime::from_secs(120),
+            count: 40,
+            every: SimDuration::from_secs(1),
+            period: SimDuration::from_secs(300),
+            perceptible: false,
+            task: SimDuration::from_secs(1),
+            window_milli: 100,
+            grace_milli: 500,
+        });
+        sim.inject_storm(&plan);
+        sim
+    }
+
+    #[test]
+    fn storm_registrations_are_fully_accounted() {
+        // A battery too large to drain: every storm registration faces
+        // the quota, not the shedder.
+        let mut sim = storm_sim(1.0e9);
+        let report = sim.run();
+        let ov = &report.overload;
+        assert_eq!(ov.storm_registrations, 40);
+        // Every storm registration lands in exactly one outcome bucket.
+        assert_eq!(
+            ov.admitted + ov.deferred + ov.rejected + ov.shed,
+            41, // 40 storm registrations + the base alarm
+            "{ov:?}"
+        );
+        assert!(ov.rejected > 0, "quota never pushed back: {ov:?}");
+        assert_eq!(report.resilience.perceptible_window_misses, 0);
+    }
+
+    #[test]
+    fn storm_run_resumes_byte_identically_from_every_checkpoint() {
+        // A small battery so the snapshots straddle admission state,
+        // storm events, AND governor tier transitions.
+        let mut straight = storm_sim(2_000.0);
+        straight.run();
+        assert!(straight.overload.shed > 0);
+        let expected = fingerprint(&straight);
+        let checkpoints = straight.checkpoints().to_vec();
+        assert!(!checkpoints.is_empty());
+        for (i, ckpt) in checkpoints.iter().enumerate() {
+            let mut resumed =
+                Simulation::restore(Box::new(SimtyPolicy::new()), ckpt).unwrap();
+            resumed.run();
+            assert_eq!(fingerprint(&resumed), expected, "checkpoint {i} diverged");
+        }
+    }
+
+    #[test]
+    fn random_storm_plans_hold_invariants_across_policies_and_tiers() {
+        use crate::degrade::GovernorConfig;
+        use crate::overload::{RegistrationStormPlan, StormBurst};
+        use simty_core::admission::AdmissionConfig;
+        // A deterministic LCG stands in for a property-test RNG: random
+        // storm shapes across all three policies and both drained and
+        // healthy batteries, all under strict invariants.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for trial in 0..6u64 {
+            let policy: Box<dyn AlignmentPolicy> = match trial % 3 {
+                0 => Box::new(NativePolicy::new()),
+                1 => Box::new(ExactPolicy::new()),
+                _ => Box::new(SimtyPolicy::new()),
+            };
+            let drained = trial % 2 == 0;
+            let config = SimConfig::new()
+                .with_duration(SimDuration::from_mins(20))
+                .with_strict_invariants()
+                .with_admission(AdmissionConfig::default())
+                .with_degradation(GovernorConfig {
+                    capacity_mj: if drained { 500.0 } else { 1.0e9 },
+                    check_every: SimDuration::from_secs(45),
+                    ..GovernorConfig::default()
+                });
+            let mut sim = Simulation::new(policy, config);
+            sim.register(wifi_alarm("base", 30, 90, 0.1, 0.9)).unwrap();
+            let mut plan = RegistrationStormPlan::new();
+            for b in 0..(1 + next() % 3) {
+                plan = plan.burst(StormBurst {
+                    app: format!("storm{b}"),
+                    start: SimTime::from_secs(60 + next() % 600),
+                    count: (4 + next() % 24) as u32,
+                    every: SimDuration::from_millis(200 + next() % 3_000),
+                    period: SimDuration::from_secs(60 + next() % 300),
+                    perceptible: next() % 4 == 0,
+                    task: SimDuration::from_millis(500 + next() % 2_000),
+                    window_milli: (next() % 300) as u32,
+                    grace_milli: (300 + next() % 600) as u32,
+                });
+            }
+            let planned = plan.registrations();
+            sim.inject_storm(&plan);
+            let report = sim.run();
+            let ov = &report.overload;
+            assert_eq!(ov.storm_registrations, planned, "trial {trial}");
+            assert_eq!(
+                ov.admitted + ov.deferred + ov.rejected + ov.shed,
+                planned + 1,
+                "trial {trial}: {ov:?}"
+            );
+            // Strict invariants: any perceptible window miss would have
+            // panicked; the report must agree.
+            assert_eq!(report.resilience.perceptible_window_misses, 0, "trial {trial}");
+        }
     }
 }

@@ -77,6 +77,19 @@ pub enum EventKind {
     /// The engine captures a crash-consistent checkpoint of the full
     /// simulation state (see [`crate::checkpoint`]).
     Checkpoint,
+    /// The degradation governor samples the battery's state of charge
+    /// and, crossing a hysteresis threshold, shifts the degradation
+    /// tier (see [`crate::degrade`]).
+    GovernorTick,
+    /// One planned registration of a registration-storm burst fires:
+    /// the burst's alarm is built and pushed through the admission
+    /// front door (see [`crate::overload`]).
+    StormRegister {
+        /// Index into the engine's storm-burst table.
+        burst: usize,
+        /// Which registration of the burst this is (0-based).
+        k: u32,
+    },
 }
 
 /// A scheduled event.

@@ -131,6 +131,22 @@ pub fn report_to_json(report: &SimReport) -> String {
         r.catch_up_entries,
         json_number(r.worst_catch_up_delay_ms)
     );
+    let o = &report.overload;
+    let _ = write!(
+        out,
+        ",\"overload\":{{\"storm_registrations\":{},\"admitted\":{},\"deferred\":{},\"rejected\":{},\"shed\":{},\"demotions\":{},\"tier_changes\":{},\"time_in_saver_ms\":{},\"time_in_critical_ms\":{},\"final_tier\":{},\"grace_stretch_milli\":{}}}",
+        o.storm_registrations,
+        o.admitted,
+        o.deferred,
+        o.rejected,
+        o.shed,
+        o.demotions,
+        o.tier_changes,
+        o.time_in_saver_ms,
+        o.time_in_critical_ms,
+        json_string(&o.final_tier),
+        o.grace_stretch_milli
+    );
     out.push_str(",\"metrics\":");
     if report.metrics_json.is_empty() {
         out.push_str("null");
@@ -195,6 +211,8 @@ mod tests {
             "\"cpu_wakeups\"",
             "\"resilience\"",
             "\"perceptible_window_misses\":0",
+            "\"overload\"",
+            "\"final_tier\":\"normal\"",
             "\"metrics\":{",
             "\"counters\"",
         ] {

@@ -41,6 +41,7 @@ pub mod analysis;
 pub mod attribution;
 pub mod checkpoint;
 pub mod config;
+pub mod degrade;
 pub mod diff;
 pub mod error;
 pub mod estimate;
@@ -51,6 +52,7 @@ pub mod invariant;
 pub mod json;
 pub mod metrics;
 pub mod obs;
+pub mod overload;
 pub mod report;
 pub mod trace;
 pub mod watchdog;
@@ -58,11 +60,13 @@ pub mod watchdog;
 pub use attribution::AttributionLedger;
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore};
 pub use config::{InvariantMode, SimConfig};
+pub use degrade::{DegradationGovernor, DegradationTier, GovernorConfig};
 pub use engine::Simulation;
 pub use error::SimError;
 pub use fault::{FaultPlan, RebootPlan};
 pub use invariant::{InvariantMonitor, InvariantViolation};
-pub use metrics::{DelayStats, ResilienceStats, SimReport, WakeupRow};
+pub use metrics::{DelayStats, OverloadStats, ResilienceStats, SimReport, WakeupRow};
+pub use overload::{RegistrationStormPlan, StormBurst};
 pub use obs::ObsLayer;
 pub use trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
 pub use watchdog::OnlineWatchdogConfig;

@@ -167,6 +167,78 @@ impl ResilienceStats {
     }
 }
 
+/// Overload accounting for a run with admission control, a degradation
+/// governor, or an injected registration storm attached.
+///
+/// All-zero (and omitted from `Display` and the JSON export) for runs
+/// without any of the three, so existing reports are unchanged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadStats {
+    /// Registrations attempted by an injected registration storm.
+    pub storm_registrations: u64,
+    /// Registrations the admission controller admitted on the spot.
+    pub admitted: u64,
+    /// Registrations admitted late: the controller pushed the alarm's
+    /// first deadline out to the deferral horizon.
+    pub deferred: u64,
+    /// Registrations rejected with
+    /// [`RegisterAlarmError::QuotaExceeded`](simty_core::error::RegisterAlarmError::QuotaExceeded).
+    pub rejected: u64,
+    /// Registrations shed by the critical degradation tier with
+    /// [`RegisterAlarmError::RegistrationShed`](simty_core::error::RegisterAlarmError::RegistrationShed).
+    pub shed: u64,
+    /// Apps demoted (quarantined) by the admission controller for
+    /// sustained over-quota behavior.
+    pub demotions: u64,
+    /// Degradation-tier transitions over the run.
+    pub tier_changes: u64,
+    /// Simulated time spent in the Saver tier, in milliseconds.
+    pub time_in_saver_ms: u64,
+    /// Simulated time spent in the Critical tier, in milliseconds.
+    pub time_in_critical_ms: u64,
+    /// The degradation tier at the end of the run.
+    pub final_tier: String,
+    /// The manager's grace stretch at the end of the run, in milli
+    /// (1000 = no stretch).
+    pub grace_stretch_milli: u32,
+}
+
+impl Default for OverloadStats {
+    fn default() -> Self {
+        OverloadStats {
+            storm_registrations: 0,
+            admitted: 0,
+            deferred: 0,
+            rejected: 0,
+            shed: 0,
+            demotions: 0,
+            tier_changes: 0,
+            time_in_saver_ms: 0,
+            time_in_critical_ms: 0,
+            final_tier: "normal".to_owned(),
+            grace_stretch_milli: simty_core::alarm::GRACE_STRETCH_UNIT,
+        }
+    }
+}
+
+impl OverloadStats {
+    /// Whether nothing overload-related happened (drives `Display` and
+    /// JSON brevity).
+    pub fn is_quiet(&self) -> bool {
+        self.storm_registrations == 0
+            && self.admitted == 0
+            && self.deferred == 0
+            && self.rejected == 0
+            && self.shed == 0
+            && self.demotions == 0
+            && self.tier_changes == 0
+            && self.time_in_saver_ms == 0
+            && self.time_in_critical_ms == 0
+            && self.final_tier == "normal"
+            && self.grace_stretch_milli == simty_core::alarm::GRACE_STRETCH_UNIT
+    }
+}
+
 /// One row of the paper's Table 4: the number of wakeups that actually
 /// acquired a hardware component versus the number expected if no
 /// alignment policy were applied (one wakeup per alarm delivery).
@@ -220,6 +292,9 @@ pub struct SimReport {
     pub delays: DelayStats,
     /// Fault-injection resilience accounting (all-zero for clean runs).
     pub resilience: ResilienceStats,
+    /// Admission/degradation/storm accounting (all-zero for runs without
+    /// any of the three attached).
+    pub overload: OverloadStats,
     /// The observability layer's metrics snapshot as a JSON object, or
     /// empty when the report was computed outside an engine run (the
     /// engine fills it in
@@ -257,6 +332,7 @@ impl SimReport {
             wakeup_rows,
             delays: DelayStats::from_trace(trace),
             resilience: ResilienceStats::from_trace(trace),
+            overload: OverloadStats::default(),
             metrics_json: String::new(),
         }
     }
@@ -332,6 +408,26 @@ impl fmt::Display for SimReport {
                     r.reboots, r.mean_recovery_ms, r.catch_up_entries, r.worst_catch_up_delay_ms
                 )?;
             }
+        }
+        if !self.overload.is_quiet() {
+            let o = &self.overload;
+            write!(
+                f,
+                "\noverload: {} storm registrations ({} admitted, {} deferred, \
+                 {} rejected, {} shed), {} demotions, {} tier changes \
+                 (saver {:.0} s, critical {:.0} s, final {}, stretch {:.2}x)",
+                o.storm_registrations,
+                o.admitted,
+                o.deferred,
+                o.rejected,
+                o.shed,
+                o.demotions,
+                o.tier_changes,
+                o.time_in_saver_ms as f64 / 1_000.0,
+                o.time_in_critical_ms as f64 / 1_000.0,
+                o.final_tier,
+                f64::from(o.grace_stretch_milli) / 1_000.0
+            )?;
         }
         Ok(())
     }
@@ -478,6 +574,23 @@ mod tests {
         let device = Device::new(PowerModel::nexus5());
         let r = SimReport::compute("SIMTY", SimDuration::from_hours(3), &t, &device);
         assert!(!r.to_string().contains("resilience:"));
+    }
+
+    #[test]
+    fn overload_stats_quietness_gates_display() {
+        let t = Trace::new();
+        let device = Device::new(PowerModel::nexus5());
+        let mut r = SimReport::compute("SIMTY", SimDuration::from_hours(3), &t, &device);
+        assert!(r.overload.is_quiet());
+        assert!(!r.to_string().contains("overload:"));
+        r.overload.storm_registrations = 12;
+        r.overload.rejected = 4;
+        r.overload.final_tier = "critical".to_owned();
+        r.overload.grace_stretch_milli = 2_500;
+        assert!(!r.overload.is_quiet());
+        let s = r.to_string();
+        assert!(s.contains("overload: 12 storm registrations"));
+        assert!(s.contains("final critical, stretch 2.50x"));
     }
 
     #[test]

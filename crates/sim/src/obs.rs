@@ -110,11 +110,45 @@ impl ObsLayer {
             "sim_task_hold_ms",
             "Milliseconds each delivered task held its wakelocks.",
         );
+        metrics.describe(
+            "sim_admission_decisions_total",
+            "Registration front-door decisions by outcome (admit/defer/reject).",
+        );
+        metrics.describe(
+            "sim_admission_demotions_total",
+            "Apps demoted (quarantined) by the admission controller.",
+        );
+        metrics.describe(
+            "sim_registrations_shed_total",
+            "Deferrable registrations shed by the critical degradation tier.",
+        );
+        metrics.describe(
+            "sim_storm_registrations_total",
+            "Registrations attempted by an injected registration storm.",
+        );
+        metrics.describe(
+            "sim_degradation_transitions_total",
+            "Degradation-governor tier transitions.",
+        );
+        metrics.describe(
+            "sim_degradation_tier",
+            "Current degradation tier (0=normal, 1=saver, 2=critical).",
+        );
+        metrics.describe(
+            "sim_battery_soc_milli",
+            "Modeled battery state of charge in permille, at the latest governor tick.",
+        );
         metrics.set_counter(&format!("sim_wakeups_total{{policy=\"{policy}\"}}"), 0);
         metrics.set_counter("sim_entry_deliveries_total", 0);
         metrics.set_counter("sim_alarm_deliveries_total", 0);
+        metrics.set_counter("sim_admission_demotions_total", 0);
+        metrics.set_counter("sim_registrations_shed_total", 0);
+        metrics.set_counter("sim_storm_registrations_total", 0);
+        metrics.set_counter("sim_degradation_transitions_total", 0);
         metrics.set_gauge("sim_wakeup_queue_depth", 0.0);
         metrics.set_gauge("sim_quarantined_apps", 0.0);
+        metrics.set_gauge("sim_degradation_tier", 0.0);
+        metrics.set_gauge("sim_battery_soc_milli", 1_000.0);
         metrics.register_histogram(
             "sim_entry_size",
             vec![1.0, 2.0, 4.0, 8.0, 16.0, 32.0],

@@ -1,0 +1,165 @@
+//! Registration-storm workloads for overload testing.
+//!
+//! A [`RegistrationStormPlan`] describes bursts of *runtime* alarm
+//! registrations — apps hammering the alarm manager while the
+//! simulation is already underway — as pure data: every burst is a
+//! deterministic arithmetic schedule (`start + k * every`), so a storm
+//! replays bit-for-bit across thread counts and checkpoint resumes.
+//! The engine turns each planned registration into a
+//! [`StormRegister`](crate::event::EventKind::StormRegister) event and
+//! pushes the built alarm through the same admission-controlled front
+//! door ([`Simulation::register`](crate::engine::Simulation::register))
+//! that any other registration takes: storms don't get a side entrance,
+//! which is exactly what makes them useful for exercising quotas,
+//! demotion, and battery-aware shedding.
+
+use simty_core::alarm::Alarm;
+use simty_core::hardware::HardwareComponent;
+use simty_core::time::{SimDuration, SimTime};
+
+/// One app's burst of repeated registrations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StormBurst {
+    /// The registering app's label (also the admission-quota key).
+    pub app: String,
+    /// When the first registration fires.
+    pub start: SimTime,
+    /// How many registrations the burst makes.
+    pub count: u32,
+    /// Gap between consecutive registrations.
+    pub every: SimDuration,
+    /// The repeating interval of each registered alarm.
+    pub period: SimDuration,
+    /// Whether the registered alarms are perceptible (known perceptible
+    /// hardware) or deferrable (known imperceptible hardware).
+    pub perceptible: bool,
+    /// CPU time each delivery costs.
+    pub task: SimDuration,
+    /// Window fraction α in milli (250 = 0.25).
+    pub window_milli: u32,
+    /// Grace fraction β in milli (must be ≥ `window_milli`, < 1000).
+    pub grace_milli: u32,
+}
+
+impl StormBurst {
+    /// When registration `k` (0-based) of this burst fires.
+    pub fn fire_at(&self, k: u32) -> SimTime {
+        self.start + self.every * u64::from(k)
+    }
+
+    /// Builds the alarm that registration `k` submits at time `at`.
+    ///
+    /// The alarm's first nominal deadline sits one period after the
+    /// registration instant, matching how a real app arms a periodic
+    /// timer "from now".
+    ///
+    /// # Panics
+    ///
+    /// Panics if the burst's fractions or durations violate the alarm
+    /// builder's own invariants (a storm plan is test infrastructure;
+    /// a malformed burst is a bug in the plan, not a runtime input).
+    pub fn build_alarm(&self, at: SimTime) -> Alarm {
+        let hardware = if self.perceptible {
+            HardwareComponent::Vibrator
+        } else {
+            HardwareComponent::Wifi
+        };
+        let mut alarm = Alarm::builder(&self.app)
+            .nominal(at + self.period)
+            .repeating_dynamic(self.period)
+            .window_fraction(f64::from(self.window_milli) / 1_000.0)
+            .grace_fraction(f64::from(self.grace_milli) / 1_000.0)
+            .hardware(hardware.into())
+            .task_duration(self.task)
+            .build()
+            .expect("storm burst describes a well-formed alarm");
+        // The storm models apps whose perceptibility the OS has already
+        // learned, so admission classifies them by hardware rather than
+        // conservatively treating everything unknown as perceptible.
+        alarm.mark_hardware_known();
+        alarm
+    }
+}
+
+/// A deterministic schedule of registration bursts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistrationStormPlan {
+    /// The planned bursts, in the order they were added.
+    pub bursts: Vec<StormBurst>,
+}
+
+impl RegistrationStormPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        RegistrationStormPlan::default()
+    }
+
+    /// Adds a burst, chainably.
+    pub fn burst(mut self, burst: StormBurst) -> Self {
+        self.bursts.push(burst);
+        self
+    }
+
+    /// Total registrations the plan will attempt.
+    pub fn registrations(&self) -> u64 {
+        self.bursts.iter().map(|b| u64::from(b.count)).sum()
+    }
+
+    /// Whether the plan holds no bursts.
+    pub fn is_empty(&self) -> bool {
+        self.bursts.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn burst(perceptible: bool) -> StormBurst {
+        StormBurst {
+            app: "Chatty".to_owned(),
+            start: SimTime::from_secs(60),
+            count: 5,
+            every: SimDuration::from_secs(10),
+            period: SimDuration::from_secs(300),
+            perceptible,
+            task: SimDuration::from_secs(1),
+            window_milli: 250,
+            grace_milli: 500,
+        }
+    }
+
+    #[test]
+    fn fire_times_are_arithmetic() {
+        let b = burst(false);
+        assert_eq!(b.fire_at(0), SimTime::from_secs(60));
+        assert_eq!(b.fire_at(3), SimTime::from_secs(90));
+    }
+
+    #[test]
+    fn built_alarm_lands_one_period_out() {
+        let b = burst(false);
+        let a = b.build_alarm(b.fire_at(2));
+        assert_eq!(a.nominal(), SimTime::from_secs(80 + 300));
+        assert_eq!(a.label(), "Chatty");
+        assert!(!a.is_perceptible(), "known wifi-only alarm is deferrable");
+    }
+
+    #[test]
+    fn perceptible_bursts_build_perceptible_alarms() {
+        let b = burst(true);
+        assert!(b.build_alarm(b.fire_at(0)).is_perceptible());
+    }
+
+    #[test]
+    fn plan_counts_all_registrations() {
+        let plan = RegistrationStormPlan::new()
+            .burst(burst(false))
+            .burst(StormBurst {
+                count: 7,
+                ..burst(true)
+            });
+        assert_eq!(plan.registrations(), 12);
+        assert!(!plan.is_empty());
+    }
+}
