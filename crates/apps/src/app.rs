@@ -119,7 +119,7 @@ impl AppSpec {
     /// constraints (e.g. `beta < alpha`).
     pub fn alarm(&self, beta: f64, registered_at: SimTime) -> Result<Alarm, BuildAlarmError> {
         let interval = self.repeat_interval();
-        let builder = Alarm::builder(&self.name)
+        let builder = Alarm::builder(self.name.as_str())
             .nominal(registered_at + interval)
             .window_fraction(self.alpha)
             .grace_fraction(beta.max(self.alpha))

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use simty::core::{SimDuration, SimTime};
 use simty::experiments::{PolicyKind, Scenario};
@@ -132,6 +133,11 @@ pub struct SoakRecovery {
     /// The drill restored successfully (always required; `false` marks
     /// an unrecoverable cell).
     pub restore_ok: bool,
+    /// Host wall-clock time the drill's resume took (snapshot load,
+    /// [`Simulation::restore`]'s queue rebuild, and the re-run to the
+    /// horizon). Never serialized per cell — only the campaign total
+    /// surfaces, as the `resume_wall_ms` header of the soak document.
+    pub resume_wall: Duration,
 }
 
 impl SoakSpec {
@@ -198,22 +204,25 @@ impl SoakSpec {
 
         let dir = scratch.join(self.label().replace('/', "_"));
         let _ = std::fs::remove_dir_all(&dir);
-        let drill = || -> Result<(u64, bool), Box<dyn std::error::Error>> {
+        let drill = || -> Result<(u64, bool, Duration), Box<dyn std::error::Error>> {
             let mut store = CheckpointStore::open(&dir)?;
             for ckpt in straight.checkpoints() {
                 store.save(ckpt)?;
             }
             corrupt_newest(&dir, self.profile.corrupted())?;
+            let resume_started = Instant::now();
             let (snapshot, skipped) = store.load_latest_good()?;
             let mut resumed = Simulation::restore(self.policy.build(), &snapshot)?;
             resumed.run();
-            Ok((skipped as u64, Self::fingerprint(&resumed) == expected))
+            let wall = resume_started.elapsed();
+            Ok((skipped as u64, Self::fingerprint(&resumed) == expected, wall))
         };
         match drill() {
-            Ok((skipped, identical)) => {
+            Ok((skipped, identical, wall)) => {
                 recovery.corrupt_skipped = skipped;
                 recovery.resumed_identical = identical;
                 recovery.restore_ok = true;
+                recovery.resume_wall = wall;
             }
             Err(_) => {
                 recovery.restore_ok = false;
@@ -383,6 +392,12 @@ impl SoakResults {
             .sum()
     }
 
+    /// Total host wall-clock the campaign's checkpoint resumes took
+    /// (load + restore + re-run), summed across cells.
+    pub fn resume_wall(&self) -> Duration {
+        self.runs.iter().map(|(_, _, rec)| rec.resume_wall).sum()
+    }
+
     /// Whether every recovery drill restored and matched bytes.
     pub fn all_recovered(&self) -> bool {
         self.runs
@@ -496,13 +511,29 @@ impl SoakResults {
         out
     }
 
-    /// Writes [`to_json`](Self::to_json) to a file.
+    /// The committed `BENCH_soak.json` document: the deterministic
+    /// [`to_json`](Self::to_json) body plus one host-timing header
+    /// field, `resume_wall_ms` — the campaign's total checkpoint-resume
+    /// wall-clock. Kept out of `to_json` itself so determinism suites
+    /// can keep byte-diffing that stream.
+    pub fn to_json_document(&self) -> String {
+        self.to_json().replacen(
+            "{\"schema\":\"simty-bench-soak/v1\"",
+            &format!(
+                "{{\"schema\":\"simty-bench-soak/v1\",\"resume_wall_ms\":{}",
+                json_number(self.resume_wall().as_secs_f64() * 1_000.0)
+            ),
+            1,
+        )
+    }
+
+    /// Writes [`to_json_document`](Self::to_json_document) to a file.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.to_json())
+        std::fs::write(path, self.to_json_document())
     }
 }
 
@@ -590,6 +621,12 @@ mod tests {
         assert!(json.contains("\"profile\":\"bitflip\""));
         assert!(json.contains("\"resumed_identical\":true"));
         assert!(!json.contains("wall"), "soak documents must be deterministic");
+        // The committed document adds exactly one host-timing header
+        // field on top of the deterministic body.
+        let doc = results.to_json_document();
+        assert!(doc.starts_with("{\"schema\":\"simty-bench-soak/v1\",\"resume_wall_ms\":"));
+        assert!(results.resume_wall() > Duration::ZERO);
+        assert_eq!(doc.replacen(&format!(",\"resume_wall_ms\":{}", simty::sim::json::json_number(results.resume_wall().as_secs_f64() * 1_000.0)), "", 1), json);
     }
 
     #[test]

@@ -86,12 +86,23 @@ pub struct RunHandle(usize);
 pub struct Sweep {
     jobs: Vec<Job>,
     specs: Vec<(RunSpec, RunHandle)>,
+    no_obs: bool,
 }
 
 impl Sweep {
     /// An empty sweep.
     pub fn new() -> Self {
         Sweep::default()
+    }
+
+    /// Makes every subsequently enqueued spec run uninstrumented (the
+    /// engine's no-obs fast path): reports carry a `null` metrics block
+    /// and the aggregated stage profile stays empty, but labels and
+    /// every deterministic report field are unchanged — so instrumented
+    /// and uninstrumented sweeps of one grid stay comparable.
+    pub fn no_obs(&mut self) -> &mut Self {
+        self.no_obs = true;
+        self
     }
 
     /// Number of enqueued (deduplicated) jobs.
@@ -108,6 +119,7 @@ impl Sweep {
     /// specs: an identical spec returns the existing handle and the run
     /// executes once.
     pub fn spec(&mut self, spec: RunSpec) -> RunHandle {
+        let spec = if self.no_obs { spec.with_no_obs() } else { spec };
         if let Some((_, handle)) = self.specs.iter().find(|(s, _)| *s == spec) {
             return *handle;
         }

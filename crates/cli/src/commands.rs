@@ -125,6 +125,9 @@ SWEEP FLAGS:
     --betas LIST               comma-separated grace fractions [default: 0.96]
     --threads N                worker threads               [default: all cores]
     --json FILE                write the sweep document (BENCH_sweep.json schema)
+    --no-obs                   run uninstrumented (observability layer off),
+                               then rerun instrumented and print the
+                               observability overhead delta
 
 SWEEP-BETA FLAGS:
     --from X --to Y --steps N  sweep range               [default: 0.75..0.96, 5]
@@ -507,6 +510,7 @@ fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         "hours",
         "threads",
         "json",
+        "no-obs",
     ])?;
     let policies: Vec<PolicyKind> = args
         .get("policies")
@@ -548,20 +552,28 @@ fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         return Err(CliError::Usage("--betas values must lie in [0, 1)".into()));
     }
 
-    let mut sweep = simty_bench::Sweep::new();
-    for &scenario in &scenarios {
-        for &policy in &policies {
-            for seed in 1..=seeds {
-                for &beta in &betas {
-                    sweep.spec(
-                        simty_bench::RunSpec::paper(policy, scenario, seed)
-                            .with_beta(beta)
-                            .with_duration(SimDuration::from_hours(hours)),
-                    );
+    let no_obs = args.has_switch("no-obs");
+    let grid = |uninstrumented: bool| {
+        let mut sweep = simty_bench::Sweep::new();
+        if uninstrumented {
+            sweep.no_obs();
+        }
+        for &scenario in &scenarios {
+            for &policy in &policies {
+                for seed in 1..=seeds {
+                    for &beta in &betas {
+                        sweep.spec(
+                            simty_bench::RunSpec::paper(policy, scenario, seed)
+                                .with_beta(beta)
+                                .with_duration(SimDuration::from_hours(hours)),
+                        );
+                    }
                 }
             }
         }
-    }
+        sweep
+    };
+    let sweep = grid(no_obs);
     let total = sweep.len();
     let results = sweep.run_with_threads(threads as usize);
 
@@ -593,6 +605,20 @@ fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         results.runs_per_sec(),
         results.sequential_wall().as_secs_f64() * 1_000.0,
     )?;
+    if no_obs {
+        // Rerun the same grid instrumented so the zero-cost claim is
+        // checkable from the CLI: the delta between the two sequential
+        // sums is the observability layer's overhead.
+        let instrumented = grid(false).run_with_threads(threads as usize);
+        let on = instrumented.sequential_wall().as_secs_f64() * 1_000.0;
+        let off = results.sequential_wall().as_secs_f64() * 1_000.0;
+        let pct = if off > 0.0 { (on - off) / off * 100.0 } else { 0.0 };
+        writeln!(
+            out,
+            "observability overhead: {on:.1} ms instrumented vs {off:.1} ms uninstrumented \
+             (sequential sums; +{pct:.1}%)",
+        )?;
+    }
     if let Some(path) = args.get("json") {
         results.write_json(path)?;
         writeln!(out, "sweep document written to {path}")?;
@@ -834,10 +860,11 @@ fn cmd_soak<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     writeln!(out, "\n{}", summary.render())?;
     writeln!(
         out,
-        "{} soak cells, {} perceptible-window misses, recovery {}",
+        "{} soak cells, {} perceptible-window misses, recovery {}, resume wall {:.1}s",
         results.runs().len(),
         results.total_misses(),
         if results.all_recovered() { "clean" } else { "BROKEN" },
+        results.resume_wall().as_secs_f64(),
     )?;
     if let Some(path) = args.get("json") {
         results.write_json(path)?;

@@ -30,6 +30,7 @@
 //! ```
 
 use std::fmt;
+use std::sync::Arc;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::error::BuildAlarmError;
@@ -147,7 +148,7 @@ impl fmt::Display for AlarmKind {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Alarm {
     id: AlarmId,
-    label: String,
+    label: Arc<str>,
     nominal: SimTime,
     window: SimDuration,
     grace: SimDuration,
@@ -168,7 +169,7 @@ impl Alarm {
     /// Starts building an alarm with the given human-readable label.
     ///
     /// See the [module documentation](self) for a complete example.
-    pub fn builder(label: impl Into<String>) -> AlarmBuilder {
+    pub fn builder(label: impl Into<Arc<str>>) -> AlarmBuilder {
         AlarmBuilder::new(label)
     }
 
@@ -184,7 +185,7 @@ impl Alarm {
     #[allow(clippy::too_many_arguments)]
     pub fn restore(
         id: AlarmId,
-        label: String,
+        label: Arc<str>,
         nominal: SimTime,
         window: SimDuration,
         grace: SimDuration,
@@ -220,6 +221,12 @@ impl Alarm {
     /// The human-readable label (typically the app name).
     pub fn label(&self) -> &str {
         &self.label
+    }
+
+    /// The label as a shared handle — a reference-count bump instead of
+    /// a string copy, for the per-delivery paths that store it.
+    pub fn label_arc(&self) -> Arc<str> {
+        Arc::clone(&self.label)
     }
 
     /// The current nominal delivery time — the start of both the window
@@ -438,7 +445,7 @@ impl fmt::Display for Alarm {
 /// zero window, grace = window, 1 s task.
 #[derive(Debug, Clone)]
 pub struct AlarmBuilder {
-    label: String,
+    label: Arc<str>,
     nominal: SimTime,
     window: WindowSpec,
     grace: Option<WindowSpec>,
@@ -455,7 +462,7 @@ enum WindowSpec {
 }
 
 impl AlarmBuilder {
-    fn new(label: impl Into<String>) -> Self {
+    fn new(label: impl Into<Arc<str>>) -> Self {
         AlarmBuilder {
             label: label.into(),
             nominal: SimTime::ZERO,

@@ -13,6 +13,8 @@
 //! the [`AlarmManager`](crate::manager::AlarmManager) wraps it with the
 //! alarm's identity into one [`PlacementAudit`] per decision.
 
+use std::sync::Arc;
+
 use crate::alarm::AlarmId;
 use crate::policy::Placement;
 use crate::similarity::{Preferability, TimeSimilarity};
@@ -74,7 +76,7 @@ pub struct PlacementAudit {
     /// The placed alarm's id.
     pub alarm_id: AlarmId,
     /// The placed alarm's app label.
-    pub app: String,
+    pub app: Arc<str>,
     /// The placed alarm's nominal time — together with
     /// [`alarm_id`](Self::alarm_id) this uniquely identifies one
     /// occurrence of a repeating alarm.
@@ -116,7 +118,7 @@ mod tests {
         let audit = PlacementAudit {
             at: SimTime::from_secs(10),
             alarm_id: AlarmId::from_raw(7),
-            app: "Line".to_owned(),
+            app: "Line".into(),
             nominal: SimTime::from_secs(60),
             perceptible: false,
             placement: Placement::Existing(1),

@@ -449,12 +449,14 @@ impl AlarmManager {
             AlarmKind::NonWakeup => &self.non_wakeup,
         };
         let placement = if let Some(sink) = self.audit_sink.as_mut() {
-            let mut candidates = Vec::new();
+            // A typical decision weighs only a few candidates; reserve so
+            // the audit costs one allocation, not a growth series.
+            let mut candidates = Vec::with_capacity(4);
             let placement = self.policy.place_audited(queue, &alarm, &mut candidates);
             sink.push(PlacementAudit {
                 at: self.now,
                 alarm_id: alarm.id(),
-                app: alarm.label().to_owned(),
+                app: alarm.label_arc(),
                 nominal: alarm.nominal(),
                 perceptible: alarm.is_perceptible(),
                 placement,
@@ -675,10 +677,10 @@ mod tests {
         m.register(wifi_alarm("b", 150, 600, 0.75)).unwrap();
         let audits = m.take_audits();
         assert_eq!(audits.len(), 2);
-        assert_eq!(audits[0].app, "a");
+        assert_eq!(&*audits[0].app, "a");
         assert_eq!(audits[0].placement, Placement::NewEntry);
         assert!(audits[0].candidates.is_empty());
-        assert_eq!(audits[1].app, "b");
+        assert_eq!(&*audits[1].app, "b");
         // The second decision weighed the first alarm's entry, whatever
         // the verdict came out to be.
         assert_eq!(audits[1].candidates.len(), 1);
@@ -740,7 +742,7 @@ mod tests {
         use crate::alarm::{Repeat, GRACE_STRETCH_UNIT};
         Alarm::restore(
             AlarmId::fresh(),
-            "degenerate".to_owned(),
+            "degenerate".into(),
             SimTime::from_secs(nominal_s),
             SimDuration::from_secs(window_s),
             SimDuration::from_secs(grace_s),

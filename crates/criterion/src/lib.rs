@@ -101,6 +101,22 @@ impl Bencher {
         }
     }
 
+    /// Hands the iteration count to `routine` and trusts the returned
+    /// total elapsed time, as in upstream criterion — for benches that
+    /// must keep state warm across iterations or exclude interleaved
+    /// untimed work from the measurement.
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        // Warmup + estimate to size the batch, as in `iter`.
+        black_box(routine(1));
+        let once = routine(1).max(Duration::from_nanos(1));
+        let target = Duration::from_millis(2);
+        let per_sample = (target.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u32;
+        for _ in 0..self.samples {
+            let total = routine(per_sample as u64);
+            self.recorded.push(total / per_sample);
+        }
+    }
+
     /// Times `routine` on fresh inputs from `setup`; setup is untimed,
     /// and — as in upstream criterion — so is dropping the routine's
     /// output (return the input to keep its drop off the clock).
@@ -272,6 +288,15 @@ mod tests {
         });
         group.bench_function("batched", |b| {
             b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.bench_function("custom", |b| {
+            b.iter_custom(|iters| {
+                let start = std::time::Instant::now();
+                for _ in 0..iters {
+                    black_box(2u64 + 2);
+                }
+                start.elapsed()
+            })
         });
         group.finish();
     }

@@ -31,9 +31,11 @@ pub mod metrics;
 pub mod profile;
 pub mod span;
 
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{
+    CounterHandle, GaugeHandle, Histogram, HistogramHandle, MetricsRegistry,
+};
 pub use profile::{Stage, StageProfile};
-pub use span::{Span, SpanCollector, SpanKind};
+pub use span::{AttrValue, Span, SpanCollector, SpanKind};
 
 /// Renders `s` as a quoted JSON string with the required escapes.
 pub(crate) fn json_string(s: &str) -> String {

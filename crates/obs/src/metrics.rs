@@ -127,7 +127,27 @@ fn split_name(name: &str) -> (&str, Option<&str>) {
     }
 }
 
+/// A pre-resolved counter slot: one name lookup at registration time
+/// buys direct-indexed `inc`/`add` on the hot path (see
+/// [`MetricsRegistry::counter_handle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterHandle(usize);
+
+/// A pre-resolved gauge slot (see [`MetricsRegistry::gauge_handle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeHandle(usize);
+
+/// A pre-resolved histogram slot (see
+/// [`MetricsRegistry::histogram_handle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramHandle(usize);
+
 /// A registry of named counters, gauges, and histograms.
+///
+/// Values live in append-only slot vectors; a `BTreeMap` per type maps
+/// names to slots, so exports stay byte-deterministic (name order)
+/// while handle-based recording is a bare vector index. Handles remain
+/// valid for the registry's lifetime — slots are never removed.
 ///
 /// # Examples
 ///
@@ -142,12 +162,26 @@ fn split_name(name: &str) -> (&str, Option<&str>) {
 /// assert!(text.contains("# TYPE sim_wakeups_total counter"));
 /// assert!(text.contains("sim_wakeups_total{policy=\"SIMTY\"} 3"));
 /// ```
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MetricsRegistry {
-    counters: BTreeMap<String, u64>,
-    gauges: BTreeMap<String, f64>,
-    histograms: BTreeMap<String, Histogram>,
+    counter_slots: BTreeMap<String, usize>,
+    counter_vals: Vec<u64>,
+    gauge_slots: BTreeMap<String, usize>,
+    gauge_vals: Vec<f64>,
+    hist_slots: BTreeMap<String, usize>,
+    hist_vals: Vec<Histogram>,
     help: BTreeMap<String, String>,
+}
+
+/// Logical equality: same names mapped to the same values, regardless
+/// of the slot order registration happened to assign.
+impl PartialEq for MetricsRegistry {
+    fn eq(&self, other: &Self) -> bool {
+        self.help == other.help
+            && self.counters().eq(other.counters())
+            && self.gauges().eq(other.gauges())
+            && self.histograms().eq(other.histograms())
+    }
 }
 
 impl MetricsRegistry {
@@ -162,6 +196,69 @@ impl MetricsRegistry {
         self.help.insert(family.into(), help.into());
     }
 
+    fn counter_slot(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.counter_slots.get(name) {
+            return i;
+        }
+        let i = self.counter_vals.len();
+        self.counter_vals.push(0);
+        self.counter_slots.insert(name.to_owned(), i);
+        i
+    }
+
+    fn gauge_slot(&mut self, name: &str) -> usize {
+        if let Some(&i) = self.gauge_slots.get(name) {
+            return i;
+        }
+        let i = self.gauge_vals.len();
+        self.gauge_vals.push(0.0);
+        self.gauge_slots.insert(name.to_owned(), i);
+        i
+    }
+
+    /// Resolves (creating at zero if needed) a counter to a reusable
+    /// handle, hoisting the name lookup out of hot loops.
+    pub fn counter_handle(&mut self, name: &str) -> CounterHandle {
+        CounterHandle(self.counter_slot(name))
+    }
+
+    /// Resolves (creating if needed) a gauge to a reusable handle.
+    pub fn gauge_handle(&mut self, name: &str) -> GaugeHandle {
+        GaugeHandle(self.gauge_slot(name))
+    }
+
+    /// Resolves a histogram to a reusable handle, creating it with
+    /// [`DEFAULT_BOUNDS`] if it was never registered.
+    pub fn histogram_handle(&mut self, name: &str) -> HistogramHandle {
+        if let Some(&i) = self.hist_slots.get(name) {
+            return HistogramHandle(i);
+        }
+        let i = self.hist_vals.len();
+        self.hist_vals.push(Histogram::new(DEFAULT_BOUNDS.to_vec()));
+        self.hist_slots.insert(name.to_owned(), i);
+        HistogramHandle(i)
+    }
+
+    /// Increments a counter through its handle.
+    pub fn inc_counter(&mut self, h: CounterHandle) {
+        self.counter_vals[h.0] += 1;
+    }
+
+    /// Adds `delta` to a counter through its handle.
+    pub fn add_counter(&mut self, h: CounterHandle, delta: u64) {
+        self.counter_vals[h.0] += delta;
+    }
+
+    /// Sets a gauge through its handle.
+    pub fn set_gauge_value(&mut self, h: GaugeHandle, value: f64) {
+        self.gauge_vals[h.0] = value;
+    }
+
+    /// Records an observation through a histogram handle.
+    pub fn observe_value(&mut self, h: HistogramHandle, v: f64) {
+        self.hist_vals[h.0].observe(v);
+    }
+
     /// Increments a counter by one, creating it at zero first if needed.
     pub fn inc(&mut self, name: &str) {
         self.add(name, 1);
@@ -169,21 +266,20 @@ impl MetricsRegistry {
 
     /// Adds `delta` to a counter, creating it at zero first if needed.
     pub fn add(&mut self, name: &str, delta: u64) {
-        if let Some(v) = self.counters.get_mut(name) {
-            *v += delta;
-        } else {
-            self.counters.insert(name.to_owned(), delta);
-        }
+        let i = self.counter_slot(name);
+        self.counter_vals[i] += delta;
     }
 
     /// Overwrites a counter (checkpoint restore).
     pub fn set_counter(&mut self, name: &str, value: u64) {
-        self.counters.insert(name.to_owned(), value);
+        let i = self.counter_slot(name);
+        self.counter_vals[i] = value;
     }
 
     /// Sets a gauge to `value`.
     pub fn set_gauge(&mut self, name: &str, value: f64) {
-        self.gauges.insert(name.to_owned(), value);
+        let i = self.gauge_slot(name);
+        self.gauge_vals[i] = value;
     }
 
     /// Registers a histogram under `name` with the given bucket bounds.
@@ -193,54 +289,69 @@ impl MetricsRegistry {
     ///
     /// Panics if the bounds are invalid (see [`Histogram::new`]).
     pub fn register_histogram(&mut self, name: &str, bounds: Vec<f64>) {
-        if !self.histograms.contains_key(name) {
-            self.histograms.insert(name.to_owned(), Histogram::new(bounds));
+        if !self.hist_slots.contains_key(name) {
+            let i = self.hist_vals.len();
+            self.hist_vals.push(Histogram::new(bounds));
+            self.hist_slots.insert(name.to_owned(), i);
         }
     }
 
     /// Inserts (or replaces) a fully-built histogram (checkpoint
     /// restore).
     pub fn insert_histogram(&mut self, name: &str, histogram: Histogram) {
-        self.histograms.insert(name.to_owned(), histogram);
+        match self.hist_slots.get(name) {
+            Some(&i) => self.hist_vals[i] = histogram,
+            None => {
+                let i = self.hist_vals.len();
+                self.hist_vals.push(histogram);
+                self.hist_slots.insert(name.to_owned(), i);
+            }
+        }
     }
 
     /// Records an observation into the named histogram, creating it with
     /// [`DEFAULT_BOUNDS`] if it was never registered.
     pub fn observe(&mut self, name: &str, v: f64) {
-        self.histograms
-            .entry(name.to_owned())
-            .or_insert_with(|| Histogram::new(DEFAULT_BOUNDS.to_vec()))
-            .observe(v);
+        let h = self.histogram_handle(name);
+        self.hist_vals[h.0].observe(v);
     }
 
     /// A counter's value (zero if absent).
     pub fn counter(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        self.counter_slots
+            .get(name)
+            .map_or(0, |&i| self.counter_vals[i])
     }
 
     /// A gauge's value, if set.
     pub fn gauge(&self, name: &str) -> Option<f64> {
-        self.gauges.get(name).copied()
+        self.gauge_slots.get(name).map(|&i| self.gauge_vals[i])
     }
 
     /// A histogram, if registered.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        self.hist_slots.get(name).map(|&i| &self.hist_vals[i])
     }
 
     /// All counters in name order (checkpoint capture).
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+        self.counter_slots
+            .iter()
+            .map(|(k, &i)| (k.as_str(), self.counter_vals[i]))
     }
 
     /// All gauges in name order (checkpoint capture).
     pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
-        self.gauges.iter().map(|(k, &v)| (k.as_str(), v))
+        self.gauge_slots
+            .iter()
+            .map(|(k, &i)| (k.as_str(), self.gauge_vals[i]))
     }
 
     /// All histograms in name order (checkpoint capture).
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
-        self.histograms.iter().map(|(k, v)| (k.as_str(), v))
+        self.hist_slots
+            .iter()
+            .map(|(k, &i)| (k.as_str(), &self.hist_vals[i]))
     }
 
     /// Renders the registry in the Prometheus text exposition format:
@@ -250,15 +361,15 @@ impl MetricsRegistry {
     pub fn expose(&self) -> String {
         let mut out = String::new();
         let mut last_family = String::new();
-        for (name, value) in &self.counters {
+        for (name, value) in self.counters() {
             self.header(&mut out, name, "counter", &mut last_family);
             out.push_str(&format!("{name} {value}\n"));
         }
-        for (name, value) in &self.gauges {
+        for (name, value) in self.gauges() {
             self.header(&mut out, name, "gauge", &mut last_family);
-            out.push_str(&format!("{name} {}\n", expose_f64(*value)));
+            out.push_str(&format!("{name} {}\n", expose_f64(value)));
         }
-        for (name, h) in &self.histograms {
+        for (name, h) in self.histograms() {
             self.header(&mut out, name, "histogram", &mut last_family);
             let (family, labels) = split_name(name);
             let with = |le: &str| match labels {
@@ -296,21 +407,21 @@ impl MetricsRegistry {
     /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
-        for (i, (name, value)) in self.counters.iter().enumerate() {
+        for (i, (name, value)) in self.counters().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!("{}:{}", json_string(name), value));
         }
         out.push_str("},\"gauges\":{");
-        for (i, (name, value)) in self.gauges.iter().enumerate() {
+        for (i, (name, value)) in self.gauges().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("{}:{}", json_string(name), json_f64(*value)));
+            out.push_str(&format!("{}:{}", json_string(name), json_f64(value)));
         }
         out.push_str("},\"histograms\":{");
-        for (i, (name, h)) in self.histograms.iter().enumerate() {
+        for (i, (name, h)) in self.histograms().enumerate() {
             if i > 0 {
                 out.push(',');
             }

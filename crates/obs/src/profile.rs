@@ -16,18 +16,26 @@ pub enum Stage {
     /// Alignment-policy placement (search + selection) on registration
     /// and re-registration.
     Selection,
-    /// Discrete-event dispatch in the engine's main loop.
+    /// Discrete-event dispatch in the engine's main loop: popping,
+    /// disarming, and routing events. Reported as *self* time — the
+    /// nested stages below are subtracted, so the monolithic span the
+    /// profile started with (where dispatch swallowed delivery and
+    /// queue-search time and sat above 90% of the total) cannot recur.
     EventDispatch,
+    /// Delivering due queue entries: running tasks, attributing energy,
+    /// and recording the delivery trace.
+    Delivery,
     /// Checkpoint capture and serialization.
     CheckpointIo,
 }
 
 impl Stage {
     /// Every stage, in a fixed order.
-    pub const ALL: [Stage; 4] = [
+    pub const ALL: [Stage; 5] = [
         Stage::QueueSearch,
         Stage::Selection,
         Stage::EventDispatch,
+        Stage::Delivery,
         Stage::CheckpointIo,
     ];
 
@@ -37,6 +45,7 @@ impl Stage {
             Stage::QueueSearch => "queue_search",
             Stage::Selection => "selection",
             Stage::EventDispatch => "event_dispatch",
+            Stage::Delivery => "delivery",
             Stage::CheckpointIo => "checkpoint_io",
         }
     }
@@ -46,7 +55,8 @@ impl Stage {
             Stage::QueueSearch => 0,
             Stage::Selection => 1,
             Stage::EventDispatch => 2,
-            Stage::CheckpointIo => 3,
+            Stage::Delivery => 3,
+            Stage::CheckpointIo => 4,
         }
     }
 }
@@ -54,8 +64,8 @@ impl Stage {
 /// Accumulated wall-clock time and call counts per [`Stage`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StageProfile {
-    nanos: [u64; 4],
-    calls: [u64; 4],
+    nanos: [u64; 5],
+    calls: [u64; 5],
 }
 
 impl StageProfile {
@@ -66,9 +76,16 @@ impl StageProfile {
 
     /// Adds one timed call to a stage.
     pub fn add(&mut self, stage: Stage, elapsed: Duration) {
+        self.add_batch(stage, elapsed, 1);
+    }
+
+    /// Adds one timed section covering `calls` calls to a stage — the
+    /// batched event loop times a whole same-instant batch with a single
+    /// clock read while still counting every dispatched event.
+    pub fn add_batch(&mut self, stage: Stage, elapsed: Duration, calls: u64) {
         let i = stage.index();
         self.nanos[i] += u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
-        self.calls[i] += 1;
+        self.calls[i] += calls;
     }
 
     /// Folds another profile into this one (sweep aggregation).

@@ -8,7 +8,9 @@
 //! function of its inputs: byte-identical across host thread counts and
 //! across a checkpoint resume.
 
+use std::borrow::Cow;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use crate::json_string;
 
@@ -59,6 +61,77 @@ impl SpanKind {
     }
 }
 
+/// One span attribute value.
+///
+/// The typed variants exist for the engine's hot recording paths:
+/// numbers defer their formatting to export time, shared labels bump a
+/// refcount instead of copying, and fixed-vocabulary strings borrow
+/// statics. Every variant renders to exactly the string the plain
+/// `String` representation used to carry, and equality is defined over
+/// that rendering — a checkpoint restore (which parses everything back
+/// as [`Str`](AttrValue::Str)) compares equal to the live value it
+/// round-tripped.
+#[derive(Debug, Clone, Eq)]
+pub enum AttrValue {
+    /// An owned string (checkpoint restore, cold paths).
+    Str(String),
+    /// A static string from a fixed vocabulary.
+    Static(&'static str),
+    /// A label shared with the rest of the simulation.
+    Shared(Arc<str>),
+    /// An unsigned integer, formatted lazily at export.
+    U64(u64),
+}
+
+impl AttrValue {
+    /// The value's canonical string form — what the JSONL export and
+    /// the checkpoint wire format carry.
+    pub fn render(&self) -> Cow<'_, str> {
+        match self {
+            AttrValue::Str(s) => Cow::Borrowed(s),
+            AttrValue::Static(s) => Cow::Borrowed(s),
+            AttrValue::Shared(s) => Cow::Borrowed(s),
+            AttrValue::U64(v) => Cow::Owned(v.to_string()),
+        }
+    }
+}
+
+impl PartialEq for AttrValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.render() == other.render()
+    }
+}
+
+impl From<String> for AttrValue {
+    fn from(s: String) -> Self {
+        AttrValue::Str(s)
+    }
+}
+
+impl From<&'static str> for AttrValue {
+    fn from(s: &'static str) -> Self {
+        AttrValue::Static(s)
+    }
+}
+
+impl From<Arc<str>> for AttrValue {
+    fn from(s: Arc<str>) -> Self {
+        AttrValue::Shared(s)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::U64(v)
+    }
+}
+
+impl From<usize> for AttrValue {
+    fn from(v: usize) -> Self {
+        AttrValue::U64(v as u64)
+    }
+}
+
 /// One recorded span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Span {
@@ -72,8 +145,11 @@ pub struct Span {
     /// instantaneous events).
     pub end_ms: u64,
     /// Ordered key/value attributes (insertion order is preserved and
-    /// part of the deterministic export).
-    pub attrs: Vec<(String, String)>,
+    /// part of the deterministic export). Keys are `Cow` so the hot
+    /// recording paths borrow static names without allocating, while a
+    /// checkpoint restore can still carry owned keys; values are typed
+    /// (see [`AttrValue`]) for the same reason.
+    pub attrs: Vec<(Cow<'static, str>, AttrValue)>,
 }
 
 impl Span {
@@ -93,7 +169,7 @@ impl Span {
             }
             out.push_str(&json_string(k));
             out.push(':');
-            out.push_str(&json_string(v));
+            out.push_str(&json_string(&v.render()));
         }
         out.push_str("}}");
         out
@@ -114,7 +190,7 @@ impl Span {
 ///
 /// let mut spans = SpanCollector::new(128);
 /// spans.record(SpanKind::TaskRun, 60_000, 62_000, vec![
-///     ("app".to_owned(), "Facebook".to_owned()),
+///     ("app".into(), "Facebook".into()),
 /// ]);
 /// assert_eq!(spans.len(), 1);
 /// assert!(spans.to_jsonl().contains("\"kind\":\"task_run\""));
@@ -166,7 +242,7 @@ impl SpanCollector {
         kind: SpanKind,
         start_ms: u64,
         end_ms: u64,
-        attrs: Vec<(String, String)>,
+        attrs: Vec<(Cow<'static, str>, AttrValue)>,
     ) -> u64 {
         debug_assert!(start_ms <= end_ms, "span ends before it starts");
         let seq = self.next_seq;
@@ -232,6 +308,16 @@ impl SpanCollector {
 mod tests {
     use super::*;
 
+    #[test]
+    fn attr_values_compare_and_render_by_content() {
+        assert_eq!(AttrValue::from(5u64), AttrValue::Str("5".to_owned()));
+        assert_eq!(AttrValue::from("x"), AttrValue::Str("x".to_owned()));
+        let shared: Arc<str> = "app".into();
+        assert_eq!(AttrValue::from(shared), AttrValue::Static("app"));
+        assert_ne!(AttrValue::from(5u64), AttrValue::from(6u64));
+        assert_eq!(AttrValue::from(17usize).render(), "17");
+    }
+
     fn span_at(c: &mut SpanCollector, ms: u64) -> u64 {
         c.record(SpanKind::TaskRun, ms, ms + 10, Vec::new())
     }
@@ -272,7 +358,7 @@ mod tests {
             SpanKind::PolicyPlace,
             60_000,
             60_000,
-            vec![("app".to_owned(), "a\"b".to_owned())],
+            vec![("app".into(), "a\"b".to_string().into())],
         );
         span_at(&mut c, 70_000);
         let jsonl = c.to_jsonl();

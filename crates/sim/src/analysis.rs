@@ -118,7 +118,7 @@ pub fn per_app_stats(trace: &Trace) -> Vec<AppStats> {
     }
     let mut accs: BTreeMap<String, Acc> = BTreeMap::new();
     for d in trace.deliveries() {
-        let acc = accs.entry(d.label.clone()).or_default();
+        let acc = accs.entry(d.label.to_string()).or_default();
         acc.deliveries += 1;
         acc.times.push(d.delivered_at);
         if let Some(nd) = d.normalized_delay() {

@@ -23,6 +23,7 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 use simty_core::hardware::HardwareSet;
 use simty_core::time::{SimDuration, SimTime};
@@ -31,7 +32,7 @@ use simty_device::power::PowerModel;
 /// A task currently holding the device awake.
 #[derive(Debug, Clone)]
 pub(crate) struct ActiveTask {
-    pub(crate) app: String,
+    pub(crate) app: Arc<str>,
     pub(crate) hardware: HardwareSet,
     pub(crate) until: SimTime,
 }
@@ -97,7 +98,7 @@ impl AttributionLedger {
     /// alarms delivered together (they share any pending transition).
     pub fn start_task(
         &mut self,
-        app: &str,
+        app: &Arc<str>,
         hardware: HardwareSet,
         until: SimTime,
         newly_activated: HardwareSet,
@@ -118,9 +119,9 @@ impl AttributionLedger {
                 self.pending_transition_mj = 0.0;
             }
         }
-        *self.per_app.entry(app.to_owned()).or_insert(0.0) += charge;
+        bump(&mut self.per_app, app, charge);
         self.active.push(ActiveTask {
-            app: app.to_owned(),
+            app: Arc::clone(app),
             hardware,
             until,
         });
@@ -155,7 +156,7 @@ impl AttributionLedger {
     /// `now` on. Also counts one watchdog intervention against the app.
     pub fn drop_app_tasks(&mut self, app: &str, now: SimTime) {
         self.advance_to(now, self.awake);
-        self.active.retain(|t| t.app != app);
+        self.active.retain(|t| *t.app != *app);
         *self.interventions.entry(app.to_owned()).or_insert(0) += 1;
     }
 
@@ -177,37 +178,52 @@ impl AttributionLedger {
 
     fn accrue_awake_segment(&mut self, dt: SimDuration) {
         let secs = dt.as_secs_f64();
-        let running: Vec<usize> = (0..self.active.len())
-            .filter(|i| self.active[*i].until > self.last)
-            .collect();
+        // This runs once per event-loop batch, so it must not allocate:
+        // tasks are scanned by index (two passes: count, then charge)
+        // and apps are charged through `bump`, which only allocates the
+        // first time an app appears in the ledger.
+        let last = self.last;
+        let running = |t: &ActiveTask| t.until > last;
+        let n_running = self.active.iter().filter(|t| running(t)).count();
         // Base power: split equally among running tasks, or overhead.
         let base = self.model.awake_base_power_mw * secs;
-        if running.is_empty() {
+        if n_running == 0 {
             self.overhead_mj += base;
         } else {
-            let share = base / running.len() as f64;
-            for i in &running {
-                let app = self.active[*i].app.clone();
-                *self.per_app.entry(app).or_insert(0.0) += share;
+            let share = base / n_running as f64;
+            for i in 0..self.active.len() {
+                if running(&self.active[i]) {
+                    let app = Arc::clone(&self.active[i].app);
+                    bump(&mut self.per_app, &app, share);
+                }
             }
         }
         // Component power: split among the tasks holding each component.
         for c in simty_core::hardware::HardwareComponent::ALL {
-            let holders: Vec<usize> = running
-                .iter()
-                .copied()
-                .filter(|i| self.active[*i].hardware.contains(c))
-                .collect();
-            if holders.is_empty() {
+            let holds = |t: &ActiveTask| running(t) && t.hardware.contains(c);
+            let n_holders = self.active.iter().filter(|t| holds(t)).count();
+            if n_holders == 0 {
                 continue;
             }
             let energy = self.model.component(c).active_power_mw * secs;
-            let share = energy / holders.len() as f64;
-            for i in holders {
-                let app = self.active[i].app.clone();
-                *self.per_app.entry(app).or_insert(0.0) += share;
+            let share = energy / n_holders as f64;
+            for i in 0..self.active.len() {
+                if holds(&self.active[i]) {
+                    let app = Arc::clone(&self.active[i].app);
+                    bump(&mut self.per_app, &app, share);
+                }
             }
         }
+    }
+}
+
+/// Adds `amt` to `app`'s total, copying the key only on first sight —
+/// the steady-state charge path performs no allocation.
+fn bump(per_app: &mut BTreeMap<String, f64>, app: &str, amt: f64) {
+    if let Some(v) = per_app.get_mut(app) {
+        *v += amt;
+    } else {
+        per_app.insert(app.to_owned(), amt);
     }
 }
 
@@ -239,7 +255,7 @@ mod tests {
         l.note_wake_transition();
         l.advance_to(SimTime::from_millis(10_250), true);
         l.start_task(
-            "app",
+            &"app".into(),
             HardwareComponent::Wifi.into(),
             SimTime::from_millis(13_250),
             HardwareComponent::Wifi.into(),
@@ -264,14 +280,14 @@ mod tests {
         let mut l = ledger();
         l.advance_to(SimTime::from_secs(0), true);
         l.start_task(
-            "a",
+            &"a".into(),
             HardwareComponent::Wifi.into(),
             SimTime::from_secs(2),
             HardwareComponent::Wifi.into(),
             2,
         );
         l.start_task(
-            "b",
+            &"b".into(),
             HardwareComponent::Wifi.into(),
             SimTime::from_secs(2),
             HardwareSet::empty(),
@@ -291,8 +307,8 @@ mod tests {
         let mut l = ledger();
         l.note_wake_transition();
         l.advance_to(SimTime::from_secs(1), true);
-        l.start_task("a", HardwareSet::empty(), SimTime::from_secs(1), HardwareSet::empty(), 2);
-        l.start_task("b", HardwareSet::empty(), SimTime::from_secs(1), HardwareSet::empty(), 2);
+        l.start_task(&"a".into(), HardwareSet::empty(), SimTime::from_secs(1), HardwareSet::empty(), 2);
+        l.start_task(&"b".into(), HardwareSet::empty(), SimTime::from_secs(1), HardwareSet::empty(), 2);
         assert!((l.per_app_mj()["a"] - 50.0).abs() < 1e-9);
         assert!((l.per_app_mj()["b"] - 50.0).abs() < 1e-9);
         assert_eq!(l.overhead_mj(), 0.0);
@@ -312,8 +328,8 @@ mod tests {
     fn drop_app_tasks_spares_the_bystander() {
         let mut l = ledger();
         l.advance_to(SimTime::from_secs(0), true);
-        l.start_task("offender", HardwareSet::empty(), SimTime::from_secs(100), HardwareSet::empty(), 1);
-        l.start_task("bystander", HardwareSet::empty(), SimTime::from_secs(4), HardwareSet::empty(), 1);
+        l.start_task(&"offender".into(), HardwareSet::empty(), SimTime::from_secs(100), HardwareSet::empty(), 1);
+        l.start_task(&"bystander".into(), HardwareSet::empty(), SimTime::from_secs(4), HardwareSet::empty(), 1);
         l.advance_to(SimTime::from_secs(2), true);
         l.drop_app_tasks("offender", SimTime::from_secs(2));
         l.advance_to(SimTime::from_secs(4), false);
@@ -331,10 +347,10 @@ mod tests {
     fn ranking_is_descending() {
         let mut l = ledger();
         l.advance_to(SimTime::from_secs(0), true);
-        l.start_task("small", HardwareSet::empty(), SimTime::from_secs(1), HardwareSet::empty(), 1);
+        l.start_task(&"small".into(), HardwareSet::empty(), SimTime::from_secs(1), HardwareSet::empty(), 1);
         l.advance_to(SimTime::from_secs(1), true);
         l.start_task(
-            "big",
+            &"big".into(),
             HardwareComponent::Wps.into(),
             SimTime::from_secs(9),
             HardwareComponent::Wps.into(),

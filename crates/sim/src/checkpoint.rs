@@ -30,7 +30,7 @@
 //! [`CheckpointStore`] falls back to the newest older snapshot that
 //! still validates.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::BTreeMap;
 use std::fmt::{self, Write as _};
 use std::fs;
 use std::io::{self, Write as _};
@@ -662,6 +662,11 @@ pub(crate) fn capture(sim: &Simulation) -> Checkpoint {
             .map_or_else(|| "none".to_owned(), |d| d.as_millis().to_string())
     );
     w!(body, "audit_capacity={}", sim.config.audit_capacity);
+    // Written only when observability is off: instrumented captures keep
+    // the original byte layout, and restore treats absence as "on".
+    if !sim.config.obs {
+        w!(body, "obs=0");
+    }
     w!(body, "external_wakes={}", sim.config.external_wakes.len());
     for t in &sim.config.external_wakes {
         w!(body, "xw={}", t.as_millis());
@@ -1063,7 +1068,7 @@ pub(crate) fn capture(sim: &Simulation) -> Checkpoint {
             line.push(',');
             line.push_str(&esc(k));
             line.push(',');
-            line.push_str(&esc(v));
+            line.push_str(&esc(&v.render()));
         }
         w!(body, "{line}");
     }
@@ -1171,6 +1176,20 @@ impl<'a> Parser<'a> {
             line: self.line_no,
             message: message.into(),
         }
+    }
+
+    /// Consumes the next line only if it is `key=...`, returning its
+    /// value; leaves the parser untouched otherwise. For keys newer
+    /// captures may write that older bodies lack.
+    fn opt_kv(&mut self, key: &str) -> Option<&'a str> {
+        let mut look = self.lines.clone();
+        let (k, v) = look.next()?.split_once('=')?;
+        if k != key {
+            return None;
+        }
+        self.lines = look;
+        self.line_no += 1;
+        Some(v)
     }
 
     fn kv(&mut self, key: &str) -> Result<&'a str, CheckpointError> {
@@ -1286,7 +1305,7 @@ impl<'a> Parser<'a> {
         let kind = self.kind_of(f[6])?;
         Ok(Alarm::restore(
             AlarmId::from_raw(self.u64_of(f[0])?),
-            unesc(f[1]),
+            unesc(f[1]).into(),
             self.time(f[2])?,
             self.dur(f[3])?,
             self.dur(f[4])?,
@@ -1585,6 +1604,8 @@ pub(crate) fn restore(
         let v = p.kv("audit_capacity")?;
         p.usize_of(v)?
     };
+    // Optional: only no-obs captures carry it (absence means "on").
+    let obs_enabled = p.opt_kv("obs").is_none_or(|v| v != "0");
     let n = p.count("external_wakes")?;
     let mut external_wakes = Vec::with_capacity(n);
     for _ in 0..n {
@@ -1677,6 +1698,7 @@ pub(crate) fn restore(
         audit_capacity,
         admission: admission_cfg,
         degradation: degradation_cfg,
+        obs: obs_enabled,
     };
 
     // Alarm manager.
@@ -1686,7 +1708,7 @@ pub(crate) fn restore(
     let non_wakeup = p.queue("non_wakeup_entries")?;
     let mut manager = AlarmManager::restore(policy, wakeup, non_wakeup, mgr_clock);
     manager.restore_grace_stretch(mgr_stretch);
-    manager.set_audit_enabled(true);
+    manager.set_audit_enabled(obs_enabled);
 
     // Device.
     let state = {
@@ -1787,7 +1809,8 @@ pub(crate) fn restore(
     }
     let events = EventQueue::restore(events, next_seq);
     let n = p.count("armed")?;
-    let mut armed = HashSet::with_capacity(n);
+    let mut armed = crate::engine::ArmedSet::default();
+    armed.reserve(n);
     for _ in 0..n {
         let v = p.kv("arm")?;
         let f = p.fields(v, 2)?;
@@ -1806,7 +1829,7 @@ pub(crate) fn restore(
         let repeat_ms = p.u64_of(f[6])?;
         trace.record_delivery(DeliveryRecord {
             alarm_id: AlarmId::from_raw(p.u64_of(f[0])?),
-            label: unesc(f[1]),
+            label: unesc(f[1]).into(),
             nominal: p.time(f[2])?,
             window_end: p.time(f[3])?,
             grace_end: p.time(f[4])?,
@@ -1851,7 +1874,7 @@ pub(crate) fn restore(
         let v = p.kv("la")?;
         let f = p.fields(v, 3)?;
         active.push(ActiveTask {
-            app: unesc(f[0]),
+            app: unesc(f[0]).into(),
             hardware: p.hardware_of(f[1])?,
             until: p.time(f[2])?,
         });
@@ -1970,7 +1993,7 @@ pub(crate) fn restore(
             started: p.time(f[0])?,
             until: p.time(f[1])?,
             hardware: p.hardware_of(f[2])?,
-            app: unesc(f[3]),
+            app: unesc(f[3]).into(),
         });
     }
     let n = p.count("offenses")?;
@@ -1998,7 +2021,7 @@ pub(crate) fn restore(
             done: p.bool_of(f[2])?,
             overhead_mj: p.f64_of(f[3])?,
             hardware: p.hardware_of(f[4])?,
-            app: unesc(f[5]),
+            app: unesc(f[5]).into(),
         });
     }
     let n = p.count("stash_apps")?;
@@ -2117,7 +2140,12 @@ pub(crate) fn restore(
     // Observability layer: re-register the families (help text, zeroed
     // counters, histogram bounds), then overwrite with the captured
     // state — the union is byte-identical to the straight-through run.
-    let mut obs = ObsLayer::new(&checkpoint.policy, config.audit_capacity);
+    // A no-obs capture recorded an empty layer; rebuild it empty too.
+    let mut obs = if config.obs {
+        ObsLayer::new(&checkpoint.policy, config.audit_capacity)
+    } else {
+        ObsLayer::disabled(&checkpoint.policy, config.audit_capacity)
+    };
     let obs_next_seq = p.kv_u64("obs_next_seq")?;
     let obs_span_dropped = p.kv_u64("obs_span_dropped")?;
     let n = p.count("obs_spans")?;
@@ -2140,7 +2168,10 @@ pub(crate) fn restore(
             .ok_or_else(|| p.err(format!("invalid span kind `{}`", parts[1])))?;
         let mut attrs = Vec::with_capacity(nattrs);
         for i in 0..nattrs {
-            attrs.push((unesc(parts[5 + 2 * i]), unesc(parts[6 + 2 * i])));
+            attrs.push((
+                unesc(parts[5 + 2 * i]).into(),
+                unesc(parts[6 + 2 * i]).into(),
+            ));
         }
         spans.push(Span {
             seq: p.u64_of(parts[0])?,
@@ -2248,7 +2279,7 @@ pub(crate) fn restore(
         obs.audits.push_back(PlacementAudit {
             at: p.time(f[0])?,
             alarm_id: AlarmId::from_raw(p.u64_of(f[1])?),
-            app: unesc(f[5]),
+            app: unesc(f[5]).into(),
             nominal: p.time(f[2])?,
             perceptible: p.bool_of(f[3])?,
             placement,

@@ -63,6 +63,13 @@ pub struct SimConfig {
     /// The battery-aware degradation governor; `None` keeps the run at
     /// full fidelity regardless of the modeled state of charge.
     pub degradation: Option<GovernorConfig>,
+    /// Whether the observability layer (spans, metrics, placement
+    /// audits) and the wall-clock stage profile record anything. On by
+    /// default; switch off with [`without_obs`](SimConfig::without_obs)
+    /// for uninstrumented campaign runs — traces and reports stay
+    /// byte-identical, only the `metrics` block of the report JSON
+    /// renders as `null`.
+    pub obs: bool,
 }
 
 impl Default for SimConfig {
@@ -78,6 +85,7 @@ impl Default for SimConfig {
             audit_capacity: crate::obs::DEFAULT_AUDIT_CAPACITY,
             admission: None,
             degradation: None,
+            obs: true,
         }
     }
 }
@@ -168,6 +176,16 @@ impl SimConfig {
     /// ledger (see [`AdmissionConfig`]).
     pub fn with_admission(mut self, admission: AdmissionConfig) -> Self {
         self.admission = Some(admission);
+        self
+    }
+
+    /// Switches the observability layer and the stage profile off: the
+    /// engine's no-obs fast path skips every span, metric, audit, and
+    /// wall-clock probe. The deterministic outputs (trace, report,
+    /// checkpoints) are unaffected except that the report's `metrics`
+    /// JSON block renders as `null`.
+    pub fn without_obs(mut self) -> Self {
+        self.obs = false;
         self
     }
 

@@ -31,7 +31,7 @@ fn side_stats(trace: &Trace) -> BTreeMap<String, SideStats> {
     }
     let mut accs: BTreeMap<String, Acc> = BTreeMap::new();
     for d in trace.deliveries() {
-        let a = accs.entry(d.label.clone()).or_default();
+        let a = accs.entry(d.label.to_string()).or_default();
         a.n += 1;
         a.batch_sum += d.entry_size as u64;
         if let Some(nd) = d.normalized_delay() {

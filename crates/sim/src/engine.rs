@@ -17,6 +17,8 @@
 //! the power button) can be injected.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 use std::time::Instant;
 
 use simty_core::admission::{AdmissionController, AdmissionDecision, AppClass};
@@ -44,13 +46,44 @@ use crate::overload::{RegistrationStormPlan, StormBurst};
 use crate::trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
 use crate::watchdog::OnlineWatchdogConfig;
 
+/// A tiny multiplicative hasher for the `(tag, millisecond)` armed-event
+/// dedup keys: the default SipHash dominates the per-event cost of this
+/// set, and HashDoS resistance buys nothing against simulator-generated
+/// keys. Iteration order is never observed (checkpoint capture sorts).
+#[derive(Default)]
+pub(crate) struct ArmedKeyHasher(u64);
+
+impl Hasher for ArmedKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u8(&mut self, v: u8) {
+        self.0 = (self.0 ^ u64::from(v)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.0 = (self.0 ^ v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 ^= self.0 >> 32;
+    }
+}
+
+/// The armed-event dedup set (see [`ArmedKeyHasher`]).
+pub(crate) type ArmedSet = HashSet<(u8, u64), BuildHasherDefault<ArmedKeyHasher>>;
+
 /// One outstanding task hold: who is keeping which hardware until when.
 /// The engine tracks these so the online watchdog (and the targeted
 /// [`Simulation::force_release_app`]) can cut a single offender loose
 /// while every bystander keeps its locks.
 #[derive(Debug, Clone)]
 pub(crate) struct TaskHold {
-    pub(crate) app: String,
+    pub(crate) app: Arc<str>,
     pub(crate) hardware: HardwareSet,
     pub(crate) started: SimTime,
     pub(crate) until: SimTime,
@@ -59,7 +92,7 @@ pub(crate) struct TaskHold {
 /// A pending hardware-activation retry after a transient failure.
 #[derive(Debug, Clone)]
 pub(crate) struct RetrySlot {
-    pub(crate) app: String,
+    pub(crate) app: Arc<str>,
     pub(crate) hardware: HardwareSet,
     pub(crate) until: SimTime,
     pub(crate) attempt: u32,
@@ -103,7 +136,7 @@ pub struct Simulation {
     pub(crate) ledger: AttributionLedger,
     pub(crate) config: SimConfig,
     pub(crate) now: SimTime,
-    pub(crate) armed: HashSet<(u8, u64)>,
+    pub(crate) armed: ArmedSet,
     pub(crate) due_buffer: Vec<QueueEntry>,
     pub(crate) faults: Option<FaultState>,
     pub(crate) monitor: Option<InvariantMonitor>,
@@ -152,9 +185,14 @@ impl Simulation {
         let watchdog = config.online_watchdog;
         let admission = config.admission.map(AdmissionController::new);
         let governor = config.degradation.map(DegradationGovernor::new);
-        let obs = ObsLayer::new(policy.name(), config.audit_capacity);
+        let obs = if config.obs {
+            ObsLayer::new(policy.name(), config.audit_capacity)
+        } else {
+            ObsLayer::disabled(policy.name(), config.audit_capacity)
+        };
+        let audit_enabled = config.obs;
         let mut manager = AlarmManager::new(policy);
-        manager.set_audit_enabled(true);
+        manager.set_audit_enabled(audit_enabled);
         let mut sim = Simulation {
             manager,
             device: Device::new(config.power.clone()),
@@ -163,7 +201,7 @@ impl Simulation {
             ledger: AttributionLedger::new(config.power.clone()),
             config,
             now: SimTime::ZERO,
-            armed: HashSet::new(),
+            armed: ArmedSet::default(),
             due_buffer: Vec::new(),
             faults: None,
             monitor,
@@ -270,7 +308,9 @@ impl Simulation {
                 && !alarm.is_perceptible()
             {
                 self.overload.shed += 1;
-                self.obs.metrics.inc("sim_registrations_shed_total");
+                if self.obs.on() {
+                    self.obs.metrics.inc("sim_registrations_shed_total");
+                }
                 return Err(RegisterAlarmError::RegistrationShed { id: alarm.id() });
             }
         }
@@ -282,14 +322,20 @@ impl Simulation {
             };
             let t = self.now;
             let outcome = ctl.decide(alarm.label(), class, t);
-            let verdict = match outcome.decision {
-                AdmissionDecision::Admit => "admit",
-                AdmissionDecision::Defer { .. } => "defer",
-                AdmissionDecision::Reject { .. } => "reject",
-            };
-            self.obs
-                .metrics
-                .inc(&format!("sim_admission_decisions_total{{decision=\"{verdict}\"}}"));
+            if self.obs.on() {
+                let key = match outcome.decision {
+                    AdmissionDecision::Admit => {
+                        "sim_admission_decisions_total{decision=\"admit\"}"
+                    }
+                    AdmissionDecision::Defer { .. } => {
+                        "sim_admission_decisions_total{decision=\"defer\"}"
+                    }
+                    AdmissionDecision::Reject { .. } => {
+                        "sim_admission_decisions_total{decision=\"reject\"}"
+                    }
+                };
+                self.obs.metrics.inc(key);
+            }
             if outcome.newly_demoted {
                 // A storm offender crossed the demotion threshold: it
                 // joins the same quarantine ledger the watchdog uses, so
@@ -298,23 +344,25 @@ impl Simulation {
                 self.overload.demotions += 1;
                 let app = alarm.label().to_owned();
                 self.manager.set_app_quarantined(&app, true);
-                self.quarantined.insert(app.clone(), (t, 0));
-                self.obs.metrics.inc("sim_admission_demotions_total");
-                self.obs
-                    .metrics
-                    .set_gauge("sim_quarantined_apps", self.quarantined.len() as f64);
-                self.obs.spans.record(
-                    SpanKind::WatchdogIntervention,
-                    t.as_millis(),
-                    t.as_millis(),
-                    vec![
-                        ("app".to_owned(), app.clone()),
-                        ("kind".to_owned(), "admission_demotion".to_owned()),
-                    ],
-                );
+                self.quarantined.insert(app.to_string(), (t, 0));
+                if self.obs.on() {
+                    self.obs.metrics.inc("sim_admission_demotions_total");
+                    self.obs
+                        .metrics
+                        .set_gauge("sim_quarantined_apps", self.quarantined.len() as f64);
+                    self.obs.spans.record(
+                        SpanKind::WatchdogIntervention,
+                        t.as_millis(),
+                        t.as_millis(),
+                        vec![
+                            ("app".into(), app.to_string().into()),
+                            ("kind".into(), "admission_demotion".into()),
+                        ],
+                    );
+                }
                 self.trace.record_intervention(InterventionRecord {
                     at: t,
-                    app,
+                    app: app.to_string(),
                     kind: InterventionKind::Quarantine,
                     overhead_mj: 0.0,
                 });
@@ -337,9 +385,14 @@ impl Simulation {
                 }
             }
         }
-        let t0 = Instant::now();
-        let id = self.manager.register(alarm)?;
-        self.stages.add(Stage::Selection, t0.elapsed());
+        let id = if self.obs.on() {
+            let t0 = Instant::now();
+            let id = self.manager.register(alarm)?;
+            self.stages.add(Stage::Selection, t0.elapsed());
+            id
+        } else {
+            self.manager.register(alarm)?
+        };
         self.arm_clocks();
         self.drain_audits();
         Ok(id)
@@ -492,7 +545,7 @@ impl Simulation {
         let held = self
             .holds
             .iter()
-            .filter(|h| h.app == app && h.until > now)
+            .filter(|h| *h.app == *app && h.until > now)
             .map(|h| now - h.started)
             .max();
         match held {
@@ -517,23 +570,10 @@ impl Simulation {
     pub fn run_until(&mut self, end: SimTime) {
         let end = end.min(SimTime::ZERO + self.config.duration);
         self.arm_clocks();
-        while let Some(t) = self.events.next_time() {
-            if t > end {
-                break;
-            }
-            let event = self.events.pop().expect("peeked event exists");
-            self.disarm(&event.kind, event.time);
-            self.now = self.now.max(event.time);
-            // Close the attribution segment up to this event under the
-            // state that held during it, then process and re-sync.
-            self.ledger
-                .advance_to(self.now, !self.device.is_asleep());
-            let t0 = Instant::now();
-            self.handle(event.kind, event.time);
-            self.stages.add(Stage::EventDispatch, t0.elapsed());
-            self.drain_audits();
-            self.ledger
-                .advance_to(self.now, !self.device.is_asleep());
+        if self.obs.on() {
+            self.run_loop::<true>(end);
+        } else {
+            self.run_loop::<false>(end);
         }
         self.now = self.now.max(end);
         self.device.advance_to(self.now);
@@ -557,6 +597,65 @@ impl Simulation {
                 }
             }
         }
+    }
+
+    /// The batched event loop, monomorphized over whether the
+    /// observability layer is on so the uninstrumented path compiles with
+    /// no clock reads at all. Same-instant events are delivered as one
+    /// batch: the clock and attribution ledger advance once per distinct
+    /// timestamp instead of once per event. The intermediate per-event
+    /// `ledger.advance_to` calls of the old loop were zero-elapsed at a
+    /// shared timestamp (they only refreshed the awake flag, which the
+    /// final same-instant call re-syncs identically), so the trace and
+    /// ledger stay byte-identical. Audits still drain per event — span
+    /// order is part of the deterministic obs stream.
+    ///
+    /// `EventDispatch` is recorded as *self* time: handlers time their
+    /// own stages (queue search, delivery, checkpoint I/O), and whatever
+    /// they accumulated while this batch's clock was running is
+    /// subtracted from the batch's elapsed time. The seed profile timed
+    /// the whole batch as dispatch, which made `event_dispatch` a
+    /// monolith covering >90% of stage time and hid where the loop
+    /// actually spent it.
+    fn run_loop<const OBS: bool>(&mut self, end: SimTime) {
+        while let Some(t) = self.events.next_due(end) {
+            self.now = self.now.max(t);
+            // Close the attribution segment up to this instant under the
+            // state that held during it, then process the whole batch and
+            // re-sync.
+            self.ledger.advance_to(self.now, !self.device.is_asleep());
+            let t0 = if OBS { Some(Instant::now()) } else { None };
+            let nested0 = if OBS { self.nested_stage_nanos() } else { 0 };
+            let mut dispatched = 0u64;
+            while let Some(event) = self.events.pop_at(t) {
+                self.disarm(&event.kind, event.time);
+                self.handle(event.kind, event.time);
+                if OBS {
+                    self.drain_audits();
+                }
+                dispatched += 1;
+            }
+            if let Some(t0) = t0 {
+                let nested = self.nested_stage_nanos() - nested0;
+                let self_ns = (t0.elapsed().as_nanos() as u64).saturating_sub(nested);
+                self.stages.add_batch(
+                    Stage::EventDispatch,
+                    std::time::Duration::from_nanos(self_ns),
+                    dispatched,
+                );
+            }
+            self.ledger.advance_to(self.now, !self.device.is_asleep());
+        }
+    }
+
+    /// Nanoseconds accumulated so far by the stages that run *inside* a
+    /// dispatch batch; the batch subtracts their growth to report
+    /// dispatch self time.
+    fn nested_stage_nanos(&self) -> u64 {
+        self.stages.nanos(Stage::QueueSearch)
+            + self.stages.nanos(Stage::Selection)
+            + self.stages.nanos(Stage::Delivery)
+            + self.stages.nanos(Stage::CheckpointIo)
     }
 
     /// The report over the time span processed so far.
@@ -594,7 +693,11 @@ impl Simulation {
             report.overload.final_tier = g.tier().name().to_owned();
         }
         report.overload.grace_stretch_milli = self.manager.grace_stretch();
-        report.metrics_json = self.obs.metrics_json();
+        report.metrics_json = if self.obs.on() {
+            self.obs.metrics_json()
+        } else {
+            String::new()
+        };
         Ok(report)
     }
 
@@ -740,7 +843,7 @@ impl Simulation {
                 }
                 self.trace.record_intervention(InterventionRecord {
                     at: t,
-                    app,
+                    app: app.to_string(),
                     kind: InterventionKind::AppRestart { reregistered },
                     overhead_mj: 0.0,
                 });
@@ -765,17 +868,22 @@ impl Simulation {
                 // Count and span the capture *before* capturing, so the
                 // snapshot itself carries them: a resumed run and the
                 // straight-through run then agree byte-for-byte.
-                self.obs.metrics.inc("sim_checkpoints_total");
-                self.obs.spans.record(
-                    SpanKind::CheckpointWrite,
-                    t.as_millis(),
-                    t.as_millis(),
-                    Vec::new(),
-                );
-                let t0 = Instant::now();
-                let snapshot = crate::checkpoint::capture(self);
-                self.stages.add(Stage::CheckpointIo, t0.elapsed());
-                self.checkpoints.push(snapshot);
+                if self.obs.on() {
+                    self.obs.metrics.inc("sim_checkpoints_total");
+                    self.obs.spans.record(
+                        SpanKind::CheckpointWrite,
+                        t.as_millis(),
+                        t.as_millis(),
+                        Vec::new(),
+                    );
+                    let t0 = Instant::now();
+                    let snapshot = crate::checkpoint::capture(self);
+                    self.stages.add(Stage::CheckpointIo, t0.elapsed());
+                    self.checkpoints.push(snapshot);
+                } else {
+                    let snapshot = crate::checkpoint::capture(self);
+                    self.checkpoints.push(snapshot);
+                }
             }
             EventKind::GovernorTick => {
                 self.governor_tick(t);
@@ -806,28 +914,32 @@ impl Simulation {
         let soc = g.soc_milli(spent);
         let from = g.tier();
         let target = g.target_tier(soc);
-        self.obs
-            .metrics
-            .set_gauge("sim_battery_soc_milli", f64::from(soc));
+        if self.obs.on() {
+            self.obs
+                .metrics
+                .set_gauge("sim_battery_soc_milli", f64::from(soc));
+        }
         if target == from {
             return;
         }
         g.transition(target, t);
         self.overload.tier_changes += 1;
         let restamped = self.manager.set_grace_stretch(cfg.stretch_for(target));
-        self.obs.metrics.inc("sim_degradation_transitions_total");
-        self.obs.metrics.set_gauge("sim_degradation_tier", target.gauge());
-        self.obs.spans.record(
-            SpanKind::DegradationTransition,
-            t.as_millis(),
-            t.as_millis(),
-            vec![
-                ("from".to_owned(), from.name().to_owned()),
-                ("to".to_owned(), target.name().to_owned()),
-                ("soc_milli".to_owned(), soc.to_string()),
-                ("restamped".to_owned(), restamped.to_string()),
-            ],
-        );
+        if self.obs.on() {
+            self.obs.metrics.inc("sim_degradation_transitions_total");
+            self.obs.metrics.set_gauge("sim_degradation_tier", target.gauge());
+            self.obs.spans.record(
+                SpanKind::DegradationTransition,
+                t.as_millis(),
+                t.as_millis(),
+                vec![
+                    ("from".into(), from.name().to_owned().into()),
+                    ("to".into(), target.name().to_owned().into()),
+                    ("soc_milli".into(), soc.to_string().into()),
+                    ("restamped".into(), restamped.to_string().into()),
+                ],
+            );
+        }
         // Restamping re-placed every queued imperceptible alarm; the
         // wakeup head may have moved either direction.
         self.drain_audits();
@@ -843,7 +955,9 @@ impl Simulation {
             return;
         };
         self.overload.storm_registrations += 1;
-        self.obs.metrics.inc("sim_storm_registrations_total");
+        if self.obs.on() {
+            self.obs.metrics.inc("sim_storm_registrations_total");
+        }
         let _ = self.register(b.build_alarm(t));
     }
 
@@ -940,7 +1054,7 @@ impl Simulation {
     fn watchdog_check(&mut self, t: SimTime) {
         let Some(cfg) = self.watchdog else { return };
         self.holds.retain(|h| h.until > t);
-        let mut offenders: BTreeSet<String> = BTreeSet::new();
+        let mut offenders: BTreeSet<Arc<str>> = BTreeSet::new();
         for h in &self.holds {
             if t >= h.started + cfg.policy.max_task_hold {
                 offenders.insert(h.app.clone());
@@ -955,27 +1069,29 @@ impl Simulation {
                 .max()
                 .unwrap_or(SimDuration::ZERO);
             self.force_release_app_inner(&app, t, held);
-            let offenses = self.offenses.entry(app.clone()).or_insert(0);
+            let offenses = self.offenses.entry(app.to_string()).or_insert(0);
             *offenses += 1;
-            if *offenses >= cfg.quarantine_after && !self.quarantined.contains_key(&app) {
+            if *offenses >= cfg.quarantine_after && !self.quarantined.contains_key(&*app) {
                 self.manager.set_app_quarantined(&app, true);
-                self.quarantined.insert(app.clone(), (t, 0));
-                self.obs.metrics.inc("sim_watchdog_quarantines_total");
-                self.obs
-                    .metrics
-                    .set_gauge("sim_quarantined_apps", self.quarantined.len() as f64);
-                self.obs.spans.record(
-                    SpanKind::WatchdogIntervention,
-                    t.as_millis(),
-                    t.as_millis(),
-                    vec![
-                        ("app".to_owned(), app.clone()),
-                        ("kind".to_owned(), "quarantine".to_owned()),
-                    ],
-                );
+                self.quarantined.insert(app.to_string(), (t, 0));
+                if self.obs.on() {
+                    self.obs.metrics.inc("sim_watchdog_quarantines_total");
+                    self.obs
+                        .metrics
+                        .set_gauge("sim_quarantined_apps", self.quarantined.len() as f64);
+                    self.obs.spans.record(
+                        SpanKind::WatchdogIntervention,
+                        t.as_millis(),
+                        t.as_millis(),
+                        vec![
+                            ("app".into(), app.to_string().into()),
+                            ("kind".into(), "quarantine".into()),
+                        ],
+                    );
+                }
                 self.trace.record_intervention(InterventionRecord {
                     at: t,
-                    app,
+                    app: app.to_string(),
                     kind: InterventionKind::Quarantine,
                     overhead_mj: 0.0,
                 });
@@ -989,7 +1105,7 @@ impl Simulation {
     /// holds, rescope the device's wakelocks to the surviving claims,
     /// stop attributing the offender, and record the intervention.
     fn force_release_app_inner(&mut self, app: &str, now: SimTime, held: SimDuration) {
-        self.holds.retain(|h| h.app != app && h.until > now);
+        self.holds.retain(|h| *h.app != *app && h.until > now);
         let survivors: Vec<(HardwareSet, SimTime)> = self
             .holds
             .iter()
@@ -998,20 +1114,22 @@ impl Simulation {
         self.device.rescope_holds(&survivors, now);
         self.ledger.drop_app_tasks(app, now);
         for slot in &mut self.activation_retries {
-            if slot.app == app {
+            if *slot.app == *app {
                 slot.done = true;
             }
         }
-        self.obs.metrics.inc("sim_watchdog_forced_releases_total");
-        self.obs.spans.record(
-            SpanKind::WatchdogIntervention,
-            (now - held).as_millis(),
-            now.as_millis(),
-            vec![
-                ("app".to_owned(), app.to_owned()),
-                ("kind".to_owned(), "forced_release".to_owned()),
-            ],
-        );
+        if self.obs.on() {
+            self.obs.metrics.inc("sim_watchdog_forced_releases_total");
+            self.obs.spans.record(
+                SpanKind::WatchdogIntervention,
+                (now - held).as_millis(),
+                now.as_millis(),
+                vec![
+                    ("app".into(), app.to_owned().into()),
+                    ("kind".into(), "forced_release".into()),
+                ],
+            );
+        }
         self.trace.record_intervention(InterventionRecord {
             at: now,
             app: app.to_owned(),
@@ -1071,7 +1189,7 @@ impl Simulation {
                 let attempt = done.attempt;
                 self.trace.record_intervention(InterventionRecord {
                     at: t,
-                    app: s.app,
+                    app: s.app.to_string(),
                     kind: InterventionKind::ActivationRetry { attempt },
                     overhead_mj,
                 });
@@ -1099,10 +1217,12 @@ impl Simulation {
         self.quarantined.remove(app);
         self.offenses.remove(app);
         self.manager.set_app_quarantined(app, false);
-        self.obs.metrics.inc("sim_watchdog_recoveries_total");
-        self.obs
-            .metrics
-            .set_gauge("sim_quarantined_apps", self.quarantined.len() as f64);
+        if self.obs.on() {
+            self.obs.metrics.inc("sim_watchdog_recoveries_total");
+            self.obs
+                .metrics
+                .set_gauge("sim_quarantined_apps", self.quarantined.len() as f64);
+        }
         self.trace.record_intervention(InterventionRecord {
             at: t,
             app: app.to_owned(),
@@ -1149,30 +1269,37 @@ impl Simulation {
             // zero or one entry, so a fresh Vec per round is pure churn.
             let mut entries = std::mem::take(&mut self.due_buffer);
             entries.clear();
-            let t0 = Instant::now();
-            self.manager.pop_due_wakeup_into(t, &mut entries);
-            self.manager.pop_due_non_wakeup_into(t, &mut entries);
-            self.stages.add(Stage::QueueSearch, t0.elapsed());
+            if self.obs.on() {
+                let t0 = Instant::now();
+                self.manager.pop_due_wakeup_into(t, &mut entries);
+                self.manager.pop_due_non_wakeup_into(t, &mut entries);
+                self.stages.add(Stage::QueueSearch, t0.elapsed());
+            } else {
+                self.manager.pop_due_wakeup_into(t, &mut entries);
+                self.manager.pop_due_non_wakeup_into(t, &mut entries);
+            }
             if entries.is_empty() {
                 self.due_buffer = entries;
                 break;
             }
+            let t0 = if self.obs.on() { Some(Instant::now()) } else { None };
+            let batch = entries.len() as u64;
             for entry in entries.drain(..) {
                 self.trace.record_entry_delivery();
-                self.obs.metrics.inc("sim_entry_deliveries_total");
                 let alarms = entry.into_alarms();
                 let entry_size = alarms.len();
-                self.obs.metrics.observe("sim_entry_size", entry_size as f64);
+                self.obs.entry_delivered(entry_size);
                 for alarm in alarms {
                     self.deliver_alarm(alarm, t, entry_size);
                 }
             }
+            if let Some(t0) = t0 {
+                self.stages.add_batch(Stage::Delivery, t0.elapsed(), batch);
+            }
             self.due_buffer = entries;
         }
-        self.obs.metrics.set_gauge(
-            "sim_wakeup_queue_depth",
-            self.manager.wakeup_queue().entries().len() as f64,
-        );
+        self.obs
+            .queue_depth(self.manager.wakeup_queue().entries().len());
         if let Some(m) = self.monitor.as_mut() {
             m.check_queue_order(
                 self.manager
@@ -1191,6 +1318,10 @@ impl Simulation {
     /// invariant.
     fn deliver_alarm(&mut self, alarm: Alarm, t: SimTime, entry_size: usize) {
         let quarantined = alarm.is_quarantined();
+        // One shared label for the ledger, the retry/hold bookkeeping,
+        // and the trace: every per-delivery "clone" below is a refcount
+        // bump, not a string copy.
+        let label = alarm.label_arc();
         let (overrun, leak, failure) = match &mut self.faults {
             Some(f) => {
                 let overrun = f.overrun();
@@ -1214,28 +1345,23 @@ impl Simulation {
                 m.check_delivery(&rec, quarantined);
             }
         }
-        self.obs.metrics.inc("sim_alarm_deliveries_total");
-        if let Some(nd) = rec.normalized_delay() {
-            self.obs.metrics.observe("sim_normalized_delay", nd);
-        }
-        self.obs
-            .metrics
-            .observe("sim_task_hold_ms", (hold_until - t).as_millis() as f64);
-        for c in alarm.hardware().iter() {
-            self.obs.metrics.add(
-                &format!("sim_component_active_ms_total{{component=\"{}\"}}", c.name()),
-                (hold_until - t).as_millis(),
+        if self.obs.on() {
+            self.obs
+                .alarm_delivered(rec.normalized_delay(), (hold_until - t).as_millis());
+            for c in alarm.hardware().iter() {
+                self.obs
+                    .component_active(c.name(), (hold_until - t).as_millis());
+            }
+            self.obs.spans.record(
+                SpanKind::TaskRun,
+                t.as_millis(),
+                hold_until.as_millis(),
+                vec![
+                    ("app".into(), Arc::clone(&label).into()),
+                    ("entry_size".into(), entry_size.into()),
+                ],
             );
         }
-        self.obs.spans.record(
-            SpanKind::TaskRun,
-            t.as_millis(),
-            hold_until.as_millis(),
-            vec![
-                ("app".to_owned(), alarm.label().to_owned()),
-                ("entry_size".to_owned(), entry_size.to_string()),
-            ],
-        );
         self.trace.record_delivery(rec);
 
         match failure {
@@ -1244,7 +1370,7 @@ impl Simulation {
                 // to power up; a retry slot takes over.
                 let _ = self.device.run_task(HardwareSet::empty(), hold_until - t, t);
                 self.ledger.start_task(
-                    alarm.label(),
+                    &label,
                     HardwareSet::empty(),
                     hold_until,
                     HardwareSet::empty(),
@@ -1252,7 +1378,7 @@ impl Simulation {
                 );
                 let slot = self.activation_retries.len();
                 self.activation_retries.push(RetrySlot {
-                    app: alarm.label().to_owned(),
+                    app: Arc::clone(&label),
                     hardware: alarm.hardware(),
                     until: hold_until,
                     attempt: 1,
@@ -1265,7 +1391,7 @@ impl Simulation {
             None => {
                 let newly = self.device.run_task(alarm.hardware(), cpu_until - t, t);
                 self.ledger.start_task(
-                    alarm.label(),
+                    &label,
                     alarm.hardware(),
                     hold_until,
                     newly,
@@ -1282,7 +1408,7 @@ impl Simulation {
             self.schedule_once(EventKind::TaskEnd, hold_until);
         }
         self.holds.push(TaskHold {
-            app: alarm.label().to_owned(),
+            app: Arc::clone(&label),
             hardware: alarm.hardware(),
             started: t,
             until: hold_until,
@@ -1292,7 +1418,6 @@ impl Simulation {
                 self.schedule_once(EventKind::WatchdogCheck, t + cfg.policy.max_task_hold);
             }
         }
-        let label = alarm.label().to_owned();
         self.manager.complete_delivery(alarm, t);
         if quarantined {
             self.note_clean_delivery(&label, hold_until - t, t);
@@ -1461,7 +1586,7 @@ mod tests {
             .trace()
             .deliveries()
             .iter()
-            .find(|d| d.label == "nw")
+            .find(|d| &*d.label == "nw")
             .expect("non-wakeup alarm delivered");
         // Due at 30 s but the device first wakes at 100 s.
         assert!(nw_delivery.delivered_at >= SimTime::from_secs(100));
@@ -1493,7 +1618,7 @@ mod tests {
             .trace()
             .deliveries()
             .iter()
-            .find(|d| d.label == "nw")
+            .find(|d| &*d.label == "nw")
             .expect("delivered");
         assert_eq!(nw_delivery.delivered_at, SimTime::from_secs(70));
     }

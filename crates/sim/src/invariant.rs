@@ -160,7 +160,7 @@ impl InvariantMonitor {
         if record.delivered_at > record.window_end + self.slack {
             self.window_misses += 1;
             self.record(InvariantViolation::PerceptibleWindowMiss {
-                label: record.label.clone(),
+                label: record.label.to_string(),
                 delivered_at: record.delivered_at,
                 window_end: record.window_end,
                 allowed_slack: self.slack,

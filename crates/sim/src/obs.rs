@@ -10,19 +10,26 @@
 //! [`StageProfile`](simty_obs::StageProfile), which the engine keeps out
 //! of every deterministic export.
 //!
-//! The layer is always on: its hot-path cost is a few counter bumps per
-//! delivery plus one ring insertion per placement decision, which is
-//! negligible next to the event loop itself (the PR 1 benchmarks keep
-//! this honest).
+//! The layer is on by default: its hot-path cost is a few counter bumps
+//! per delivery plus one ring insertion per placement decision. Runs
+//! that only need the deterministic trace and report can switch it off
+//! ([`SimConfig::without_obs`](crate::config::SimConfig::without_obs) /
+//! `standby sweep --no-obs`): a [`disabled`](ObsLayer::disabled) layer
+//! records nothing, every export renders empty, and the engine hoists
+//! the instrumentation branches out of its hot loop.
 
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
+use std::sync::Arc;
 
 use simty_core::alarm::AlarmId;
 use simty_core::audit::PlacementAudit;
 use simty_core::policy::Placement;
 use simty_core::time::SimTime;
-use simty_obs::{MetricsRegistry, SpanCollector, SpanKind};
+use simty_obs::{
+    AttrValue, CounterHandle, GaugeHandle, HistogramHandle, MetricsRegistry, SpanCollector,
+    SpanKind,
+};
 
 use crate::json::json_string;
 
@@ -47,13 +54,49 @@ pub struct ObsLayer {
     /// When the current wake cycle began (device asleep → awake), if one
     /// is open.
     pub(crate) wake_open: Option<SimTime>,
-    /// The policy label stamped onto the wakeup counter.
-    pub(crate) policy: String,
     /// Raw [`AlarmId`] → run-local ordinal (1-based, in first-placement
     /// order). Raw ids come from a process-global counter and differ
     /// between runs in one process, so exports must never contain them:
     /// every export renders the ordinal instead.
     pub(crate) aliases: BTreeMap<u64, u64>,
+    /// Whether the layer records anything at all (see
+    /// [`ObsLayer::disabled`]).
+    pub(crate) enabled: bool,
+    /// Slot handles for every per-delivery metric, resolved once at
+    /// construction so the hot path performs no name lookups at all.
+    hot: HotHandles,
+    /// Component name → counter handle, filled lazily; the hardware set
+    /// is tiny, so a linear scan beats hashing.
+    component_keys: Vec<(String, CounterHandle)>,
+}
+
+/// Pre-resolved [`MetricsRegistry`] slots for the metrics touched on
+/// every delivery. All of them are pre-registered by [`ObsLayer::new`],
+/// so resolving handles afterwards creates no new series.
+#[derive(Debug, Clone, Copy)]
+struct HotHandles {
+    wakeups: CounterHandle,
+    entry_deliveries: CounterHandle,
+    alarm_deliveries: CounterHandle,
+    queue_depth: GaugeHandle,
+    entry_size: HistogramHandle,
+    normalized_delay: HistogramHandle,
+    task_hold_ms: HistogramHandle,
+}
+
+impl HotHandles {
+    fn resolve(metrics: &mut MetricsRegistry, policy: &str) -> Self {
+        HotHandles {
+            wakeups: metrics
+                .counter_handle(&format!("sim_wakeups_total{{policy=\"{policy}\"}}")),
+            entry_deliveries: metrics.counter_handle("sim_entry_deliveries_total"),
+            alarm_deliveries: metrics.counter_handle("sim_alarm_deliveries_total"),
+            queue_depth: metrics.gauge_handle("sim_wakeup_queue_depth"),
+            entry_size: metrics.histogram_handle("sim_entry_size"),
+            normalized_delay: metrics.histogram_handle("sim_normalized_delay"),
+            task_hold_ms: metrics.histogram_handle("sim_task_hold_ms"),
+        }
+    }
 }
 
 impl ObsLayer {
@@ -161,6 +204,7 @@ impl ObsLayer {
             "sim_task_hold_ms",
             vec![10.0, 100.0, 1_000.0, 10_000.0, 60_000.0, 300_000.0],
         );
+        let hot = HotHandles::resolve(&mut metrics, policy);
         ObsLayer {
             spans: SpanCollector::new(SPAN_CAPACITY),
             metrics,
@@ -168,9 +212,44 @@ impl ObsLayer {
             audit_capacity,
             audit_dropped: 0,
             wake_open: None,
-            policy: policy.to_owned(),
             aliases: BTreeMap::new(),
+            enabled: true,
+            hot,
+            component_keys: Vec::new(),
         }
+    }
+
+    /// Creates a switched-off layer: nothing is registered, every
+    /// recording method returns immediately, and every export renders
+    /// empty. The engine pairs this with hoisting its instrumentation
+    /// branches out of the hot loop, so an uninstrumented run pays
+    /// nothing for observability while its traces and reports stay
+    /// byte-identical to an instrumented run's.
+    pub fn disabled(policy: &str, audit_capacity: usize) -> Self {
+        assert!(audit_capacity > 0, "the audit ring needs room for one decision");
+        // Resolve the hot handles against a scratch registry so the real
+        // (exported) registry stays empty; every recording method checks
+        // `enabled` before touching a handle.
+        let mut scratch = MetricsRegistry::new();
+        let hot = HotHandles::resolve(&mut scratch, policy);
+        ObsLayer {
+            spans: SpanCollector::new(SPAN_CAPACITY),
+            metrics: MetricsRegistry::new(),
+            audits: VecDeque::new(),
+            audit_capacity,
+            audit_dropped: 0,
+            wake_open: None,
+            aliases: BTreeMap::new(),
+            enabled: false,
+            hot,
+            component_keys: Vec::new(),
+        }
+    }
+
+    /// Whether the layer is recording (`false` for a
+    /// [`disabled`](ObsLayer::disabled) layer).
+    pub fn on(&self) -> bool {
+        self.enabled
     }
 
     /// The span ring.
@@ -214,16 +293,18 @@ impl ObsLayer {
     /// records a `policy_place` span, and retains the audit (evicting the
     /// oldest when the ring is full).
     pub(crate) fn note_placement(&mut self, audit: PlacementAudit) {
+        if !self.enabled {
+            return;
+        }
         let placement = match audit.placement {
-            Placement::Existing(idx) => format!("existing:{idx}"),
-            Placement::NewEntry => "new_entry".to_owned(),
+            Placement::Existing(idx) => AttrValue::Str(format!("existing:{idx}")),
+            Placement::NewEntry => AttrValue::Static("new_entry"),
         };
-        let outcome = match audit.placement {
-            Placement::Existing(_) => "existing",
-            Placement::NewEntry => "new_entry",
+        let placement_key = match audit.placement {
+            Placement::Existing(_) => "sim_placements_total{placement=\"existing\"}",
+            Placement::NewEntry => "sim_placements_total{placement=\"new_entry\"}",
         };
-        self.metrics
-            .inc(&format!("sim_placements_total{{placement=\"{outcome}\"}}"));
+        self.metrics.inc(placement_key);
         let ordinal = self.alias(audit.alarm_id);
         let at = audit.at.as_millis();
         self.spans.record(
@@ -231,10 +312,10 @@ impl ObsLayer {
             at,
             at,
             vec![
-                ("app".to_owned(), audit.app.clone()),
-                ("alarm".to_owned(), ordinal.to_string()),
-                ("placement".to_owned(), placement),
-                ("candidates".to_owned(), audit.candidates.len().to_string()),
+                ("app".into(), Arc::clone(&audit.app).into()),
+                ("alarm".into(), ordinal.into()),
+                ("placement".into(), placement),
+                ("candidates".into(), audit.candidates.len().into()),
             ],
         );
         if self.audits.len() == self.audit_capacity {
@@ -246,11 +327,43 @@ impl ObsLayer {
 
     /// The device left sleep at `t`: opens a wake cycle and counts it.
     pub(crate) fn wake_started(&mut self, t: SimTime) {
-        let key = format!("sim_wakeups_total{{policy=\"{}\"}}", self.policy);
-        self.metrics.inc(&key);
+        if !self.enabled {
+            return;
+        }
+        self.metrics.inc_counter(self.hot.wakeups);
         if self.wake_open.is_none() {
             self.wake_open = Some(t);
         }
+    }
+
+    /// One queue entry carrying `entry_size` alarms was delivered.
+    pub(crate) fn entry_delivered(&mut self, entry_size: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.inc_counter(self.hot.entry_deliveries);
+        self.metrics.observe_value(self.hot.entry_size, entry_size as f64);
+    }
+
+    /// One alarm was delivered: counts it and records its normalized
+    /// delay (if the alarm repeats) and its task's wakelock hold time.
+    pub(crate) fn alarm_delivered(&mut self, normalized_delay: Option<f64>, hold_ms: u64) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.inc_counter(self.hot.alarm_deliveries);
+        if let Some(nd) = normalized_delay {
+            self.metrics.observe_value(self.hot.normalized_delay, nd);
+        }
+        self.metrics.observe_value(self.hot.task_hold_ms, hold_ms as f64);
+    }
+
+    /// Records the wakeup-queue depth after a delivery round.
+    pub(crate) fn queue_depth(&mut self, depth: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.metrics.set_gauge_value(self.hot.queue_depth, depth as f64);
     }
 
     /// The device went back to sleep (or lost power) at `t`: closes the
@@ -260,6 +373,27 @@ impl ObsLayer {
             self.spans
                 .record(SpanKind::WakeCycle, start.as_millis(), t.as_millis(), Vec::new());
         }
+    }
+
+    /// Adds `ms` of active time to a hardware component's labelled
+    /// counter, resolving the slot handle at most once per component
+    /// name (the series is created lazily, exactly when the string API
+    /// would have created it).
+    pub(crate) fn component_active(&mut self, component: &str, ms: u64) {
+        if !self.enabled {
+            return;
+        }
+        let handle = match self.component_keys.iter().find(|(n, _)| n == component) {
+            Some((_, h)) => *h,
+            None => {
+                let h = self.metrics.counter_handle(&format!(
+                    "sim_component_active_ms_total{{component=\"{component}\"}}"
+                ));
+                self.component_keys.push((component.to_owned(), h));
+                h
+            }
+        };
+        self.metrics.add_counter(handle, ms);
     }
 
     /// Renders the retained spans as JSONL (oldest first, one object per
@@ -343,7 +477,7 @@ mod tests {
         PlacementAudit {
             at: SimTime::from_secs(at_s),
             alarm_id: AlarmId::from_raw(3),
-            app: "Line".to_owned(),
+            app: "Line".into(),
             nominal: SimTime::from_secs(at_s + 60),
             perceptible: false,
             placement: Placement::Existing(0),

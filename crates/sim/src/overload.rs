@@ -64,7 +64,7 @@ impl StormBurst {
         } else {
             HardwareComponent::Wifi
         };
-        let mut alarm = Alarm::builder(&self.app)
+        let mut alarm = Alarm::builder(self.app.as_str())
             .nominal(at + self.period)
             .repeating_dynamic(self.period)
             .window_fraction(f64::from(self.window_milli) / 1_000.0)

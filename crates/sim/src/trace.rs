@@ -7,6 +7,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::io::{self, Write};
+use std::sync::Arc;
 
 use simty_core::alarm::{Alarm, AlarmId, AlarmKind};
 use simty_core::hardware::HardwareSet;
@@ -17,8 +18,9 @@ use simty_core::time::{SimDuration, SimTime};
 pub struct DeliveryRecord {
     /// The delivered alarm.
     pub alarm_id: AlarmId,
-    /// The alarm's label (app name).
-    pub label: String,
+    /// The alarm's label (app name). Shared with the alarm so recording
+    /// a delivery bumps a reference count instead of copying the string.
+    pub label: Arc<str>,
     /// The alarm's nominal delivery time for this period.
     pub nominal: SimTime,
     /// End of the window interval for this period.
@@ -48,7 +50,7 @@ impl DeliveryRecord {
     pub fn observe(alarm: &Alarm, delivered_at: SimTime, entry_size: usize) -> Self {
         DeliveryRecord {
             alarm_id: alarm.id(),
-            label: alarm.label().to_owned(),
+            label: alarm.label_arc(),
             nominal: alarm.nominal(),
             window_end: alarm.window_interval().end(),
             grace_end: alarm.grace_interval().end(),
@@ -354,7 +356,7 @@ impl Trace {
             let task_duration = SimDuration::from_millis(parse_u64(fields[10], "task duration")?);
             trace.record_delivery(DeliveryRecord {
                 alarm_id,
-                label: fields[1].to_owned(),
+                label: fields[1].into(),
                 nominal,
                 window_end,
                 grace_end,

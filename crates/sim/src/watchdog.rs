@@ -184,9 +184,9 @@ pub fn scan(trace: &Trace, span: SimDuration, policy: WatchdogPolicy) -> Watchdo
     let mut worst: BTreeMap<String, (SimDuration, SimTime)> = BTreeMap::new();
     for d in trace.deliveries() {
         let hold = d.task_duration;
-        *totals.entry(d.label.clone()).or_insert(SimDuration::ZERO) += hold;
+        *totals.entry(d.label.to_string()).or_insert(SimDuration::ZERO) += hold;
         let w = worst
-            .entry(d.label.clone())
+            .entry(d.label.to_string())
             .or_insert((SimDuration::ZERO, d.delivered_at));
         if hold > w.0 {
             *w = (hold, d.delivered_at);

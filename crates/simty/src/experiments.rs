@@ -117,6 +117,11 @@ pub struct RunSpec {
     /// Power-model override (`None` = the calibrated Nexus 5 model); used
     /// by the sensitivity study's perturbation grid.
     pub power: Option<PowerModel>,
+    /// Run without the observability layer (spans, metrics, audits,
+    /// stage profile); the report's metrics block renders as `null` and
+    /// the returned [`StageProfile`] is empty. Everything deterministic
+    /// is unchanged.
+    pub no_obs: bool,
 }
 
 impl RunSpec {
@@ -129,6 +134,7 @@ impl RunSpec {
             beta: 0.96,
             duration: SimDuration::from_hours(3),
             power: None,
+            no_obs: false,
         }
     }
 
@@ -147,6 +153,13 @@ impl RunSpec {
     /// Overrides the power model (sensitivity perturbations).
     pub fn with_power(mut self, power: PowerModel) -> Self {
         self.power = Some(power);
+        self
+    }
+
+    /// Switches the observability layer off (the engine's no-obs fast
+    /// path).
+    pub fn with_no_obs(mut self) -> Self {
+        self.no_obs = true;
         self
     }
 
@@ -199,6 +212,9 @@ impl RunSpec {
         let mut config = SimConfig::new().with_duration(self.duration);
         if let Some(power) = &self.power {
             config = config.with_power(power.clone());
+        }
+        if self.no_obs {
+            config = config.without_obs();
         }
         let mut sim = Simulation::new(self.policy.build(), config);
         for alarm in workload.alarms {

@@ -28,7 +28,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Per-app delivery counts over the three hours.
     let mut per_app: std::collections::BTreeMap<&str, usize> = Default::default();
     for d in sim.trace().deliveries() {
-        *per_app.entry(d.label.as_str()).or_default() += 1;
+        *per_app.entry(d.label.as_ref()).or_default() += 1;
     }
     println!("deliveries per app:");
     for (app, count) in &per_app {

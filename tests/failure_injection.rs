@@ -66,7 +66,7 @@ fn cancelling_one_member_of_a_batch_leaves_the_rest_intact() {
     assert!(sim.cancel(a).is_some());
     assert_eq!(sim.manager().wakeup_queue().alarm_count(), 1);
     sim.run();
-    assert!(sim.trace().deliveries().iter().all(|d| d.label == "b"));
+    assert!(sim.trace().deliveries().iter().all(|d| &*d.label == "b"));
 }
 
 #[test]
@@ -206,7 +206,7 @@ fn quarantine_and_recovery_round_trip_end_to_end() {
         .iter()
         .all(|i| i.app == "greedy"));
     // The honest bystander kept delivering throughout.
-    assert!(sim.trace().deliveries().iter().any(|d| d.label == "honest"));
+    assert!(sim.trace().deliveries().iter().any(|d| &*d.label == "honest"));
 }
 
 #[test]
@@ -253,7 +253,7 @@ fn late_registration_joins_the_running_system() {
     sim.run_until(SimTime::from_secs(1_000));
     sim.register(wifi("late", 1_200, 300)).unwrap();
     sim.run();
-    assert!(sim.trace().deliveries().iter().any(|d| d.label == "late"));
+    assert!(sim.trace().deliveries().iter().any(|d| &*d.label == "late"));
 }
 
 #[test]
