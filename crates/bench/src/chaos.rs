@@ -21,7 +21,9 @@ use simty::experiments::{PolicyKind, Scenario};
 use simty::sim::json::{json_number, json_string, report_to_json};
 use simty::sim::{FaultPlan, OnlineWatchdogConfig, SimConfig, SimReport, Simulation};
 
-use crate::sweep::Sweep;
+use crate::journal::JournalError;
+use crate::supervisor::{CellStatus, HarnessStats};
+use crate::sweep::{CampaignOptions, Sweep};
 
 /// A named bundle of fault-injection knobs: one adversary per campaign
 /// cell.
@@ -222,20 +224,44 @@ pub fn chaos_matrix(
 }
 
 /// Runs a campaign on `threads` sweep workers and collects the results
-/// in matrix order (byte-identical across thread counts).
+/// in matrix order (byte-identical across thread counts). Default
+/// supervision, no journal.
 pub fn run_chaos(specs: &[ChaosSpec], threads: usize) -> ChaosResults {
+    run_chaos_with(specs, &CampaignOptions::with_threads(threads))
+        .expect("a journal-less chaos campaign cannot fail to open its journal")
+}
+
+/// Runs a campaign under explicit harness [`CampaignOptions`]: cell
+/// supervision (panicking or hung cells are quarantined, not fatal) and,
+/// when `journal_dir` is set, crash-tolerant resume — cells completed by
+/// a previous interrupted invocation are restored instead of re-run.
+///
+/// # Errors
+///
+/// [`JournalError`] when the journal directory holds a journal for a
+/// different campaign kind or grid, or cannot be opened.
+pub fn run_chaos_with(
+    specs: &[ChaosSpec],
+    options: &CampaignOptions,
+) -> Result<ChaosResults, JournalError> {
     let mut sweep = Sweep::new();
+    sweep.with_supervisor(options.supervisor);
+    if let Some(dir) = &options.journal_dir {
+        sweep.with_journal(dir, "chaos");
+    }
     for &spec in specs {
         sweep.job(spec.label(), move || spec.run());
     }
-    let results = sweep.run_with_threads(threads);
-    ChaosResults {
+    let results = sweep.try_run_with_threads(options.threads)?;
+    Ok(ChaosResults {
+        journal_skips: results.journal_skips(),
         runs: specs
             .iter()
             .copied()
-            .zip(results.outcomes().iter().map(|o| o.report.clone()))
+            .zip(results.outcomes().iter())
+            .map(|(spec, o)| (spec, o.status.clone(), o.report.clone()))
             .collect(),
-    }
+    })
 }
 
 /// Per-policy resilience aggregate over every cell the policy defended.
@@ -270,30 +296,63 @@ pub struct PolicyResilience {
     pub perceptible_delay_max: f64,
 }
 
-/// A finished campaign: every cell's report, in matrix order.
+/// A finished campaign: every cell's supervisor status and report (the
+/// report is `None` for quarantined cells), in matrix order.
 #[derive(Debug, Clone)]
 pub struct ChaosResults {
-    runs: Vec<(ChaosSpec, SimReport)>,
+    runs: Vec<(ChaosSpec, CellStatus, Option<SimReport>)>,
+    journal_skips: u64,
 }
 
 impl ChaosResults {
-    /// The cells and their reports, in matrix order.
-    pub fn runs(&self) -> &[(ChaosSpec, SimReport)] {
+    /// The cells, their statuses, and their reports, in matrix order.
+    pub fn runs(&self) -> &[(ChaosSpec, CellStatus, Option<SimReport>)] {
         &self.runs
     }
 
-    /// Total invariant violations across the whole campaign.
-    pub fn total_violations(&self) -> u64 {
+    /// The completed cells (quarantined cells carry no report).
+    fn completed(&self) -> impl Iterator<Item = (&ChaosSpec, &SimReport)> {
         self.runs
             .iter()
+            .filter_map(|(spec, _, report)| report.as_ref().map(|r| (spec, r)))
+    }
+
+    /// Cells restored from the campaign journal instead of executed in
+    /// this invocation (zero without `--resume`).
+    pub fn journal_skips(&self) -> u64 {
+        self.journal_skips
+    }
+
+    /// Supervisor accounting over the campaign.
+    pub fn harness(&self) -> HarnessStats {
+        let mut stats = HarnessStats::from_statuses(self.runs.iter().map(|(_, s, _)| s));
+        stats.journal_skips = self.journal_skips;
+        stats
+    }
+
+    /// The quarantined cells' `(label, reason)` pairs, in matrix order.
+    pub fn poisoned(&self) -> Vec<(String, String)> {
+        self.runs
+            .iter()
+            .filter_map(|(spec, status, _)| match status {
+                CellStatus::Poisoned { reason, .. } => Some((spec.label(), reason.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total invariant violations across every completed cell.
+    pub fn total_violations(&self) -> u64 {
+        self.completed()
             .map(|(_, r)| r.resilience.invariant_violations)
             .sum()
     }
 
-    /// Per-policy aggregates, sorted by policy name.
+    /// Per-policy aggregates over the completed cells, sorted by policy
+    /// name.
     pub fn aggregates(&self) -> Vec<PolicyResilience> {
         let mut by_policy: BTreeMap<String, Vec<&SimReport>> = BTreeMap::new();
-        for (spec, report) in &self.runs {
+        for (spec, report) in self.completed() {
             by_policy.entry(spec.policy.name()).or_default().push(report);
         }
         by_policy
@@ -342,24 +401,30 @@ impl ChaosResults {
             .collect()
     }
 
-    /// Serializes the campaign as the `simty-bench-chaos/v1` document.
-    /// Fully deterministic: no wall-clock fields, so parallel and
-    /// sequential campaigns produce byte-identical bytes.
+    /// Serializes the campaign as the `simty-bench-chaos/v1` document
+    /// body. Fully deterministic: no wall-clock or per-invocation
+    /// fields, so parallel, sequential, and journal-resumed campaigns
+    /// produce byte-identical bytes (`journal_skips` lives only in
+    /// [`to_json_document`](Self::to_json_document)'s header).
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"schema\":\"simty-bench-chaos/v1\"");
         out.push_str(&format!(",\"runs\":{}", self.runs.len()));
+        out.push_str(&format!(",\"harness\":{}", self.harness().to_json()));
         out.push_str(",\"results\":[");
-        for (i, (spec, report)) in self.runs.iter().enumerate() {
+        for (i, (spec, status, report)) in self.runs.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"label\":{},\"profile\":{},\"seed\":{},\"report\":{}}}",
+                "{{\"label\":{},\"profile\":{},\"seed\":{},\"status\":{},\"report\":{}}}",
                 json_string(&spec.label()),
                 json_string(spec.profile.name()),
                 spec.seed,
-                report_to_json(report)
+                json_string(&status.token()),
+                report
+                    .as_ref()
+                    .map_or_else(|| "null".to_owned(), report_to_json)
             ));
         }
         out.push_str("],\"policies\":[");
@@ -393,13 +458,27 @@ impl ChaosResults {
         out
     }
 
-    /// Writes [`to_json`](Self::to_json) to a file.
+    /// The full on-disk document: [`to_json`](Self::to_json) plus the
+    /// per-invocation `journal_skips` header (how many cells this
+    /// invocation restored from the journal instead of running).
+    pub fn to_json_document(&self) -> String {
+        self.to_json().replacen(
+            "{\"schema\":\"simty-bench-chaos/v1\"",
+            &format!(
+                "{{\"schema\":\"simty-bench-chaos/v1\",\"journal_skips\":{}",
+                self.journal_skips
+            ),
+            1,
+        )
+    }
+
+    /// Writes [`to_json_document`](Self::to_json_document) to a file.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.to_json())
+        std::fs::write(path, self.to_json_document())
     }
 }
 
@@ -466,6 +545,14 @@ mod tests {
         );
         let results = run_chaos(&specs, 2);
         assert_eq!(results.runs().len(), 4);
+        assert!(results
+            .runs()
+            .iter()
+            .all(|(_, status, report)| *status == CellStatus::Ok && report.is_some()));
+        assert!(results.poisoned().is_empty());
+        assert_eq!(results.journal_skips(), 0);
+        let harness = results.harness();
+        assert_eq!((harness.cells, harness.ok, harness.poisoned), (4, 4, 0));
         let aggs = results.aggregates();
         assert_eq!(aggs.len(), 2);
         assert_eq!(aggs[0].policy, "NATIVE");
@@ -475,7 +562,17 @@ mod tests {
         let json = results.to_json();
         assert!(json.starts_with("{\"schema\":\"simty-bench-chaos/v1\""));
         assert!(json.contains("\"profile\":\"overruns\""));
+        assert!(json.contains("\"status\":\"ok\""));
+        assert!(json.contains("\"harness\":{\"cells\":4"));
         assert!(json.contains("\"policies\":["));
         assert!(!json.contains("wall"), "chaos documents must be deterministic");
+        assert!(
+            !json.contains("journal_skips"),
+            "per-invocation counters must stay out of the deterministic body"
+        );
+        let doc = results.to_json_document();
+        assert!(doc.starts_with(
+            "{\"schema\":\"simty-bench-chaos/v1\",\"journal_skips\":0"
+        ));
     }
 }

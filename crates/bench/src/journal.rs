@@ -1,0 +1,455 @@
+//! The `simty-campaign/v1` journal: crash-tolerant campaign resume.
+//!
+//! A campaign (sweep/chaos/soak/storm) appends one checksummed record
+//! to `<dir>/campaign.journal` for every cell that **completes** — the
+//! cell's status (`ok`/`retried:<n>`), its full
+//! [`SimReport`] as a [`to_record`](SimReport::to_record) line, and the
+//! campaign-specific extra payload (e.g. soak's recovery digest). On
+//! `--resume <dir>` the journal is replayed: completed cells are
+//! restored instead of re-run, poisoned cells (never journaled) and the
+//! torn tail of an interrupted append are re-run, and the final
+//! document comes out byte-identical to an uninterrupted campaign.
+//!
+//! The envelope reuses the `simty-checkpoint/v1` dialect from
+//! [`simty::sim::codec`]: line-oriented text, percent-escaped fields,
+//! FNV-1a-64 checksums. Layout:
+//!
+//! ```text
+//! simty-campaign/v1
+//! meta=<kind>,<cells>,<grid-digest>,<sum>
+//! cell=<index>,<status>,<report-record>,<extra>,<sum>
+//! ...
+//! ```
+//!
+//! `grid-digest` is the FNV-1a-64 of the cell labels joined by `\n`, so
+//! a journal can never be replayed against a *different* grid — that is
+//! a hard [`JournalError::Mismatch`], not a silent wrong answer. Each
+//! line's `<sum>` covers everything before it; a record that fails its
+//! checksum (a torn append) ends the replay, and the file is truncated
+//! back to the last valid record before appending resumes.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use simty::sim::codec::{esc, fnv1a64, unesc};
+use simty::sim::SimReport;
+
+use crate::supervisor::CellStatus;
+
+/// The journal file name inside a campaign directory.
+pub const JOURNAL_FILE: &str = "campaign.journal";
+
+const MAGIC: &str = "simty-campaign/v1";
+
+/// Why a journal could not be opened or replayed.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// The journal belongs to a different campaign: wrong magic, a
+    /// corrupt meta line, or a different kind/grid than the one being
+    /// resumed.
+    Mismatch {
+        /// The journal path.
+        path: PathBuf,
+        /// What disagreed.
+        reason: String,
+    },
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "campaign journal I/O error: {e}"),
+            JournalError::Mismatch { path, reason } => {
+                write!(
+                    f,
+                    "campaign journal `{}` does not match this campaign: {reason}",
+                    path.display()
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<io::Error> for JournalError {
+    fn from(e: io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// One replayed record: a cell that completed in a previous invocation.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// The cell's enqueue index.
+    pub index: usize,
+    /// Its recorded status (`Ok` or `Retried`; poisoned cells are never
+    /// journaled).
+    pub status: CellStatus,
+    /// The cell's report, decoded from the journaled record.
+    pub report: SimReport,
+    /// The campaign-specific payload journaled alongside the report
+    /// (`None` when the cell had none).
+    pub extra: Option<String>,
+}
+
+/// The digest that pins a journal to one grid: FNV-1a-64 of the cell
+/// labels joined by newlines (labels cannot contain newlines).
+#[must_use]
+pub fn grid_digest(labels: &[String]) -> u64 {
+    fnv1a64(labels.join("\n").as_bytes())
+}
+
+fn meta_line(kind: &str, cells: usize, digest: u64) -> String {
+    let body = format!("meta={},{cells},{digest:016x}", esc(kind));
+    let sum = fnv1a64(body.as_bytes());
+    format!("{body},{sum:016x}")
+}
+
+fn cell_line(index: usize, status: &CellStatus, report: &SimReport, extra: Option<&str>) -> String {
+    let body = format!(
+        "cell={index},{},{},{}",
+        status.token(),
+        esc(&report.to_record()),
+        esc(extra.unwrap_or_default())
+    );
+    let sum = fnv1a64(body.as_bytes());
+    format!("{body},{sum:016x}")
+}
+
+fn checked_body(line: &str) -> Option<&str> {
+    let (body, sum) = line.rsplit_once(',')?;
+    let expected = u64::from_str_radix(sum, 16).ok()?;
+    if sum.len() != 16 || fnv1a64(body.as_bytes()) != expected {
+        return None;
+    }
+    Some(body)
+}
+
+fn parse_cell(line: &str) -> Option<JournalEntry> {
+    let body = checked_body(line)?;
+    let fields: Vec<&str> = body.strip_prefix("cell=")?.split(',').collect();
+    let [index, status, report, extra] = fields[..] else {
+        return None;
+    };
+    let extra = unesc(extra);
+    Some(JournalEntry {
+        index: index.parse().ok()?,
+        status: CellStatus::from_token(status)?,
+        report: SimReport::from_record(&unesc(report))?,
+        extra: (!extra.is_empty()).then_some(extra),
+    })
+}
+
+/// What [`CampaignJournal::open`] replayed from an existing journal.
+#[derive(Debug, Default)]
+pub struct Replay {
+    /// Valid completed-cell records, in journal order.
+    pub entries: Vec<JournalEntry>,
+    /// Bytes of torn/corrupt tail that were dropped (those cells simply
+    /// re-run).
+    pub dropped_bytes: u64,
+}
+
+/// An append-only handle on a campaign's journal.
+///
+/// Records are appended with write → flush → fsync, so every record the
+/// journal acknowledges survives a crash; the atomic unit is one line,
+/// and a torn final line is dropped (and re-run) on replay.
+#[derive(Debug)]
+pub struct CampaignJournal {
+    path: PathBuf,
+    file: Mutex<fs::File>,
+}
+
+impl CampaignJournal {
+    /// Opens (or creates) the journal for a campaign of `kind` over the
+    /// given cell `labels`, replaying any completed cells.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError::Mismatch`] when an existing journal belongs to a
+    /// different campaign kind or grid; [`JournalError::Io`] on
+    /// filesystem failure.
+    pub fn open(
+        dir: &Path,
+        kind: &str,
+        labels: &[String],
+    ) -> Result<(CampaignJournal, Replay), JournalError> {
+        fs::create_dir_all(dir)?;
+        let path = dir.join(JOURNAL_FILE);
+        let mut file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut text = String::new();
+        file.read_to_string(&mut text)?;
+
+        let expected_meta = meta_line(kind, labels.len(), grid_digest(labels));
+        let mut replay = Replay::default();
+        if text.is_empty() {
+            file.write_all(format!("{MAGIC}\n{expected_meta}\n").as_bytes())?;
+            file.flush()?;
+            file.sync_all()?;
+        } else {
+            let mismatch = |reason: String| JournalError::Mismatch {
+                path: path.clone(),
+                reason,
+            };
+            let mut offset = 0usize;
+            let mut lines = Vec::new();
+            for line in text.split_inclusive('\n') {
+                lines.push((offset, line));
+                offset += line.len();
+            }
+            let Some((_, magic)) = lines.first() else {
+                return Err(mismatch("empty journal".to_owned()));
+            };
+            if magic.trim_end_matches('\n') != MAGIC {
+                return Err(mismatch(format!(
+                    "bad magic `{}` (expected `{MAGIC}`)",
+                    magic.trim_end()
+                )));
+            }
+            let Some((_, meta)) = lines.get(1) else {
+                return Err(mismatch("missing meta line".to_owned()));
+            };
+            let meta = meta.trim_end_matches('\n');
+            if checked_body(meta).is_none() {
+                return Err(mismatch("corrupt meta line".to_owned()));
+            }
+            if meta != expected_meta {
+                return Err(mismatch(format!(
+                    "journaled campaign is `{meta}`, this campaign is `{expected_meta}` \
+                     (different kind or grid)"
+                )));
+            }
+            // Replay records until the first invalid line (a torn
+            // append); truncate the tail so appends restart cleanly.
+            let mut valid_end = lines[1].0 + lines[1].1.len();
+            for (start, line) in &lines[2..] {
+                if !line.ends_with('\n') {
+                    break;
+                }
+                let Some(entry) = parse_cell(line.trim_end_matches('\n')) else {
+                    break;
+                };
+                replay.entries.push(entry);
+                valid_end = start + line.len();
+            }
+            replay.dropped_bytes = (text.len() - valid_end) as u64;
+            if replay.dropped_bytes > 0 {
+                file.set_len(valid_end as u64)?;
+                file.sync_all()?;
+            }
+        }
+        file.seek(SeekFrom::End(0))?;
+        Ok((
+            CampaignJournal {
+                path,
+                file: Mutex::new(file),
+            },
+            replay,
+        ))
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Durably appends one completed cell. Poisoned cells must not be
+    /// journaled (they are re-run on resume); attempting to is a logic
+    /// error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `status` is poisoned.
+    pub fn record(
+        &self,
+        index: usize,
+        status: &CellStatus,
+        report: &SimReport,
+        extra: Option<&str>,
+    ) -> io::Result<()> {
+        assert!(
+            !status.is_poisoned(),
+            "poisoned cells are re-run on resume, never journaled"
+        );
+        let line = cell_line(index, status, report, extra);
+        let mut file = self.file.lock().expect("journal file lock");
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        file.sync_all()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simty::core::SimDuration;
+    use simty::experiments::{PolicyKind, RunSpec, Scenario};
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "simty-journal-{name}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn labels() -> Vec<String> {
+        vec!["cell-a".to_owned(), "cell-b".to_owned(), "cell-c".to_owned()]
+    }
+
+    fn sample_report() -> SimReport {
+        RunSpec::paper(PolicyKind::Native, Scenario::Light, 1)
+            .with_duration(SimDuration::from_mins(1))
+            .run()
+    }
+
+    #[test]
+    fn fresh_journal_replays_nothing() {
+        let dir = scratch("fresh");
+        let (journal, replay) = CampaignJournal::open(&dir, "sweep", &labels()).unwrap();
+        assert!(replay.entries.is_empty());
+        assert_eq!(replay.dropped_bytes, 0);
+        assert!(journal.path().ends_with(JOURNAL_FILE));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn records_round_trip_through_reopen() {
+        let dir = scratch("roundtrip");
+        let report = sample_report();
+        {
+            let (journal, _) = CampaignJournal::open(&dir, "sweep", &labels()).unwrap();
+            journal.record(0, &CellStatus::Ok, &report, None).unwrap();
+            journal
+                .record(
+                    2,
+                    &CellStatus::Retried { retries: 1 },
+                    &report,
+                    Some("extra,with:reserved\nchars"),
+                )
+                .unwrap();
+        }
+        let (_, replay) = CampaignJournal::open(&dir, "sweep", &labels()).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        assert_eq!(replay.dropped_bytes, 0);
+        assert_eq!(replay.entries[0].index, 0);
+        assert_eq!(replay.entries[0].status, CellStatus::Ok);
+        assert_eq!(replay.entries[0].report, report);
+        assert_eq!(replay.entries[0].extra, None);
+        assert_eq!(replay.entries[1].index, 2);
+        assert_eq!(replay.entries[1].status, CellStatus::Retried { retries: 1 });
+        assert_eq!(
+            replay.entries[1].extra.as_deref(),
+            Some("extra,with:reserved\nchars")
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_and_truncated() {
+        let dir = scratch("torn");
+        let report = sample_report();
+        let path = {
+            let (journal, _) = CampaignJournal::open(&dir, "chaos", &labels()).unwrap();
+            journal.record(0, &CellStatus::Ok, &report, None).unwrap();
+            journal.record(1, &CellStatus::Ok, &report, None).unwrap();
+            journal.path().to_path_buf()
+        };
+        // Tear the last record mid-line, as a crash mid-append would.
+        let text = fs::read_to_string(&path).unwrap();
+        let torn = &text[..text.len() - 17];
+        fs::write(&path, torn).unwrap();
+        let (_, replay) = CampaignJournal::open(&dir, "chaos", &labels()).unwrap();
+        assert_eq!(replay.entries.len(), 1, "torn record must not replay");
+        assert!(replay.dropped_bytes > 0);
+        // The truncation leaves a cleanly appendable file.
+        let (journal, _) = CampaignJournal::open(&dir, "chaos", &labels()).unwrap();
+        journal.record(1, &CellStatus::Ok, &report, None).unwrap();
+        let (_, replay) = CampaignJournal::open(&dir, "chaos", &labels()).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupted_record_ends_replay() {
+        let dir = scratch("corrupt");
+        let report = sample_report();
+        let path = {
+            let (journal, _) = CampaignJournal::open(&dir, "soak", &labels()).unwrap();
+            journal.record(0, &CellStatus::Ok, &report, None).unwrap();
+            journal.record(1, &CellStatus::Ok, &report, None).unwrap();
+            journal.path().to_path_buf()
+        };
+        // Flip a byte inside the first record's payload.
+        let mut bytes = fs::read(&path).unwrap();
+        let magic_and_meta = bytes
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| **b == b'\n')
+            .map(|(i, _)| i)
+            .nth(1)
+            .unwrap();
+        bytes[magic_and_meta + 10] ^= 0x40;
+        fs::write(&path, &bytes).unwrap();
+        let (_, replay) = CampaignJournal::open(&dir, "soak", &labels()).unwrap();
+        assert!(
+            replay.entries.is_empty(),
+            "a corrupt record and everything after it must re-run"
+        );
+        assert!(replay.dropped_bytes > 0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn kind_and_grid_mismatches_are_hard_errors() {
+        let dir = scratch("mismatch");
+        {
+            let (journal, _) = CampaignJournal::open(&dir, "sweep", &labels()).unwrap();
+            journal.record(0, &CellStatus::Ok, &sample_report(), None).unwrap();
+        }
+        let err = CampaignJournal::open(&dir, "chaos", &labels()).unwrap_err();
+        assert!(matches!(err, JournalError::Mismatch { .. }), "{err}");
+        let mut other_grid = labels();
+        other_grid.push("cell-d".to_owned());
+        let err = CampaignJournal::open(&dir, "sweep", &other_grid).unwrap_err();
+        assert!(err.to_string().contains("different kind or grid"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_a_mismatch() {
+        let dir = scratch("magic");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(JOURNAL_FILE), "not-a-journal\n").unwrap();
+        let err = CampaignJournal::open(&dir, "sweep", &labels()).unwrap_err();
+        assert!(err.to_string().contains("bad magic"), "{err}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn grid_digest_tracks_labels() {
+        let a = grid_digest(&labels());
+        assert_eq!(a, grid_digest(&labels()));
+        let mut reordered = labels();
+        reordered.reverse();
+        assert_ne!(a, grid_digest(&reordered));
+    }
+}

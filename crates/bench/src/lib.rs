@@ -18,20 +18,31 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod journal;
 pub mod soak;
 pub mod storm;
+pub mod supervisor;
 pub mod sweep;
 
-pub use chaos::{chaos_matrix, run_chaos, ChaosResults, ChaosSpec, FaultProfile, PolicyResilience};
-pub use soak::{run_soak, soak_matrix, PolicyEndurance, SoakProfile, SoakRecovery, SoakResults, SoakSpec};
+pub use chaos::{
+    chaos_matrix, run_chaos, run_chaos_with, ChaosResults, ChaosSpec, FaultProfile,
+    PolicyResilience,
+};
+pub use journal::{CampaignJournal, JournalEntry, JournalError};
+pub use supervisor::{CellStatus, HarnessStats, SupervisorConfig};
+pub use soak::{
+    run_soak, run_soak_with, soak_matrix, PolicyEndurance, SoakProfile, SoakRecovery, SoakResults,
+    SoakSpec,
+};
 pub use storm::{
-    run_storm, storm_matrix, PolicyOverload, StormProfile, StormRecovery, StormResults, StormSpec,
+    run_storm, run_storm_with, storm_matrix, PolicyOverload, StormProfile, StormRecovery,
+    StormResults, StormSpec,
 };
 pub use simty::experiments::{
     motivating_example, motivating_example_report, paper_runs, paper_specs, Averages, PolicyKind,
     RunSpec, Scenario,
 };
-pub use sweep::{Outcome, RunHandle, Sweep, SweepResults};
+pub use sweep::{CampaignOptions, JobResult, Outcome, RunHandle, Sweep, SweepResults};
 
 /// Renders one "paper vs measured" line for the experiment binaries.
 pub fn paper_vs_measured(label: &str, paper: f64, measured: f64, unit: &str) -> String {

@@ -15,7 +15,6 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use simty::core::{SimDuration, SimTime};
@@ -25,7 +24,9 @@ use simty::sim::{
     CheckpointStore, OnlineWatchdogConfig, RebootPlan, SimConfig, SimReport, Simulation,
 };
 
-use crate::sweep::Sweep;
+use crate::journal::JournalError;
+use crate::supervisor::{CellStatus, HarnessStats};
+use crate::sweep::{CampaignOptions, JobResult, Sweep};
 
 /// A named endurance adversary: how the device dies and how its
 /// snapshots rot.
@@ -138,6 +139,37 @@ pub struct SoakRecovery {
     /// horizon). Never serialized per cell — only the campaign total
     /// surfaces, as the `resume_wall_ms` header of the soak document.
     pub resume_wall: Duration,
+}
+
+impl SoakRecovery {
+    /// Encodes the drill outcome as the campaign journal's `extra`
+    /// payload, so a journal-restored cell keeps its recovery digest.
+    fn to_extra(self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}",
+            self.checkpoints,
+            self.corrupt_skipped,
+            u8::from(self.resumed_identical),
+            u8::from(self.restore_ok),
+            self.resume_wall.as_millis()
+        )
+    }
+
+    /// Reverses [`to_extra`](Self::to_extra).
+    fn from_extra(extra: &str) -> Option<SoakRecovery> {
+        let fields: Vec<&str> = extra.split(':').collect();
+        let [checkpoints, corrupt_skipped, resumed_identical, restore_ok, wall_ms] = fields[..]
+        else {
+            return None;
+        };
+        Some(SoakRecovery {
+            checkpoints: checkpoints.parse().ok()?,
+            corrupt_skipped: corrupt_skipped.parse().ok()?,
+            resumed_identical: resumed_identical == "1",
+            restore_ok: restore_ok == "1",
+            resume_wall: Duration::from_millis(wall_ms.parse().ok()?),
+        })
+    }
 }
 
 impl SoakSpec {
@@ -304,39 +336,57 @@ pub fn soak_matrix(
 /// Runs a campaign on `threads` sweep workers and collects the results
 /// in matrix order (byte-identical across thread counts). Snapshot
 /// directories live under the system temp dir for the drill's duration.
+/// Default supervision, no journal.
 pub fn run_soak(specs: &[SoakSpec], threads: usize) -> SoakResults {
+    run_soak_with(specs, &CampaignOptions::with_threads(threads))
+        .expect("a journal-less soak campaign cannot fail to open its journal")
+}
+
+/// Runs a campaign under explicit harness [`CampaignOptions`]: cell
+/// supervision (panicking or hung cells are quarantined, not fatal) and,
+/// when `journal_dir` is set, crash-tolerant resume. The per-cell
+/// [`SoakRecovery`] digest rides the journal's `extra` payload, so a
+/// restored cell keeps its recovery outcome.
+///
+/// # Errors
+///
+/// [`JournalError`] when the journal directory holds a journal for a
+/// different campaign kind or grid, or cannot be opened.
+pub fn run_soak_with(
+    specs: &[SoakSpec],
+    options: &CampaignOptions,
+) -> Result<SoakResults, JournalError> {
     let scratch = std::env::temp_dir().join(format!("simty-soak-{}", std::process::id()));
-    let recoveries: Arc<Mutex<BTreeMap<usize, SoakRecovery>>> =
-        Arc::new(Mutex::new(BTreeMap::new()));
     let mut sweep = Sweep::new();
-    for (i, &spec) in specs.iter().enumerate() {
-        let recoveries = Arc::clone(&recoveries);
+    sweep.with_supervisor(options.supervisor);
+    if let Some(dir) = &options.journal_dir {
+        sweep.with_journal(dir, "soak");
+    }
+    for &spec in specs {
         let scratch = scratch.clone();
         sweep.job(spec.label(), move || {
             let (report, recovery) = spec.run(&scratch);
-            recoveries
-                .lock()
-                .expect("soak recovery table poisoned")
-                .insert(i, recovery);
-            report
+            JobResult {
+                report,
+                stages: None,
+                extra: Some(recovery.to_extra()),
+            }
         });
     }
-    let results = sweep.run_with_threads(threads);
+    let results = sweep.try_run_with_threads(options.threads)?;
     let _ = std::fs::remove_dir_all(&scratch);
-    let recoveries = recoveries.lock().expect("soak recovery table poisoned");
-    SoakResults {
+    Ok(SoakResults {
+        journal_skips: results.journal_skips(),
         runs: specs
             .iter()
-            .enumerate()
-            .map(|(i, &spec)| {
-                (
-                    spec,
-                    results.outcomes()[i].report.clone(),
-                    recoveries.get(&i).copied().unwrap_or_default(),
-                )
+            .copied()
+            .zip(results.outcomes().iter())
+            .map(|(spec, o)| {
+                let recovery = o.extra.as_deref().and_then(SoakRecovery::from_extra);
+                (spec, o.status.clone(), o.report.clone(), recovery)
             })
             .collect(),
-    }
+    })
 }
 
 /// Per-policy endurance aggregate over every cell the policy survived.
@@ -370,45 +420,83 @@ pub struct PolicyEndurance {
     pub all_restores_ok: bool,
 }
 
-/// A finished campaign: every cell's report and recovery outcome, in
-/// matrix order.
+/// A finished campaign: every cell's supervisor status, report, and
+/// recovery outcome (both `None` for quarantined cells), in matrix
+/// order.
 #[derive(Debug, Clone)]
 pub struct SoakResults {
-    runs: Vec<(SoakSpec, SimReport, SoakRecovery)>,
+    runs: Vec<(SoakSpec, CellStatus, Option<SimReport>, Option<SoakRecovery>)>,
+    journal_skips: u64,
 }
 
 impl SoakResults {
-    /// The cells, their reports, and their recovery outcomes, in matrix
-    /// order.
-    pub fn runs(&self) -> &[(SoakSpec, SimReport, SoakRecovery)] {
+    /// The cells, their statuses, reports, and recovery outcomes, in
+    /// matrix order.
+    pub fn runs(&self) -> &[(SoakSpec, CellStatus, Option<SimReport>, Option<SoakRecovery>)] {
         &self.runs
     }
 
-    /// Total perceptible-window misses across the whole campaign.
-    pub fn total_misses(&self) -> u64 {
+    /// The completed cells (quarantined cells carry no report). A
+    /// completed cell missing its recovery digest counts as an
+    /// unrecovered default, never a silent success.
+    fn completed(&self) -> impl Iterator<Item = (&SoakSpec, &SimReport, SoakRecovery)> {
+        self.runs.iter().filter_map(|(spec, _, report, recovery)| {
+            report
+                .as_ref()
+                .map(|r| (spec, r, recovery.unwrap_or_default()))
+        })
+    }
+
+    /// Cells restored from the campaign journal instead of executed in
+    /// this invocation (zero without `--resume`).
+    pub fn journal_skips(&self) -> u64 {
+        self.journal_skips
+    }
+
+    /// Supervisor accounting over the campaign.
+    pub fn harness(&self) -> HarnessStats {
+        let mut stats = HarnessStats::from_statuses(self.runs.iter().map(|(_, s, _, _)| s));
+        stats.journal_skips = self.journal_skips;
+        stats
+    }
+
+    /// The quarantined cells' `(label, reason)` pairs, in matrix order.
+    pub fn poisoned(&self) -> Vec<(String, String)> {
         self.runs
             .iter()
+            .filter_map(|(spec, status, _, _)| match status {
+                CellStatus::Poisoned { reason, .. } => Some((spec.label(), reason.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total perceptible-window misses across every completed cell.
+    pub fn total_misses(&self) -> u64 {
+        self.completed()
             .map(|(_, r, _)| r.resilience.perceptible_window_misses)
             .sum()
     }
 
     /// Total host wall-clock the campaign's checkpoint resumes took
-    /// (load + restore + re-run), summed across cells.
+    /// (load + restore + re-run), summed across completed cells.
     pub fn resume_wall(&self) -> Duration {
-        self.runs.iter().map(|(_, _, rec)| rec.resume_wall).sum()
+        self.completed().map(|(_, _, rec)| rec.resume_wall).sum()
     }
 
-    /// Whether every recovery drill restored and matched bytes.
+    /// Whether every completed cell's recovery drill restored and
+    /// matched bytes (quarantined cells are the harness's concern, not
+    /// the recovery drill's).
     pub fn all_recovered(&self) -> bool {
-        self.runs
-            .iter()
+        self.completed()
             .all(|(_, _, rec)| rec.restore_ok && rec.resumed_identical)
     }
 
-    /// Per-policy aggregates, sorted by policy name.
+    /// Per-policy aggregates over the completed cells, sorted by policy
+    /// name.
     pub fn aggregates(&self) -> Vec<PolicyEndurance> {
-        let mut by_policy: BTreeMap<String, Vec<(&SimReport, &SoakRecovery)>> = BTreeMap::new();
-        for (spec, report, rec) in &self.runs {
+        let mut by_policy: BTreeMap<String, Vec<(&SimReport, SoakRecovery)>> = BTreeMap::new();
+        for (spec, report, rec) in self.completed() {
             by_policy
                 .entry(spec.policy.name())
                 .or_default()
@@ -456,31 +544,46 @@ impl SoakResults {
             .collect()
     }
 
-    /// Serializes the campaign as the `simty-bench-soak/v1` document.
-    /// Fully deterministic: no wall-clock fields, so parallel and
-    /// sequential campaigns produce byte-identical bytes.
+    /// Serializes the campaign as the `simty-bench-soak/v1` document
+    /// body. Fully deterministic: no wall-clock or per-invocation
+    /// fields, so parallel, sequential, and journal-resumed campaigns
+    /// produce byte-identical bytes.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"schema\":\"simty-bench-soak/v1\"");
         out.push_str(&format!(",\"runs\":{}", self.runs.len()));
+        out.push_str(&format!(",\"harness\":{}", self.harness().to_json()));
         out.push_str(",\"results\":[");
-        for (i, (spec, report, rec)) in self.runs.iter().enumerate() {
+        for (i, (spec, status, report, recovery)) in self.runs.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{{\"label\":{},\"profile\":{},\"seed\":{},\"checkpoints\":{},\
-                 \"corrupt_skipped\":{},\"restore_ok\":{},\"resumed_identical\":{},\
-                 \"report\":{}}}",
-                json_string(&spec.label()),
-                json_string(spec.profile.name()),
-                spec.seed,
-                rec.checkpoints,
-                rec.corrupt_skipped,
-                rec.restore_ok,
-                rec.resumed_identical,
-                report_to_json(report)
-            ));
+            let rec = recovery.unwrap_or_default();
+            match report {
+                Some(report) => out.push_str(&format!(
+                    "{{\"label\":{},\"profile\":{},\"seed\":{},\"status\":{},\
+                     \"checkpoints\":{},\"corrupt_skipped\":{},\"restore_ok\":{},\
+                     \"resumed_identical\":{},\"report\":{}}}",
+                    json_string(&spec.label()),
+                    json_string(spec.profile.name()),
+                    spec.seed,
+                    json_string(&status.token()),
+                    rec.checkpoints,
+                    rec.corrupt_skipped,
+                    rec.restore_ok,
+                    rec.resumed_identical,
+                    report_to_json(report)
+                )),
+                None => out.push_str(&format!(
+                    "{{\"label\":{},\"profile\":{},\"seed\":{},\"status\":{},\
+                     \"checkpoints\":null,\"corrupt_skipped\":null,\"restore_ok\":null,\
+                     \"resumed_identical\":null,\"report\":null}}",
+                    json_string(&spec.label()),
+                    json_string(spec.profile.name()),
+                    spec.seed,
+                    json_string(&status.token()),
+                )),
+            }
         }
         out.push_str("],\"policies\":[");
         for (i, agg) in self.aggregates().iter().enumerate() {
@@ -512,16 +615,18 @@ impl SoakResults {
     }
 
     /// The committed `BENCH_soak.json` document: the deterministic
-    /// [`to_json`](Self::to_json) body plus one host-timing header
-    /// field, `resume_wall_ms` — the campaign's total checkpoint-resume
-    /// wall-clock. Kept out of `to_json` itself so determinism suites
-    /// can keep byte-diffing that stream.
+    /// [`to_json`](Self::to_json) body plus the per-invocation header
+    /// fields — `resume_wall_ms` (the campaign's total checkpoint-resume
+    /// wall-clock) and `journal_skips` (cells restored from the journal
+    /// by this invocation). Kept out of `to_json` itself so determinism
+    /// suites can keep byte-diffing that stream.
     pub fn to_json_document(&self) -> String {
         self.to_json().replacen(
             "{\"schema\":\"simty-bench-soak/v1\"",
             &format!(
-                "{{\"schema\":\"simty-bench-soak/v1\",\"resume_wall_ms\":{}",
-                json_number(self.resume_wall().as_secs_f64() * 1_000.0)
+                "{{\"schema\":\"simty-bench-soak/v1\",\"resume_wall_ms\":{},\"journal_skips\":{}",
+                json_number(self.resume_wall().as_secs_f64() * 1_000.0),
+                self.journal_skips
             ),
             1,
         )
@@ -608,6 +713,16 @@ mod tests {
         );
         let results = run_soak(&specs, 2);
         assert_eq!(results.runs().len(), 4);
+        assert!(results
+            .runs()
+            .iter()
+            .all(|(_, status, report, recovery)| *status == CellStatus::Ok
+                && report.is_some()
+                && recovery.is_some()));
+        assert!(results.poisoned().is_empty());
+        assert_eq!(results.journal_skips(), 0);
+        let harness = results.harness();
+        assert_eq!((harness.cells, harness.ok, harness.poisoned), (4, 4, 0));
         assert!(results.all_recovered());
         assert_eq!(results.total_misses(), 0);
         let aggs = results.aggregates();
@@ -619,14 +734,43 @@ mod tests {
         let json = results.to_json();
         assert!(json.starts_with("{\"schema\":\"simty-bench-soak/v1\""));
         assert!(json.contains("\"profile\":\"bitflip\""));
+        assert!(json.contains("\"status\":\"ok\""));
+        assert!(json.contains("\"harness\":{\"cells\":4"));
         assert!(json.contains("\"resumed_identical\":true"));
         assert!(!json.contains("wall"), "soak documents must be deterministic");
-        // The committed document adds exactly one host-timing header
-        // field on top of the deterministic body.
+        assert!(!json.contains("journal_skips"));
+        // The committed document adds only per-invocation header fields
+        // on top of the deterministic body.
         let doc = results.to_json_document();
         assert!(doc.starts_with("{\"schema\":\"simty-bench-soak/v1\",\"resume_wall_ms\":"));
+        assert!(doc.contains("\"journal_skips\":0"));
         assert!(results.resume_wall() > Duration::ZERO);
-        assert_eq!(doc.replacen(&format!(",\"resume_wall_ms\":{}", simty::sim::json::json_number(results.resume_wall().as_secs_f64() * 1_000.0)), "", 1), json);
+        assert_eq!(
+            doc.replacen(
+                &format!(
+                    ",\"resume_wall_ms\":{},\"journal_skips\":0",
+                    simty::sim::json::json_number(results.resume_wall().as_secs_f64() * 1_000.0)
+                ),
+                "",
+                1
+            ),
+            json
+        );
+    }
+
+    #[test]
+    fn recovery_extra_round_trips() {
+        let rec = SoakRecovery {
+            checkpoints: 9,
+            corrupt_skipped: 2,
+            resumed_identical: true,
+            restore_ok: true,
+            resume_wall: Duration::from_millis(1234),
+        };
+        assert_eq!(SoakRecovery::from_extra(&rec.to_extra()), Some(rec));
+        assert_eq!(SoakRecovery::from_extra(""), None);
+        assert_eq!(SoakRecovery::from_extra("1:2:3"), None);
+        assert_eq!(SoakRecovery::from_extra("a:0:1:1:0"), None);
     }
 
     #[test]

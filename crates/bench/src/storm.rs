@@ -14,7 +14,6 @@
 use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
-use std::sync::{Arc, Mutex};
 
 use simty::core::admission::AdmissionConfig;
 use simty::core::{SimDuration, SimTime};
@@ -24,7 +23,9 @@ use simty::sim::{
     GovernorConfig, RegistrationStormPlan, SimConfig, SimReport, Simulation, StormBurst,
 };
 
-use crate::sweep::Sweep;
+use crate::journal::JournalError;
+use crate::supervisor::{CellStatus, HarnessStats};
+use crate::sweep::{CampaignOptions, JobResult, Sweep};
 
 /// A named overload adversary: what floods the manager and how far the
 /// battery falls.
@@ -129,6 +130,32 @@ pub struct StormRecovery {
     pub resumed_identical: bool,
     /// The drill restored successfully.
     pub restore_ok: bool,
+}
+
+impl StormRecovery {
+    /// Encodes the drill outcome as the campaign journal's `extra`
+    /// payload, so a journal-restored cell keeps its resume digest.
+    fn to_extra(self) -> String {
+        format!(
+            "{}:{}:{}",
+            self.checkpoints,
+            u8::from(self.resumed_identical),
+            u8::from(self.restore_ok)
+        )
+    }
+
+    /// Reverses [`to_extra`](Self::to_extra).
+    fn from_extra(extra: &str) -> Option<StormRecovery> {
+        let fields: Vec<&str> = extra.split(':').collect();
+        let [checkpoints, resumed_identical, restore_ok] = fields[..] else {
+            return None;
+        };
+        Some(StormRecovery {
+            checkpoints: checkpoints.parse().ok()?,
+            resumed_identical: resumed_identical == "1",
+            restore_ok: restore_ok == "1",
+        })
+    }
 }
 
 impl StormSpec {
@@ -286,37 +313,55 @@ pub fn storm_matrix(
 }
 
 /// Runs a campaign on `threads` sweep workers and collects the results
-/// in matrix order (byte-identical across thread counts).
+/// in matrix order (byte-identical across thread counts). Default
+/// supervision, no journal.
 pub fn run_storm(specs: &[StormSpec], threads: usize) -> StormResults {
-    let recoveries: Arc<Mutex<BTreeMap<usize, StormRecovery>>> =
-        Arc::new(Mutex::new(BTreeMap::new()));
+    run_storm_with(specs, &CampaignOptions::with_threads(threads))
+        .expect("a journal-less storm campaign cannot fail to open its journal")
+}
+
+/// Runs a campaign under explicit harness [`CampaignOptions`]: cell
+/// supervision (panicking or hung cells are quarantined, not fatal) and,
+/// when `journal_dir` is set, crash-tolerant resume. The per-cell
+/// [`StormRecovery`] digest rides the journal's `extra` payload, so a
+/// restored cell keeps its resume outcome.
+///
+/// # Errors
+///
+/// [`JournalError`] when the journal directory holds a journal for a
+/// different campaign kind or grid, or cannot be opened.
+pub fn run_storm_with(
+    specs: &[StormSpec],
+    options: &CampaignOptions,
+) -> Result<StormResults, JournalError> {
     let mut sweep = Sweep::new();
-    for (i, &spec) in specs.iter().enumerate() {
-        let recoveries = Arc::clone(&recoveries);
+    sweep.with_supervisor(options.supervisor);
+    if let Some(dir) = &options.journal_dir {
+        sweep.with_journal(dir, "storm");
+    }
+    for &spec in specs {
         sweep.job(spec.label(), move || {
             let (report, recovery) = spec.run();
-            recoveries
-                .lock()
-                .expect("storm recovery table poisoned")
-                .insert(i, recovery);
-            report
+            JobResult {
+                report,
+                stages: None,
+                extra: Some(recovery.to_extra()),
+            }
         });
     }
-    let results = sweep.run_with_threads(threads);
-    let recoveries = recoveries.lock().expect("storm recovery table poisoned");
-    StormResults {
+    let results = sweep.try_run_with_threads(options.threads)?;
+    Ok(StormResults {
+        journal_skips: results.journal_skips(),
         runs: specs
             .iter()
-            .enumerate()
-            .map(|(i, &spec)| {
-                (
-                    spec,
-                    results.outcomes()[i].report.clone(),
-                    recoveries.get(&i).copied().unwrap_or_default(),
-                )
+            .copied()
+            .zip(results.outcomes().iter())
+            .map(|(spec, o)| {
+                let recovery = o.extra.as_deref().and_then(StormRecovery::from_extra);
+                (spec, o.status.clone(), o.report.clone(), recovery)
             })
             .collect(),
-    }
+    })
 }
 
 /// Per-policy overload aggregate across every cell the policy endured.
@@ -351,47 +396,83 @@ pub struct PolicyOverload {
     pub all_restores_ok: bool,
 }
 
-/// A finished campaign: every cell's report and resume outcome, in
-/// matrix order.
+/// A finished campaign: every cell's supervisor status, report, and
+/// resume outcome (both `None` for quarantined cells), in matrix order.
 #[derive(Debug, Clone)]
 pub struct StormResults {
-    runs: Vec<(StormSpec, SimReport, StormRecovery)>,
+    runs: Vec<(StormSpec, CellStatus, Option<SimReport>, Option<StormRecovery>)>,
+    journal_skips: u64,
 }
 
 impl StormResults {
-    /// The cells, their reports, and their resume outcomes, in matrix
-    /// order.
-    pub fn runs(&self) -> &[(StormSpec, SimReport, StormRecovery)] {
+    /// The cells, their statuses, reports, and resume outcomes, in
+    /// matrix order.
+    pub fn runs(&self) -> &[(StormSpec, CellStatus, Option<SimReport>, Option<StormRecovery>)] {
         &self.runs
     }
 
-    /// Total perceptible-window misses across the whole campaign.
-    pub fn total_misses(&self) -> u64 {
+    /// The completed cells (quarantined cells carry no report). A
+    /// completed cell missing its resume digest counts as an
+    /// unrecovered default, never a silent success.
+    fn completed(&self) -> impl Iterator<Item = (&StormSpec, &SimReport, StormRecovery)> {
+        self.runs.iter().filter_map(|(spec, _, report, recovery)| {
+            report
+                .as_ref()
+                .map(|r| (spec, r, recovery.unwrap_or_default()))
+        })
+    }
+
+    /// Cells restored from the campaign journal instead of executed in
+    /// this invocation (zero without `--resume`).
+    pub fn journal_skips(&self) -> u64 {
+        self.journal_skips
+    }
+
+    /// Supervisor accounting over the campaign.
+    pub fn harness(&self) -> HarnessStats {
+        let mut stats = HarnessStats::from_statuses(self.runs.iter().map(|(_, s, _, _)| s));
+        stats.journal_skips = self.journal_skips;
+        stats
+    }
+
+    /// The quarantined cells' `(label, reason)` pairs, in matrix order.
+    pub fn poisoned(&self) -> Vec<(String, String)> {
         self.runs
             .iter()
+            .filter_map(|(spec, status, _, _)| match status {
+                CellStatus::Poisoned { reason, .. } => Some((spec.label(), reason.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Total perceptible-window misses across every completed cell.
+    pub fn total_misses(&self) -> u64 {
+        self.completed()
             .map(|(_, r, _)| r.resilience.perceptible_window_misses)
             .sum()
     }
 
-    /// Total invariant violations across the whole campaign.
+    /// Total invariant violations across every completed cell.
     pub fn total_violations(&self) -> u64 {
-        self.runs
-            .iter()
+        self.completed()
             .map(|(_, r, _)| r.resilience.invariant_violations)
             .sum()
     }
 
-    /// Whether every resume drill restored and matched bytes.
+    /// Whether every completed cell's resume drill restored and matched
+    /// bytes (quarantined cells are the harness's concern, not the
+    /// resume drill's).
     pub fn all_recovered(&self) -> bool {
-        self.runs
-            .iter()
+        self.completed()
             .all(|(_, _, rec)| rec.restore_ok && rec.resumed_identical)
     }
 
-    /// Per-policy aggregates, sorted by policy name.
+    /// Per-policy aggregates over the completed cells, sorted by policy
+    /// name.
     pub fn aggregates(&self) -> Vec<PolicyOverload> {
-        let mut by_policy: BTreeMap<String, Vec<(&SimReport, &StormRecovery)>> = BTreeMap::new();
-        for (spec, report, rec) in &self.runs {
+        let mut by_policy: BTreeMap<String, Vec<(&SimReport, StormRecovery)>> = BTreeMap::new();
+        for (spec, report, rec) in self.completed() {
             by_policy
                 .entry(spec.policy.name())
                 .or_default()
@@ -426,29 +507,45 @@ impl StormResults {
             .collect()
     }
 
-    /// Serializes the campaign as the `simty-bench-storm/v1` document.
-    /// Fully deterministic: no wall-clock fields, so parallel and
-    /// sequential campaigns produce byte-identical bytes.
+    /// Serializes the campaign as the `simty-bench-storm/v1` document
+    /// body. Fully deterministic: no wall-clock or per-invocation
+    /// fields, so parallel, sequential, and journal-resumed campaigns
+    /// produce byte-identical bytes.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(4096);
         out.push_str("{\"schema\":\"simty-bench-storm/v1\"");
         out.push_str(&format!(",\"runs\":{}", self.runs.len()));
+        out.push_str(&format!(",\"harness\":{}", self.harness().to_json()));
         out.push_str(",\"results\":[");
-        for (i, (spec, report, rec)) in self.runs.iter().enumerate() {
+        for (i, (spec, status, report, recovery)) in self.runs.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!(
-                "{{\"label\":{},\"profile\":{},\"seed\":{},\"checkpoints\":{},\
-                 \"restore_ok\":{},\"resumed_identical\":{},\"report\":{}}}",
-                json_string(&spec.label()),
-                json_string(spec.profile.name()),
-                spec.seed,
-                rec.checkpoints,
-                rec.restore_ok,
-                rec.resumed_identical,
-                report_to_json(report)
-            ));
+            let rec = recovery.unwrap_or_default();
+            match report {
+                Some(report) => out.push_str(&format!(
+                    "{{\"label\":{},\"profile\":{},\"seed\":{},\"status\":{},\
+                     \"checkpoints\":{},\"restore_ok\":{},\"resumed_identical\":{},\
+                     \"report\":{}}}",
+                    json_string(&spec.label()),
+                    json_string(spec.profile.name()),
+                    spec.seed,
+                    json_string(&status.token()),
+                    rec.checkpoints,
+                    rec.restore_ok,
+                    rec.resumed_identical,
+                    report_to_json(report)
+                )),
+                None => out.push_str(&format!(
+                    "{{\"label\":{},\"profile\":{},\"seed\":{},\"status\":{},\
+                     \"checkpoints\":null,\"restore_ok\":null,\"resumed_identical\":null,\
+                     \"report\":null}}",
+                    json_string(&spec.label()),
+                    json_string(spec.profile.name()),
+                    spec.seed,
+                    json_string(&status.token()),
+                )),
+            }
         }
         out.push_str("],\"policies\":[");
         for (i, agg) in self.aggregates().iter().enumerate() {
@@ -480,13 +577,27 @@ impl StormResults {
         out
     }
 
-    /// Writes [`to_json`](Self::to_json) to a file.
+    /// The full on-disk document: [`to_json`](Self::to_json) plus the
+    /// per-invocation `journal_skips` header (how many cells this
+    /// invocation restored from the journal instead of running).
+    pub fn to_json_document(&self) -> String {
+        self.to_json().replacen(
+            "{\"schema\":\"simty-bench-storm/v1\"",
+            &format!(
+                "{{\"schema\":\"simty-bench-storm/v1\",\"journal_skips\":{}",
+                self.journal_skips
+            ),
+            1,
+        )
+    }
+
+    /// Writes [`to_json_document`](Self::to_json_document) to a file.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn write_json(&self, path: impl AsRef<Path>) -> io::Result<()> {
-        std::fs::write(path, self.to_json())
+        std::fs::write(path, self.to_json_document())
     }
 }
 
@@ -575,10 +686,39 @@ mod tests {
             1,
             SimDuration::from_hours(1),
         );
-        let sequential = run_storm(&specs, 1).to_json();
+        let results = run_storm(&specs, 1);
+        assert!(results
+            .runs()
+            .iter()
+            .all(|(_, status, report, recovery)| *status == CellStatus::Ok
+                && report.is_some()
+                && recovery.is_some()));
+        assert!(results.poisoned().is_empty());
+        let harness = results.harness();
+        assert_eq!((harness.cells, harness.ok, harness.poisoned), (4, 4, 0));
+        let sequential = results.to_json();
         let parallel = run_storm(&specs, 3).to_json();
         assert_eq!(sequential, parallel);
         assert!(sequential.contains("\"schema\":\"simty-bench-storm/v1\""));
         assert!(sequential.contains("\"storm_registrations\""));
+        assert!(sequential.contains("\"status\":\"ok\""));
+        assert!(sequential.contains("\"harness\":{\"cells\":4"));
+        assert!(!sequential.contains("journal_skips"));
+        assert!(results
+            .to_json_document()
+            .starts_with("{\"schema\":\"simty-bench-storm/v1\",\"journal_skips\":0"));
+    }
+
+    #[test]
+    fn recovery_extra_round_trips() {
+        let rec = StormRecovery {
+            checkpoints: 7,
+            resumed_identical: true,
+            restore_ok: true,
+        };
+        assert_eq!(StormRecovery::from_extra(&rec.to_extra()), Some(rec));
+        assert_eq!(StormRecovery::from_extra(""), None);
+        assert_eq!(StormRecovery::from_extra("1:1"), None);
+        assert_eq!(StormRecovery::from_extra("x:1:1"), None);
     }
 }

@@ -16,9 +16,9 @@
 //! perturbation point.
 
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use simty::experiments::RunSpec;
@@ -26,12 +26,18 @@ use simty::obs::StageProfile;
 use simty::sim::json::{json_number, json_string, report_to_json};
 use simty::sim::SimReport;
 
-/// A closure job: any computation producing a [`JobResult`].
-type JobFn = Box<dyn FnOnce() -> JobResult + Send>;
+use crate::journal::{CampaignJournal, JournalError};
+use crate::supervisor::{supervise, CellStatus, HarnessStats, SupervisorConfig};
+
+/// A cell's task: re-runnable (the supervisor may retry it) and
+/// shareable across the watchdog thread, producing a [`JobResult`].
+pub type TaskFn = Arc<dyn Fn() -> JobResult + Send + Sync + 'static>;
 
 /// What a sweep job yields: the run's report, plus the engine's
-/// per-stage wall-clock profile when the job captured one. Closure jobs
-/// that only have a [`SimReport`] convert via `From` (no profile).
+/// per-stage wall-clock profile when the job captured one, plus an
+/// optional campaign-defined `extra` payload that rides along into the
+/// campaign journal (e.g. soak's recovery digest). Closure jobs that
+/// only have a [`SimReport`] convert via `From` (no profile, no extra).
 #[derive(Debug, Clone)]
 pub struct JobResult {
     /// The run's report.
@@ -39,11 +45,19 @@ pub struct JobResult {
     /// Per-stage self-profiling, when captured
     /// (e.g. via [`RunSpec::run_instrumented`]).
     pub stages: Option<StageProfile>,
+    /// Campaign-defined opaque payload, journaled with the report and
+    /// restored on `--resume` (so campaigns that derive per-cell data
+    /// beyond the report survive a skip).
+    pub extra: Option<String>,
 }
 
 impl From<SimReport> for JobResult {
     fn from(report: SimReport) -> Self {
-        JobResult { report, stages: None }
+        JobResult {
+            report,
+            stages: None,
+            extra: None,
+        }
     }
 }
 
@@ -52,13 +66,14 @@ impl From<(SimReport, StageProfile)> for JobResult {
         JobResult {
             report,
             stages: Some(stages),
+            extra: None,
         }
     }
 }
 
 struct Job {
     label: String,
-    task: JobFn,
+    task: TaskFn,
 }
 
 /// Handle to an enqueued run; index into [`SweepResults`].
@@ -87,12 +102,30 @@ pub struct Sweep {
     jobs: Vec<Job>,
     specs: Vec<(RunSpec, RunHandle)>,
     no_obs: bool,
+    supervisor: SupervisorConfig,
+    journal: Option<(PathBuf, String)>,
 }
 
 impl Sweep {
     /// An empty sweep.
     pub fn new() -> Self {
         Sweep::default()
+    }
+
+    /// Overrides the cell-supervision policy (retry budget, deadline).
+    /// The default supervises with one transient retry and no deadline.
+    pub fn with_supervisor(&mut self, config: SupervisorConfig) -> &mut Self {
+        self.supervisor = config;
+        self
+    }
+
+    /// Attaches a `simty-campaign/v1` journal in `dir` under the given
+    /// campaign kind (`"sweep"`, `"chaos"`, ...): completed cells are
+    /// appended as they finish, and cells already journaled by a
+    /// previous (interrupted) invocation are restored instead of re-run.
+    pub fn with_journal(&mut self, dir: impl Into<PathBuf>, kind: impl Into<String>) -> &mut Self {
+        self.journal = Some((dir.into(), kind.into()));
+        self
     }
 
     /// Makes every subsequently enqueued spec run uninstrumented (the
@@ -142,7 +175,7 @@ impl Sweep {
     pub fn job<R: Into<JobResult>>(
         &mut self,
         label: impl Into<String>,
-        task: impl FnOnce() -> R + Send + 'static,
+        task: impl Fn() -> R + Send + Sync + 'static,
     ) -> RunHandle {
         self.push(label.into(), task)
     }
@@ -150,12 +183,12 @@ impl Sweep {
     fn push<R: Into<JobResult>>(
         &mut self,
         label: String,
-        task: impl FnOnce() -> R + Send + 'static,
+        task: impl Fn() -> R + Send + Sync + 'static,
     ) -> RunHandle {
         let handle = RunHandle(self.jobs.len());
         self.jobs.push(Job {
             label,
-            task: Box::new(move || task().into()),
+            task: Arc::new(move || task().into()),
         });
         handle
     }
@@ -170,27 +203,77 @@ impl Sweep {
     /// Executes the batch on `threads` workers and collects the results
     /// in enqueue order.
     ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero, if a worker thread fails to join, or
+    /// if an attached journal cannot be opened (use
+    /// [`try_run_with_threads`](Self::try_run_with_threads) to handle
+    /// journal errors).
+    pub fn run_with_threads(self, threads: usize) -> SweepResults {
+        match self.try_run_with_threads(threads) {
+            Ok(results) => results,
+            Err(e) => panic!("campaign journal failed: {e}"),
+        }
+    }
+
+    /// Executes the batch on `threads` workers and collects the results
+    /// in enqueue order.
+    ///
     /// Work is claimed from a shared index, so scheduling is dynamic, but
     /// each result lands at its job's index: output is byte-identical
-    /// regardless of thread count or completion order.
+    /// regardless of thread count or completion order. Every cell runs
+    /// under the [supervisor](crate::supervisor): a panicking or hung
+    /// cell is retried or quarantined (status
+    /// [`CellStatus::Poisoned`]) and the rest of the batch continues.
+    /// With a journal attached, cells completed by a previous
+    /// interrupted invocation are restored instead of re-run.
+    ///
+    /// # Errors
+    ///
+    /// [`JournalError`] when the attached journal cannot be opened or
+    /// belongs to a different campaign. Journal *append* failures are
+    /// reported to stderr and do not fail the campaign (the affected
+    /// cells simply re-run on resume).
     ///
     /// # Panics
     ///
-    /// Panics if `threads` is zero, if a job panics, or if a worker
-    /// thread fails to join.
-    pub fn run_with_threads(self, threads: usize) -> SweepResults {
+    /// Panics if `threads` is zero or a worker thread fails to join.
+    pub fn try_run_with_threads(self, threads: usize) -> Result<SweepResults, JournalError> {
         assert!(threads > 0, "a sweep needs at least one worker");
         let total = self.jobs.len();
         let started = Instant::now();
-        let jobs: Vec<Mutex<Option<Job>>> = self
-            .jobs
-            .into_iter()
-            .map(|j| Mutex::new(Some(j)))
-            .collect();
-        let next = AtomicUsize::new(0);
-        let outcomes: Vec<Mutex<Option<Outcome>>> =
-            (0..total).map(|_| Mutex::new(None)).collect();
 
+        let outcomes: Vec<Mutex<Option<Outcome>>> = (0..total).map(|_| Mutex::new(None)).collect();
+        let mut journal = None;
+        let mut journal_skips = 0u64;
+        if let Some((dir, kind)) = &self.journal {
+            let labels: Vec<String> = self.jobs.iter().map(|j| j.label.clone()).collect();
+            let (handle, replay) = CampaignJournal::open(dir, kind, &labels)?;
+            for entry in replay.entries {
+                let Some(slot) = outcomes.get(entry.index) else {
+                    continue;
+                };
+                let mut slot = slot.lock().expect("outcome slot lock");
+                if slot.is_some() {
+                    continue; // duplicate record; first wins
+                }
+                *slot = Some(Outcome {
+                    label: labels[entry.index].clone(),
+                    report: Some(entry.report),
+                    stages: None,
+                    wall: Duration::ZERO,
+                    status: entry.status,
+                    extra: entry.extra,
+                });
+                journal_skips += 1;
+            }
+            journal = Some(handle);
+        }
+
+        let supervisor = self.supervisor;
+        let jobs = self.jobs;
+        let next = AtomicUsize::new(0);
+        let journal = journal.as_ref();
         std::thread::scope(|scope| {
             let workers = threads.min(total.max(1));
             let mut handles = Vec::with_capacity(workers);
@@ -200,18 +283,32 @@ impl Sweep {
                     if idx >= total {
                         break;
                     }
-                    let job = jobs[idx]
-                        .lock()
-                        .expect("job slot lock")
-                        .take()
-                        .expect("job claimed once");
+                    if outcomes[idx].lock().expect("outcome slot lock").is_some() {
+                        continue; // restored from the journal
+                    }
+                    let job = &jobs[idx];
                     let job_started = Instant::now();
-                    let result = (job.task)();
+                    let (result, status) = supervise(&supervisor, job.task.clone());
+                    let (report, stages, extra) = match result {
+                        Some(r) => (Some(r.report), r.stages, r.extra),
+                        None => (None, None, None),
+                    };
+                    if let (Some(journal), Some(report)) = (journal, &report) {
+                        if let Err(e) = journal.record(idx, &status, report, extra.as_deref()) {
+                            eprintln!(
+                                "warning: campaign journal append failed for cell {idx} \
+                                 (`{}`): {e}; the cell will re-run on resume",
+                                job.label
+                            );
+                        }
+                    }
                     *outcomes[idx].lock().expect("outcome slot lock") = Some(Outcome {
-                        label: job.label,
-                        report: result.report,
-                        stages: result.stages,
+                        label: job.label.clone(),
+                        report,
+                        stages,
                         wall: job_started.elapsed(),
+                        status,
+                        extra,
                     });
                 }));
             }
@@ -220,7 +317,7 @@ impl Sweep {
             }
         });
 
-        SweepResults {
+        Ok(SweepResults {
             outcomes: outcomes
                 .into_iter()
                 .map(|slot| {
@@ -231,6 +328,42 @@ impl Sweep {
                 .collect(),
             wall: started.elapsed(),
             threads,
+            journal_skips,
+        })
+    }
+}
+
+/// Shared harness options for the campaign runners (`run_chaos_with`,
+/// `run_soak_with`, `run_storm_with`): worker count, cell supervision
+/// policy, and the optional journal directory that enables `--resume`.
+#[derive(Debug, Clone)]
+pub struct CampaignOptions {
+    /// Worker threads (defaults to every available core).
+    pub threads: usize,
+    /// Cell supervision policy (retry budget, deadline).
+    pub supervisor: SupervisorConfig,
+    /// Campaign journal directory; `Some` enables crash-tolerant
+    /// resume (completed cells are restored instead of re-run).
+    pub journal_dir: Option<PathBuf>,
+}
+
+impl Default for CampaignOptions {
+    fn default() -> Self {
+        CampaignOptions {
+            threads: available_threads(),
+            supervisor: SupervisorConfig::default(),
+            journal_dir: None,
+        }
+    }
+}
+
+impl CampaignOptions {
+    /// Default options with an explicit worker count.
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        CampaignOptions {
+            threads,
+            ..CampaignOptions::default()
         }
     }
 }
@@ -242,18 +375,25 @@ pub fn available_threads() -> usize {
         .unwrap_or(1)
 }
 
-/// One finished run.
+/// One finished (or quarantined, or journal-restored) run.
 #[derive(Debug, Clone)]
 pub struct Outcome {
     /// The label given at enqueue time (the spec label for spec jobs).
     pub label: String,
-    /// The run's report.
-    pub report: SimReport,
+    /// The run's report; `None` when the cell was poisoned.
+    pub report: Option<SimReport>,
     /// Per-stage self-profiling, when the job captured one (spec jobs
-    /// always do; closure jobs may not).
+    /// always do; closure jobs may not, and journal-restored cells
+    /// never do).
     pub stages: Option<StageProfile>,
-    /// Wall-clock time of this run alone.
+    /// Wall-clock time of this run alone (zero for journal-restored
+    /// cells).
     pub wall: Duration,
+    /// What the supervisor observed for this cell.
+    pub status: CellStatus,
+    /// The campaign-defined payload the job returned (journaled and
+    /// restored alongside the report).
+    pub extra: Option<String>,
 }
 
 /// The results of a [`Sweep`], in enqueue order.
@@ -262,12 +402,31 @@ pub struct SweepResults {
     outcomes: Vec<Outcome>,
     wall: Duration,
     threads: usize,
+    journal_skips: u64,
 }
 
 impl SweepResults {
     /// The report for a handle returned at enqueue time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell was poisoned — callers that must survive
+    /// quarantined cells use [`try_report`](Self::try_report).
     pub fn report(&self, handle: RunHandle) -> &SimReport {
-        &self.outcomes[handle.0].report
+        let o = &self.outcomes[handle.0];
+        match &o.report {
+            Some(report) => report,
+            None => panic!(
+                "cell `{}` was quarantined ({}) and has no report",
+                o.label,
+                o.status.token()
+            ),
+        }
+    }
+
+    /// The report for a handle, or `None` if the cell was poisoned.
+    pub fn try_report(&self, handle: RunHandle) -> Option<&SimReport> {
+        self.outcomes[handle.0].report.as_ref()
     }
 
     /// Reports for a batch of handles (e.g. one per seed), in order.
@@ -293,6 +452,33 @@ impl SweepResults {
     /// Worker threads used.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Cells restored from the campaign journal instead of executed in
+    /// this invocation (zero without a journal).
+    pub fn journal_skips(&self) -> u64 {
+        self.journal_skips
+    }
+
+    /// Supervisor accounting over the batch: derived from the per-cell
+    /// statuses (identical for an executed and a journal-restored cell)
+    /// plus this invocation's `journal_skips`.
+    pub fn harness(&self) -> HarnessStats {
+        let mut stats = HarnessStats::from_statuses(self.outcomes.iter().map(|o| &o.status));
+        stats.journal_skips = self.journal_skips;
+        stats
+    }
+
+    /// The poisoned cells' `(label, reason)` pairs, in enqueue order
+    /// (empty when every cell completed).
+    pub fn poisoned(&self) -> Vec<(String, String)> {
+        self.outcomes
+            .iter()
+            .filter_map(|o| match &o.status {
+                CellStatus::Poisoned { reason, .. } => Some((o.label.clone(), reason.clone())),
+                _ => None,
+            })
+            .collect()
     }
 
     /// End-to-end wall-clock time of the batch.
@@ -330,24 +516,28 @@ impl SweepResults {
     }
 
     /// Serializes the sweep as the `BENCH_sweep.json` document: batch
-    /// timing, the aggregated per-stage self-profile, and, per run, its
-    /// label, wall-clock, and full report.
+    /// timing, the aggregated per-stage self-profile, the supervisor's
+    /// `harness` block, and, per run, its label, status, wall-clock, and
+    /// full report (`null` for poisoned cells).
     ///
-    /// Only the `results[*].label`/`report` fields are deterministic;
-    /// the timing fields and the `stages` block vary run to run (the
+    /// Only the `results[*].label`/`status`/`report` fields and the
+    /// `harness` block are deterministic; the timing fields,
+    /// `journal_skips`, and the `stages` block vary run to run (the
     /// determinism regression test compares
     /// [`reports_json`](Self::reports_json) instead).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         out.push('{');
         out.push_str(&format!(
-            "\"schema\":{},\"threads\":{},\"runs\":{},\"total_wall_ms\":{},\"sequential_wall_ms\":{},\"runs_per_sec\":{},\"stages\":{},\"results\":[",
+            "\"schema\":{},\"threads\":{},\"runs\":{},\"total_wall_ms\":{},\"sequential_wall_ms\":{},\"runs_per_sec\":{},\"journal_skips\":{},\"harness\":{},\"stages\":{},\"results\":[",
             json_string("simty-bench-sweep/v1"),
             self.threads,
             self.outcomes.len(),
             json_number(self.wall.as_secs_f64() * 1_000.0),
             json_number(self.sequential_wall().as_secs_f64() * 1_000.0),
             json_number(self.runs_per_sec()),
+            self.journal_skips,
+            self.harness().to_json(),
             self.stage_profile().to_json(),
         ));
         for (i, o) in self.outcomes.iter().enumerate() {
@@ -355,10 +545,13 @@ impl SweepResults {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"label\":{},\"wall_ms\":{},\"report\":{}}}",
+                "{{\"label\":{},\"status\":{},\"wall_ms\":{},\"report\":{}}}",
                 json_string(&o.label),
+                json_string(&o.status.token()),
                 json_number(o.wall.as_secs_f64() * 1_000.0),
-                report_to_json(&o.report)
+                o.report
+                    .as_ref()
+                    .map_or_else(|| "null".to_owned(), report_to_json)
             ));
         }
         out.push_str("]}");
@@ -366,8 +559,10 @@ impl SweepResults {
     }
 
     /// Serializes only the deterministic payload: a JSON array of
-    /// `{label, report}` in enqueue order. Two sweeps over the same grid
-    /// must produce byte-identical output regardless of thread count.
+    /// `{label, status, report}` in enqueue order. Two sweeps over the
+    /// same grid must produce byte-identical output regardless of
+    /// thread count — and regardless of how many cells were restored
+    /// from a campaign journal.
     pub fn reports_json(&self) -> String {
         let mut out = String::new();
         out.push('[');
@@ -376,9 +571,12 @@ impl SweepResults {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"label\":{},\"report\":{}}}",
+                "{{\"label\":{},\"status\":{},\"report\":{}}}",
                 json_string(&o.label),
-                report_to_json(&o.report)
+                json_string(&o.status.token()),
+                o.report
+                    .as_ref()
+                    .map_or_else(|| "null".to_owned(), report_to_json)
             ));
         }
         out.push(']');

@@ -1,0 +1,235 @@
+//! The supervised-campaign guarantees, end to end: a panicking or hung
+//! cell is quarantined without killing the campaign, transient panics
+//! retry deterministically, and an interrupted journaled campaign
+//! resumes to a byte-identical result stream across thread counts.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use simty::core::time::SimDuration;
+use simty_bench::journal::JOURNAL_FILE;
+use simty_bench::{
+    CellStatus, JobResult, JournalError, PolicyKind, RunSpec, Scenario, SupervisorConfig, Sweep,
+};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "simty-harness-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ))
+}
+
+fn short_spec(policy: PolicyKind, seed: u64) -> RunSpec {
+    RunSpec::paper(policy, Scenario::Light, seed).with_duration(SimDuration::from_mins(20))
+}
+
+#[test]
+fn a_panicking_cell_is_quarantined_and_the_campaign_continues() {
+    let mut sweep = Sweep::new();
+    sweep.spec(short_spec(PolicyKind::Native, 1));
+    sweep.job("exploding/cell", || -> JobResult {
+        panic!("synthetic harness failure")
+    });
+    sweep.spec(short_spec(PolicyKind::Simty, 1));
+    let results = sweep.run_with_threads(2);
+
+    let outcomes = results.outcomes();
+    assert_eq!(outcomes.len(), 3);
+    assert!(outcomes[0].report.is_some(), "healthy cells must complete");
+    assert!(outcomes[2].report.is_some(), "cells after the panic must complete");
+    assert!(outcomes[1].report.is_none());
+    assert!(outcomes[1].status.is_poisoned());
+
+    let poisoned = results.poisoned();
+    assert_eq!(poisoned.len(), 1);
+    assert_eq!(poisoned[0].0, "exploding/cell");
+    assert!(
+        poisoned[0].1.contains("synthetic harness failure"),
+        "the panic payload must be captured, got `{}`",
+        poisoned[0].1
+    );
+
+    let stats = results.harness();
+    assert_eq!((stats.cells, stats.ok, stats.poisoned), (3, 2, 1));
+    // Non-transient panics are not retried: one attempt, one panic.
+    assert_eq!((stats.retries, stats.panics), (0, 1));
+}
+
+#[test]
+fn transient_panics_retry_and_then_succeed() {
+    let attempts = Arc::new(AtomicUsize::new(0));
+    let probe = Arc::clone(&attempts);
+    let mut sweep = Sweep::new();
+    sweep.job("flaky/cell", move || {
+        if probe.fetch_add(1, Ordering::SeqCst) == 0 {
+            panic!("transient scratch-volume hiccup");
+        }
+        short_spec(PolicyKind::Simty, 1).run_instrumented()
+    });
+    let results = sweep.run_with_threads(1);
+
+    assert_eq!(attempts.load(Ordering::SeqCst), 2, "exactly one retry");
+    let outcomes = results.outcomes();
+    assert!(outcomes[0].report.is_some());
+    assert!(matches!(outcomes[0].status, CellStatus::Retried { retries: 1 }));
+    let stats = results.harness();
+    assert_eq!((stats.retried_cells, stats.retries, stats.panics), (1, 1, 1));
+    assert_eq!(stats.poisoned, 0);
+}
+
+#[test]
+fn transient_panics_poison_once_retries_are_exhausted() {
+    let mut sweep = Sweep::new();
+    sweep.with_supervisor(SupervisorConfig {
+        max_retries: 2,
+        ..SupervisorConfig::default()
+    });
+    sweep.job("always-flaky/cell", || -> JobResult {
+        panic!("transient but actually permanent")
+    });
+    let results = sweep.run_with_threads(1);
+
+    let outcomes = results.outcomes();
+    assert!(matches!(
+        outcomes[0].status,
+        CellStatus::Poisoned { retries: 2, timed_out: false, .. }
+    ));
+    let stats = results.harness();
+    assert_eq!((stats.poisoned, stats.retries, stats.panics), (1, 2, 3));
+}
+
+#[test]
+fn a_hung_cell_is_killed_by_the_deadline_watchdog() {
+    let mut sweep = Sweep::new();
+    sweep.with_supervisor(SupervisorConfig {
+        max_retries: 0,
+        deadline: Some(Duration::from_millis(50)),
+    });
+    sweep.job("hung/cell", || -> JobResult {
+        std::thread::sleep(Duration::from_secs(5));
+        panic!("unreachable: the watchdog fires first")
+    });
+    sweep.spec(short_spec(PolicyKind::Native, 1));
+    let results = sweep.run_with_threads(2);
+
+    let outcomes = results.outcomes();
+    assert!(matches!(
+        outcomes[0].status,
+        CellStatus::Poisoned { timed_out: true, .. }
+    ));
+    assert!(outcomes[1].report.is_some(), "the campaign must continue");
+    let stats = results.harness();
+    assert_eq!((stats.timeouts, stats.poisoned), (1, 1));
+}
+
+fn journaled_grid(dir: &std::path::Path) -> Sweep {
+    let mut sweep = Sweep::new();
+    for policy in [PolicyKind::Native, PolicyKind::Simty] {
+        for seed in 1..=2 {
+            sweep.spec(short_spec(policy, seed));
+        }
+    }
+    sweep.with_journal(dir, "resilience");
+    sweep
+}
+
+/// Kill-and-resume: truncate the journal after K cells (exactly what an
+/// interrupted invocation leaves behind) and assert the resumed result
+/// stream is byte-identical to the straight-through one, on 1 thread
+/// and on 3.
+#[test]
+fn interrupted_campaign_resumes_byte_identical() {
+    let mut straight = Sweep::new();
+    for policy in [PolicyKind::Native, PolicyKind::Simty] {
+        for seed in 1..=2 {
+            straight.spec(short_spec(policy, seed));
+        }
+    }
+    let expected = straight.run_with_threads(1).reports_json();
+
+    for threads in [1usize, 3] {
+        let dir = unique_dir(&format!("resume-{threads}"));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // First invocation completes everything...
+        let full = journaled_grid(&dir).run_with_threads(threads);
+        assert_eq!(full.journal_skips(), 0);
+        assert_eq!(full.reports_json(), expected);
+
+        // ...then "crash" after 2 cells by truncating the journal, plus
+        // a torn half-line the replay must drop.
+        let journal = dir.join(JOURNAL_FILE);
+        let text = std::fs::read_to_string(&journal).expect("journal exists");
+        let keep: Vec<&str> = text.lines().take(4).collect(); // magic, meta, 2 cells
+        assert!(keep.len() == 4, "journal too short: {text}");
+        std::fs::write(&journal, format!("{}\ncell=2,ok,torn", keep.join("\n"))).unwrap();
+
+        let resumed = journaled_grid(&dir).run_with_threads(threads);
+        assert_eq!(
+            resumed.journal_skips(),
+            2,
+            "exactly the journaled cells are restored"
+        );
+        assert_eq!(
+            resumed.reports_json(),
+            expected,
+            "resume diverged on {threads} thread(s)"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn a_journal_from_a_different_grid_is_rejected() {
+    let dir = unique_dir("mismatch");
+    let _ = std::fs::remove_dir_all(&dir);
+    journaled_grid(&dir).run_with_threads(1);
+
+    // Same kind, different cells: the grid digest disagrees.
+    let mut other = Sweep::new();
+    other.spec(short_spec(PolicyKind::Native, 9));
+    other.with_journal(&dir, "resilience");
+    match other.try_run_with_threads(1) {
+        Err(JournalError::Mismatch { reason, .. }) => {
+            assert!(!reason.is_empty());
+        }
+        other => panic!("expected a journal mismatch, got {other:?}"),
+    }
+
+    // Different campaign kind over the same grid: also rejected.
+    let mut wrong_kind = journaled_grid(&dir);
+    wrong_kind.with_journal(&dir, "sweep");
+    assert!(matches!(
+        wrong_kind.try_run_with_threads(1),
+        Err(JournalError::Mismatch { .. })
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Poisoned cells are never journaled: on resume they run again (and
+/// may well poison again), while completed neighbours are restored.
+#[test]
+fn poisoned_cells_rerun_on_resume() {
+    let dir = unique_dir("poison-rerun");
+    let _ = std::fs::remove_dir_all(&dir);
+    let campaign = |dir: &std::path::Path| {
+        let mut sweep = Sweep::new();
+        sweep.spec(short_spec(PolicyKind::Native, 1));
+        sweep.job("cursed/cell", || -> JobResult {
+            panic!("still broken")
+        });
+        sweep.with_journal(dir, "poison");
+        sweep
+    };
+    let first = campaign(&dir).run_with_threads(1);
+    assert_eq!(first.poisoned().len(), 1);
+    assert_eq!(first.journal_skips(), 0);
+
+    let second = campaign(&dir).run_with_threads(1);
+    assert_eq!(second.journal_skips(), 1, "only the healthy cell is restored");
+    assert_eq!(second.poisoned().len(), 1, "the cursed cell ran (and failed) again");
+    let _ = std::fs::remove_dir_all(&dir);
+}

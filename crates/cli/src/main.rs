@@ -12,7 +12,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("standby: {e}");
             eprintln!("run `standby --help` for usage");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }

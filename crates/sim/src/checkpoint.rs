@@ -33,8 +33,9 @@
 use std::collections::BTreeMap;
 use std::fmt::{self, Write as _};
 use std::fs;
-use std::io::{self, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use simty_core::admission::{
     AdmissionConfig, AdmissionController, AppAdmission, ClassQuota, TokenBucket,
@@ -64,6 +65,7 @@ use crate::fault::{CrashSpec, FaultPlan, FaultState, StormSpec};
 use crate::invariant::{InvariantMonitor, InvariantViolation};
 use crate::metrics::OverloadStats;
 use crate::obs::{ObsLayer, SPAN_CAPACITY};
+use crate::vfs::{RealVfs, Vfs};
 use crate::overload::StormBurst;
 use crate::trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
 use crate::watchdog::{OnlineWatchdogConfig, WatchdogPolicy};
@@ -179,55 +181,7 @@ impl From<io::Error> for CheckpointError {
     }
 }
 
-/// FNV-1a 64-bit, the body checksum.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        hash ^= u64::from(b);
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
-/// Percent-escapes the characters the line format reserves.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for ch in s.chars() {
-        match ch {
-            '%' => out.push_str("%25"),
-            ',' => out.push_str("%2C"),
-            ':' => out.push_str("%3A"),
-            '\n' => out.push_str("%0A"),
-            '\r' => out.push_str("%0D"),
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Reverses [`esc`]. Invalid escapes pass through verbatim.
-fn unesc(s: &str) -> String {
-    let bytes = s.as_bytes();
-    let mut out = String::with_capacity(s.len());
-    let mut i = 0;
-    while i < bytes.len() {
-        if bytes[i] == b'%' && i + 2 < bytes.len() {
-            let hex = &s[i + 1..i + 3];
-            if let Ok(v) = u8::from_str_radix(hex, 16) {
-                out.push(v as char);
-                i += 3;
-                continue;
-            }
-        }
-        out.push(bytes[i] as char);
-        i += 1;
-    }
-    out
-}
-
-fn f64_hex(v: f64) -> String {
-    format!("{:016x}", v.to_bits())
-}
+use crate::codec::{esc, f64_hex, fnv1a64, unesc};
 
 /// One captured snapshot: the serialized body plus the two fields needed
 /// to identify it without a full parse.
@@ -344,11 +298,25 @@ impl Checkpoint {
     ///
     /// Propagates filesystem errors.
     pub fn write_atomic(&self, path: &Path) -> Result<(), CheckpointError> {
-        let tmp = match (path.parent(), path.file_name()) {
+        self.write_atomic_vfs(&RealVfs, path)
+    }
+
+    /// [`write_atomic`](Self::write_atomic) over an explicit [`Vfs`],
+    /// so tests can inject host-I/O faults at every step. The sequence
+    /// is write temp → fsync temp → rename → **fsync parent directory**;
+    /// without the final directory sync a crash right after the rename
+    /// can lose the new directory entry (and with it the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors. On failure the temp file is
+    /// removed (best-effort) so a dead write never shadows a later one.
+    pub fn write_atomic_vfs(&self, vfs: &dyn Vfs, path: &Path) -> Result<(), CheckpointError> {
+        let (dir, tmp) = match (path.parent(), path.file_name()) {
             (Some(dir), Some(name)) => {
                 let mut tmp_name = name.to_owned();
                 tmp_name.push(".tmp");
-                dir.join(tmp_name)
+                (dir, dir.join(tmp_name))
             }
             _ => {
                 return Err(CheckpointError::Io(io::Error::new(
@@ -357,11 +325,16 @@ impl Checkpoint {
                 )))
             }
         };
-        let mut file = fs::File::create(&tmp)?;
-        file.write_all(&self.to_bytes())?;
-        file.sync_all()?;
-        drop(file);
-        fs::rename(&tmp, path)?;
+        let attempt = (|| {
+            vfs.write_file(&tmp, &self.to_bytes())?;
+            vfs.sync_file(&tmp)?;
+            vfs.rename(&tmp, path)?;
+            vfs.sync_dir(dir)
+        })();
+        if let Err(e) = attempt {
+            let _ = vfs.remove_file(&tmp);
+            return Err(CheckpointError::Io(e));
+        }
         Ok(())
     }
 
@@ -373,6 +346,16 @@ impl Checkpoint {
     /// [`from_bytes`](Self::from_bytes).
     pub fn read_from(path: &Path) -> Result<Checkpoint, CheckpointError> {
         Checkpoint::from_bytes(&fs::read(path)?)
+    }
+
+    /// [`read_from`](Self::read_from) over an explicit [`Vfs`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors and every validation failure of
+    /// [`from_bytes`](Self::from_bytes).
+    pub fn read_from_vfs(vfs: &dyn Vfs, path: &Path) -> Result<Checkpoint, CheckpointError> {
+        Checkpoint::from_bytes(&vfs.read(path)?)
     }
 }
 
@@ -386,21 +369,36 @@ impl Checkpoint {
 pub struct CheckpointStore {
     dir: PathBuf,
     next_seq: u64,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl CheckpointStore {
-    /// Opens (creating if needed) a store at `dir`.
+    /// Opens (creating if needed) a store at `dir` on the real
+    /// filesystem.
     ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn open(dir: impl Into<PathBuf>) -> Result<CheckpointStore, CheckpointError> {
+        Self::open_with(dir, Arc::new(RealVfs))
+    }
+
+    /// Opens (creating if needed) a store at `dir` over an explicit
+    /// [`Vfs`] — the fault-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<CheckpointStore, CheckpointError> {
         let dir = dir.into();
-        fs::create_dir_all(&dir)?;
-        let next_seq = Self::scan(&dir)?
+        vfs.create_dir_all(&dir)?;
+        let next_seq = Self::scan(vfs.as_ref(), &dir)?
             .last()
             .map_or(0, |(seq, _)| seq + 1);
-        Ok(CheckpointStore { dir, next_seq })
+        Ok(CheckpointStore { dir, next_seq, vfs })
     }
 
     /// The store directory.
@@ -410,13 +408,17 @@ impl CheckpointStore {
 
     /// Saves a snapshot under the next sequence number, atomically.
     ///
+    /// The sequence number is consumed even when the write fails, so a
+    /// slot whose write died (possibly leaving a torn prefix behind) is
+    /// never reused by a later save.
+    ///
     /// # Errors
     ///
     /// Propagates filesystem errors.
     pub fn save(&mut self, checkpoint: &Checkpoint) -> Result<PathBuf, CheckpointError> {
         let path = self.dir.join(format!("ckpt-{:06}", self.next_seq));
-        checkpoint.write_atomic(&path)?;
         self.next_seq += 1;
+        checkpoint.write_atomic_vfs(self.vfs.as_ref(), &path)?;
         Ok(path)
     }
 
@@ -429,9 +431,15 @@ impl CheckpointStore {
     /// corrupt or the store is empty; filesystem errors are propagated.
     pub fn load_latest_good(&self) -> Result<(Checkpoint, usize), CheckpointError> {
         let mut skipped = 0;
-        for (_, path) in Self::scan(&self.dir)?.into_iter().rev() {
-            match Checkpoint::read_from(&path) {
+        for (_, path) in Self::scan(self.vfs.as_ref(), &self.dir)?.into_iter().rev() {
+            match Checkpoint::read_from_vfs(self.vfs.as_ref(), &path) {
                 Ok(ckpt) => return Ok((ckpt, skipped)),
+                Err(CheckpointError::Io(e)) if e.kind() == io::ErrorKind::NotFound => {
+                    // A file that vanished between scan and read (e.g. a
+                    // torn rename that lost the entry) is just a missing
+                    // snapshot, not a fatal store error.
+                    skipped += 1;
+                }
                 Err(CheckpointError::Io(e)) => return Err(CheckpointError::Io(e)),
                 Err(_) => skipped += 1,
             }
@@ -444,16 +452,16 @@ impl CheckpointStore {
 
     /// The `(seq, path)` pairs of every `ckpt-<seq>` file, sorted by
     /// sequence number.
-    fn scan(dir: &Path) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
+    fn scan(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<(u64, PathBuf)>, CheckpointError> {
         let mut out = Vec::new();
-        for entry in fs::read_dir(dir)? {
-            let entry = entry?;
-            let name = entry.file_name();
-            let Some(name) = name.to_str() else { continue };
+        for path in vfs.read_dir(dir)? {
+            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
             let Some(seq) = name.strip_prefix("ckpt-").and_then(|s| s.parse().ok()) else {
                 continue;
             };
-            out.push((seq, entry.path()));
+            out.push((seq, path));
         }
         out.sort();
         Ok(out)

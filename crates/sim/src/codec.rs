@@ -1,0 +1,119 @@
+//! Shared line-format primitives for the persisted envelopes.
+//!
+//! The `simty-checkpoint/v1` snapshot format ([`crate::checkpoint`]),
+//! the `simty-campaign/v1` journal (in `simty-bench`), and the
+//! [`SimReport`](crate::metrics::SimReport) record codec all speak the
+//! same dialect: line-oriented `key=value` text, comma-separated fields,
+//! reserved characters percent-escaped, `f64`s persisted as their exact
+//! 16-hex-digit bit patterns, and bodies checksummed with FNV-1a 64.
+//! This module is the single home of those primitives so every consumer
+//! stays byte-compatible.
+
+/// FNV-1a 64-bit, the body/record checksum.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Percent-escapes the characters the line format reserves.
+#[must_use]
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '%' => out.push_str("%25"),
+            ',' => out.push_str("%2C"),
+            ':' => out.push_str("%3A"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hex_val(b: u8) -> Option<u8> {
+    match b {
+        b'0'..=b'9' => Some(b - b'0'),
+        b'a'..=b'f' => Some(b - b'a' + 10),
+        b'A'..=b'F' => Some(b - b'A' + 10),
+        _ => None,
+    }
+}
+
+/// Reverses [`esc`]. Invalid escapes pass through verbatim. The escape
+/// set is pure ASCII, so multi-byte characters pass through untouched.
+#[must_use]
+pub fn unesc(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < s.len() {
+        if bytes[i] == b'%' && i + 2 < s.len() {
+            if let (Some(hi), Some(lo)) = (hex_val(bytes[i + 1]), hex_val(bytes[i + 2])) {
+                out.push((hi * 16 + lo) as char);
+                i += 3;
+                continue;
+            }
+        }
+        let ch = s[i..].chars().next().expect("i is on a char boundary");
+        out.push(ch);
+        i += ch.len_utf8();
+    }
+    out
+}
+
+/// An `f64` as its exact 16-hex-digit bit pattern: round-trips every
+/// value (NaN payloads included) with no formatting loss.
+#[must_use]
+pub fn f64_hex(v: f64) -> String {
+    format!("{:016x}", v.to_bits())
+}
+
+/// Reverses [`f64_hex`].
+#[must_use]
+pub fn f64_from_hex(s: &str) -> Option<f64> {
+    u64::from_str_radix(s, 16).ok().map(f64::from_bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_round_trips_reserved_characters() {
+        for s in [
+            "plain",
+            "a,b:c",
+            "100%",
+            "line\nbreak",
+            "cr\rlf",
+            "%2C literal",
+            "β=0.5 → naïve ✓",
+            "%β",
+        ] {
+            assert_eq!(unesc(&esc(s)), s, "round-trip failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn f64_hex_round_trips_exactly() {
+        for v in [0.0, -0.0, 1.5, f64::MAX, f64::MIN_POSITIVE, 1.0 / 3.0] {
+            let back = f64_from_hex(&f64_hex(v)).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits());
+        }
+        assert!(f64_from_hex(&f64_hex(f64::NAN)).unwrap().is_nan());
+        assert_eq!(f64_from_hex("zz"), None);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+    }
+}

@@ -40,6 +40,7 @@
 pub mod analysis;
 pub mod attribution;
 pub mod checkpoint;
+pub mod codec;
 pub mod config;
 pub mod degrade;
 pub mod diff;
@@ -55,6 +56,7 @@ pub mod obs;
 pub mod overload;
 pub mod report;
 pub mod trace;
+pub mod vfs;
 pub mod watchdog;
 
 pub use attribution::AttributionLedger;
@@ -69,4 +71,5 @@ pub use metrics::{DelayStats, OverloadStats, ResilienceStats, SimReport, WakeupR
 pub use overload::{RegistrationStormPlan, StormBurst};
 pub use obs::ObsLayer;
 pub use trace::{DeliveryRecord, InterventionKind, InterventionRecord, Trace};
+pub use vfs::{FaultKind, FaultVfs, RealVfs, RecordingVfs, Vfs};
 pub use watchdog::OnlineWatchdogConfig;

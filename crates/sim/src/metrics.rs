@@ -433,6 +433,216 @@ impl fmt::Display for SimReport {
     }
 }
 
+impl SimReport {
+    /// Serializes the report as one line of the shared
+    /// [`codec`](crate::codec) dialect — comma-separated `key=value`
+    /// fields, `f64`s as exact bit patterns, strings percent-escaped —
+    /// for the `simty-campaign/v1` journal. Round-trips every field
+    /// that feeds the JSON export bit-for-bit:
+    /// `from_record(&r.to_record()) == Some(r)`.
+    #[must_use]
+    pub fn to_record(&self) -> String {
+        use crate::codec::{esc, f64_hex};
+        let energy: Vec<String> = {
+            let mut parts = vec![
+                f64_hex(self.energy.sleep_mj),
+                f64_hex(self.energy.transition_mj),
+                f64_hex(self.energy.awake_base_mj),
+            ];
+            for c in HardwareComponent::ALL {
+                parts.push(f64_hex(self.energy.component_mj(c)));
+            }
+            parts
+        };
+        let rows: Vec<String> = self
+            .wakeup_rows
+            .iter()
+            .map(|r| {
+                let idx = HardwareComponent::ALL
+                    .iter()
+                    .position(|c| *c == r.component)
+                    .expect("component is in ALL");
+                format!("{idx}:{}:{}", r.actual, r.expected)
+            })
+            .collect();
+        let d = &self.delays;
+        let rs = &self.resilience;
+        let ov = &self.overload;
+        [
+            format!("policy={}", esc(&self.policy)),
+            format!("dur={}", self.duration.as_millis()),
+            format!("energy={}", energy.join(":")),
+            format!("cw={}", self.cpu_wakeups),
+            format!("ed={}", self.entry_deliveries),
+            format!("td={}", self.total_deliveries),
+            format!("awake={}", self.awake_time.as_millis()),
+            format!("rows={}", rows.join("/")),
+            format!(
+                "delays={}:{}:{}:{}:{}:{}",
+                f64_hex(d.perceptible_avg),
+                f64_hex(d.perceptible_max),
+                d.perceptible_count,
+                f64_hex(d.imperceptible_avg),
+                f64_hex(d.imperceptible_max),
+                d.imperceptible_count
+            ),
+            format!(
+                "res={}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+                rs.invariant_violations,
+                rs.perceptible_window_misses,
+                rs.interventions,
+                rs.forced_releases,
+                rs.activation_retries,
+                rs.dropped_fire_retries,
+                rs.quarantines,
+                rs.recoveries,
+                rs.app_crashes,
+                rs.app_restarts,
+                f64_hex(rs.mean_time_to_recovery_ms),
+                f64_hex(rs.intervention_overhead_mj),
+                rs.reboots,
+                f64_hex(rs.mean_recovery_ms),
+                rs.catch_up_entries,
+                f64_hex(rs.worst_catch_up_delay_ms)
+            ),
+            format!(
+                "over={}:{}:{}:{}:{}:{}:{}:{}:{}:{}:{}",
+                ov.storm_registrations,
+                ov.admitted,
+                ov.deferred,
+                ov.rejected,
+                ov.shed,
+                ov.demotions,
+                ov.tier_changes,
+                ov.time_in_saver_ms,
+                ov.time_in_critical_ms,
+                esc(&ov.final_tier),
+                ov.grace_stretch_milli
+            ),
+            format!("metrics={}", esc(&self.metrics_json)),
+        ]
+        .join(",")
+    }
+
+    /// Reverses [`to_record`](Self::to_record). `None` on any malformed
+    /// field — callers treat an undecodable record as "cell not done"
+    /// and simply re-run it.
+    #[must_use]
+    pub fn from_record(record: &str) -> Option<SimReport> {
+        use crate::codec::{f64_from_hex, unesc};
+        let mut fields = std::collections::BTreeMap::new();
+        for part in record.split(',') {
+            let (k, v) = part.split_once('=')?;
+            fields.insert(k, v);
+        }
+        let u64_field = |k: &str| fields.get(k).and_then(|v| v.parse::<u64>().ok());
+        let energy = {
+            let parts: Vec<f64> = fields
+                .get("energy")?
+                .split(':')
+                .map(f64_from_hex)
+                .collect::<Option<Vec<_>>>()?;
+            let n = HardwareComponent::ALL.len();
+            if parts.len() != 3 + n {
+                return None;
+            }
+            let mut component = [0.0; HardwareComponent::ALL.len()];
+            component.copy_from_slice(&parts[3..]);
+            simty_device::energy::EnergyMeter::from_parts(parts[0], parts[1], parts[2], component)
+                .breakdown()
+        };
+        let mut wakeup_rows = Vec::new();
+        let rows = fields.get("rows")?;
+        if !rows.is_empty() {
+            for triple in rows.split('/') {
+                let mut it = triple.split(':');
+                let idx: usize = it.next()?.parse().ok()?;
+                let actual = it.next()?.parse().ok()?;
+                let expected = it.next()?.parse().ok()?;
+                if it.next().is_some() {
+                    return None;
+                }
+                wakeup_rows.push(WakeupRow {
+                    component: *HardwareComponent::ALL.get(idx)?,
+                    actual,
+                    expected,
+                });
+            }
+        }
+        let delays = {
+            let p: Vec<&str> = fields.get("delays")?.split(':').collect();
+            if p.len() != 6 {
+                return None;
+            }
+            DelayStats {
+                perceptible_avg: f64_from_hex(p[0])?,
+                perceptible_max: f64_from_hex(p[1])?,
+                perceptible_count: p[2].parse().ok()?,
+                imperceptible_avg: f64_from_hex(p[3])?,
+                imperceptible_max: f64_from_hex(p[4])?,
+                imperceptible_count: p[5].parse().ok()?,
+            }
+        };
+        let resilience = {
+            let p: Vec<&str> = fields.get("res")?.split(':').collect();
+            if p.len() != 16 {
+                return None;
+            }
+            ResilienceStats {
+                invariant_violations: p[0].parse().ok()?,
+                perceptible_window_misses: p[1].parse().ok()?,
+                interventions: p[2].parse().ok()?,
+                forced_releases: p[3].parse().ok()?,
+                activation_retries: p[4].parse().ok()?,
+                dropped_fire_retries: p[5].parse().ok()?,
+                quarantines: p[6].parse().ok()?,
+                recoveries: p[7].parse().ok()?,
+                app_crashes: p[8].parse().ok()?,
+                app_restarts: p[9].parse().ok()?,
+                mean_time_to_recovery_ms: f64_from_hex(p[10])?,
+                intervention_overhead_mj: f64_from_hex(p[11])?,
+                reboots: p[12].parse().ok()?,
+                mean_recovery_ms: f64_from_hex(p[13])?,
+                catch_up_entries: p[14].parse().ok()?,
+                worst_catch_up_delay_ms: f64_from_hex(p[15])?,
+            }
+        };
+        let overload = {
+            let p: Vec<&str> = fields.get("over")?.split(':').collect();
+            if p.len() != 11 {
+                return None;
+            }
+            OverloadStats {
+                storm_registrations: p[0].parse().ok()?,
+                admitted: p[1].parse().ok()?,
+                deferred: p[2].parse().ok()?,
+                rejected: p[3].parse().ok()?,
+                shed: p[4].parse().ok()?,
+                demotions: p[5].parse().ok()?,
+                tier_changes: p[6].parse().ok()?,
+                time_in_saver_ms: p[7].parse().ok()?,
+                time_in_critical_ms: p[8].parse().ok()?,
+                final_tier: unesc(p[9]),
+                grace_stretch_milli: p[10].parse().ok()?,
+            }
+        };
+        Some(SimReport {
+            policy: unesc(fields.get("policy")?),
+            duration: SimDuration::from_millis(u64_field("dur")?),
+            energy,
+            cpu_wakeups: u64_field("cw")?,
+            entry_deliveries: u64_field("ed")?,
+            total_deliveries: u64_field("td")?,
+            awake_time: SimDuration::from_millis(u64_field("awake")?),
+            wakeup_rows,
+            delays,
+            resilience,
+            overload,
+            metrics_json: unesc(fields.get("metrics")?),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,5 +811,100 @@ mod tests {
         let s = r.to_string();
         assert!(s.contains("SIMTY"));
         assert!(s.contains("CPU wakeups"));
+    }
+
+    #[test]
+    fn record_round_trips_every_field_exactly() {
+        use simty_device::energy::EnergyMeter;
+        let mut r = SimReport {
+            policy: "SIMTY, β=0.5: odd%name".to_owned(),
+            duration: SimDuration::from_hours(3),
+            energy: EnergyMeter::from_parts(
+                1.0 / 3.0,
+                0.1 + 0.2, // deliberately not exactly 0.3
+                7.25,
+                [0.0, 1.5, 1e-300, f64::MAX, 2.0 / 7.0, 0.0, 9.9, 1e300],
+            )
+            .breakdown(),
+            cpu_wakeups: 12_345,
+            entry_deliveries: 678,
+            total_deliveries: 910,
+            awake_time: SimDuration::from_millis(98_765),
+            wakeup_rows: vec![
+                WakeupRow {
+                    component: HardwareComponent::ALL[0],
+                    actual: 3,
+                    expected: 10,
+                },
+                WakeupRow {
+                    component: HardwareComponent::ALL[5],
+                    actual: 0,
+                    expected: 2,
+                },
+            ],
+            delays: DelayStats {
+                perceptible_avg: 0.123_456_789,
+                perceptible_max: 1.0 / 7.0,
+                perceptible_count: 11,
+                imperceptible_avg: 2.5,
+                imperceptible_max: 3.75,
+                imperceptible_count: 22,
+            },
+            resilience: ResilienceStats {
+                invariant_violations: 1,
+                perceptible_window_misses: 2,
+                interventions: 3,
+                forced_releases: 4,
+                activation_retries: 5,
+                dropped_fire_retries: 6,
+                quarantines: 7,
+                recoveries: 8,
+                app_crashes: 9,
+                app_restarts: 10,
+                mean_time_to_recovery_ms: 1234.5678,
+                intervention_overhead_mj: 0.001,
+                reboots: 11,
+                mean_recovery_ms: 30_000.25,
+                catch_up_entries: 12,
+                worst_catch_up_delay_ms: 5.5,
+            },
+            overload: OverloadStats {
+                storm_registrations: 100,
+                admitted: 90,
+                deferred: 5,
+                rejected: 3,
+                shed: 2,
+                demotions: 1,
+                tier_changes: 4,
+                time_in_saver_ms: 1000,
+                time_in_critical_ms: 2000,
+                final_tier: "critical, almost:dead".to_owned(),
+                grace_stretch_milli: 2500,
+            },
+            metrics_json: "{\"a\":1,\"b\":[2,3],\"s\":\"x,y:z\\n\"}".to_owned(),
+        };
+        let back = SimReport::from_record(&r.to_record()).expect("record decodes");
+        assert_eq!(back, r);
+        // Empty wakeup rows and empty metrics must round-trip too.
+        r.wakeup_rows.clear();
+        r.metrics_json.clear();
+        assert_eq!(SimReport::from_record(&r.to_record()).as_ref(), Some(&r));
+        // A computed (default-ish) report as well.
+        let t = Trace::new();
+        let device = Device::new(PowerModel::nexus5());
+        let computed = SimReport::compute("SIMTY", SimDuration::from_hours(3), &t, &device);
+        assert_eq!(
+            SimReport::from_record(&computed.to_record()),
+            Some(computed)
+        );
+        // Malformed records decode to None, never panic.
+        for bad in [
+            "",
+            "policy=x",
+            "garbage",
+            "policy=x,dur=9,energy=zz,cw=0,ed=0,td=0,awake=0,rows=,delays=0:0:0:0:0:0,res=,over=,metrics=",
+        ] {
+            assert_eq!(SimReport::from_record(bad), None, "decoded {bad:?}");
+        }
     }
 }
