@@ -66,6 +66,117 @@ pub fn heavy_workload_apps() -> Vec<AppSpec> {
     apps
 }
 
+/// One device-population mix a fleet device can be assigned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceMix {
+    /// The paper's light workload (12 apps, Wi-Fi + one notifier).
+    Light,
+    /// The paper's heavy workload (all 18 Table 3 apps).
+    Heavy,
+    /// A synthetic workload of `n` generated apps (long-tail devices
+    /// outside the paper's catalogue).
+    Synthetic(usize),
+}
+
+impl DeviceMix {
+    /// Canonical name (`light` / `heavy` / `synthetic:<n>`), as the CLI
+    /// spells scenarios.
+    pub fn name(&self) -> String {
+        match self {
+            DeviceMix::Light => "light".to_owned(),
+            DeviceMix::Heavy => "heavy".to_owned(),
+            DeviceMix::Synthetic(n) => format!("synthetic:{n}"),
+        }
+    }
+
+    /// The mix's app specs. Synthetic mixes have no fixed spec list —
+    /// their apps are generated from the device seed by
+    /// `WorkloadBuilder::synthetic` — so they return `None` here.
+    pub fn apps(&self) -> Option<Vec<AppSpec>> {
+        match self {
+            DeviceMix::Light => Some(light_workload_apps()),
+            DeviceMix::Heavy => Some(heavy_workload_apps()),
+            DeviceMix::Synthetic(_) => None,
+        }
+    }
+}
+
+/// `splitmix64`: the standard 64-bit finalizer, used to derive per-device
+/// seeds and mix draws from `(fleet_seed, device_index)` without any
+/// sequential RNG state — device `i`'s identity is O(1) and identical no
+/// matter which shard or thread runs it.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// A weighted scenario catalog shared (behind an `Arc`) by every shard
+/// of a fleet: device `i` draws its workload mix and its RNG seed
+/// deterministically from `(fleet_seed, i)`, so the population is
+/// reproducible across shard boundaries and thread counts.
+#[derive(Debug, Clone)]
+pub struct ScenarioCatalog {
+    entries: Vec<(DeviceMix, u32)>,
+    total_weight: u64,
+}
+
+impl ScenarioCatalog {
+    /// A catalog over explicit `(mix, weight)` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty or the weights sum to zero.
+    pub fn new(entries: Vec<(DeviceMix, u32)>) -> Self {
+        let total_weight: u64 = entries.iter().map(|&(_, w)| u64::from(w)).sum();
+        assert!(
+            total_weight > 0,
+            "a scenario catalog needs at least one positively-weighted mix"
+        );
+        ScenarioCatalog {
+            entries,
+            total_weight,
+        }
+    }
+
+    /// The default fleet population: 60% light devices, 30% heavy, 10%
+    /// synthetic 24-app long-tail devices.
+    pub fn paper_mix() -> Self {
+        ScenarioCatalog::new(vec![
+            (DeviceMix::Light, 6),
+            (DeviceMix::Heavy, 3),
+            (DeviceMix::Synthetic(24), 1),
+        ])
+    }
+
+    /// The catalog's `(mix, weight)` entries.
+    pub fn entries(&self) -> &[(DeviceMix, u32)] {
+        &self.entries
+    }
+
+    /// The mix device `device` draws under `fleet_seed`: a weighted
+    /// pick keyed only on `(fleet_seed, device)`.
+    pub fn sample(&self, fleet_seed: u64, device: u64) -> DeviceMix {
+        let mut draw =
+            splitmix64(fleet_seed ^ device.wrapping_mul(0xa076_1d64_78bd_642f)) % self.total_weight;
+        for &(mix, weight) in &self.entries {
+            let weight = u64::from(weight);
+            if draw < weight {
+                return mix;
+            }
+            draw -= weight;
+        }
+        unreachable!("draw < total_weight covers every entry")
+    }
+
+    /// The RNG seed device `device` runs under `fleet_seed`: distinct
+    /// per device, identical across shardings.
+    pub fn device_seed(fleet_seed: u64, device: u64) -> u64 {
+        splitmix64(fleet_seed.wrapping_mul(0xff51_afd7_ed55_8ccd) ^ device)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -122,5 +233,38 @@ mod tests {
             let alarm = spec.alarm(0.96, simty_core::time::SimTime::ZERO);
             assert!(alarm.is_ok(), "{} failed: {:?}", spec.name, alarm.err());
         }
+    }
+
+    #[test]
+    fn catalog_sampling_is_deterministic_and_weighted() {
+        let catalog = ScenarioCatalog::paper_mix();
+        let mut counts = [0usize; 3];
+        for device in 0..10_000u64 {
+            let mix = catalog.sample(42, device);
+            assert_eq!(mix, catalog.sample(42, device), "sampling must be pure");
+            match mix {
+                DeviceMix::Light => counts[0] += 1,
+                DeviceMix::Heavy => counts[1] += 1,
+                DeviceMix::Synthetic(_) => counts[2] += 1,
+            }
+        }
+        // 60/30/10 within a loose tolerance.
+        assert!((5_400..=6_600).contains(&counts[0]), "light: {}", counts[0]);
+        assert!((2_400..=3_600).contains(&counts[1]), "heavy: {}", counts[1]);
+        assert!((700..=1_300).contains(&counts[2]), "synthetic: {}", counts[2]);
+        // A different fleet seed reshuffles assignments.
+        assert!((0..100u64).any(|d| catalog.sample(1, d) != catalog.sample(2, d)));
+    }
+
+    #[test]
+    fn device_seeds_are_distinct_per_device() {
+        let seeds: std::collections::BTreeSet<u64> = (0..1_000u64)
+            .map(|d| ScenarioCatalog::device_seed(7, d))
+            .collect();
+        assert_eq!(seeds.len(), 1_000);
+        assert_ne!(
+            ScenarioCatalog::device_seed(7, 0),
+            ScenarioCatalog::device_seed(8, 0)
+        );
     }
 }

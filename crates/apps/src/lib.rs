@@ -37,6 +37,7 @@ pub mod system;
 pub mod workload;
 
 pub use app::{AppSpec, RepeatKind};
+pub use catalog::{DeviceMix, ScenarioCatalog};
 pub use external::ExternalEvents;
 pub use push::PushPlan;
 pub use sessions::UserSessions;

@@ -29,13 +29,12 @@
 //! back to the last valid record before appending resumes.
 
 use std::fmt;
-use std::fs;
-use std::io::{self, Read as _, Seek as _, SeekFrom, Write as _};
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use simty::sim::codec::{esc, fnv1a64, unesc};
-use simty::sim::SimReport;
+use simty::sim::{RealVfs, SimReport, Vfs};
 
 use crate::supervisor::CellStatus;
 
@@ -158,18 +157,24 @@ pub struct Replay {
 
 /// An append-only handle on a campaign's journal.
 ///
-/// Records are appended with write → flush → fsync, so every record the
-/// journal acknowledges survives a crash; the atomic unit is one line,
-/// and a torn final line is dropped (and re-run) on replay.
+/// Every host-I/O operation goes through a [`Vfs`], so the fault
+/// injection that exercises the checkpoint path ([`simty::sim::FaultVfs`])
+/// can also kill journal appends mid-flight. Records are appended with
+/// append → fsync, so every record the journal acknowledges survives a
+/// crash; the atomic unit is one line, and a torn final line is dropped
+/// (and re-run) on replay.
 #[derive(Debug)]
 pub struct CampaignJournal {
     path: PathBuf,
-    file: Mutex<fs::File>,
+    vfs: Arc<dyn Vfs>,
+    // Serializes appends: `record` is called from worker threads.
+    write: Mutex<()>,
 }
 
 impl CampaignJournal {
     /// Opens (or creates) the journal for a campaign of `kind` over the
-    /// given cell `labels`, replaying any completed cells.
+    /// given cell `labels`, replaying any completed cells. I/O goes
+    /// through the real filesystem.
     ///
     /// # Errors
     ///
@@ -181,23 +186,34 @@ impl CampaignJournal {
         kind: &str,
         labels: &[String],
     ) -> Result<(CampaignJournal, Replay), JournalError> {
-        fs::create_dir_all(dir)?;
+        CampaignJournal::open_with(dir, kind, labels, Arc::new(RealVfs))
+    }
+
+    /// [`open`](CampaignJournal::open) with an explicit [`Vfs`], so
+    /// tests can inject ENOSPC/short-write faults into journal I/O.
+    ///
+    /// # Errors
+    ///
+    /// As for [`open`](CampaignJournal::open).
+    pub fn open_with(
+        dir: &Path,
+        kind: &str,
+        labels: &[String],
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<(CampaignJournal, Replay), JournalError> {
+        vfs.create_dir_all(dir)?;
         let path = dir.join(JOURNAL_FILE);
-        let mut file = fs::OpenOptions::new()
-            .read(true)
-            .write(true)
-            .create(true)
-            .truncate(false)
-            .open(&path)?;
-        let mut text = String::new();
-        file.read_to_string(&mut text)?;
+        let text = match vfs.read(&path) {
+            Ok(bytes) => String::from_utf8_lossy(&bytes).into_owned(),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+            Err(e) => return Err(e.into()),
+        };
 
         let expected_meta = meta_line(kind, labels.len(), grid_digest(labels));
         let mut replay = Replay::default();
         if text.is_empty() {
-            file.write_all(format!("{MAGIC}\n{expected_meta}\n").as_bytes())?;
-            file.flush()?;
-            file.sync_all()?;
+            vfs.append(&path, format!("{MAGIC}\n{expected_meta}\n").as_bytes())?;
+            vfs.sync_file(&path)?;
         } else {
             let mismatch = |reason: String| JournalError::Mismatch {
                 path: path.clone(),
@@ -246,15 +262,15 @@ impl CampaignJournal {
             }
             replay.dropped_bytes = (text.len() - valid_end) as u64;
             if replay.dropped_bytes > 0 {
-                file.set_len(valid_end as u64)?;
-                file.sync_all()?;
+                vfs.truncate(&path, valid_end as u64)?;
+                vfs.sync_file(&path)?;
             }
         }
-        file.seek(SeekFrom::End(0))?;
         Ok((
             CampaignJournal {
                 path,
-                file: Mutex::new(file),
+                vfs,
+                write: Mutex::new(()),
             },
             replay,
         ))
@@ -287,12 +303,11 @@ impl CampaignJournal {
             !status.is_poisoned(),
             "poisoned cells are re-run on resume, never journaled"
         );
-        let line = cell_line(index, status, report, extra);
-        let mut file = self.file.lock().expect("journal file lock");
-        file.write_all(line.as_bytes())?;
-        file.write_all(b"\n")?;
-        file.flush()?;
-        file.sync_all()
+        let mut line = cell_line(index, status, report, extra);
+        line.push('\n');
+        let _guard = self.write.lock().expect("journal write lock");
+        self.vfs.append(&self.path, line.as_bytes())?;
+        self.vfs.sync_file(&self.path)
     }
 }
 
@@ -301,6 +316,8 @@ mod tests {
     use super::*;
     use simty::core::SimDuration;
     use simty::experiments::{PolicyKind, RunSpec, Scenario};
+    use simty::sim::FaultVfs;
+    use std::fs;
 
     fn scratch(name: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -384,6 +401,36 @@ mod tests {
         let (journal, _) = CampaignJournal::open(&dir, "chaos", &labels()).unwrap();
         journal.record(1, &CellStatus::Ok, &report, None).unwrap();
         let (_, replay) = CampaignJournal::open(&dir, "chaos", &labels()).unwrap();
+        assert_eq!(replay.entries.len(), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_vfs_append_never_corrupts_resume() {
+        // A journal append that dies mid-line (injected ENOSPC) must
+        // leave the earlier records durable; the next open drops the
+        // torn tail and the cell simply re-runs.
+        let dir = scratch("vfs-torn");
+        let report = sample_report();
+        {
+            let (journal, _) = CampaignJournal::open(&dir, "sweep", &labels()).unwrap();
+            journal.record(0, &CellStatus::Ok, &report, None).unwrap();
+        }
+        {
+            let vfs = Arc::new(FaultVfs::new(5).with_enospc(1.0).with_fault_budget(1));
+            let (journal, replay) =
+                CampaignJournal::open_with(&dir, "sweep", &labels(), vfs).unwrap();
+            assert_eq!(replay.entries.len(), 1);
+            let err = journal.record(1, &CellStatus::Ok, &report, None).unwrap_err();
+            assert!(err.to_string().contains("ENOSPC"), "{err}");
+        }
+        let (journal, replay) = CampaignJournal::open(&dir, "sweep", &labels()).unwrap();
+        assert_eq!(replay.entries.len(), 1, "torn record must not replay");
+        assert_eq!(replay.entries[0].index, 0);
+        assert!(replay.dropped_bytes > 0, "torn tail should be dropped");
+        // The truncated journal accepts the re-run's record cleanly.
+        journal.record(1, &CellStatus::Ok, &report, None).unwrap();
+        let (_, replay) = CampaignJournal::open(&dir, "sweep", &labels()).unwrap();
         assert_eq!(replay.entries.len(), 2);
         let _ = fs::remove_dir_all(&dir);
     }

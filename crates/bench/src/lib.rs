@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod fleet;
 pub mod journal;
 pub mod soak;
 pub mod storm;
@@ -27,6 +28,9 @@ pub mod sweep;
 pub use chaos::{
     chaos_matrix, run_chaos, run_chaos_with, ChaosResults, ChaosSpec, FaultProfile,
     PolicyResilience,
+};
+pub use fleet::{
+    run_fleet, run_fleet_with, FleetConfig, FleetResults, PolicyAggregate, ShardSpec, FLEET_SCHEMA,
 };
 pub use journal::{CampaignJournal, JournalEntry, JournalError};
 pub use supervisor::{CellStatus, HarnessStats, SupervisorConfig};

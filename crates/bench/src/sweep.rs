@@ -24,7 +24,7 @@ use std::time::{Duration, Instant};
 use simty::experiments::RunSpec;
 use simty::obs::StageProfile;
 use simty::sim::json::{json_number, json_string, report_to_json};
-use simty::sim::SimReport;
+use simty::sim::{SimReport, Vfs};
 
 use crate::journal::{CampaignJournal, JournalError};
 use crate::supervisor::{supervise, CellStatus, HarnessStats, SupervisorConfig};
@@ -104,6 +104,7 @@ pub struct Sweep {
     no_obs: bool,
     supervisor: SupervisorConfig,
     journal: Option<(PathBuf, String)>,
+    journal_vfs: Option<Arc<dyn Vfs>>,
 }
 
 impl Sweep {
@@ -125,6 +126,14 @@ impl Sweep {
     /// previous (interrupted) invocation are restored instead of re-run.
     pub fn with_journal(&mut self, dir: impl Into<PathBuf>, kind: impl Into<String>) -> &mut Self {
         self.journal = Some((dir.into(), kind.into()));
+        self
+    }
+
+    /// Routes the attached journal's I/O through an explicit [`Vfs`]
+    /// (e.g. [`simty::sim::FaultVfs`]), so tests can kill journal
+    /// appends mid-flight.
+    pub fn with_journal_vfs(&mut self, vfs: Arc<dyn Vfs>) -> &mut Self {
+        self.journal_vfs = Some(vfs);
         self
     }
 
@@ -248,7 +257,10 @@ impl Sweep {
         let mut journal_skips = 0u64;
         if let Some((dir, kind)) = &self.journal {
             let labels: Vec<String> = self.jobs.iter().map(|j| j.label.clone()).collect();
-            let (handle, replay) = CampaignJournal::open(dir, kind, &labels)?;
+            let (handle, replay) = match &self.journal_vfs {
+                Some(vfs) => CampaignJournal::open_with(dir, kind, &labels, Arc::clone(vfs))?,
+                None => CampaignJournal::open(dir, kind, &labels)?,
+            };
             for entry in replay.entries {
                 let Some(slot) = outcomes.get(entry.index) else {
                     continue;

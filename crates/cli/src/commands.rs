@@ -96,6 +96,9 @@ COMMANDS:
                 corruption, and resume-vs-straight-through byte checks
     storm       registration-storm overload campaign: per-app admission
                 quotas and battery-aware degradation tiers under flood
+    fleet       fleet-scale population campaign: simulate N devices with
+                per-device workload mixes, sharded into supervised,
+                checkpointed, resumable cells with streaming aggregation
     explain     audit every placement decision of a run: the candidates
                 weighed, their Table 1 hardware/time similarity ranks,
                 and why each won or lost
@@ -197,7 +200,29 @@ STORM FLAGS:
     --json FILE                write the campaign document (BENCH_storm.json schema)
     --resume DIR               journal/restore cells (as for sweep)
 
-EXIT CODES:
+FLEET FLAGS:
+    --devices N                device population per policy [default: 1000]
+    --shards N                 supervised cells per policy  [default: 4]
+    --policies LIST            comma-separated policy names [default: native,simty]
+    --seed N                   fleet seed: every device's workload mix and
+                               RNG seed derive from (seed, device) [default: 1]
+    --minutes N                simulated minutes per device [default: 10]
+    --beta X                   grace fraction               [default: 0.96]
+    --threads N                worker threads               [default: all cores]
+    --span-cap N               per-device span-ring capacity  [default: 128]
+    --audit-cap N              per-device audit-ring capacity [default: 64]
+    --ckpt-stride N            devices between mid-shard checkpoint markers
+                               (0 disables; needs --resume)   [default: 1000]
+    --deadline SECS            per-shard watchdog deadline: a shard that
+                               exceeds it is quarantined, not waited on
+    --json FILE                write the fleet document (BENCH_fleet.json schema)
+    --resume DIR               journal completed shards to DIR and restore
+                               them (plus mid-shard checkpoints) on rerun
+    --inject-panic N           replace shard cell N with a panicking cell
+                               (harness smoke: the shard is quarantined,
+                               the fleet completes, exit code 6)
+
+EXIT CODES (uniform across run/sweep/chaos/soak/storm/fleet):
     0   success
     2   argument or usage error
     3   i/o error
@@ -211,7 +236,8 @@ Campaign cells run supervised: a panicking or hung cell is quarantined
 (status `poisoned`) and the campaign completes without it, exiting with
 code 6. With --resume DIR, completed cells are journaled and an
 interrupted campaign picks up where it left off, producing a document
-byte-identical to an uninterrupted run.
+byte-identical to an uninterrupted run; fleet shards additionally
+checkpoint mid-range every --ckpt-stride devices.
 ";
 
 /// Parses a policy name.
@@ -370,6 +396,7 @@ pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliErro
         "chaos" => cmd_chaos(&args, out),
         "soak" => cmd_soak(&args, out),
         "storm" => cmd_storm(&args, out),
+        "fleet" => cmd_fleet(&args, out),
         "explain" => cmd_explain(&args, out),
         "metrics" => cmd_metrics(&args, out),
         "analyze" => cmd_analyze(&args, out),
@@ -1316,6 +1343,203 @@ fn cmd_storm<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
     Ok(())
 }
 
+fn cmd_fleet<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "devices",
+        "shards",
+        "policies",
+        "seed",
+        "minutes",
+        "beta",
+        "threads",
+        "span-cap",
+        "audit-cap",
+        "ckpt-stride",
+        "deadline",
+        "json",
+        "resume",
+        "inject-panic",
+    ])?;
+    let policies: Vec<PolicyKind> = args
+        .get("policies")
+        .unwrap_or("native,simty")
+        .split(',')
+        .map(parse_policy)
+        .collect::<Result<_, _>>()?;
+    let devices = args.get_u64("devices", 1_000)?;
+    let shards = args.get_u64("shards", 4)?;
+    let seed = args.get_u64("seed", 1)?;
+    let minutes = args.get_u64("minutes", 10)?;
+    let beta = args.get_f64("beta", 0.96)?;
+    let threads = args.get_u64("threads", simty_bench::sweep::available_threads() as u64)?;
+    let span_cap = args.get_u64("span-cap", simty_bench::fleet::FLEET_SPAN_CAPACITY as u64)?;
+    let audit_cap = args.get_u64("audit-cap", simty_bench::fleet::FLEET_AUDIT_CAPACITY as u64)?;
+    let stride = args.get_u64("ckpt-stride", 1_000)?;
+    if devices == 0 || shards == 0 || minutes == 0 || threads == 0 {
+        return Err(CliError::Usage(
+            "--devices, --shards, --minutes, and --threads must be positive".into(),
+        ));
+    }
+    if shards > devices {
+        return Err(CliError::Usage(
+            "--shards must not exceed --devices (empty shards aggregate nothing)".into(),
+        ));
+    }
+    if !(0.0..1.0).contains(&beta) {
+        return Err(CliError::Usage("--beta must lie in [0, 1)".into()));
+    }
+    if span_cap == 0 || audit_cap == 0 {
+        return Err(CliError::Usage(
+            "--span-cap and --audit-cap must be positive".into(),
+        ));
+    }
+    let inject_panic = parse_cell_index(args, "inject-panic")?;
+
+    let mut config = simty_bench::FleetConfig::new(devices);
+    config.shards = shards as usize;
+    config.policies = policies;
+    config.seed = seed;
+    config.duration = SimDuration::from_mins(minutes);
+    config.beta = beta;
+    config.span_capacity = span_cap as usize;
+    config.audit_capacity = audit_cap as usize;
+    config.checkpoint_stride = stride;
+    config.inject_panic = inject_panic;
+
+    let mut options = campaign_options(args, threads as usize);
+    if let Some(secs) = args.get("deadline") {
+        let secs: u64 = secs.parse().map_err(|_| {
+            CliError::Usage(format!("invalid deadline seconds `{secs}` in --deadline"))
+        })?;
+        if secs == 0 {
+            return Err(CliError::Usage("--deadline must be positive".into()));
+        }
+        options.supervisor.deadline = Some(std::time::Duration::from_secs(secs));
+    }
+    let results = simty_bench::run_fleet_with(&config, &options)
+        .map_err(|e| CliError::Harness(e.to_string()))?;
+
+    let mut table = TextTable::new([
+        "shard",
+        "status",
+        "devices",
+        "total (J)",
+        "wakeups",
+        "evictions",
+        "wall (ms)",
+    ]);
+    for outcome in results.outcomes() {
+        match &outcome.report {
+            Some(r) => {
+                let m = r.metrics_json.clone();
+                let evictions = ["fleet_span_evictions_total", "fleet_audit_evictions_total"]
+                    .iter()
+                    .map(|name| metrics_counter(&m, name))
+                    .sum::<u64>();
+                table.row([
+                    outcome.label.clone(),
+                    outcome.status.token(),
+                    metrics_counter(&m, "fleet_devices_total").to_string(),
+                    format!("{:.1}", r.energy.total_mj() / 1_000.0),
+                    r.cpu_wakeups.to_string(),
+                    evictions.to_string(),
+                    format!("{:.1}", outcome.wall.as_secs_f64() * 1_000.0),
+                ]);
+            }
+            None => {
+                table.row([
+                    outcome.label.clone(),
+                    "POISONED".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    format!("{:.1}", outcome.wall.as_secs_f64() * 1_000.0),
+                ]);
+            }
+        }
+    }
+    writeln!(out, "{}", table.render())?;
+    write_harness_summary(out, &results.harness(), results.journal_skips())?;
+
+    let mut summary = TextTable::new([
+        "policy",
+        "shards ok",
+        "devices",
+        "J/device",
+        "wakeups/device",
+        "impercept. delay",
+        "window misses",
+    ]);
+    for agg in results.aggregates() {
+        match &agg.report {
+            Some(r) if agg.devices > 0 => {
+                let per_device = |v: f64| v / agg.devices as f64;
+                summary.row([
+                    agg.policy.clone(),
+                    format!("{}/{}", agg.shards_ok, agg.shards_ok + agg.shards_poisoned),
+                    agg.devices.to_string(),
+                    format!("{:.2}", per_device(r.energy.total_mj()) / 1_000.0),
+                    format!("{:.1}", per_device(r.cpu_wakeups as f64)),
+                    format!("{:.1}%", r.delays.imperceptible_avg * 100.0),
+                    r.resilience.perceptible_window_misses.to_string(),
+                ]);
+            }
+            _ => {
+                summary.row([
+                    agg.policy.clone(),
+                    format!("{}/{}", agg.shards_ok, agg.shards_ok + agg.shards_poisoned),
+                    "0".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                    "-".to_owned(),
+                ]);
+            }
+        }
+    }
+    writeln!(out, "\n{}", summary.render())?;
+    writeln!(
+        out,
+        "{} devices across {} shards on {} threads in {:.1} ms ({:.1} devices/sec)",
+        results.devices_completed(),
+        results.outcomes().len(),
+        results.threads(),
+        results.total_wall().as_secs_f64() * 1_000.0,
+        results.devices_per_sec(),
+    )?;
+    if let Some(path) = args.get("json") {
+        results.write_json(path)?;
+        writeln!(out, "fleet document written to {path}")?;
+    }
+    let violations: u64 = results
+        .aggregates()
+        .iter()
+        .filter_map(|a| a.report.as_ref())
+        .map(|r| r.resilience.invariant_violations)
+        .sum();
+    if violations > 0 {
+        return Err(CliError::Invariants(violations));
+    }
+    poisoned_to_error(results.poisoned())?;
+    Ok(())
+}
+
+/// Pulls one counter out of a registry JSON snapshot (the shard reports
+/// embed their metrics as JSON; a full parser would be overkill for the
+/// table rendering).
+fn metrics_counter(metrics_json: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    metrics_json
+        .find(&needle)
+        .map(|i| &metrics_json[i + needle.len()..])
+        .and_then(|rest| {
+            let end = rest.find([',', '}'])?;
+            rest[..end].trim().parse().ok()
+        })
+        .unwrap_or(0)
+}
+
 /// Like [`simulate`], but with the audit ring widened so every placement
 /// decision of the run survives for export.
 fn simulate_audited(opts: &CommonOpts, policy: PolicyKind) -> Simulation {
@@ -2169,6 +2393,81 @@ mod tests {
         assert!(first.contains("0 journal-restored"));
         let second = run(&args).unwrap();
         assert!(second.contains("1 journal-restored"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_runs_a_small_campaign() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("simty_cli_test_fleet.json");
+        let path_str = path.to_str().unwrap().to_owned();
+        let text = run(&[
+            "fleet", "--devices", "6", "--shards", "2", "--policies", "simty",
+            "--minutes", "5", "--threads", "2", "--json", &path_str,
+        ])
+        .unwrap();
+        assert!(text.contains("SIMTY/shard00"), "{text}");
+        assert!(text.contains("SIMTY/shard01"), "{text}");
+        assert!(text.contains("harness: 2 cells (2 ok"), "{text}");
+        assert!(text.contains("devices/sec"), "{text}");
+        assert!(text.contains("fleet document written"), "{text}");
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.contains("\"schema\":\"simty-fleet/v1\""));
+        assert!(json.contains("\"policy\":\"SIMTY\""));
+        assert!(json.contains("fleet_device_power_mw"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fleet_quarantines_an_injected_panic() {
+        let err = run(&[
+            "fleet", "--devices", "4", "--shards", "2", "--policies", "simty",
+            "--minutes", "5", "--inject-panic", "0",
+        ])
+        .unwrap_err();
+        let CliError::Harness(msg) = err else {
+            panic!("expected a harness error, got {err:?}");
+        };
+        assert!(msg.contains("1 cell(s) quarantined"), "{msg}");
+        assert!(msg.contains("injected fleet shard panic"), "{msg}");
+    }
+
+    #[test]
+    fn fleet_rejects_bad_shapes() {
+        for bad in [
+            vec!["fleet", "--devices", "0"],
+            vec!["fleet", "--shards", "0"],
+            vec!["fleet", "--devices", "2", "--shards", "4"],
+            vec!["fleet", "--policies", "bogus"],
+            vec!["fleet", "--beta", "1.5"],
+            vec!["fleet", "--minutes", "0"],
+            vec!["fleet", "--span-cap", "0"],
+            vec!["fleet", "--deadline", "0"],
+            vec!["fleet", "--inject-panic", "abc"],
+        ] {
+            assert!(
+                matches!(run(&bad), Err(CliError::Usage(_))),
+                "expected usage error for {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_resume_restores_shards() {
+        let dir = std::env::temp_dir().join(format!(
+            "simty_cli_test_fleet_resume_{}",
+            std::process::id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let dir_str = dir.to_str().unwrap().to_owned();
+        let args = [
+            "fleet", "--devices", "6", "--shards", "2", "--policies", "simty",
+            "--minutes", "5", "--ckpt-stride", "2", "--resume", &dir_str,
+        ];
+        let first = run(&args).unwrap();
+        assert!(first.contains("0 journal-restored"), "{first}");
+        let second = run(&args).unwrap();
+        assert!(second.contains("2 journal-restored"), "{second}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

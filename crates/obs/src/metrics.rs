@@ -76,6 +76,28 @@ impl Histogram {
         self.count += 1;
     }
 
+    /// Folds `other` into `self`: element-wise bucket addition plus
+    /// sum/count accumulation. The fleet executor uses this to stream
+    /// per-shard partials into one registry without holding per-device
+    /// state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms have different bucket bounds —
+    /// merging partials observed against different bucketings would be
+    /// a silent wrong answer.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "histogram partials must share bucket bounds to merge"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
     /// The bucket index `v` lands in: the first bound with `v <= bound`,
     /// or the overflow index `bounds.len()`.
     pub fn bucket_for(&self, v: f64) -> usize {
@@ -354,6 +376,37 @@ impl MetricsRegistry {
             .map(|(k, &i)| (k.as_str(), &self.hist_vals[i]))
     }
 
+    /// Folds another registry into this one: counters add, gauges take
+    /// `other`'s value (last write wins), histograms merge element-wise
+    /// (see [`Histogram::merge`]), and help text is unioned. Merging is
+    /// associative and, for counters and histograms, commutative — so a
+    /// fleet can fold per-shard partials in any grouping and export one
+    /// deterministic registry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a histogram present in both registries has different
+    /// bucket bounds.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (name, value) in other.counters() {
+            self.add(name, value);
+        }
+        for (name, value) in other.gauges() {
+            self.set_gauge(name, value);
+        }
+        for (name, theirs) in other.histograms() {
+            match self.hist_slots.get(name) {
+                Some(&i) => self.hist_vals[i].merge(theirs),
+                None => self.insert_histogram(name, theirs.clone()),
+            }
+        }
+        for (family, help) in &other.help {
+            self.help
+                .entry(family.clone())
+                .or_insert_with(|| help.clone());
+        }
+    }
+
     /// Renders the registry in the Prometheus text exposition format:
     /// counters, then gauges, then histograms, each family prefixed by
     /// its `# HELP` (when described) and `# TYPE` lines, keys in
@@ -529,6 +582,43 @@ h_count 2
             "{\"counters\":{\"a\":1},\"gauges\":{\"g\":0.5},\"histograms\":\
              {\"h\":{\"bounds\":[1],\"counts\":[0,1],\"sum\":2,\"count\":1}}}"
         );
+    }
+
+    #[test]
+    fn merge_folds_partials_associatively() {
+        let partial = |n: u64| {
+            let mut m = MetricsRegistry::new();
+            m.describe("c", "a counter");
+            m.add("c", n);
+            m.set_gauge("g", n as f64);
+            m.register_histogram("h", vec![1.0, 2.0]);
+            m.observe("h", n as f64);
+            m
+        };
+        // (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+        let mut left = partial(1);
+        left.merge(&partial(2));
+        left.merge(&partial(3));
+        let mut bc = partial(2);
+        bc.merge(&partial(3));
+        let mut right = partial(1);
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.counter("c"), 6);
+        assert_eq!(left.gauge("g"), Some(3.0));
+        let h = left.histogram("h").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.counts(), &[1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "share bucket bounds")]
+    fn merge_rejects_mismatched_bounds() {
+        let mut a = MetricsRegistry::new();
+        a.register_histogram("h", vec![1.0]);
+        let mut b = MetricsRegistry::new();
+        b.register_histogram("h", vec![2.0]);
+        a.merge(&b);
     }
 
     #[test]

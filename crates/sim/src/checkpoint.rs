@@ -204,6 +204,35 @@ impl Checkpoint {
         &self.policy
     }
 
+    /// Builds a *marker* checkpoint: a snapshot that carries an opaque
+    /// caller payload instead of full simulation state. Fleet shards
+    /// persist their progress (device cursor + folded partial report)
+    /// through the same [`CheckpointStore`] envelope — magic, length,
+    /// checksum, atomic rename — so torn or corrupt markers are skipped
+    /// by [`CheckpointStore::load_latest_good`] exactly like torn
+    /// snapshots. A marker cannot be passed to `Simulation::restore`.
+    pub fn marker(at: SimTime, policy: &str, payload: &str) -> Checkpoint {
+        let mut body = String::new();
+        let _ = writeln!(body, "at={}", at.as_millis());
+        let _ = writeln!(body, "policy={}", esc(policy));
+        let _ = writeln!(body, "payload={}", esc(payload));
+        Checkpoint {
+            captured_at: at,
+            policy: policy.to_owned(),
+            body,
+        }
+    }
+
+    /// The opaque payload of a [`marker`](Checkpoint::marker)
+    /// checkpoint, or `None` for a full simulation snapshot.
+    pub fn marker_payload(&self) -> Option<String> {
+        let mut lines = self.body.lines();
+        let _at = lines.next()?;
+        let _policy = lines.next()?;
+        let payload = lines.next()?.strip_prefix("payload=")?;
+        Some(unesc(payload))
+    }
+
     /// Serializes the checkpoint in the persisted `simty-checkpoint/v1`
     /// format (envelope + body).
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -670,6 +699,11 @@ pub(crate) fn capture(sim: &Simulation) -> Checkpoint {
             .map_or_else(|| "none".to_owned(), |d| d.as_millis().to_string())
     );
     w!(body, "audit_capacity={}", sim.config.audit_capacity);
+    // Written only when overridden: default-capacity captures keep the
+    // original byte layout, and restore treats absence as the default.
+    if sim.config.span_capacity != SPAN_CAPACITY {
+        w!(body, "span_capacity={}", sim.config.span_capacity);
+    }
     // Written only when observability is off: instrumented captures keep
     // the original byte layout, and restore treats absence as "on".
     if !sim.config.obs {
@@ -1612,6 +1646,11 @@ pub(crate) fn restore(
         let v = p.kv("audit_capacity")?;
         p.usize_of(v)?
     };
+    // Optional: only non-default captures carry it.
+    let span_capacity = match p.opt_kv("span_capacity") {
+        Some(v) => p.usize_of(v)?,
+        None => SPAN_CAPACITY,
+    };
     // Optional: only no-obs captures carry it (absence means "on").
     let obs_enabled = p.opt_kv("obs").is_none_or(|v| v != "0");
     let n = p.count("external_wakes")?;
@@ -1704,6 +1743,7 @@ pub(crate) fn restore(
         invariants,
         checkpoint_every,
         audit_capacity,
+        span_capacity,
         admission: admission_cfg,
         degradation: degradation_cfg,
         obs: obs_enabled,
@@ -2150,9 +2190,9 @@ pub(crate) fn restore(
     // state — the union is byte-identical to the straight-through run.
     // A no-obs capture recorded an empty layer; rebuild it empty too.
     let mut obs = if config.obs {
-        ObsLayer::new(&checkpoint.policy, config.audit_capacity)
+        ObsLayer::new(&checkpoint.policy, config.audit_capacity, config.span_capacity)
     } else {
-        ObsLayer::disabled(&checkpoint.policy, config.audit_capacity)
+        ObsLayer::disabled(&checkpoint.policy, config.audit_capacity, config.span_capacity)
     };
     let obs_next_seq = p.kv_u64("obs_next_seq")?;
     let obs_span_dropped = p.kv_u64("obs_span_dropped")?;
@@ -2189,7 +2229,8 @@ pub(crate) fn restore(
             attrs,
         });
     }
-    obs.spans = SpanCollector::from_parts(SPAN_CAPACITY, obs_next_seq, obs_span_dropped, spans);
+    obs.spans =
+        SpanCollector::from_parts(config.span_capacity, obs_next_seq, obs_span_dropped, spans);
     let n = p.count("obs_counters")?;
     for _ in 0..n {
         let v = p.kv("oc")?;

@@ -57,6 +57,11 @@ pub struct SimConfig {
     /// How many placement-decision audits the observability layer retains
     /// (oldest evicted first; see [`crate::obs::ObsLayer`]).
     pub audit_capacity: usize,
+    /// How many spans the observability layer's span ring retains
+    /// (oldest evicted first). Fleet campaigns shrink this so a
+    /// 100k-device run's instrumentation stays O(shards), not
+    /// O(devices × spans).
+    pub span_capacity: usize,
     /// Per-app admission quotas at the registration front door; `None`
     /// admits everything (the plain paper setup).
     pub admission: Option<AdmissionConfig>,
@@ -83,6 +88,7 @@ impl Default for SimConfig {
             invariants: InvariantMode::Off,
             checkpoint_every: None,
             audit_capacity: crate::obs::DEFAULT_AUDIT_CAPACITY,
+            span_capacity: crate::obs::SPAN_CAPACITY,
             admission: None,
             degradation: None,
             obs: true,
@@ -167,6 +173,21 @@ impl SimConfig {
     pub fn with_audit_capacity(mut self, capacity: usize) -> Self {
         assert!(capacity > 0, "audit capacity must be positive");
         self.audit_capacity = capacity;
+        self
+    }
+
+    /// Overrides how many spans the observability span ring retains
+    /// (default [`SPAN_CAPACITY`](crate::obs::SPAN_CAPACITY)). Fleet
+    /// campaigns cap this per shard so instrumentation memory is
+    /// bounded regardless of population size; evictions are counted in
+    /// the fleet document.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_span_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "span capacity must be positive");
+        self.span_capacity = capacity;
         self
     }
 

@@ -186,9 +186,9 @@ impl Simulation {
         let admission = config.admission.map(AdmissionController::new);
         let governor = config.degradation.map(DegradationGovernor::new);
         let obs = if config.obs {
-            ObsLayer::new(policy.name(), config.audit_capacity)
+            ObsLayer::new(policy.name(), config.audit_capacity, config.span_capacity)
         } else {
-            ObsLayer::disabled(policy.name(), config.audit_capacity)
+            ObsLayer::disabled(policy.name(), config.audit_capacity, config.span_capacity)
         };
         let audit_enabled = config.obs;
         let mut manager = AlarmManager::new(policy);

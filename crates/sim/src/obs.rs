@@ -103,8 +103,9 @@ impl ObsLayer {
     /// Creates the layer for a run under `policy`, registering every
     /// metric family with its help text so the exposition is
     /// self-describing even before anything is observed.
-    pub fn new(policy: &str, audit_capacity: usize) -> Self {
+    pub fn new(policy: &str, audit_capacity: usize, span_capacity: usize) -> Self {
         assert!(audit_capacity > 0, "the audit ring needs room for one decision");
+        assert!(span_capacity > 0, "the span ring needs room for one span");
         let mut metrics = MetricsRegistry::new();
         metrics.describe("sim_wakeups_total", "Device sleep-to-awake transitions.");
         metrics.describe(
@@ -206,7 +207,7 @@ impl ObsLayer {
         );
         let hot = HotHandles::resolve(&mut metrics, policy);
         ObsLayer {
-            spans: SpanCollector::new(SPAN_CAPACITY),
+            spans: SpanCollector::new(span_capacity),
             metrics,
             audits: VecDeque::new(),
             audit_capacity,
@@ -225,15 +226,16 @@ impl ObsLayer {
     /// branches out of the hot loop, so an uninstrumented run pays
     /// nothing for observability while its traces and reports stay
     /// byte-identical to an instrumented run's.
-    pub fn disabled(policy: &str, audit_capacity: usize) -> Self {
+    pub fn disabled(policy: &str, audit_capacity: usize, span_capacity: usize) -> Self {
         assert!(audit_capacity > 0, "the audit ring needs room for one decision");
+        assert!(span_capacity > 0, "the span ring needs room for one span");
         // Resolve the hot handles against a scratch registry so the real
         // (exported) registry stays empty; every recording method checks
         // `enabled` before touching a handle.
         let mut scratch = MetricsRegistry::new();
         let hot = HotHandles::resolve(&mut scratch, policy);
         ObsLayer {
-            spans: SpanCollector::new(SPAN_CAPACITY),
+            spans: SpanCollector::new(span_capacity),
             metrics: MetricsRegistry::new(),
             audits: VecDeque::new(),
             audit_capacity,
@@ -494,7 +496,7 @@ mod tests {
 
     #[test]
     fn placement_feeds_counter_span_and_ring() {
-        let mut obs = ObsLayer::new("SIMTY", 2);
+        let mut obs = ObsLayer::new("SIMTY", 2, SPAN_CAPACITY);
         obs.note_placement(sample_audit(10));
         obs.note_placement(sample_audit(20));
         obs.note_placement(sample_audit(30));
@@ -515,7 +517,7 @@ mod tests {
 
     #[test]
     fn wake_cycle_opens_and_closes_once() {
-        let mut obs = ObsLayer::new("EXACT", 8);
+        let mut obs = ObsLayer::new("EXACT", 8, SPAN_CAPACITY);
         obs.wake_started(SimTime::from_secs(5));
         obs.wake_started(SimTime::from_secs(5)); // merged wake: cycle stays open
         obs.wake_ended(SimTime::from_secs(9));
@@ -532,7 +534,7 @@ mod tests {
 
     #[test]
     fn exposition_is_self_describing_before_any_event() {
-        let obs = ObsLayer::new("SIMTY", 4);
+        let obs = ObsLayer::new("SIMTY", 4, SPAN_CAPACITY);
         let text = obs.metrics_exposition();
         for family in [
             "sim_wakeups_total",

@@ -49,6 +49,26 @@ pub trait Vfs: fmt::Debug + Send + Sync {
     /// ENOSPC or crash would.
     fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
 
+    /// Appends `bytes` to `path`, creating the file if missing. This is
+    /// the campaign-journal write path: earlier records must survive a
+    /// failed append untouched.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (or injects) the underlying I/O error. An injected
+    /// failure may leave a *prefix of `bytes`* appended after the
+    /// existing content — a torn journal record — but never disturbs
+    /// bytes that were already durable.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+
+    /// Truncates `path` to `len` bytes (used to drop a torn journal
+    /// tail on replay).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying I/O error.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
     /// Forces `path`'s contents to stable storage (`fsync`).
     ///
     /// # Errors
@@ -109,6 +129,16 @@ fn real_sync_file(path: &Path) -> io::Result<()> {
     fs::File::open(path)?.sync_all()
 }
 
+fn real_append(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write as _;
+    let mut file = fs::OpenOptions::new().create(true).append(true).open(path)?;
+    file.write_all(bytes)
+}
+
+fn real_truncate(path: &Path, len: u64) -> io::Result<()> {
+    fs::OpenOptions::new().write(true).open(path)?.set_len(len)
+}
+
 fn real_sync_dir(dir: &Path) -> io::Result<()> {
     // Opening a directory read-only and fsyncing it is the portable
     // unix idiom for persisting its entry table.
@@ -133,6 +163,14 @@ impl Vfs for RealVfs {
 
     fn write_file(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
         fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        real_append(path, bytes)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        real_truncate(path, len)
     }
 
     fn sync_file(&self, path: &Path) -> io::Result<()> {
@@ -356,6 +394,30 @@ impl Vfs for FaultVfs {
         fs::write(path, bytes)
     }
 
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        if let Some(frac) = self.roll(self.enospc_p, FaultKind::Enospc) {
+            let kept = (bytes.len() as f64 * frac) as usize;
+            real_append(path, &bytes[..kept])?;
+            return Err(io::Error::other(format!(
+                "injected ENOSPC after {kept} of {} appended bytes",
+                bytes.len()
+            )));
+        }
+        if let Some(frac) = self.roll(self.short_write_p, FaultKind::ShortWrite) {
+            let kept = (bytes.len() as f64 * frac) as usize;
+            real_append(path, &bytes[..kept])?;
+            return Err(io::Error::new(
+                io::ErrorKind::WriteZero,
+                format!("injected short append: {kept} of {} bytes", bytes.len()),
+            ));
+        }
+        real_append(path, bytes)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        real_truncate(path, len)
+    }
+
     fn sync_file(&self, path: &Path) -> io::Result<()> {
         if let Some(frac) = self.roll(self.eio_on_sync_p, FaultKind::EioOnSync) {
             // The un-synced tail never reached the platter: truncate to
@@ -448,6 +510,16 @@ impl Vfs for RecordingVfs {
         fs::write(path, bytes)
     }
 
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.log("append", path);
+        real_append(path, bytes)
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.log("truncate", path);
+        real_truncate(path, len)
+    }
+
     fn sync_file(&self, path: &Path) -> io::Result<()> {
         self.log("sync_file", path);
         real_sync_file(path)
@@ -516,6 +588,23 @@ mod tests {
         assert!(on_disk.len() < 10, "full write survived ENOSPC");
         assert!(b"0123456789".starts_with(&on_disk[..]));
         assert_eq!(vfs.injected(FaultKind::Enospc), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_append_preserves_existing_content() {
+        let dir = scratch("append");
+        let path = dir.join("journal");
+        let vfs = FaultVfs::new(7).with_enospc(1.0);
+        real_append(&path, b"durable\n").unwrap();
+        let err = vfs.append(&path, b"torn-record\n").unwrap_err();
+        assert!(err.to_string().contains("ENOSPC"), "{err}");
+        let on_disk = fs::read(&path).unwrap();
+        assert!(on_disk.starts_with(b"durable\n"), "durable prefix disturbed");
+        assert!(on_disk.len() < b"durable\ntorn-record\n".len());
+        // Truncating back to the durable prefix recovers cleanly.
+        vfs.truncate(&path, 8).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), b"durable\n");
         let _ = fs::remove_dir_all(&dir);
     }
 
