@@ -38,7 +38,8 @@ use simty::apps::{DeviceMix, ScenarioCatalog, WorkloadBuilder};
 use simty::core::{HardwareComponent, SimDuration, SimTime};
 use simty::device::energy::EnergyMeter;
 use simty::experiments::PolicyKind;
-use simty::obs::{Histogram, MetricsRegistry};
+use simty::obs::telemetry::{EventKind, TelemetrySink};
+use simty::obs::{Histogram, MetricsRegistry, QuantileSummary};
 use simty::sim::codec::{esc, unesc};
 use simty::sim::json::{json_number, json_string, report_to_json};
 use simty::sim::{
@@ -533,8 +534,16 @@ fn parse_extra(extra: &str) -> Option<ShardExtra> {
 
 /// Runs one shard: restore mid-shard progress if a valid marker exists,
 /// fold the remaining devices in index order, checkpoint every
-/// `checkpoint_stride` devices.
-fn run_shard(config: &FleetConfig, spec: &ShardSpec, ckpt_dir: Option<&Path>) -> JobResult {
+/// `checkpoint_stride` devices. With a telemetry sink attached, the
+/// shard heartbeats at every checkpoint stride (devices done, smoothed
+/// devices/sec, checkpoint cursor) — wall-clock observability only,
+/// never part of the deterministic payload.
+fn run_shard(
+    config: &FleetConfig,
+    spec: &ShardSpec,
+    ckpt_dir: Option<&Path>,
+    telemetry: Option<&TelemetrySink>,
+) -> JobResult {
     let mut store = ckpt_dir.and_then(|dir| CheckpointStore::open(dir).ok());
     let mut progress = store
         .as_ref()
@@ -543,6 +552,8 @@ fn run_shard(config: &FleetConfig, spec: &ShardSpec, ckpt_dir: Option<&Path>) ->
         .and_then(|payload| ShardProgress::decode(&payload, spec))
         .unwrap_or_else(|| ShardProgress::fresh(spec));
     let mut since_marker = 0_u64;
+    let started = std::time::Instant::now();
+    let resumed_from = progress.cursor;
     while progress.cursor < spec.end {
         let run = run_device(config, spec.policy, progress.cursor);
         progress.fold_device(&run);
@@ -558,6 +569,17 @@ fn run_shard(config: &FleetConfig, spec: &ShardSpec, ckpt_dir: Option<&Path>) ->
                 // A failed marker save costs re-simulation on resume,
                 // not correctness — keep the shard going.
                 let _ = store.save(&marker);
+            }
+            if let Some(sink) = telemetry {
+                let secs = started.elapsed().as_secs_f64();
+                let done_here = progress.cursor - resumed_from;
+                sink.publish(EventKind::ShardHeartbeat {
+                    shard: spec.label.clone(),
+                    devices_done: progress.devices,
+                    devices_total: spec.end - spec.start,
+                    devices_per_sec: if secs > 0.0 { done_here as f64 / secs } else { 0.0 },
+                    cursor: progress.cursor,
+                });
             }
         }
     }
@@ -645,6 +667,16 @@ impl FleetResults {
         self.aggregates.iter().map(|a| a.devices).sum()
     }
 
+    /// Bucket-estimated p50/p90/p99/max of per-device mean power (mW),
+    /// from the merged `fleet_device_power_mw` histogram; `None` when no
+    /// device completed. Deterministic (pure function of the merged
+    /// histogram) and merge-stable across shard groupings.
+    pub fn device_power_quantiles(&self) -> Option<QuantileSummary> {
+        self.registry
+            .histogram("fleet_device_power_mw")
+            .and_then(QuantileSummary::from_histogram)
+    }
+
     /// Completed device-simulations per wall-clock second.
     pub fn devices_per_sec(&self) -> f64 {
         let secs = self.total_wall().as_secs_f64();
@@ -659,17 +691,21 @@ impl FleetResults {
     /// throughput, the supervisor's `harness` block, the merged fleet
     /// metrics, per-policy aggregates, and per-shard status lines.
     ///
-    /// The timing fields, `journal_skips`, and `devices_per_sec` vary
-    /// run to run; determinism tests compare
-    /// [`deterministic_json`](Self::deterministic_json) instead.
+    /// The timing fields, `journal_skips`, `devices_per_sec`, and the
+    /// `cell_wall_ms` quantiles vary run to run; determinism tests
+    /// compare [`deterministic_json`](Self::deterministic_json) instead.
     pub fn to_json(&self) -> String {
+        let opt_json =
+            |q: Option<QuantileSummary>| q.map_or_else(|| "null".to_owned(), |q| q.to_json());
         let mut out = String::new();
         out.push('{');
         let _ = write!(
             out,
             "\"schema\":{},\"devices\":{},\"shards\":{},\"seed\":{},\"duration_ms\":{},\
              \"policies\":[{}],\"threads\":{},\"total_wall_ms\":{},\"devices_per_sec\":{},\
-             \"journal_skips\":{},\"harness\":{},\"metrics\":{},\"aggregates\":[",
+             \"journal_skips\":{},\
+             \"quantiles\":{{\"cell_wall_ms\":{},\"device_power_mw\":{}}},\
+             \"harness\":{},\"metrics\":{},\"aggregates\":[",
             json_string(FLEET_SCHEMA),
             self.config_devices,
             self.shards,
@@ -684,6 +720,8 @@ impl FleetResults {
             json_number(self.total_wall().as_secs_f64() * 1_000.0),
             json_number(self.devices_per_sec()),
             self.journal_skips(),
+            opt_json(self.sweep.cell_wall_quantiles()),
+            opt_json(self.device_power_quantiles()),
             self.harness().to_json(),
             self.registry.to_json(),
         );
@@ -807,6 +845,9 @@ pub fn run_fleet_with(
     if let Some(dir) = &options.journal_dir {
         sweep.with_journal(dir, "fleet");
     }
+    if let Some(sink) = &options.telemetry {
+        sweep.with_telemetry(sink.clone());
+    }
     for (index, spec) in specs.iter().enumerate() {
         let config = Arc::clone(&shared);
         let spec = spec.clone();
@@ -814,11 +855,12 @@ pub fn run_fleet_with(
             .journal_dir
             .as_ref()
             .map(|dir| dir.join(format!("shard-{index:03}")));
+        let telemetry = options.telemetry.clone();
         sweep.job(spec.label.clone(), move || {
             if config.inject_panic == Some(index) {
                 panic!("injected fleet shard panic (cell {index})");
             }
-            run_shard(&config, &spec, ckpt_dir.as_deref())
+            run_shard(&config, &spec, ckpt_dir.as_deref(), telemetry.as_ref())
         });
     }
     let sweep_results = sweep.try_run_with_threads(options.threads)?;

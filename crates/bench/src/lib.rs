@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 
 pub mod chaos;
+pub mod diff;
 pub mod fleet;
 pub mod journal;
 pub mod soak;
@@ -32,6 +33,7 @@ pub use chaos::{
 pub use fleet::{
     run_fleet, run_fleet_with, FleetConfig, FleetResults, PolicyAggregate, ShardSpec, FLEET_SCHEMA,
 };
+pub use diff::{diff_documents, DiffReport, DiffThresholds, JsonValue, Regression};
 pub use journal::{CampaignJournal, JournalEntry, JournalError};
 pub use supervisor::{CellStatus, HarnessStats, SupervisorConfig};
 pub use soak::{

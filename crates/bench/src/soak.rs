@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 
 use simty::core::{SimDuration, SimTime};
 use simty::experiments::{PolicyKind, Scenario};
+use simty::obs::QuantileSummary;
 use simty::sim::json::{json_number, json_string, report_to_json};
 use simty::sim::{
     CheckpointStore, OnlineWatchdogConfig, RebootPlan, SimConfig, SimReport, Simulation,
@@ -362,6 +363,9 @@ pub fn run_soak_with(
     if let Some(dir) = &options.journal_dir {
         sweep.with_journal(dir, "soak");
     }
+    if let Some(sink) = &options.telemetry {
+        sweep.with_telemetry(sink.clone());
+    }
     for &spec in specs {
         let scratch = scratch.clone();
         sweep.job(spec.label(), move || {
@@ -377,6 +381,7 @@ pub fn run_soak_with(
     let _ = std::fs::remove_dir_all(&scratch);
     Ok(SoakResults {
         journal_skips: results.journal_skips(),
+        cell_walls: results.cell_walls(),
         runs: specs
             .iter()
             .copied()
@@ -427,6 +432,7 @@ pub struct PolicyEndurance {
 pub struct SoakResults {
     runs: Vec<(SoakSpec, CellStatus, Option<SimReport>, Option<SoakRecovery>)>,
     journal_skips: u64,
+    cell_walls: Vec<f64>,
 }
 
 impl SoakResults {
@@ -451,6 +457,14 @@ impl SoakResults {
     /// this invocation (zero without `--resume`).
     pub fn journal_skips(&self) -> u64 {
         self.journal_skips
+    }
+
+    /// Exact p50/p90/p99/max over the executed cells' wall times (ms);
+    /// `None` when every cell was journal-restored. Wall-clock data:
+    /// surfaced only in the document header, never in the deterministic
+    /// body.
+    pub fn cell_wall_quantiles(&self) -> Option<QuantileSummary> {
+        QuantileSummary::exact(&self.cell_walls)
     }
 
     /// Supervisor accounting over the campaign.
@@ -617,14 +631,18 @@ impl SoakResults {
     /// The committed `BENCH_soak.json` document: the deterministic
     /// [`to_json`](Self::to_json) body plus the per-invocation header
     /// fields — `resume_wall_ms` (the campaign's total checkpoint-resume
-    /// wall-clock) and `journal_skips` (cells restored from the journal
-    /// by this invocation). Kept out of `to_json` itself so determinism
-    /// suites can keep byte-diffing that stream.
+    /// wall-clock), `journal_skips` (cells restored from the journal
+    /// by this invocation), and the executed cells' wall-time quantiles.
+    /// Kept out of `to_json` itself so determinism suites can keep
+    /// byte-diffing that stream.
     pub fn to_json_document(&self) -> String {
+        let quantiles = QuantileSummary::exact(&self.cell_walls)
+            .map_or_else(|| "null".to_owned(), |q| q.to_json());
         self.to_json().replacen(
             "{\"schema\":\"simty-bench-soak/v1\"",
             &format!(
-                "{{\"schema\":\"simty-bench-soak/v1\",\"resume_wall_ms\":{},\"journal_skips\":{}",
+                "{{\"schema\":\"simty-bench-soak/v1\",\"resume_wall_ms\":{},\"journal_skips\":{},\
+                 \"quantiles\":{{\"cell_wall_ms\":{quantiles}}}",
                 json_number(self.resume_wall().as_secs_f64() * 1_000.0),
                 self.journal_skips
             ),
@@ -748,8 +766,9 @@ mod tests {
         assert_eq!(
             doc.replacen(
                 &format!(
-                    ",\"resume_wall_ms\":{},\"journal_skips\":0",
-                    simty::sim::json::json_number(results.resume_wall().as_secs_f64() * 1_000.0)
+                    ",\"resume_wall_ms\":{},\"journal_skips\":0,\"quantiles\":{{\"cell_wall_ms\":{}}}",
+                    simty::sim::json::json_number(results.resume_wall().as_secs_f64() * 1_000.0),
+                    results.cell_wall_quantiles().unwrap().to_json()
                 ),
                 "",
                 1

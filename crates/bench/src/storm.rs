@@ -18,6 +18,7 @@ use std::path::Path;
 use simty::core::admission::AdmissionConfig;
 use simty::core::{SimDuration, SimTime};
 use simty::experiments::{PolicyKind, Scenario};
+use simty::obs::QuantileSummary;
 use simty::sim::json::{json_string, report_to_json};
 use simty::sim::{
     GovernorConfig, RegistrationStormPlan, SimConfig, SimReport, Simulation, StormBurst,
@@ -339,6 +340,9 @@ pub fn run_storm_with(
     if let Some(dir) = &options.journal_dir {
         sweep.with_journal(dir, "storm");
     }
+    if let Some(sink) = &options.telemetry {
+        sweep.with_telemetry(sink.clone());
+    }
     for &spec in specs {
         sweep.job(spec.label(), move || {
             let (report, recovery) = spec.run();
@@ -352,6 +356,7 @@ pub fn run_storm_with(
     let results = sweep.try_run_with_threads(options.threads)?;
     Ok(StormResults {
         journal_skips: results.journal_skips(),
+        cell_walls: results.cell_walls(),
         runs: specs
             .iter()
             .copied()
@@ -402,6 +407,7 @@ pub struct PolicyOverload {
 pub struct StormResults {
     runs: Vec<(StormSpec, CellStatus, Option<SimReport>, Option<StormRecovery>)>,
     journal_skips: u64,
+    cell_walls: Vec<f64>,
 }
 
 impl StormResults {
@@ -426,6 +432,14 @@ impl StormResults {
     /// this invocation (zero without `--resume`).
     pub fn journal_skips(&self) -> u64 {
         self.journal_skips
+    }
+
+    /// Exact p50/p90/p99/max over the executed cells' wall times (ms);
+    /// `None` when every cell was journal-restored. Wall-clock data:
+    /// surfaced only in the document header, never in the deterministic
+    /// body.
+    pub fn cell_wall_quantiles(&self) -> Option<QuantileSummary> {
+        QuantileSummary::exact(&self.cell_walls)
     }
 
     /// Supervisor accounting over the campaign.
@@ -578,13 +592,18 @@ impl StormResults {
     }
 
     /// The full on-disk document: [`to_json`](Self::to_json) plus the
-    /// per-invocation `journal_skips` header (how many cells this
-    /// invocation restored from the journal instead of running).
+    /// per-invocation headers — `journal_skips` (how many cells this
+    /// invocation restored from the journal instead of running) and the
+    /// executed cells' wall-time quantiles (`null` when every cell was
+    /// restored).
     pub fn to_json_document(&self) -> String {
+        let quantiles = QuantileSummary::exact(&self.cell_walls)
+            .map_or_else(|| "null".to_owned(), |q| q.to_json());
         self.to_json().replacen(
             "{\"schema\":\"simty-bench-storm/v1\"",
             &format!(
-                "{{\"schema\":\"simty-bench-storm/v1\",\"journal_skips\":{}",
+                "{{\"schema\":\"simty-bench-storm/v1\",\"journal_skips\":{},\
+                 \"quantiles\":{{\"cell_wall_ms\":{quantiles}}}",
                 self.journal_skips
             ),
             1,

@@ -22,7 +22,8 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use simty::experiments::RunSpec;
-use simty::obs::StageProfile;
+use simty::obs::telemetry::{EventKind, TelemetrySink};
+use simty::obs::{QuantileSummary, StageProfile};
 use simty::sim::json::{json_number, json_string, report_to_json};
 use simty::sim::{SimReport, Vfs};
 
@@ -105,6 +106,7 @@ pub struct Sweep {
     supervisor: SupervisorConfig,
     journal: Option<(PathBuf, String)>,
     journal_vfs: Option<Arc<dyn Vfs>>,
+    telemetry: Option<TelemetrySink>,
 }
 
 impl Sweep {
@@ -134,6 +136,18 @@ impl Sweep {
     /// appends mid-flight.
     pub fn with_journal_vfs(&mut self, vfs: Arc<dyn Vfs>) -> &mut Self {
         self.journal_vfs = Some(vfs);
+        self
+    }
+
+    /// Attaches a telemetry sink: workers publish cell lifecycle and
+    /// journal-write events to it as they happen, and warnings that
+    /// would otherwise interleave on stderr under `--threads N` (e.g.
+    /// journal append failures) are routed through the bus instead.
+    /// Publishing never blocks — a slow drainer drops events (see
+    /// [`TelemetrySink`]), so the deterministic campaign payload is
+    /// unaffected.
+    pub fn with_telemetry(&mut self, sink: TelemetrySink) -> &mut Self {
+        self.telemetry = Some(sink);
         self
     }
 
@@ -286,6 +300,7 @@ impl Sweep {
         let jobs = self.jobs;
         let next = AtomicUsize::new(0);
         let journal = journal.as_ref();
+        let telemetry = self.telemetry.as_ref();
         std::thread::scope(|scope| {
             let workers = threads.min(total.max(1));
             let mut handles = Vec::with_capacity(workers);
@@ -299,6 +314,12 @@ impl Sweep {
                         continue; // restored from the journal
                     }
                     let job = &jobs[idx];
+                    if let Some(sink) = telemetry {
+                        sink.publish(EventKind::CellStarted {
+                            index: idx,
+                            label: job.label.clone(),
+                        });
+                    }
                     let job_started = Instant::now();
                     let (result, status) = supervise(&supervisor, job.task.clone());
                     let (report, stages, extra) = match result {
@@ -306,19 +327,48 @@ impl Sweep {
                         None => (None, None, None),
                     };
                     if let (Some(journal), Some(report)) = (journal, &report) {
-                        if let Err(e) = journal.record(idx, &status, report, extra.as_deref()) {
-                            eprintln!(
-                                "warning: campaign journal append failed for cell {idx} \
-                                 (`{}`): {e}; the cell will re-run on resume",
-                                job.label
-                            );
+                        match journal.record(idx, &status, report, extra.as_deref()) {
+                            Ok(()) => {
+                                if let Some(sink) = telemetry {
+                                    sink.publish(EventKind::JournalWrite { index: idx, ok: true });
+                                }
+                            }
+                            Err(e) => {
+                                let warning = format!(
+                                    "campaign journal append failed for cell {idx} \
+                                     (`{}`): {e}; the cell will re-run on resume",
+                                    job.label
+                                );
+                                // With a bus attached the warning travels as a
+                                // structured event; otherwise fall back to the
+                                // (interleaving) stderr line.
+                                match telemetry {
+                                    Some(sink) => {
+                                        sink.publish(EventKind::JournalWrite {
+                                            index: idx,
+                                            ok: false,
+                                        });
+                                        sink.warn(warning);
+                                    }
+                                    None => eprintln!("warning: {warning}"),
+                                }
+                            }
                         }
+                    }
+                    let wall = job_started.elapsed();
+                    if let Some(sink) = telemetry {
+                        sink.publish(EventKind::CellFinished {
+                            index: idx,
+                            label: job.label.clone(),
+                            status: status.token(),
+                            cell_wall_ms: wall.as_secs_f64() * 1e3,
+                        });
                     }
                     *outcomes[idx].lock().expect("outcome slot lock") = Some(Outcome {
                         label: job.label.clone(),
                         report,
                         stages,
-                        wall: job_started.elapsed(),
+                        wall,
                         status,
                         extra,
                     });
@@ -357,6 +407,10 @@ pub struct CampaignOptions {
     /// Campaign journal directory; `Some` enables crash-tolerant
     /// resume (completed cells are restored instead of re-run).
     pub journal_dir: Option<PathBuf>,
+    /// Telemetry sink the campaign's workers publish lifecycle events
+    /// to (see [`Sweep::with_telemetry`]); `None` keeps the campaign
+    /// silent.
+    pub telemetry: Option<TelemetrySink>,
 }
 
 impl Default for CampaignOptions {
@@ -365,6 +419,7 @@ impl Default for CampaignOptions {
             threads: available_threads(),
             supervisor: SupervisorConfig::default(),
             journal_dir: None,
+            telemetry: None,
         }
     }
 }
@@ -517,6 +572,24 @@ impl SweepResults {
         total
     }
 
+    /// Wall times (ms) of the cells that actually executed in this
+    /// invocation. Journal-restored cells (wall zero) are excluded —
+    /// they cost this invocation nothing.
+    pub fn cell_walls(&self) -> Vec<f64> {
+        self.outcomes
+            .iter()
+            .filter(|o| o.wall > Duration::ZERO)
+            .map(|o| o.wall.as_secs_f64() * 1_000.0)
+            .collect()
+    }
+
+    /// Exact p50/p90/p99/max over [`cell_walls`](Self::cell_walls), or
+    /// `None` when no cell actually executed. Wall-clock data:
+    /// non-deterministic, header-only.
+    pub fn cell_wall_quantiles(&self) -> Option<QuantileSummary> {
+        QuantileSummary::exact(&self.cell_walls())
+    }
+
     /// Completed runs per second of wall-clock time.
     pub fn runs_per_sec(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -541,7 +614,7 @@ impl SweepResults {
         let mut out = String::new();
         out.push('{');
         out.push_str(&format!(
-            "\"schema\":{},\"threads\":{},\"runs\":{},\"total_wall_ms\":{},\"sequential_wall_ms\":{},\"runs_per_sec\":{},\"journal_skips\":{},\"harness\":{},\"stages\":{},\"results\":[",
+            "\"schema\":{},\"threads\":{},\"runs\":{},\"total_wall_ms\":{},\"sequential_wall_ms\":{},\"runs_per_sec\":{},\"journal_skips\":{},\"harness\":{},\"stages\":{},\"quantiles\":{{\"cell_wall_ms\":{}}},\"results\":[",
             json_string("simty-bench-sweep/v1"),
             self.threads,
             self.outcomes.len(),
@@ -551,6 +624,8 @@ impl SweepResults {
             self.journal_skips,
             self.harness().to_json(),
             self.stage_profile().to_json(),
+            self.cell_wall_quantiles()
+                .map_or_else(|| "null".to_owned(), |q| q.to_json()),
         ));
         for (i, o) in self.outcomes.iter().enumerate() {
             if i > 0 {

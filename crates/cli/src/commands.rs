@@ -31,6 +31,9 @@ pub enum CliError {
     /// (panic or deadline overrun), or a `--resume` journal could not be
     /// opened or replayed.
     Harness(String),
+    /// `bench diff` found a perf regression or schema drift between two
+    /// campaign documents (the CI perf gate trips on this).
+    Regression(String),
 }
 
 impl CliError {
@@ -44,6 +47,7 @@ impl CliError {
             CliError::Invariants(_) => 4,
             CliError::Recovery(_) => 5,
             CliError::Harness(_) => 6,
+            CliError::Regression(_) => 7,
         }
     }
 }
@@ -59,6 +63,7 @@ impl fmt::Display for CliError {
             }
             CliError::Recovery(msg) => write!(f, "unrecoverable checkpoint: {msg}"),
             CliError::Harness(msg) => write!(f, "harness degraded: {msg}"),
+            CliError::Regression(msg) => write!(f, "perf gate: {msg}"),
         }
     }
 }
@@ -104,6 +109,12 @@ COMMANDS:
                 and why each won or lost
     metrics     run one scenario and print its metrics registry
                 (Prometheus-style exposition, JSON snapshot, or spans)
+    trace       run one scenario under each policy and export the span
+                ring as a Chrome Trace Event Format file (--out FILE;
+                load it in chrome://tracing or Perfetto)
+    bench diff  schema-aware perf gate: `standby bench diff OLD.json
+                NEW.json` compares two campaign documents of the same
+                schema and exits 7 on regression or drift
     analyze     offline analysis of a delivery-trace CSV (--trace FILE)
     estimate    closed-form energy envelope of a workload (no simulation)
     catalog     print the paper's Table 3 app catalogue
@@ -140,6 +151,21 @@ METRICS FLAGS:
     --policy P                 as for run               [default: simty]
     --format F                 expose|json|spans        [default: expose]
 
+TRACE FLAGS:
+    --policies LIST            comma-separated policy names (see --policy)
+                               [default: native,simty]; one trace track
+                               per policy, timestamps on the sim clock
+    --out FILE                 trace file to write (required)
+    --span-cap N               per-run span-ring capacity [default: 1048576]
+    --stages                   append per-policy wall-clock stage-profile
+                               tracks (non-deterministic timings)
+
+BENCH DIFF FLAGS:
+    --max-ratio X              wall-clock metrics may grow (throughput may
+                               shrink) up to this ratio   [default: 5.0]
+    --max-delta-pct X          deterministic values may differ up to this
+                               many percent               [default: 0.5]
+
 SWEEP FLAGS:
     --policies LIST            comma-separated policy names (see --policy)
                                [default: native,simty]
@@ -160,6 +186,12 @@ SWEEP FLAGS:
     --inject-ckpt-eio N        make cell N run a checkpoint drill against a
                                fault-injecting filesystem (fsync EIO): the
                                last-good fallback must still recover
+    --progress                 live one-line progress on stderr, fed by the
+                               telemetry bus (auto-off when stderr is not
+                               a terminal)
+    --events FILE              append structured telemetry events (cell
+                               started/finished, journal writes, warnings)
+                               to FILE as JSON lines
 
 SWEEP-BETA FLAGS:
     --from X --to Y --steps N  sweep range               [default: 0.75..0.96, 5]
@@ -221,6 +253,11 @@ FLEET FLAGS:
     --inject-panic N           replace shard cell N with a panicking cell
                                (harness smoke: the shard is quarantined,
                                the fleet completes, exit code 6)
+    --progress                 live progress line on stderr (as for sweep),
+                               including per-shard heartbeats with
+                               devices/sec and the checkpoint cursor
+    --events FILE              append telemetry events to FILE (as for
+                               sweep, plus shard heartbeats)
 
 EXIT CODES (uniform across run/sweep/chaos/soak/storm/fleet):
     0   success
@@ -231,6 +268,8 @@ EXIT CODES (uniform across run/sweep/chaos/soak/storm/fleet):
         divergence between the resumed and straight-through runs)
     6   harness degraded: campaign cells were quarantined (panic or
         deadline overrun), or a --resume journal could not be opened
+    7   `bench diff` found a perf regression or schema drift between
+        the two campaign documents
 
 Campaign cells run supervised: a panicking or hung cell is quarantined
 (status `poisoned`) and the campaign completes without it, exiting with
@@ -382,6 +421,11 @@ fn simulate_with(opts: &CommonOpts, policy: PolicyKind, waveform: bool) -> Simul
 /// Returns [`CliError`] for unknown commands, invalid flags, or I/O
 /// failures; the binary maps these to a nonzero exit code.
 pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliError> {
+    // `bench diff OLD NEW` takes positional file operands, which the
+    // flag parser rejects by design; intercept it before parsing.
+    if raw_args.first().map(String::as_str) == Some("bench") {
+        return cmd_bench(&raw_args[1..], out);
+    }
     let args = ParsedArgs::parse(raw_args.iter().cloned())?;
     if args.has_switch("help") || args.command().is_none() {
         writeln!(out, "{USAGE}")?;
@@ -399,6 +443,7 @@ pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliErro
         "fleet" => cmd_fleet(&args, out),
         "explain" => cmd_explain(&args, out),
         "metrics" => cmd_metrics(&args, out),
+        "trace" => cmd_trace(&args, out),
         "analyze" => cmd_analyze(&args, out),
         "estimate" => cmd_estimate(&args, out),
         "catalog" => cmd_catalog(&args, out),
@@ -586,6 +631,8 @@ fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         "resume",
         "inject-panic",
         "inject-ckpt-eio",
+        "progress",
+        "events",
     ])?;
     let policies: Vec<PolicyKind> = args
         .get("policies")
@@ -672,9 +719,13 @@ fn cmd_sweep<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         sweep.with_journal(dir, "sweep");
     }
     let total = sweep.len();
-    let results = sweep
-        .try_run_with_threads(threads as usize)
-        .map_err(|e| CliError::Harness(e.to_string()))?;
+    let pipe = TelemetryPipe::from_args(args, total as u64)?;
+    if let Some(sink) = pipe.sink() {
+        sweep.with_telemetry(sink);
+    }
+    let run = sweep.try_run_with_threads(threads as usize);
+    pipe.finish()?;
+    let results = run.map_err(|e| CliError::Harness(e.to_string()))?;
 
     let mut table = TextTable::new([
         "run",
@@ -1359,6 +1410,8 @@ fn cmd_fleet<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         "json",
         "resume",
         "inject-panic",
+        "progress",
+        "events",
     ])?;
     let policies: Vec<PolicyKind> = args
         .get("policies")
@@ -1416,8 +1469,12 @@ fn cmd_fleet<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
         }
         options.supervisor.deadline = Some(std::time::Duration::from_secs(secs));
     }
-    let results = simty_bench::run_fleet_with(&config, &options)
-        .map_err(|e| CliError::Harness(e.to_string()))?;
+    let pipe = TelemetryPipe::from_args(args, shards * config.policies.len() as u64)?;
+    options.telemetry = pipe.sink();
+    let run = simty_bench::run_fleet_with(&config, &options);
+    drop(options);
+    pipe.finish()?;
+    let results = run.map_err(|e| CliError::Harness(e.to_string()))?;
 
     let mut table = TextTable::new([
         "shard",
@@ -1646,6 +1703,212 @@ fn cmd_metrics<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError>
         }
     }
     Ok(())
+}
+
+fn cmd_trace<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "scenario", "workload", "seed", "hours", "beta", "policies", "out", "span-cap", "stages",
+    ])?;
+    let opts = CommonOpts::from_args(args)?;
+    let policies: Vec<PolicyKind> = args
+        .get("policies")
+        .unwrap_or("native,simty")
+        .split(',')
+        .map(parse_policy)
+        .collect::<Result<_, _>>()?;
+    let span_cap = args.get_u64("span-cap", 1 << 20)?;
+    if span_cap == 0 {
+        return Err(CliError::Usage("--span-cap must be positive".into()));
+    }
+    let path = args
+        .get("out")
+        .ok_or_else(|| CliError::Usage("trace needs --out FILE".into()))?;
+    let with_stages = args.has_switch("stages");
+
+    // One track (tid) per policy, timestamps on the sim clock, so the
+    // file is deterministic for a given grid; the optional stage tracks
+    // carry wall-clock self-times and are off by default.
+    let mut trace = simty::obs::TraceBuilder::new("standby");
+    for (i, &policy) in policies.iter().enumerate() {
+        let workload = opts.builder().build();
+        let config = SimConfig::new()
+            .with_duration(SimDuration::from_hours(opts.hours))
+            .with_span_capacity(span_cap as usize);
+        let mut sim = Simulation::new(policy.build(), config);
+        for alarm in workload.alarms {
+            sim.register(alarm).expect("workload alarm registers cleanly");
+        }
+        sim.run_until(SimTime::ZERO + SimDuration::from_hours(opts.hours));
+
+        let tid = i as u64;
+        trace.add_track(tid, &policy.name());
+        trace.add_spans(tid, sim.obs().spans().iter());
+        if with_stages {
+            let stage_tid = 1_000 + i as u64;
+            trace.add_track(stage_tid, &format!("{} stages (wall)", policy.name()));
+            trace.add_stage_profile(stage_tid, sim.stage_profile());
+        }
+    }
+    let events = trace.len();
+    let mut file = BufWriter::new(File::create(path)?);
+    file.write_all(trace.finish().as_bytes())?;
+    file.flush()?;
+    writeln!(
+        out,
+        "trace written to {path} ({events} events, {} tracks)",
+        policies.len() * if with_stages { 2 } else { 1 },
+    )?;
+    Ok(())
+}
+
+/// `standby bench <subcommand>`: document-level tooling. Takes its
+/// operands positionally (`bench diff OLD.json NEW.json`), so it is
+/// dispatched before the flag parser.
+fn cmd_bench<W: Write>(rest: &[String], out: &mut W) -> Result<(), CliError> {
+    match rest.first().map(String::as_str) {
+        Some("diff") => {}
+        Some(other) => {
+            return Err(CliError::Usage(format!(
+                "unknown bench subcommand `{other}` (expected `diff`)"
+            )))
+        }
+        None => {
+            return Err(CliError::Usage(
+                "bench needs a subcommand: `standby bench diff OLD.json NEW.json`".into(),
+            ))
+        }
+    }
+    let mut paths: Vec<&String> = Vec::new();
+    let mut thresholds = simty_bench::DiffThresholds::default();
+    let mut iter = rest[1..].iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--max-ratio" | "--max-delta-pct" => {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::Usage(format!("{arg} needs a value")))?;
+                let parsed: f64 = value.parse().map_err(|_| {
+                    CliError::Usage(format!("invalid value `{value}` for {arg}"))
+                })?;
+                if !parsed.is_finite() || parsed <= 0.0 {
+                    return Err(CliError::Usage(format!("{arg} must be positive")));
+                }
+                if arg == "--max-ratio" {
+                    thresholds.max_wall_ratio = parsed;
+                } else {
+                    thresholds.max_delta_pct = parsed;
+                }
+            }
+            flag if flag.starts_with("--") => {
+                return Err(CliError::Usage(format!(
+                    "unknown bench diff flag `{flag}`"
+                )))
+            }
+            _ => paths.push(arg),
+        }
+    }
+    let [old_path, new_path] = paths[..] else {
+        return Err(CliError::Usage(
+            "bench diff takes exactly two documents: OLD.json NEW.json".into(),
+        ));
+    };
+    let old = std::fs::read_to_string(old_path)?;
+    let new = std::fs::read_to_string(new_path)?;
+    let report =
+        simty_bench::diff_documents(&old, &new, &thresholds).map_err(CliError::Regression)?;
+    writeln!(
+        out,
+        "bench diff {}: {} fields compared (wall ratio <= {}x, deterministic delta <= {}%)",
+        report.schema, report.checks, thresholds.max_wall_ratio, thresholds.max_delta_pct,
+    )?;
+    if report.is_regression() {
+        for regression in &report.regressions {
+            writeln!(out, "  REGRESSION {regression}")?;
+        }
+        return Err(CliError::Regression(format!(
+            "{} regression(s) between {old_path} and {new_path}",
+            report.regressions.len()
+        )));
+    }
+    writeln!(out, "no regressions: {new_path} is within thresholds of {old_path}")?;
+    Ok(())
+}
+
+/// Where `--progress`/`--events` telemetry goes: a drain thread that
+/// consumes the campaign's bus, rendering a live progress line on
+/// stderr and appending JSON lines to the events file, until every sink
+/// clone is dropped.
+struct TelemetryPipe {
+    sink: Option<simty::obs::TelemetrySink>,
+    drain: Option<std::thread::JoinHandle<io::Result<()>>>,
+}
+
+impl TelemetryPipe {
+    /// Builds the pipe from `--progress`/`--events`. Progress is
+    /// auto-disabled when stderr is not a terminal, so redirected runs
+    /// never capture carriage-return control characters.
+    fn from_args(args: &ParsedArgs, cells_total: u64) -> Result<Self, CliError> {
+        use std::io::IsTerminal;
+
+        let progress = args.has_switch("progress") && io::stderr().is_terminal();
+        let events = match args.get("events") {
+            None => None,
+            Some(path) => Some(BufWriter::new(
+                File::options().create(true).append(true).open(path)?,
+            )),
+        };
+        if !progress && events.is_none() {
+            return Ok(TelemetryPipe {
+                sink: None,
+                drain: None,
+            });
+        }
+        let (bus, sink) =
+            simty::obs::TelemetryBus::new(simty::obs::telemetry::DEFAULT_BUS_CAPACITY);
+        let drain = std::thread::spawn(move || -> io::Result<()> {
+            let mut events = events;
+            let mut state = simty::obs::ProgressState::new(cells_total);
+            for event in bus.drain() {
+                if let Some(w) = events.as_mut() {
+                    writeln!(w, "{}", event.to_json())?;
+                }
+                if progress {
+                    state.update(&event);
+                    eprint!("\r{}", state.render());
+                }
+            }
+            if progress {
+                eprintln!();
+            }
+            if let Some(mut w) = events {
+                w.flush()?;
+            }
+            Ok(())
+        });
+        Ok(TelemetryPipe {
+            sink: Some(sink),
+            drain: Some(drain),
+        })
+    }
+
+    /// A sink clone for the campaign to publish into (None when neither
+    /// flag asked for telemetry).
+    fn sink(&self) -> Option<simty::obs::TelemetrySink> {
+        self.sink.clone()
+    }
+
+    /// Drops the CLI's sink and joins the drain thread; the thread ends
+    /// once the campaign's own sink clones are gone too, so callers
+    /// must drop those (the run consuming them suffices) before this.
+    fn finish(mut self) -> Result<(), CliError> {
+        self.sink = None;
+        if let Some(handle) = self.drain.take() {
+            handle
+                .join()
+                .map_err(|_| CliError::Harness("telemetry drain thread panicked".into()))??;
+        }
+        Ok(())
+    }
 }
 
 fn cmd_sweep_beta<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
@@ -2276,6 +2539,147 @@ mod tests {
         assert_eq!(CliError::Invariants(1).exit_code(), 4);
         assert_eq!(CliError::Recovery("x".into()).exit_code(), 5);
         assert_eq!(CliError::Harness("x".into()).exit_code(), 6);
+        assert_eq!(CliError::Regression("x".into()).exit_code(), 7);
+    }
+
+    #[test]
+    fn trace_exports_chrome_trace_events() {
+        let dir = std::env::temp_dir().join(format!("simty_cli_trace_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        let path_str = path.to_str().unwrap();
+        let text = run(&[
+            "trace", "--policies", "native,simty", "--scenario", "light", "--hours", "1",
+            "--out", path_str,
+        ])
+        .unwrap();
+        assert!(text.contains("trace written to"), "{text}");
+        let trace = std::fs::read_to_string(&path).unwrap();
+        assert!(trace.starts_with("{\"traceEvents\":["));
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("NATIVE"));
+        assert!(trace.contains("SIMTY"));
+        assert!(trace.contains("\"ph\":\"X\""));
+        // --out is mandatory.
+        assert!(matches!(
+            run(&["trace", "--hours", "1"]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_diff_gates_on_regressions() {
+        let dir = std::env::temp_dir().join(format!("simty_cli_diff_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc = dir.join("sweep.json");
+        let doc_str = doc.to_str().unwrap().to_owned();
+        run(&[
+            "sweep", "--policies", "simty", "--scenarios", "light", "--seeds", "1",
+            "--hours", "1", "--json", &doc_str,
+        ])
+        .unwrap();
+
+        // A document diffed against itself is clean.
+        let text = run(&["bench", "diff", &doc_str, &doc_str]).unwrap();
+        assert!(text.contains("no regressions"), "{text}");
+
+        // Inject a deterministic-payload regression (wakeup drift) and
+        // the gate must trip with the regression exit class.
+        let original = std::fs::read_to_string(&doc).unwrap();
+        let needle = "\"cpu_wakeups\":";
+        let at = original.find(needle).expect("report has cpu_wakeups") + needle.len();
+        let end = at + original[at..].find([',', '}']).unwrap();
+        let wakeups: f64 = original[at..end].trim().parse().unwrap();
+        let doctored = original.replacen(
+            &format!("{needle}{}", &original[at..end]),
+            &format!("{needle}{}", wakeups * 2.0),
+            1,
+        );
+        let bad = dir.join("doctored.json");
+        let bad_str = bad.to_str().unwrap().to_owned();
+        std::fs::write(&bad, doctored).unwrap();
+        assert!(matches!(
+            run(&["bench", "diff", &doc_str, &bad_str]),
+            Err(CliError::Regression(_))
+        ));
+
+        // Usage errors: unknown subcommand, wrong arity, bad flag value.
+        assert!(matches!(run(&["bench"]), Err(CliError::Usage(_))));
+        assert!(matches!(run(&["bench", "prof"]), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&["bench", "diff", &doc_str]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["bench", "diff", &doc_str, &doc_str, "--max-ratio", "zero"]),
+            Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sweep_streams_telemetry_events_to_a_file() {
+        let dir = std::env::temp_dir().join(format!("simty_cli_events_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let events = dir.join("events.jsonl");
+        let events_str = events.to_str().unwrap().to_owned();
+        let json = dir.join("sweep.json");
+        let json_str = json.to_str().unwrap().to_owned();
+        run(&[
+            "sweep", "--policies", "native,simty", "--scenarios", "light", "--seeds",
+            "1", "--hours", "1", "--events", &events_str, "--json", &json_str,
+        ])
+        .unwrap();
+        let lines: Vec<String> = std::fs::read_to_string(&events)
+            .unwrap()
+            .lines()
+            .map(str::to_owned)
+            .collect();
+        // Two cells: started + finished for each.
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"kind\":\"cell_started\"")).count(),
+            2,
+            "{lines:?}"
+        );
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"kind\":\"cell_finished\"")).count(),
+            2,
+            "{lines:?}"
+        );
+        assert!(lines.iter().all(|l| l.starts_with("{\"wall_ms\":")));
+
+        // The telemetry stream must not perturb the deterministic
+        // document payload: rerun without --events and compare from the
+        // results stream onward (headers carry wall clocks).
+        let json2 = dir.join("sweep2.json");
+        let json2_str = json2.to_str().unwrap().to_owned();
+        run(&[
+            "sweep", "--policies", "native,simty", "--scenarios", "light", "--seeds",
+            "1", "--hours", "1", "--json", &json2_str,
+        ])
+        .unwrap();
+        let payload = |doc: &str| doc[doc.find("\"results\":").unwrap()..].to_owned();
+        let with_telemetry = std::fs::read_to_string(&json).unwrap();
+        let without = std::fs::read_to_string(&json2).unwrap();
+        let strip_walls = |doc: &str| {
+            let mut out = String::new();
+            let mut rest = doc;
+            while let Some(i) = rest.find("\"wall_ms\":") {
+                out.push_str(&rest[..i]);
+                let after = &rest[i + "\"wall_ms\":".len()..];
+                let end = after.find(',').unwrap();
+                rest = &after[end + 1..];
+            }
+            out.push_str(rest);
+            out
+        };
+        assert_eq!(
+            strip_walls(&payload(&with_telemetry)),
+            strip_walls(&payload(&without)),
+            "telemetry must not change the deterministic payload"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -19,6 +19,17 @@
 //!   so profiles are kept strictly out of the deterministic exports and
 //!   surface only in benchmark documents.
 //!
+//! Three observability consumers build on those primitives:
+//!
+//! * [`quantile`] — deterministic, merge-stable p50/p90/p99/max
+//!   estimation over the fixed-bucket histograms (surfaced in the
+//!   exposition, snapshots, and campaign document headers);
+//! * [`telemetry`] — a bounded, never-blocking event bus campaign
+//!   workers publish progress to (live TTY status line + `events.jsonl`
+//!   stream, wall clock segregated into the envelope);
+//! * [`traceviz`] — Chrome Trace Event Format export of span rings and
+//!   stage profiles for `chrome://tracing` / Perfetto.
+//!
 //! The crate is dependency-free and knows nothing about the simulator:
 //! timestamps are raw milliseconds, so any sim-clock representation can
 //! feed it.
@@ -29,13 +40,19 @@
 
 pub mod metrics;
 pub mod profile;
+pub mod quantile;
 pub mod span;
+pub mod telemetry;
+pub mod traceviz;
 
 pub use metrics::{
     CounterHandle, GaugeHandle, Histogram, HistogramHandle, MetricsRegistry,
 };
 pub use profile::{Stage, StageProfile};
+pub use quantile::QuantileSummary;
 pub use span::{AttrValue, Span, SpanCollector, SpanKind};
+pub use telemetry::{EventKind, ProgressState, TelemetryBus, TelemetryEvent, TelemetrySink};
+pub use traceviz::TraceBuilder;
 
 /// Renders `s` as a quoted JSON string with the required escapes.
 pub(crate) fn json_string(s: &str) -> String {

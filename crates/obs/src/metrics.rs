@@ -29,6 +29,7 @@ pub struct Histogram {
     counts: Vec<u64>,
     sum: f64,
     count: u64,
+    nonfinite: u64,
 }
 
 impl Histogram {
@@ -50,6 +51,7 @@ impl Histogram {
             counts,
             sum: 0.0,
             count: 0,
+            nonfinite: 0,
         }
     }
 
@@ -68,8 +70,27 @@ impl Histogram {
         h
     }
 
+    /// Returns `self` with the quarantined non-finite observation count
+    /// set (checkpoint restore; see [`Histogram::nonfinite`]).
+    #[must_use]
+    pub fn with_nonfinite(mut self, nonfinite: u64) -> Self {
+        self.nonfinite = nonfinite;
+        self
+    }
+
     /// Records one observation.
+    ///
+    /// Non-finite values never represent a real measurement here — they
+    /// are always an upstream bug — so they are quarantined in the
+    /// [`nonfinite`](Self::nonfinite) counter instead of masquerading as
+    /// a huge sample in the overflow bucket, and debug builds panic to
+    /// surface the bug at its source.
     pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.nonfinite += 1;
+            debug_assert!(v.is_finite(), "non-finite histogram observation: {v}");
+            return;
+        }
         let idx = self.bucket_for(v);
         self.counts[idx] += 1;
         self.sum += v;
@@ -96,6 +117,7 @@ impl Histogram {
         }
         self.sum += other.sum;
         self.count += other.count;
+        self.nonfinite += other.nonfinite;
     }
 
     /// The bucket index `v` lands in: the first bound with `v <= bound`,
@@ -122,20 +144,33 @@ impl Histogram {
         self.sum
     }
 
-    /// Total number of observations.
+    /// Total number of finite observations.
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of non-finite observations quarantined by
+    /// [`observe`](Self::observe) — they appear in no bucket and
+    /// contribute nothing to `sum`/`count`.
+    pub fn nonfinite(&self) -> u64 {
+        self.nonfinite
     }
 
     fn to_json(&self) -> String {
         let bounds: Vec<String> = self.bounds.iter().map(|&b| json_f64(b)).collect();
         let counts: Vec<String> = self.counts.iter().map(|c| c.to_string()).collect();
+        let quantiles = match crate::quantile::QuantileSummary::from_histogram(self) {
+            Some(q) => format!(",\"quantiles\":{}", q.to_json()),
+            None => String::new(),
+        };
         format!(
-            "{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{}}}",
+            "{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{},\"nonfinite\":{}{}}}",
             bounds.join(","),
             counts.join(","),
             json_f64(self.sum),
-            self.count
+            self.count,
+            self.nonfinite,
+            quantiles
         )
     }
 }
@@ -441,6 +476,13 @@ impl MetricsRegistry {
             out.push_str(&format!("{} {}\n", with("+Inf"), h.count()));
             out.push_str(&format!("{} {}\n", suffixed("sum"), expose_f64(h.sum())));
             out.push_str(&format!("{} {}\n", suffixed("count"), h.count()));
+            out.push_str(&format!("{} {}\n", suffixed("nonfinite"), h.nonfinite()));
+            if let Some(q) = crate::quantile::QuantileSummary::from_histogram(h) {
+                out.push_str(&format!("{} {}\n", suffixed("q50"), expose_f64(q.q50)));
+                out.push_str(&format!("{} {}\n", suffixed("q90"), expose_f64(q.q90)));
+                out.push_str(&format!("{} {}\n", suffixed("q99"), expose_f64(q.q99)));
+                out.push_str(&format!("{} {}\n", suffixed("max"), expose_f64(q.max)));
+            }
         }
         out
     }
@@ -548,6 +590,11 @@ h_bucket{le=\"2\"} 1
 h_bucket{le=\"+Inf\"} 2
 h_sum 4
 h_count 2
+h_nonfinite 0
+h_q50 1
+h_q90 2
+h_q99 2
+h_max 2
 ";
         assert_eq!(text, expected);
     }
@@ -580,8 +627,34 @@ h_count 2
         assert_eq!(
             m.to_json(),
             "{\"counters\":{\"a\":1},\"gauges\":{\"g\":0.5},\"histograms\":\
-             {\"h\":{\"bounds\":[1],\"counts\":[0,1],\"sum\":2,\"count\":1}}}"
+             {\"h\":{\"bounds\":[1],\"counts\":[0,1],\"sum\":2,\"count\":1,\
+             \"nonfinite\":0,\"quantiles\":{\"q50\":2,\"q90\":2,\"q99\":2,\"max\":2}}}}"
         );
+    }
+
+    #[test]
+    fn nonfinite_observations_are_quarantined() {
+        let mut h = Histogram::new(vec![1.0]);
+        h.observe(0.5);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let poked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| h.observe(bad)));
+            // Debug builds assert at the source; release builds only count.
+            assert_eq!(poked.is_err(), cfg!(debug_assertions));
+        }
+        // Either way the poisoned values land in the quarantine counter,
+        // not in a bucket, the sum, or the sample count.
+        assert_eq!(h.nonfinite(), 3);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 0.5);
+        assert_eq!(h.counts(), &[1, 0]);
+        // And they survive a merge and a parts round-trip.
+        let mut merged = Histogram::new(vec![1.0]);
+        merged.merge(&h);
+        assert_eq!(merged.nonfinite(), 3);
+        let rebuilt =
+            Histogram::from_parts(h.bounds().to_vec(), h.counts().to_vec(), h.sum(), h.count())
+                .with_nonfinite(h.nonfinite());
+        assert_eq!(rebuilt, h);
     }
 
     #[test]

@@ -1140,6 +1140,8 @@ pub(crate) fn capture(sim: &Simulation) -> Checkpoint {
         line.push_str(&f64_hex(h.sum()));
         line.push(',');
         line.push_str(&h.count().to_string());
+        line.push(',');
+        line.push_str(&h.nonfinite().to_string());
         w!(body, "{line}");
     }
     w!(body, "obs_audit_dropped={}", obs.audit_dropped);
@@ -2252,11 +2254,14 @@ pub(crate) fn restore(
         }
         let name = unesc(parts[0]);
         let nb = p.usize_of(parts[1])?;
-        // name, bound count, bounds, counts (one overflow bucket), sum, count.
+        // name, bound count, bounds, counts (one overflow bucket), sum,
+        // count, plus an optional trailing non-finite quarantine count
+        // (absent in pre-quantile checkpoints).
         let want = 2 + nb + (nb + 1) + 2;
-        if parts.len() != want {
+        if parts.len() != want && parts.len() != want + 1 {
             return Err(p.err(format!(
-                "histogram with {nb} bounds expects {want} fields, got {}",
+                "histogram with {nb} bounds expects {want} or {} fields, got {}",
+                want + 1,
                 parts.len()
             )));
         }
@@ -2270,8 +2275,15 @@ pub(crate) fn restore(
         }
         let sum = p.f64_of(parts[want - 2])?;
         let count = p.u64_of(parts[want - 1])?;
-        obs.metrics
-            .insert_histogram(&name, Histogram::from_parts(bounds, counts, sum, count));
+        let nonfinite = if parts.len() == want + 1 {
+            p.u64_of(parts[want])?
+        } else {
+            0
+        };
+        obs.metrics.insert_histogram(
+            &name,
+            Histogram::from_parts(bounds, counts, sum, count).with_nonfinite(nonfinite),
+        );
     }
     obs.audit_dropped = p.kv_u64("obs_audit_dropped")?;
     let n = p.count("obs_audits")?;

@@ -133,6 +133,102 @@ fn exports_are_byte_identical_across_checkpoint_resume() {
     }
 }
 
+/// Renders the Chrome trace of a finished run — the library-level
+/// analogue of `standby trace --out` (sim-clock spans only; the
+/// wall-clock stage tracks are opt-in and excluded here on purpose).
+fn trace_of(sim: &Simulation) -> String {
+    let mut trace = simty::obs::TraceBuilder::new("standby");
+    trace.add_track(0, "SIMTY");
+    trace.add_spans(0, sim.obs().spans().iter());
+    trace.finish()
+}
+
+/// Golden shape of the Chrome trace export: well-formed envelope, the
+/// two metadata records first, and every span on the sim clock. A
+/// failure means the trace format changed — update Perfetto/chrome://
+/// tracing consumers (and EXPERIMENTS.md) deliberately.
+#[test]
+fn chrome_trace_export_matches_the_golden_shape() {
+    let mut sim = heavy_sim(1 << 20);
+    sim.run();
+    let trace = trace_of(&sim);
+    assert!(trace.starts_with(
+        "{\"traceEvents\":[\
+         {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+         \"args\":{\"name\":\"standby\"}},\
+         {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\
+         \"args\":{\"name\":\"SIMTY\"}},"
+    ));
+    assert!(trace.ends_with("],\"displayTimeUnit\":\"ms\"}"));
+    // Complete events and zero-duration instants both appear, with
+    // microsecond timestamps derived from the sim clock.
+    assert!(trace.contains("\"ph\":\"X\""));
+    assert!(trace.contains("\"cat\":\"sim\""));
+    let events = trace.matches("\"ph\":").count();
+    assert_eq!(events, sim.obs().spans().len() + 2, "one event per span");
+}
+
+/// The trace export is a pure function of the deterministic span ring:
+/// byte-identical whether the run executed on this thread or any of
+/// three workers.
+#[test]
+fn chrome_trace_is_byte_identical_across_threads() {
+    let run = || {
+        let mut sim = heavy_sim(1 << 20);
+        sim.run();
+        trace_of(&sim)
+    };
+    let sequential = run();
+    let handles: Vec<_> = (0..3).map(|_| std::thread::spawn(run)).collect();
+    for handle in handles {
+        assert_eq!(
+            handle.join().expect("worker finished"),
+            sequential,
+            "trace diverged across threads"
+        );
+    }
+}
+
+/// Resuming from any mid-run checkpoint reproduces the straight-through
+/// run's Chrome trace byte for byte (the span ring is checkpointed
+/// state, and the export adds no wall-clock data).
+#[test]
+fn chrome_trace_is_byte_identical_across_checkpoint_resume() {
+    let build = || {
+        let duration = SimDuration::from_hours(2);
+        let workload = WorkloadBuilder::heavy()
+            .with_seed(3)
+            .with_duration(duration)
+            .build();
+        let mut sim = Simulation::new(
+            Box::new(SimtyPolicy::new()),
+            SimConfig::new()
+                .with_duration(duration)
+                .with_checkpoints(SimDuration::from_mins(20))
+                .with_audit_capacity(1 << 20),
+        );
+        for alarm in workload.alarms {
+            sim.register(alarm).expect("workload alarm registers cleanly");
+        }
+        sim
+    };
+    let mut straight = build();
+    straight.run();
+    let expected = trace_of(&straight);
+    let checkpoints = straight.checkpoints();
+    assert!(checkpoints.len() >= 4, "got {} checkpoints", checkpoints.len());
+    for (i, ckpt) in checkpoints.iter().enumerate() {
+        let mut resumed =
+            Simulation::restore(Box::new(SimtyPolicy::new()), ckpt).expect("restore");
+        resumed.run();
+        assert_eq!(
+            trace_of(&resumed),
+            expected,
+            "trace diverged from checkpoint {i}"
+        );
+    }
+}
+
 /// The metrics registry and the run report are two views of one run:
 /// the headline counters must agree exactly.
 #[test]
