@@ -2,7 +2,7 @@
 //! campaign documents.
 //!
 //! Compares two campaign JSON documents of the same kind (any of the
-//! five committed schemas — sweep, chaos, soak, storm, fleet) and
+//! six committed schemas — sweep, chaos, soak, storm, fleet, serve) and
 //! reports *regressions*, classified by how each field is allowed to
 //! move:
 //!
@@ -21,7 +21,14 @@
 //!   exactly) — a mismatch is either a real behavior change or schema
 //!   drift, and both should stop CI;
 //! * **per-invocation bookkeeping** (`journal_skips`, `threads`) is
-//!   ignored.
+//!   ignored;
+//! * **service traffic tallies** (the `load` and `server` sections of a
+//!   `simty-serve/v1` document) vary run to run and are mostly free,
+//!   except: `invariant_violations` and `telemetry_dropped` fail on any
+//!   increase, and the overload counters `shed`/`rejected`/`deferred`
+//!   fail when a committed nonzero value collapses to zero — the drill
+//!   stopped exercising backpressure, which is itself a regression. The
+//!   `latency_ms` quantiles gate on the wall-clock ratio.
 //!
 //! The module carries its own ~150-line recursive-descent JSON reader
 //! so the bench crate stays dependency-free.
@@ -330,13 +337,14 @@ impl DiffReport {
     }
 }
 
-/// The five campaign schemas `bench diff` understands.
-pub const KNOWN_SCHEMAS: [&str; 5] = [
+/// The six campaign schemas `bench diff` understands.
+pub const KNOWN_SCHEMAS: [&str; 6] = [
     "simty-bench-sweep/v1",
     "simty-bench-chaos/v1",
     "simty-bench-soak/v1",
     "simty-bench-storm/v1",
     "simty-fleet/v1",
+    "simty-serve/v1",
 ];
 
 /// Diffs two campaign documents of the same schema.
@@ -388,11 +396,15 @@ pub fn diff_documents(
 enum Context {
     /// Byte-deterministic payload: tight relative tolerance.
     Deterministic,
-    /// Wall-clock subtree (`stages`, `cell_wall_ms`): ratio gate,
-    /// bigger is worse.
+    /// Wall-clock subtree (`stages`, `cell_wall_ms`, `latency_ms`):
+    /// ratio gate, bigger is worse.
     Wall,
     /// Supervisor counters: increases are failures.
     Harness,
+    /// Service traffic tallies (`load`/`server` in a serve document):
+    /// free-moving except the keys called out by name in
+    /// [`Differ::number`].
+    Service,
 }
 
 /// Noise floor for wall-clock ratio checks: ignore blips where both
@@ -440,8 +452,9 @@ impl Differ {
                         continue; // per-invocation bookkeeping
                     }
                     let child_ctx = match key.as_str() {
-                        "stages" | "cell_wall_ms" => Context::Wall,
+                        "stages" | "cell_wall_ms" | "latency_ms" => Context::Wall,
                         "harness" => Context::Harness,
+                        "load" | "server" => Context::Service,
                         _ => ctx,
                     };
                     path.push(key.clone());
@@ -517,7 +530,7 @@ impl Differ {
         let ratio = self.thresholds.max_wall_ratio;
         match key {
             // Throughput: shrinking past the ratio is the regression.
-            "runs_per_sec" | "devices_per_sec" => {
+            "runs_per_sec" | "devices_per_sec" | "rps" => {
                 if new.is_finite() && old.is_finite() && old > 0.0 && new < old / ratio {
                     self.fail(
                         path,
@@ -526,8 +539,25 @@ impl Differ {
                 }
             }
             // Wall-clock durations anywhere in the header.
-            "total_wall_ms" | "sequential_wall_ms" | "wall_ms" => {
+            "total_wall_ms" | "sequential_wall_ms" | "wall_ms" | "drain_ms" => {
                 self.wall_ratio(old, new, WALL_FLOOR_MS, path);
+            }
+            // Service health counters: any increase is a failure.
+            "invariant_violations" | "telemetry_dropped" if ctx == Context::Service => {
+                if new > old {
+                    self.fail(path, format!("counter increased: {old} -> {new}"));
+                }
+            }
+            // Overload drill counters: the drill must keep exercising
+            // backpressure, so a committed nonzero value may not
+            // collapse to zero.
+            "shed" | "rejected" | "deferred" if ctx == Context::Service => {
+                if old > 0.0 && new == 0.0 {
+                    self.fail(
+                        path,
+                        format!("overload counter collapsed to zero: {old} -> {new}"),
+                    );
+                }
             }
             // Harness-and-quarantine counters: monotone gates.
             "poisoned" | "panics" | "timeouts" | "retries" | "retried" | "nonfinite" => {
@@ -540,6 +570,9 @@ impl Differ {
             }
             _ => match ctx {
                 Context::Wall => self.wall_ratio(old, new, WALL_FLOOR_MS, path),
+                // Traffic tallies vary run to run; only the keys named
+                // above are gated.
+                Context::Service => {}
                 Context::Harness | Context::Deterministic => {
                     let tolerance = self.thresholds.max_delta_pct / 100.0;
                     let scale = old.abs().max(new.abs());
@@ -667,6 +700,56 @@ mod tests {
             .unwrap_err()
             .contains("schema drift"));
         assert!(diff_documents("{}", &sweep, &DiffThresholds::default()).is_err());
+    }
+
+    fn serve_doc(rps: f64, q99: f64, shed: u64, timed_out: u64, violations: u64) -> String {
+        format!(
+            "{{\"schema\":\"simty-serve/v1\",\
+             \"harness\":{{\"connections\":400,\"seed\":1,\"profile\":\"mixed\",\
+             \"wall_ms\":900,\"rps\":{rps}}},\
+             \"latency_ms\":{{\"q50\":1.2,\"q90\":3.4,\"q99\":{q99},\"max\":80.0}},\
+             \"load\":{{\"sent\":1200,\"ok\":900,\"deferred\":40,\"rejected\":60,\
+             \"shed\":{shed},\"timed_out\":{timed_out},\"net_errors\":7,\"client_faults\":33}},\
+             \"server\":{{\"accepted\":390,\"completed\":390,\"shed\":{shed},\"drain_ms\":4,\
+             \"invariant_violations\":{violations},\"telemetry_dropped\":0,\"net_faults\":12}}}}"
+        )
+    }
+
+    #[test]
+    fn serve_traffic_noise_passes_but_health_counters_gate() {
+        let old = serve_doc(1300.0, 25.0, 18, 3, 0);
+        // Tallies wobble, latency drifts under the ratio: all fine.
+        let new = serve_doc(1100.0, 60.0, 9, 11, 0);
+        let report = diff_documents(&old, &new, &DiffThresholds::default()).unwrap();
+        assert!(!report.is_regression(), "{:?}", report.regressions);
+        assert_eq!(report.schema, "simty-serve/v1");
+
+        // A new invariant violation is always a regression.
+        let broken = serve_doc(1300.0, 25.0, 18, 3, 1);
+        let report = diff_documents(&old, &broken, &DiffThresholds::default()).unwrap();
+        assert!(report.is_regression());
+        assert!(report.regressions[0]
+            .path
+            .ends_with("server.invariant_violations"));
+    }
+
+    #[test]
+    fn serve_shed_collapse_and_latency_blowup_fail() {
+        let old = serve_doc(1300.0, 25.0, 18, 3, 0);
+        let collapsed = serve_doc(1300.0, 25.0, 0, 3, 0);
+        let report = diff_documents(&old, &collapsed, &DiffThresholds::default()).unwrap();
+        assert!(report.is_regression());
+        assert!(report.regressions.iter().all(|r| r.path.ends_with("shed")));
+
+        let slow = serve_doc(1300.0, 250.0, 18, 3, 0);
+        let report = diff_documents(&old, &slow, &DiffThresholds::default()).unwrap();
+        assert!(report.is_regression());
+        assert!(report.regressions[0].path.ends_with("latency_ms.q99"));
+
+        let stalled = serve_doc(100.0, 25.0, 18, 3, 0);
+        let report = diff_documents(&old, &stalled, &DiffThresholds::default()).unwrap();
+        assert!(report.is_regression());
+        assert!(report.regressions[0].detail.contains("throughput fell"));
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub enum CliError {
     /// `bench diff` found a perf regression or schema drift between two
     /// campaign documents (the CI perf gate trips on this).
     Regression(String),
+    /// The scheduler service failed: bind error, unusable state
+    /// directory, or corrupted live-scheduler state on restore.
+    Serve(String),
 }
 
 impl CliError {
@@ -48,6 +51,7 @@ impl CliError {
             CliError::Recovery(_) => 5,
             CliError::Harness(_) => 6,
             CliError::Regression(_) => 7,
+            CliError::Serve(_) => 8,
         }
     }
 }
@@ -64,6 +68,7 @@ impl fmt::Display for CliError {
             CliError::Recovery(msg) => write!(f, "unrecoverable checkpoint: {msg}"),
             CliError::Harness(msg) => write!(f, "harness degraded: {msg}"),
             CliError::Regression(msg) => write!(f, "perf gate: {msg}"),
+            CliError::Serve(msg) => write!(f, "serve: {msg}"),
         }
     }
 }
@@ -112,6 +117,15 @@ COMMANDS:
     trace       run one scenario under each policy and export the span
                 ring as a Chrome Trace Event Format file (--out FILE;
                 load it in chrome://tracing or Perfetto)
+    serve       run the standby scheduler as a multi-tenant HTTP service:
+                register/cancel/query alarms per tenant with admission
+                control as real rate limiting (429 + Retry-After), live
+                /metrics, bounded queues that shed with 503, per-request
+                deadlines (408), and graceful SIGTERM drain that
+                checkpoints live state for byte-identical restart
+    serve-load  seeded open-loop load generator for `serve`: fires
+                register/query/cancel/advance traffic (optionally through
+                a network-fault drill), emits the simty-serve/v1 document
     bench diff  schema-aware perf gate: `standby bench diff OLD.json
                 NEW.json` compares two campaign documents of the same
                 schema and exits 7 on regression or drift
@@ -259,6 +273,45 @@ FLEET FLAGS:
     --events FILE              append telemetry events to FILE (as for
                                sweep, plus shard heartbeats)
 
+SERVE FLAGS:
+    --addr A                   bind address             [default: 127.0.0.1:8377]
+    --workers N                worker threads           [default: 4]
+    --queue-depth N            bounded work queue; a full queue sheds new
+                               connections with 503     [default: 64]
+    --deadline-ms N            per-request deadline (slowloris gets 408)
+                               [default: 2000]
+    --policy P                 live-scheduler policy: exact|native|simty|
+                               dursim|doze              [default: simty]
+    --state-dir DIR            checkpoint directory: drain snapshots live
+                               state here and a restarted server resumes
+                               tenants byte-identically
+    --fault PROFILE            server-side network-fault drill: none|
+                               torn-read|short-write|stall|disconnect|
+                               mixed                    [default: none]
+    --seed N                   seed for the fault drill [default: 1]
+    --telemetry-capacity N     bounded telemetry bus capacity [default: 1024]
+    --max-run-minutes N        cap on POST /run simulated minutes
+                               [default: 1440]
+    --drain-after-ms N         auto-drain after N ms (scripted runs;
+                               0 = run until SIGTERM)   [default: 0]
+
+SERVE-LOAD FLAGS:
+    --addr HOST:PORT           target an already-running server (without
+                               it the harness spawns one in-process and
+                               folds its drain report into the document)
+    --connections N            total connections        [default: 200]
+    --concurrency N            client threads           [default: 8]
+    --tenants N                distinct tenants         [default: 4]
+    --seed N                   per-connection schedule seed [default: 1]
+    --fault PROFILE            client-side fault drill (as for serve)
+    --deadline-ms N            client per-request deadline  [default: 2000]
+    --workers/--queue-depth/--policy/--state-dir
+                               in-process server knobs (as for serve)
+    --server-fault PROFILE     in-process server-side drill [default: none]
+    --server-seed N            in-process server drill seed [default: 1]
+    --json FILE                write the simty-serve/v1 document to FILE
+                               instead of stdout
+
 EXIT CODES (uniform across run/sweep/chaos/soak/storm/fleet):
     0   success
     2   argument or usage error
@@ -270,6 +323,8 @@ EXIT CODES (uniform across run/sweep/chaos/soak/storm/fleet):
         deadline overrun), or a --resume journal could not be opened
     7   `bench diff` found a perf regression or schema drift between
         the two campaign documents
+    8   the scheduler service failed: bind error, unusable state
+        directory, or corrupted live-scheduler state on restore
 
 Campaign cells run supervised: a panicking or hung cell is quarantined
 (status `poisoned`) and the campaign completes without it, exiting with
@@ -444,6 +499,8 @@ pub fn run_cli<W: Write>(raw_args: &[String], out: &mut W) -> Result<(), CliErro
         "explain" => cmd_explain(&args, out),
         "metrics" => cmd_metrics(&args, out),
         "trace" => cmd_trace(&args, out),
+        "serve" => crate::serve_cmd::cmd_serve(&args, out),
+        "serve-load" => crate::serve_cmd::cmd_serve_load(&args, out),
         "analyze" => cmd_analyze(&args, out),
         "estimate" => cmd_estimate(&args, out),
         "catalog" => cmd_catalog(&args, out),
@@ -1900,12 +1957,32 @@ impl TelemetryPipe {
     /// Drops the CLI's sink and joins the drain thread; the thread ends
     /// once the campaign's own sink clones are gone too, so callers
     /// must drop those (the run consuming them suffices) before this.
+    ///
+    /// A full bus sheds events rather than stalling the campaign;
+    /// shedding is lossy observability, so it is surfaced twice: as a
+    /// final warn event on the bus itself (best-effort — the tail of a
+    /// saturated bus may shed the warning too) and as a note on stderr
+    /// once the drain is done.
     fn finish(mut self) -> Result<(), CliError> {
-        self.sink = None;
+        let dropped = match self.sink.take() {
+            Some(sink) => {
+                let dropped = sink.dropped();
+                if dropped > 0 {
+                    sink.warn(format!(
+                        "telemetry bus dropped {dropped} event(s); raise the bus capacity or slow the campaign"
+                    ));
+                }
+                dropped
+            }
+            None => 0,
+        };
         if let Some(handle) = self.drain.take() {
             handle
                 .join()
                 .map_err(|_| CliError::Harness("telemetry drain thread panicked".into()))??;
+        }
+        if dropped > 0 {
+            eprintln!("warning: telemetry bus dropped {dropped} event(s)");
         }
         Ok(())
     }
@@ -2540,6 +2617,46 @@ mod tests {
         assert_eq!(CliError::Recovery("x".into()).exit_code(), 5);
         assert_eq!(CliError::Harness("x".into()).exit_code(), 6);
         assert_eq!(CliError::Regression("x".into()).exit_code(), 7);
+        assert_eq!(CliError::Serve("x".into()).exit_code(), 8);
+    }
+
+    #[test]
+    fn serve_load_emits_the_serve_document() {
+        let text = run(&[
+            "serve-load",
+            "--connections", "30",
+            "--concurrency", "4",
+            "--tenants", "2",
+            "--seed", "3",
+            "--workers", "2",
+            "--queue-depth", "2",
+        ])
+        .unwrap();
+        assert!(text.contains("\"schema\": \"simty-serve/v1\""), "{text}");
+        assert!(text.contains("\"server\""), "self-hosted run must fold in the drain report");
+        assert!(text.contains("\"invariant_violations\": 0"), "{text}");
+    }
+
+    #[test]
+    fn serve_drains_on_schedule_and_rejects_bad_flags() {
+        let text = run(&[
+            "serve", "--addr", "127.0.0.1:0", "--drain-after-ms", "150",
+        ])
+        .unwrap();
+        assert!(text.contains("listening on 127.0.0.1:"), "{text}");
+        assert!(text.contains("\"invariant_violations\": 0"), "{text}");
+        assert!(matches!(
+            run(&["serve", "--fault", "bogus"]),
+            Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&["serve", "--addr", "127.0.0.1:0", "--policy", "nope"]),
+            Err(CliError::Serve(_))
+        ));
+        assert!(matches!(
+            run(&["serve-load", "--connections", "1", "--fault", "nope"]),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]
@@ -2614,6 +2731,41 @@ mod tests {
         assert!(matches!(
             run(&["bench", "diff", &doc_str, &doc_str, "--max-ratio", "zero"]),
             Err(CliError::Usage(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_diff_understands_the_serve_document() {
+        let dir = std::env::temp_dir().join(format!("simty_cli_sdiff_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let old = dir.join("old.json");
+        let new = dir.join("new.json");
+        let old_str = old.to_str().unwrap().to_owned();
+        let new_str = new.to_str().unwrap().to_owned();
+        for path in [&old_str, &new_str] {
+            run(&[
+                "serve-load", "--connections", "20", "--concurrency", "4",
+                "--tenants", "2", "--seed", "11", "--json", path,
+            ])
+            .unwrap();
+        }
+
+        // Two runs of the same drill differ only in free-moving traffic
+        // tallies and ratio-gated wall clocks; the serve schema must
+        // diff clean, not error as an unknown kind.
+        let text = run(&["bench", "diff", &old_str, &new_str]).unwrap();
+        assert!(text.contains("bench diff simty-serve/v1"), "{text}");
+        assert!(text.contains("no regressions"), "{text}");
+
+        // A doctored invariant violation trips the gate.
+        let doctored = std::fs::read_to_string(&new)
+            .unwrap()
+            .replacen("\"invariant_violations\": 0", "\"invariant_violations\": 2", 1);
+        std::fs::write(&new, doctored).unwrap();
+        assert!(matches!(
+            run(&["bench", "diff", &old_str, &new_str]),
+            Err(CliError::Regression(_))
         ));
         std::fs::remove_dir_all(&dir).ok();
     }

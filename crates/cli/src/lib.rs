@@ -13,6 +13,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve_cmd;
 
 pub use args::{ParseArgsError, ParsedArgs};
 pub use commands::{run_cli, CliError};

@@ -1,0 +1,184 @@
+//! The `standby serve` and `standby serve-load` subcommands: the
+//! standby scheduler as a long-running service, and the seeded
+//! open-loop load generator that drills it.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use simty_serve::load::{self, LoadSpec};
+use simty_serve::server::{spawn, DrainReport, ServeConfig};
+use simty_serve::signal;
+use simty_serve::transport::FaultPlan;
+
+use crate::args::ParsedArgs;
+use crate::commands::CliError;
+
+fn parse_fault(args: &ParsedArgs) -> Result<FaultPlan, CliError> {
+    let name = args.get("fault").unwrap_or("none");
+    FaultPlan::named(name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown fault profile `{name}` (expected one of {})",
+            FaultPlan::PROFILES.join("|")
+        ))
+    })
+}
+
+fn server_config(args: &ParsedArgs) -> Result<ServeConfig, CliError> {
+    let defaults = ServeConfig::default();
+    Ok(ServeConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:8377").to_owned(),
+        workers: args.get_u64("workers", defaults.workers as u64)? as usize,
+        queue_depth: args.get_u64("queue-depth", defaults.queue_depth as u64)? as usize,
+        deadline: Duration::from_millis(args.get_u64("deadline-ms", 2_000)?),
+        limits: defaults.limits,
+        policy: args.get("policy").unwrap_or("simty").to_owned(),
+        state_dir: args.get("state-dir").map(PathBuf::from),
+        fault: parse_fault(args)?,
+        seed: args.get_u64("seed", 1)?,
+        telemetry_capacity: args
+            .get_u64("telemetry-capacity", defaults.telemetry_capacity as u64)?
+            as usize,
+        max_run_minutes: args.get_u64("max-run-minutes", defaults.max_run_minutes)?,
+    })
+}
+
+fn drain_to_json(drain: &DrainReport) -> String {
+    format!(
+        "{{\"accepted\": {}, \"completed\": {}, \"shed\": {}, \"requests\": {}, \"drain_ms\": {}, \"telemetry_dropped\": {}, \"invariant_violations\": {}, \"net_faults\": {}, \"checkpoint\": {}}}",
+        drain.accepted,
+        drain.completed,
+        drain.shed,
+        drain.requests,
+        drain.drain_ms,
+        drain.telemetry_dropped,
+        drain.invariant_violations,
+        drain.net_faults,
+        drain
+            .checkpoint
+            .as_ref()
+            .map(|p| format!("\"{}\"", p.display()))
+            .unwrap_or_else(|| "null".to_owned()),
+    )
+}
+
+/// `standby serve`: run the scheduler service until SIGTERM/ctrl-c (or
+/// `--drain-after-ms` for scripted runs), then drain gracefully and
+/// print the drain report.
+pub fn cmd_serve<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "addr",
+        "workers",
+        "queue-depth",
+        "deadline-ms",
+        "policy",
+        "state-dir",
+        "fault",
+        "seed",
+        "telemetry-capacity",
+        "max-run-minutes",
+        "drain-after-ms",
+    ])?;
+    let config = server_config(args)?;
+    let drain_after = args.get_u64("drain-after-ms", 0)?;
+
+    signal::install_handlers();
+    let handle = spawn(config).map_err(CliError::Serve)?;
+    writeln!(out, "listening on {}", handle.addr())?;
+    out.flush()?;
+
+    let started = std::time::Instant::now();
+    while !handle.is_draining() {
+        if drain_after > 0 && started.elapsed() >= Duration::from_millis(drain_after) {
+            handle.shutdown();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    let drain = handle.join();
+    writeln!(out, "{}", drain_to_json(&drain))?;
+    if drain.invariant_violations > 0 {
+        return Err(CliError::Invariants(drain.invariant_violations));
+    }
+    Ok(())
+}
+
+/// `standby serve-load`: fire seeded open-loop load. With `--addr` the
+/// target is an already-running server; without it the harness spawns a
+/// server in-process, drains it afterwards, and folds the server's
+/// drain report into the emitted `simty-serve/v1` document.
+pub fn cmd_serve_load<W: Write>(args: &ParsedArgs, out: &mut W) -> Result<(), CliError> {
+    args.ensure_known(&[
+        "addr",
+        "connections",
+        "concurrency",
+        "tenants",
+        "seed",
+        "fault",
+        "deadline-ms",
+        "workers",
+        "queue-depth",
+        "policy",
+        "state-dir",
+        "server-fault",
+        "server-seed",
+        "telemetry-capacity",
+        "json",
+    ])?;
+    let fault = parse_fault(args)?;
+    let profile = args.get("fault").unwrap_or("none").to_owned();
+    let spec = LoadSpec {
+        addr: args.get("addr").unwrap_or("").to_owned(),
+        connections: args.get_u64("connections", 200)?,
+        concurrency: args.get_u64("concurrency", 8)? as usize,
+        tenants: args.get_u64("tenants", 4)? as usize,
+        seed: args.get_u64("seed", 1)?,
+        fault,
+        deadline: Duration::from_millis(args.get_u64("deadline-ms", 2_000)?),
+    };
+
+    let (document, violations) = if spec.addr.is_empty() {
+        // Self-hosted: spawn, load, drain, merge the server's view.
+        let defaults = ServeConfig::default();
+        let server = ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: args.get_u64("workers", defaults.workers as u64)? as usize,
+            queue_depth: args.get_u64("queue-depth", defaults.queue_depth as u64)? as usize,
+            policy: args.get("policy").unwrap_or("simty").to_owned(),
+            state_dir: args.get("state-dir").map(PathBuf::from),
+            fault: FaultPlan::named(args.get("server-fault").unwrap_or("none")).ok_or_else(
+                || {
+                    CliError::Usage(format!(
+                        "unknown fault profile `{}`",
+                        args.get("server-fault").unwrap_or("none")
+                    ))
+                },
+            )?,
+            seed: args.get_u64("server-seed", 1)?,
+            telemetry_capacity: args
+                .get_u64("telemetry-capacity", defaults.telemetry_capacity as u64)?
+                as usize,
+            ..defaults
+        };
+        let (_report, drain, json) =
+            load::drive(server, spec, &profile).map_err(CliError::Serve)?;
+        (json, drain.invariant_violations)
+    } else {
+        let report = load::run(&spec);
+        (report.to_json(&spec, &profile, None), 0)
+    };
+
+    match args.get("json") {
+        Some(path) => {
+            std::fs::write(path, &document)?;
+            writeln!(out, "wrote {path}")?;
+        }
+        None => {
+            write!(out, "{document}")?;
+        }
+    }
+    if violations > 0 {
+        return Err(CliError::Invariants(violations));
+    }
+    Ok(())
+}

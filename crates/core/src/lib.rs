@@ -82,7 +82,8 @@ pub mod similarity;
 pub mod time;
 
 pub use admission::{
-    Admission, AdmissionConfig, AdmissionController, AdmissionDecision, AppClass, ClassQuota,
+    Admission, AdmissionConfig, AdmissionController, AdmissionDecision, AppAdmission, AppClass,
+    ClassQuota, TokenBucket,
 };
 pub use alarm::{Alarm, AlarmBuilder, AlarmId, AlarmKind, Repeat, GRACE_STRETCH_UNIT};
 pub use audit::{CandidateAudit, CandidateVerdict, PlacementAudit};

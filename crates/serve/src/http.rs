@@ -1,0 +1,671 @@
+//! A hand-rolled HTTP/1.1 request parser and response writer.
+//!
+//! The build environment has no registry access, so the service speaks
+//! HTTP through the same kind of minimal, strictly-bounded
+//! implementation as the vendored dependency shims: no allocations
+//! proportional to attacker-controlled sizes, hard caps on the head and
+//! body, and a typed error for every way a request can go wrong so the
+//! server can answer with the right status code (or silently hang up
+//! when the wire died mid-request and no answer can reach anyone).
+//!
+//! The parser is transport-generic — anything `Read + Write` — which is
+//! what lets the test suite drive it over in-memory scripted streams
+//! and the [`FaultTransport`](crate::transport::FaultTransport) wrapper
+//! without a socket in sight.
+
+use std::collections::BTreeMap;
+use std::io::{self, Read, Write};
+
+/// Hard caps applied while parsing one request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum size of the head (request line + headers + blank line).
+    pub max_head: usize,
+    /// Maximum declared (and read) body size.
+    pub max_body: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_head: 8 * 1024,
+            max_body: 64 * 1024,
+        }
+    }
+}
+
+/// Maximum number of headers accepted in one request.
+pub const MAX_HEADERS: usize = 64;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`).
+    pub method: String,
+    /// The path component of the request target (before any `?`).
+    pub path: String,
+    /// The raw query string (after `?`), empty when absent.
+    pub query: String,
+    /// Headers with lower-cased names, in arrival order (later
+    /// duplicates overwrite earlier ones except `content-length`,
+    /// where a disagreeing duplicate is rejected).
+    pub headers: BTreeMap<String, String>,
+    /// The request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The value of header `name` (lower-case), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.get(name).map(String::as_str)
+    }
+
+    /// Whether the client asked for the connection to close after this
+    /// exchange.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .map(|v| v.eq_ignore_ascii_case("close"))
+            .unwrap_or(false)
+    }
+
+    /// The value of query parameter `key`, if present (`k=v` pairs
+    /// joined by `&`; no percent-decoding — the API's identifiers are
+    /// restricted to URL-safe characters by construction).
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// The body as UTF-8, or `None` if it is not valid UTF-8.
+    pub fn body_utf8(&self) -> Option<&str> {
+        std::str::from_utf8(&self.body).ok()
+    }
+}
+
+/// Every way reading one request can fail.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Clean end of stream at a request boundary — not an error, the
+    /// peer is simply done.
+    Closed,
+    /// The stream ended mid-request (torn request): nothing can be
+    /// answered, the connection is just dropped.
+    Truncated,
+    /// No bytes arrived within the per-request deadline (slowloris or a
+    /// stalled peer) → `408 Request Timeout`.
+    Timeout,
+    /// The head exceeded [`Limits::max_head`] → `431`.
+    HeadTooLarge,
+    /// The declared body exceeded [`Limits::max_body`] → `413`.
+    BodyTooLarge,
+    /// The request is syntactically invalid → `400` with a reason.
+    Malformed(String),
+    /// The method is not `GET`/`POST` → `405`.
+    MethodNotAllowed(String),
+    /// Any other transport error (reset, broken pipe, injected fault).
+    Io(io::Error),
+}
+
+impl RequestError {
+    /// The HTTP status this error maps to, or `None` when no response
+    /// can be written (the wire is gone or was never a request).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            RequestError::Closed | RequestError::Truncated | RequestError::Io(_) => None,
+            RequestError::Timeout => Some((408, "Request Timeout")),
+            RequestError::HeadTooLarge => Some((431, "Request Header Fields Too Large")),
+            RequestError::BodyTooLarge => Some((413, "Content Too Large")),
+            RequestError::Malformed(_) => Some((400, "Bad Request")),
+            RequestError::MethodNotAllowed(_) => Some((405, "Method Not Allowed")),
+        }
+    }
+
+    /// A short machine-readable code for the error body.
+    pub fn code(&self) -> &'static str {
+        match self {
+            RequestError::Closed => "closed",
+            RequestError::Truncated => "truncated",
+            RequestError::Timeout => "deadline",
+            RequestError::HeadTooLarge => "head-too-large",
+            RequestError::BodyTooLarge => "body-too-large",
+            RequestError::Malformed(_) => "malformed",
+            RequestError::MethodNotAllowed(_) => "method-not-allowed",
+            RequestError::Io(_) => "io",
+        }
+    }
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::Closed => write!(f, "connection closed"),
+            RequestError::Truncated => write!(f, "stream ended mid-request"),
+            RequestError::Timeout => write!(f, "request deadline expired"),
+            RequestError::HeadTooLarge => write!(f, "request head too large"),
+            RequestError::BodyTooLarge => write!(f, "request body too large"),
+            RequestError::Malformed(why) => write!(f, "malformed request: {why}"),
+            RequestError::MethodNotAllowed(m) => write!(f, "method not allowed: {m}"),
+            RequestError::Io(e) => write!(f, "transport error: {e}"),
+        }
+    }
+}
+
+/// One HTTP connection: a transport plus the carry-over buffer that
+/// keep-alive pipelining requires (bytes after one request's body are
+/// the next request's prefix).
+#[derive(Debug)]
+pub struct HttpConn<S> {
+    stream: S,
+    buf: Vec<u8>,
+    limits: Limits,
+}
+
+impl<S: Read + Write> HttpConn<S> {
+    /// Wraps a transport.
+    pub fn new(stream: S, limits: Limits) -> Self {
+        HttpConn {
+            stream,
+            buf: Vec::with_capacity(1024),
+            limits,
+        }
+    }
+
+    /// The underlying transport (for shutdown calls etc.).
+    pub fn stream_mut(&mut self) -> &mut S {
+        &mut self.stream
+    }
+
+    fn fill(&mut self) -> Result<usize, RequestError> {
+        let mut chunk = [0u8; 2048];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Ok(0),
+            Ok(n) => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(n)
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(usize::MAX),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                Err(RequestError::Timeout)
+            }
+            Err(e) => Err(RequestError::Io(e)),
+        }
+    }
+
+    /// Reads and parses the next request, honouring the limits.
+    ///
+    /// # Errors
+    ///
+    /// See [`RequestError`]; `Closed` means the peer finished cleanly.
+    pub fn read_request(&mut self) -> Result<Request, RequestError> {
+        // Accumulate the head up to the terminator or the cap.
+        let head_end = loop {
+            if let Some(pos) = find_head_end(&self.buf) {
+                break pos;
+            }
+            if self.buf.len() > self.limits.max_head {
+                return Err(RequestError::HeadTooLarge);
+            }
+            match self.fill()? {
+                0 if self.buf.is_empty() => return Err(RequestError::Closed),
+                0 => return Err(RequestError::Truncated),
+                _ => {}
+            }
+        };
+        if head_end > self.limits.max_head {
+            return Err(RequestError::HeadTooLarge);
+        }
+        let head = self.buf[..head_end].to_vec();
+        let head = String::from_utf8(head)
+            .map_err(|_| RequestError::Malformed("head is not UTF-8".into()))?;
+        let body_start = head_end + 4; // past "\r\n\r\n"
+
+        let mut lines = head.split("\r\n");
+        let start = lines.next().unwrap_or_default();
+        let mut parts = start.split(' ');
+        let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(m), Some(t), Some(v)) if parts.next().is_none() && !m.is_empty() => {
+                (m.to_owned(), t.to_owned(), v.to_owned())
+            }
+            _ => {
+                return Err(RequestError::Malformed(format!(
+                    "bad request line `{}`",
+                    truncate_for_log(start)
+                )))
+            }
+        };
+        if version != "HTTP/1.1" && version != "HTTP/1.0" {
+            return Err(RequestError::Malformed(format!("bad version `{version}`")));
+        }
+        if method != "GET" && method != "POST" {
+            return Err(RequestError::MethodNotAllowed(method));
+        }
+        if !target.starts_with('/') {
+            return Err(RequestError::Malformed(format!(
+                "bad target `{}`",
+                truncate_for_log(&target)
+            )));
+        }
+
+        let mut headers = BTreeMap::new();
+        let mut count = 0usize;
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            count += 1;
+            if count > MAX_HEADERS {
+                return Err(RequestError::Malformed("too many headers".into()));
+            }
+            let (name, value) = line.split_once(':').ok_or_else(|| {
+                RequestError::Malformed(format!("bad header `{}`", truncate_for_log(line)))
+            })?;
+            if name.is_empty() || name.contains(' ') {
+                return Err(RequestError::Malformed(format!(
+                    "bad header name `{}`",
+                    truncate_for_log(name)
+                )));
+            }
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                if let Some(prev) = headers.get("content-length") {
+                    if prev != &value {
+                        return Err(RequestError::Malformed(
+                            "conflicting content-length headers".into(),
+                        ));
+                    }
+                }
+            }
+            headers.insert(name, value);
+        }
+        if headers.contains_key("transfer-encoding") {
+            // Chunked bodies are out of scope for this minimal server;
+            // rejecting them outright also closes request-smuggling
+            // ambiguity between the two length mechanisms.
+            return Err(RequestError::Malformed(
+                "transfer-encoding is not supported".into(),
+            ));
+        }
+
+        let content_length = match headers.get("content-length") {
+            None => 0usize,
+            Some(v) => v
+                .parse::<usize>()
+                .map_err(|_| RequestError::Malformed(format!("bad content-length `{v}`")))?,
+        };
+        if content_length > self.limits.max_body {
+            return Err(RequestError::BodyTooLarge);
+        }
+
+        while self.buf.len() < body_start + content_length {
+            if self.fill()? == 0 {
+                return Err(RequestError::Truncated);
+            }
+        }
+        let body = self.buf[body_start..body_start + content_length].to_vec();
+        self.buf.drain(..body_start + content_length);
+
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p.to_owned(), q.to_owned()),
+            None => (target, String::new()),
+        };
+        Ok(Request {
+            method,
+            path,
+            query,
+            headers,
+            body,
+        })
+    }
+
+    /// Writes `response` to the transport.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the transport's write error.
+    pub fn write_response(&mut self, response: &Response) -> io::Result<()> {
+        let bytes = response.to_bytes();
+        self.stream.write_all(&bytes)?;
+        self.stream.flush()
+    }
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn truncate_for_log(s: &str) -> String {
+    const LIMIT: usize = 48;
+    if s.len() <= LIMIT {
+        s.to_owned()
+    } else {
+        let mut end = LIMIT;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// The body bytes.
+    pub body: Vec<u8>,
+    /// Optional `Retry-After` header value in whole seconds.
+    pub retry_after_secs: Option<u64>,
+    /// Whether to send `Connection: close` (and hang up afterwards).
+    pub close: bool,
+}
+
+impl Response {
+    /// A `200 OK` JSON response.
+    pub fn ok_json(body: String) -> Self {
+        Response {
+            status: 200,
+            reason: "OK",
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after_secs: None,
+            close: false,
+        }
+    }
+
+    /// A `200 OK` plain-text response.
+    pub fn ok_text(body: String) -> Self {
+        Response {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain; charset=utf-8",
+            body: body.into_bytes(),
+            retry_after_secs: None,
+            close: false,
+        }
+    }
+
+    /// An error response with a JSON body `{"error":code,"detail":…}`.
+    pub fn error_json(status: u16, reason: &'static str, code: &str, detail: &str) -> Self {
+        let body = format!(
+            "{{\"error\":{},\"detail\":{}}}",
+            json_escape(code),
+            json_escape(detail)
+        );
+        Response {
+            status,
+            reason,
+            content_type: "application/json",
+            body: body.into_bytes(),
+            retry_after_secs: None,
+            close: false,
+        }
+    }
+
+    /// Adds a `Retry-After` header (whole seconds, rounded up).
+    #[must_use]
+    pub fn with_retry_after_secs(mut self, secs: u64) -> Self {
+        self.retry_after_secs = Some(secs);
+        self
+    }
+
+    /// Marks the connection to close after this response.
+    #[must_use]
+    pub fn with_close(mut self) -> Self {
+        self.close = true;
+        self
+    }
+
+    /// Serializes head + body.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n",
+            self.status,
+            self.reason,
+            self.content_type,
+            self.body.len()
+        );
+        if let Some(secs) = self.retry_after_secs {
+            head.push_str(&format!("retry-after: {secs}\r\n"));
+        }
+        head.push_str(if self.close {
+            "connection: close\r\n\r\n"
+        } else {
+            "connection: keep-alive\r\n\r\n"
+        });
+        let mut out = head.into_bytes();
+        out.extend_from_slice(&self.body);
+        out
+    }
+}
+
+/// Renders `s` as a quoted JSON string with the required escapes.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    /// A scripted transport: reads deliver the canned chunks one at a
+    /// time (so torn delivery is reproducible byte-for-byte), writes are
+    /// collected.
+    struct Scripted {
+        chunks: Vec<Vec<u8>>,
+        next: usize,
+        wrote: Vec<u8>,
+    }
+
+    impl Scripted {
+        fn new(chunks: Vec<Vec<u8>>) -> Self {
+            Scripted {
+                chunks,
+                next: 0,
+                wrote: Vec::new(),
+            }
+        }
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.next >= self.chunks.len() {
+                return Ok(0);
+            }
+            let chunk = &self.chunks[self.next];
+            let n = chunk.len().min(buf.len());
+            buf[..n].copy_from_slice(&chunk[..n]);
+            if n == chunk.len() {
+                self.next += 1;
+            } else {
+                let rest = chunk[n..].to_vec();
+                self.chunks[self.next] = rest;
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for Scripted {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.wrote.extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn one(bytes: &[u8]) -> HttpConn<Scripted> {
+        HttpConn::new(Scripted::new(vec![bytes.to_vec()]), Limits::default())
+    }
+
+    #[test]
+    fn parses_simple_get() {
+        let mut conn = one(b"GET /healthz?x=1&y=2 HTTP/1.1\r\nHost: a\r\n\r\n");
+        let req = conn.read_request().expect("request");
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert_eq!(req.query_param("y"), Some("2"));
+        assert_eq!(req.header("host"), Some("a"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body_and_keepalive_carryover() {
+        let wire = b"POST /a HTTP/1.1\r\ncontent-length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n";
+        let mut conn = one(wire);
+        let first = conn.read_request().expect("first");
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"abc");
+        let second = conn.read_request().expect("second");
+        assert_eq!(second.path, "/b");
+        assert!(matches!(
+            conn.read_request(),
+            Err(RequestError::Closed)
+        ));
+    }
+
+    #[test]
+    fn torn_delivery_one_byte_at_a_time_still_parses() {
+        let wire = b"POST /a HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello";
+        let chunks = wire.iter().map(|b| vec![*b]).collect();
+        let mut conn = HttpConn::new(Scripted::new(chunks), Limits::default());
+        let req = conn.read_request().expect("request");
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn eof_mid_head_is_truncated() {
+        let mut conn = one(b"GET /a HTT");
+        assert!(matches!(conn.read_request(), Err(RequestError::Truncated)));
+    }
+
+    #[test]
+    fn eof_mid_body_is_truncated() {
+        let mut conn = one(b"POST /a HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc");
+        assert!(matches!(conn.read_request(), Err(RequestError::Truncated)));
+    }
+
+    #[test]
+    fn malformed_request_line_is_rejected() {
+        for wire in [
+            b"GARBAGE\r\n\r\n".to_vec(),
+            b"GET /a HTTP/1.1 extra\r\n\r\n".to_vec(),
+            b"GET nopath HTTP/1.1\r\n\r\n".to_vec(),
+            b"GET /a HTTP/2\r\n\r\n".to_vec(),
+        ] {
+            let mut conn = one(&wire);
+            assert!(
+                matches!(conn.read_request(), Err(RequestError::Malformed(_))),
+                "expected malformed for {:?}",
+                String::from_utf8_lossy(&wire)
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_method_is_405() {
+        let mut conn = one(b"DELETE /a HTTP/1.1\r\n\r\n");
+        assert!(matches!(
+            conn.read_request(),
+            Err(RequestError::MethodNotAllowed(m)) if m == "DELETE"
+        ));
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut wire = b"GET /a HTTP/1.1\r\n".to_vec();
+        wire.extend_from_slice(format!("x-pad: {}\r\n\r\n", "a".repeat(9000)).as_bytes());
+        let mut conn = one(&wire);
+        assert!(matches!(
+            conn.read_request(),
+            Err(RequestError::HeadTooLarge)
+        ));
+    }
+
+    #[test]
+    fn oversized_body_is_413_without_reading_it() {
+        let mut conn = one(b"POST /a HTTP/1.1\r\ncontent-length: 9999999\r\n\r\n");
+        assert!(matches!(
+            conn.read_request(),
+            Err(RequestError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_and_chunked_are_rejected() {
+        let mut conn =
+            one(b"POST /a HTTP/1.1\r\ncontent-length: 1\r\ncontent-length: 2\r\n\r\nx");
+        assert!(matches!(conn.read_request(), Err(RequestError::Malformed(_))));
+        let mut conn = one(b"POST /a HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n");
+        assert!(matches!(conn.read_request(), Err(RequestError::Malformed(_))));
+    }
+
+    #[test]
+    fn response_serializes_with_retry_after() {
+        let resp = Response::error_json(429, "Too Many Requests", "rejected", "quota")
+            .with_retry_after_secs(30)
+            .with_close();
+        let bytes = resp.to_bytes();
+        let text = String::from_utf8(bytes).expect("utf8");
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("retry-after: 30\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("{\"error\":\"rejected\",\"detail\":\"quota\"}"));
+    }
+
+    #[test]
+    fn timeout_maps_to_408() {
+        struct TimesOut;
+        impl Read for TimesOut {
+            fn read(&mut self, _buf: &mut [u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::WouldBlock, "deadline"))
+            }
+        }
+        impl Write for TimesOut {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut conn = HttpConn::new(TimesOut, Limits::default());
+        let err = conn.read_request().expect_err("timeout");
+        assert!(matches!(err, RequestError::Timeout));
+        assert_eq!(err.status(), Some((408, "Request Timeout")));
+    }
+
+    #[test]
+    fn cursor_roundtrip_via_write_response() {
+        let mut conn = HttpConn::new(Cursor::new(Vec::new()), Limits::default());
+        conn.write_response(&Response::ok_json("{}".into()))
+            .expect("write");
+        let wrote = conn.stream_mut().get_ref().clone();
+        assert!(String::from_utf8(wrote).expect("utf8").contains("200 OK"));
+    }
+}

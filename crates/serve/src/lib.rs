@@ -1,0 +1,38 @@
+//! `simty-serve` — the standby scheduler as a fault-tolerant service.
+//!
+//! Everything the rest of the workspace computes offline — alignment
+//! policies, admission control, checkpointed recovery, metrics
+//! exposition — goes live here behind a dependency-free threaded
+//! HTTP/1.1 server over `std::net`:
+//!
+//! * [`http`] — a strictly-bounded hand-rolled request parser with a
+//!   typed error for every way a request can go wrong;
+//! * [`live`] — the multi-tenant [`LiveScheduler`]: one shared
+//!   `AlarmManager` with the `AdmissionController` in front as real
+//!   request-level rate limiting (`429` + `Retry-After`), snapshotable
+//!   byte-identically for restart;
+//! * [`server`] — bounded accept/work queues that shed with `503`,
+//!   per-request deadlines (`408`), live `GET /metrics`, graceful
+//!   drain through the `CheckpointStore`;
+//! * [`transport`] — the seeded [`FaultTransport`] network-fault drill
+//!   (torn reads, short writes, stalls, disconnects);
+//! * [`load`] — the seeded open-loop generator emitting the
+//!   `simty-serve/v1` benchmark document;
+//! * [`signal`] — SIGTERM/SIGINT trapping for the drain path.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod http;
+pub mod live;
+pub mod load;
+pub mod server;
+pub mod signal;
+pub mod transport;
+
+pub use http::{Limits, Request, RequestError, Response};
+pub use live::{LiveScheduler, RegisterOutcome, RegisterRequest, TenantStats};
+pub use load::{LoadReport, LoadSpec};
+pub use server::{DrainReport, ServeConfig, ServerHandle};
+pub use transport::{FaultCounters, FaultPlan, FaultTransport, NetFaultKind};

@@ -1,0 +1,1003 @@
+//! The live multi-tenant scheduler behind `standby serve`'s alarm API.
+//!
+//! Each tenant (an app, keyed by a URL-safe name) registers, cancels,
+//! and queries alarms against one shared [`AlarmManager`], with the
+//! [`AdmissionController`] in front as *real* request-level rate
+//! limiting: a `Reject` becomes `429 Too Many Requests` with a
+//! `Retry-After` derived from the typed `retry_after`, a `Defer`
+//! postpones the nominal time, and demotion quarantines the tenant's
+//! alarms exactly as it does inside the simulator.
+//!
+//! Two serialized views exist:
+//!
+//! * [`LiveScheduler::digest`] — the canonical *tenant-visible* state:
+//!   per-tenant alarms keyed by tenant-local ordinals (never raw
+//!   [`AlarmId`]s, which depend on global allocation order), plus
+//!   admission-bucket state. Per-tenant traffic is deterministic, so
+//!   the digest is byte-identical across runs regardless of how
+//!   concurrent tenants interleave — and across a snapshot/restore.
+//! * [`LiveScheduler::snapshot_payload`] — full fidelity (queue entry
+//!   grouping, raw ids, counters) for graceful-shutdown checkpoints;
+//!   [`LiveScheduler::restore_payload`] rebuilds a scheduler whose
+//!   next snapshot is byte-identical to the one it was restored from.
+
+use std::collections::BTreeMap;
+
+use simty::core::queue::AlarmQueue;
+use simty::core::{
+    AdmissionConfig, AdmissionController, AdmissionDecision, AppAdmission, AppClass, ClassQuota,
+    TokenBucket,
+};
+use simty::experiments::PolicyKind;
+use simty::prelude::{
+    Alarm, AlarmId, AlarmKind, AlarmManager, DeliveryDiscipline, HardwareSet, QueueEntry, Repeat,
+    SimDuration, SimTime,
+};
+
+/// Magic first line of a full snapshot payload.
+pub const SNAPSHOT_MAGIC: &str = "serve-live/v1";
+/// Magic first line of a tenant-visible digest.
+pub const DIGEST_MAGIC: &str = "serve-live-digest/v1";
+
+/// Maximum length of a tenant name.
+pub const MAX_TENANT_LEN: usize = 64;
+
+/// Whether `s` is a valid tenant name: 1–64 chars of `[A-Za-z0-9_.-]`.
+///
+/// Restricting the charset here is what keeps every serialized view
+/// (digest, snapshot, metrics labels) free of escaping concerns.
+pub fn is_valid_tenant(s: &str) -> bool {
+    !s.is_empty()
+        && s.len() <= MAX_TENANT_LEN
+        && s.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.' || b == b'-')
+}
+
+/// Parses a serve policy token (`exact`, `native`, `simty`, `dursim`,
+/// `doze`) into its [`PolicyKind`].
+pub fn parse_policy_token(token: &str) -> Option<PolicyKind> {
+    match token {
+        "exact" => Some(PolicyKind::Exact),
+        "native" => Some(PolicyKind::Native),
+        "simty" => Some(PolicyKind::Simty),
+        "dursim" => Some(PolicyKind::Dursim),
+        "doze" => Some(PolicyKind::Doze),
+        _ => None,
+    }
+}
+
+/// A parsed `POST /v1/register` body.
+#[derive(Debug, Clone)]
+pub struct RegisterRequest {
+    /// The tenant (alarm label, admission key, quarantine key).
+    pub tenant: String,
+    /// Nominal delivery time in scheduler milliseconds.
+    pub nominal_ms: u64,
+    /// Repeating interval; `None` = one-shot.
+    pub repeat_ms: Option<u64>,
+    /// Dynamic (delivery-relative) repeating instead of static.
+    pub repeat_dynamic: bool,
+    /// Absolute window length; wins over `alpha`.
+    pub window_ms: Option<u64>,
+    /// Window fraction α of the repeating interval.
+    pub alpha: Option<f64>,
+    /// Absolute grace length; wins over `beta`.
+    pub grace_ms: Option<u64>,
+    /// Grace fraction β of the repeating interval.
+    pub beta: Option<f64>,
+    /// Register a non-wakeup alarm.
+    pub non_wakeup: bool,
+    /// Required hardware set (component bits).
+    pub hardware_bits: u16,
+    /// Post-delivery task duration.
+    pub task_ms: u64,
+    /// Advance the scheduler clock to this time first (monotone; a
+    /// lagging value is ignored).
+    pub now_ms: Option<u64>,
+}
+
+impl RegisterRequest {
+    /// A minimal valid request for `tenant` at `nominal_ms`.
+    pub fn simple(tenant: &str, nominal_ms: u64) -> Self {
+        RegisterRequest {
+            tenant: tenant.to_owned(),
+            nominal_ms,
+            repeat_ms: None,
+            repeat_dynamic: false,
+            window_ms: None,
+            alpha: None,
+            grace_ms: None,
+            beta: None,
+            non_wakeup: false,
+            hardware_bits: 0,
+            task_ms: 0,
+            now_ms: None,
+        }
+    }
+}
+
+/// What one `register` call produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegisterOutcome {
+    /// The alarm is registered (possibly with a postponed nominal time
+    /// when the admission controller deferred it).
+    Admitted {
+        /// Tenant-local ordinal — the handle `cancel` takes; stable
+        /// across a snapshot/restore.
+        ordinal: u64,
+        /// The raw global alarm id (diagnostic only; not stable).
+        id: u64,
+        /// The deferred-to nominal time, when admission said `Defer`.
+        deferred_to_ms: Option<u64>,
+    },
+    /// Admission rejected the registration → `429` + `Retry-After`.
+    Rejected {
+        /// The typed backoff from the admission controller.
+        retry_after_ms: u64,
+    },
+    /// The request was shaped wrong (validation failure) → `400`.
+    Invalid {
+        /// Machine-readable error code (kebab-case).
+        code: &'static str,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// One tenant's live view: ordinal-keyed alarms plus counters.
+#[derive(Debug, Clone, Default)]
+struct Tenant {
+    next_ordinal: u64,
+    alarms: BTreeMap<u64, AlarmId>,
+    registered: u64,
+    deferred: u64,
+    rejected: u64,
+    cancelled: u64,
+    delivered: u64,
+}
+
+/// One row of a `query` response.
+#[derive(Debug, Clone)]
+pub struct AlarmView {
+    /// Tenant-local ordinal.
+    pub ordinal: u64,
+    /// Nominal delivery time.
+    pub nominal_ms: u64,
+    /// Repeating interval, when repeating.
+    pub repeat_ms: Option<u64>,
+    /// `wakeup` or `non-wakeup`.
+    pub kind: &'static str,
+    /// Whether the alarm is currently quarantined.
+    pub quarantined: bool,
+}
+
+/// Per-tenant counters for a `query` response.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantStats {
+    /// Successful registrations.
+    pub registered: u64,
+    /// Registrations admission postponed.
+    pub deferred: u64,
+    /// Registrations admission rejected.
+    pub rejected: u64,
+    /// Cancellations that removed an alarm.
+    pub cancelled: u64,
+    /// Alarm deliveries completed.
+    pub delivered: u64,
+    /// Alarms currently live.
+    pub live: u64,
+    /// Whether the admission controller has demoted the tenant.
+    pub demoted: bool,
+}
+
+/// The multi-tenant live scheduler: one alarm manager, one admission
+/// controller, and the tenant registry tying them together.
+#[derive(Debug)]
+pub struct LiveScheduler {
+    policy_token: String,
+    manager: AlarmManager,
+    admission: AdmissionController,
+    tenants: BTreeMap<String, Tenant>,
+    /// Raw alarm id → (tenant, ordinal).
+    index: BTreeMap<u64, (String, u64)>,
+}
+
+impl LiveScheduler {
+    /// A fresh scheduler under `policy_token` with the default
+    /// admission budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token if it is not a serve policy.
+    pub fn new(policy_token: &str) -> Result<Self, String> {
+        Self::with_admission(policy_token, AdmissionConfig::default())
+    }
+
+    /// Like [`new`](Self::new) with an explicit admission budget.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending token if it is not a serve policy.
+    pub fn with_admission(policy_token: &str, config: AdmissionConfig) -> Result<Self, String> {
+        let kind = parse_policy_token(policy_token)
+            .ok_or_else(|| format!("unknown serve policy `{policy_token}`"))?;
+        Ok(LiveScheduler {
+            policy_token: policy_token.to_owned(),
+            manager: AlarmManager::new(kind.build()),
+            admission: AdmissionController::new(config),
+            tenants: BTreeMap::new(),
+            index: BTreeMap::new(),
+        })
+    }
+
+    /// The scheduler clock.
+    pub fn now(&self) -> SimTime {
+        self.manager.now()
+    }
+
+    /// Total live alarms across all tenants.
+    pub fn alarm_count(&self) -> usize {
+        self.manager.alarm_count()
+    }
+
+    /// Number of tenants ever seen.
+    pub fn tenant_count(&self) -> usize {
+        self.tenants.len()
+    }
+
+    /// The policy token the scheduler was built with.
+    pub fn policy_token(&self) -> &str {
+        &self.policy_token
+    }
+
+    /// The next pending wakeup time, if any alarm is queued.
+    pub fn next_wakeup_ms(&self) -> Option<u64> {
+        self.manager.next_wakeup_time().map(SimTime::as_millis)
+    }
+
+    fn advance_to(&mut self, now_ms: Option<u64>) -> SimTime {
+        if let Some(ms) = now_ms {
+            let t = SimTime::from_millis(ms);
+            if t > self.manager.now() {
+                self.manager.advance_clock(t);
+            }
+        }
+        self.manager.now()
+    }
+
+    /// Registers an alarm for a tenant, running admission first.
+    pub fn register(&mut self, req: &RegisterRequest) -> RegisterOutcome {
+        if !is_valid_tenant(&req.tenant) {
+            return RegisterOutcome::Invalid {
+                code: "bad-tenant",
+                detail: format!(
+                    "tenant must be 1..={MAX_TENANT_LEN} chars of [A-Za-z0-9_.-]"
+                ),
+            };
+        }
+        let now = self.advance_to(req.now_ms);
+
+        let mut builder = Alarm::builder(req.tenant.as_str())
+            .nominal(SimTime::from_millis(req.nominal_ms))
+            .task_duration(SimDuration::from_millis(req.task_ms))
+            .hardware(HardwareSet::from_bits(req.hardware_bits));
+        builder = match req.repeat_ms {
+            Some(ms) if req.repeat_dynamic => {
+                builder.repeating_dynamic(SimDuration::from_millis(ms))
+            }
+            Some(ms) => builder.repeating_static(SimDuration::from_millis(ms)),
+            None => builder.one_shot(),
+        };
+        builder = match (req.window_ms, req.alpha) {
+            (Some(ms), _) => builder.window(SimDuration::from_millis(ms)),
+            (None, Some(alpha)) => builder.window_fraction(alpha),
+            (None, None) => builder.window(SimDuration::ZERO),
+        };
+        builder = match (req.grace_ms, req.beta) {
+            (Some(ms), _) => builder.grace(SimDuration::from_millis(ms)),
+            (None, Some(beta)) => builder.grace_fraction(beta),
+            (None, None) => builder,
+        };
+        if req.non_wakeup {
+            builder = builder.kind(AlarmKind::NonWakeup);
+        }
+        let mut alarm = match builder.build() {
+            Ok(alarm) => alarm,
+            Err(e) => {
+                return RegisterOutcome::Invalid {
+                    code: "bad-alarm-shape",
+                    detail: e.to_string(),
+                }
+            }
+        };
+
+        let class = if alarm.is_perceptible() {
+            AppClass::Perceptible
+        } else {
+            AppClass::Deferrable
+        };
+        let admission = self.admission.decide(&req.tenant, class, now);
+        if admission.newly_demoted {
+            self.manager.set_app_quarantined(&req.tenant, true);
+        }
+        if admission.demoted {
+            alarm.set_quarantined(true);
+        }
+        let deferred_to_ms = match admission.decision {
+            AdmissionDecision::Reject { retry_after } => {
+                self.tenants.entry(req.tenant.clone()).or_default().rejected += 1;
+                return RegisterOutcome::Rejected {
+                    retry_after_ms: retry_after.as_millis(),
+                };
+            }
+            AdmissionDecision::Defer { until } if until > alarm.nominal() => {
+                alarm.reschedule(until);
+                Some(until.as_millis())
+            }
+            AdmissionDecision::Defer { .. } | AdmissionDecision::Admit => None,
+        };
+
+        let id = match self.manager.register(alarm) {
+            Ok(id) => id,
+            Err(e) => {
+                return RegisterOutcome::Invalid {
+                    code: "rejected-by-manager",
+                    detail: e.to_string(),
+                }
+            }
+        };
+        let tenant = self.tenants.entry(req.tenant.clone()).or_default();
+        let ordinal = tenant.next_ordinal;
+        tenant.next_ordinal += 1;
+        tenant.alarms.insert(ordinal, id);
+        tenant.registered += 1;
+        if deferred_to_ms.is_some() {
+            tenant.deferred += 1;
+        }
+        self.index
+            .insert(id.as_u64(), (req.tenant.clone(), ordinal));
+        RegisterOutcome::Admitted {
+            ordinal,
+            id: id.as_u64(),
+            deferred_to_ms,
+        }
+    }
+
+    /// Cancels a tenant's alarm by ordinal; `false` if no such alarm is
+    /// live.
+    pub fn cancel(&mut self, tenant: &str, ordinal: u64) -> bool {
+        let Some(state) = self.tenants.get_mut(tenant) else {
+            return false;
+        };
+        let Some(id) = state.alarms.get(&ordinal).copied() else {
+            return false;
+        };
+        let cancelled = self.manager.cancel(id).is_some();
+        if cancelled {
+            state.alarms.remove(&ordinal);
+            state.cancelled += 1;
+            self.index.remove(&id.as_u64());
+        }
+        cancelled
+    }
+
+    /// Advances the clock and delivers everything due at or before it.
+    /// Returns the number of alarms delivered.
+    pub fn advance(&mut self, now_ms: u64) -> u64 {
+        let now = self.advance_to(Some(now_ms));
+        let mut delivered = 0u64;
+        let due: Vec<QueueEntry> = self
+            .manager
+            .pop_due_wakeup(now)
+            .into_iter()
+            .chain(self.manager.pop_due_non_wakeup(now))
+            .collect();
+        for entry in due {
+            for alarm in entry.into_alarms() {
+                let raw = alarm.id().as_u64();
+                if let Some((tenant, _)) = self.index.get(&raw).cloned() {
+                    if let Some(state) = self.tenants.get_mut(&tenant) {
+                        state.delivered += 1;
+                    }
+                }
+                delivered += 1;
+                if self.manager.complete_delivery(alarm, now).is_none() {
+                    // One-shot: the alarm is gone for good.
+                    if let Some((tenant, ordinal)) = self.index.remove(&raw) {
+                        if let Some(state) = self.tenants.get_mut(&tenant) {
+                            state.alarms.remove(&ordinal);
+                        }
+                    }
+                }
+            }
+        }
+        delivered
+    }
+
+    /// A tenant's counters and live alarms, ordinal-ordered.
+    pub fn query(&self, tenant: &str) -> Option<(TenantStats, Vec<AlarmView>)> {
+        let state = self.tenants.get(tenant)?;
+        let mut views = Vec::with_capacity(state.alarms.len());
+        for (&ordinal, &id) in &state.alarms {
+            let Some(alarm) = self.manager.find_alarm(id) else {
+                continue;
+            };
+            views.push(AlarmView {
+                ordinal,
+                nominal_ms: alarm.nominal().as_millis(),
+                repeat_ms: alarm.repeat().interval().map(SimDuration::as_millis),
+                kind: match alarm.kind() {
+                    AlarmKind::Wakeup => "wakeup",
+                    AlarmKind::NonWakeup => "non-wakeup",
+                },
+                quarantined: alarm.is_quarantined(),
+            });
+        }
+        Some((
+            TenantStats {
+                registered: state.registered,
+                deferred: state.deferred,
+                rejected: state.rejected,
+                cancelled: state.cancelled,
+                delivered: state.delivered,
+                live: state.alarms.len() as u64,
+                demoted: self.admission.is_demoted(tenant),
+            },
+            views,
+        ))
+    }
+
+    /// Internal-consistency audit; each returned string is one
+    /// violation. An empty result is the invariant the CI smoke and the
+    /// fault drills assert on.
+    pub fn verify(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let mut mapped = 0usize;
+        for (tenant, state) in &self.tenants {
+            for (&ordinal, &id) in &state.alarms {
+                mapped += 1;
+                if ordinal >= state.next_ordinal {
+                    problems.push(format!(
+                        "tenant {tenant}: ordinal {ordinal} >= next_ordinal {}",
+                        state.next_ordinal
+                    ));
+                }
+                match self.manager.find_alarm(id) {
+                    None => problems.push(format!(
+                        "tenant {tenant}: ordinal {ordinal} maps to missing alarm {}",
+                        id.as_u64()
+                    )),
+                    Some(alarm) if alarm.label() != tenant => problems.push(format!(
+                        "tenant {tenant}: ordinal {ordinal} maps to alarm labelled {}",
+                        alarm.label()
+                    )),
+                    Some(_) => {}
+                }
+            }
+        }
+        if mapped != self.manager.alarm_count() {
+            problems.push(format!(
+                "tenant maps cover {mapped} alarms but the manager holds {}",
+                self.manager.alarm_count()
+            ));
+        }
+        if mapped != self.index.len() {
+            problems.push(format!(
+                "tenant maps cover {mapped} alarms but the index holds {}",
+                self.index.len()
+            ));
+        }
+        problems
+    }
+
+    /// The canonical tenant-visible state (see the module docs).
+    pub fn digest(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str(DIGEST_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("policy={}\n", self.policy_token));
+        out.push_str(&format!("clock={}\n", self.manager.now().as_millis()));
+        out.push_str(&format!("tenants={}\n", self.tenants.len()));
+        for (name, state) in &self.tenants {
+            out.push_str(&format!(
+                "tenant={name},reg={},def={},rej={},can={},dlv={},demoted={},live={}\n",
+                state.registered,
+                state.deferred,
+                state.rejected,
+                state.cancelled,
+                state.delivered,
+                u8::from(self.admission.is_demoted(name)),
+                state.alarms.len(),
+            ));
+            for (&ordinal, &id) in &state.alarms {
+                let Some(alarm) = self.manager.find_alarm(id) else {
+                    continue;
+                };
+                out.push_str(&format!("alarm={ordinal},{}\n", fmt_alarm_attrs(alarm)));
+            }
+        }
+        let apps: BTreeMap<&str, &AppAdmission> = self.admission.apps().collect();
+        for (name, app) in apps {
+            out.push_str(&format!("admission={name},{}\n", fmt_app(app)));
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Serializes the complete resumable state for a graceful-shutdown
+    /// checkpoint (carried inside a
+    /// [`Checkpoint::marker`](simty::sim::Checkpoint::marker) payload).
+    pub fn snapshot_payload(&self) -> String {
+        let mut out = String::with_capacity(4 * 1024);
+        out.push_str(SNAPSHOT_MAGIC);
+        out.push('\n');
+        out.push_str(&format!("policy={}\n", self.policy_token));
+        out.push_str(&format!("clock={}\n", self.manager.now().as_millis()));
+        let c = self.admission.config();
+        out.push_str(&format!(
+            "config={},{},{},{},{},{}\n",
+            c.perceptible.replenish_every.as_millis(),
+            c.perceptible.burst,
+            c.deferrable.replenish_every.as_millis(),
+            c.deferrable.burst,
+            c.defer_limit,
+            c.demote_after,
+        ));
+        out.push_str(&format!("tenants={}\n", self.tenants.len()));
+        for (name, state) in &self.tenants {
+            out.push_str(&format!(
+                "tenant={name},{},{},{},{},{},{},{}\n",
+                state.next_ordinal,
+                state.registered,
+                state.deferred,
+                state.rejected,
+                state.cancelled,
+                state.delivered,
+                state.alarms.len(),
+            ));
+            for (&ordinal, &id) in &state.alarms {
+                out.push_str(&format!("map={ordinal},{}\n", id.as_u64()));
+            }
+        }
+        let apps: BTreeMap<&str, &AppAdmission> = self.admission.apps().collect();
+        out.push_str(&format!("admissions={}\n", apps.len()));
+        for (name, app) in apps {
+            out.push_str(&format!("admission={name},{}\n", fmt_app(app)));
+        }
+        write_queue(&mut out, "wakeup", self.manager.wakeup_queue());
+        write_queue(&mut out, "nonwakeup", self.manager.non_wakeup_queue());
+        out.push_str("end\n");
+        out
+    }
+
+    /// Rebuilds a scheduler from [`snapshot_payload`](Self::snapshot_payload)
+    /// output. The next `snapshot_payload` and `digest` of the restored
+    /// scheduler are byte-identical to the originals.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn restore_payload(payload: &str) -> Result<Self, String> {
+        let mut lines = payload.lines();
+        if lines.next() != Some(SNAPSHOT_MAGIC) {
+            return Err(format!("payload is not `{SNAPSHOT_MAGIC}`"));
+        }
+        let policy_token = expect_kv(lines.next(), "policy")?.to_owned();
+        let kind = parse_policy_token(&policy_token)
+            .ok_or_else(|| format!("unknown serve policy `{policy_token}`"))?;
+        let clock = SimTime::from_millis(parse_u64(expect_kv(lines.next(), "clock")?)?);
+        let config_fields = split_n(expect_kv(lines.next(), "config")?, 6)?;
+        let config = AdmissionConfig {
+            perceptible: ClassQuota {
+                replenish_every: SimDuration::from_millis(parse_u64(config_fields[0])?),
+                burst: parse_u32(config_fields[1])?,
+            },
+            deferrable: ClassQuota {
+                replenish_every: SimDuration::from_millis(parse_u64(config_fields[2])?),
+                burst: parse_u32(config_fields[3])?,
+            },
+            defer_limit: parse_u32(config_fields[4])?,
+            demote_after: parse_u32(config_fields[5])?,
+        };
+
+        let tenant_count = parse_u64(expect_kv(lines.next(), "tenants")?)? as usize;
+        let mut tenants = BTreeMap::new();
+        let mut index = BTreeMap::new();
+        for _ in 0..tenant_count {
+            let line = expect_kv(lines.next(), "tenant")?;
+            let (name, rest) = line
+                .split_once(',')
+                .ok_or_else(|| format!("bad tenant line `{line}`"))?;
+            if !is_valid_tenant(name) {
+                return Err(format!("bad tenant name `{name}`"));
+            }
+            let f = split_n(rest, 7)?;
+            let mut state = Tenant {
+                next_ordinal: parse_u64(f[0])?,
+                alarms: BTreeMap::new(),
+                registered: parse_u64(f[1])?,
+                deferred: parse_u64(f[2])?,
+                rejected: parse_u64(f[3])?,
+                cancelled: parse_u64(f[4])?,
+                delivered: parse_u64(f[5])?,
+            };
+            let live = parse_u64(f[6])? as usize;
+            for _ in 0..live {
+                let m = split_n(expect_kv(lines.next(), "map")?, 2)?;
+                let ordinal = parse_u64(m[0])?;
+                let raw = parse_u64(m[1])?;
+                state.alarms.insert(ordinal, AlarmId::from_raw(raw));
+                index.insert(raw, (name.to_owned(), ordinal));
+            }
+            tenants.insert(name.to_owned(), state);
+        }
+
+        let app_count = parse_u64(expect_kv(lines.next(), "admissions")?)? as usize;
+        let mut apps = Vec::with_capacity(app_count);
+        for _ in 0..app_count {
+            let line = expect_kv(lines.next(), "admission")?;
+            let (name, rest) = line
+                .split_once(',')
+                .ok_or_else(|| format!("bad admission line `{line}`"))?;
+            apps.push((name.to_owned(), parse_app(rest)?));
+        }
+
+        let mut max_id = 0u64;
+        let wakeup = read_queue(&mut lines, "wakeup", &mut max_id)?;
+        let non_wakeup = read_queue(&mut lines, "nonwakeup", &mut max_id)?;
+        if lines.next() != Some("end") {
+            return Err("missing `end` terminator".into());
+        }
+        AlarmId::reserve_through(max_id);
+
+        Ok(LiveScheduler {
+            policy_token,
+            manager: AlarmManager::restore(kind.build(), wakeup, non_wakeup, clock),
+            admission: AdmissionController::restore(config, apps),
+            tenants,
+            index,
+        })
+    }
+}
+
+fn fmt_repeat(r: Repeat) -> String {
+    match r {
+        Repeat::OneShot => "o".to_owned(),
+        Repeat::Static(i) => format!("s:{}", i.as_millis()),
+        Repeat::Dynamic(i) => format!("d:{}", i.as_millis()),
+    }
+}
+
+fn parse_repeat(s: &str) -> Result<Repeat, String> {
+    match s.split_once(':') {
+        None if s == "o" => Ok(Repeat::OneShot),
+        Some(("s", ms)) => Ok(Repeat::Static(SimDuration::from_millis(parse_u64(ms)?))),
+        Some(("d", ms)) => Ok(Repeat::Dynamic(SimDuration::from_millis(parse_u64(ms)?))),
+        _ => Err(format!("bad repeat `{s}`")),
+    }
+}
+
+/// The attribute tuple shared by the digest (no id) and, prefixed with
+/// the id and label, the snapshot.
+fn fmt_alarm_attrs(alarm: &Alarm) -> String {
+    format!(
+        "{},{},{},{},{},{},{},{},{},{}",
+        alarm.nominal().as_millis(),
+        alarm.window().as_millis(),
+        alarm.grace_base().as_millis(),
+        fmt_repeat(alarm.repeat()),
+        match alarm.kind() {
+            AlarmKind::Wakeup => "w",
+            AlarmKind::NonWakeup => "n",
+        },
+        alarm.hardware().bits(),
+        u8::from(alarm.is_hardware_known()),
+        alarm.task_duration().as_millis(),
+        u8::from(alarm.is_quarantined()),
+        alarm.grace_stretch(),
+    )
+}
+
+fn fmt_app(app: &AppAdmission) -> String {
+    format!(
+        "{},{},{},{},{},{},{}",
+        app.perceptible.tokens,
+        app.perceptible.last_refill.as_millis(),
+        app.deferrable.tokens,
+        app.deferrable.last_refill.as_millis(),
+        app.defer_horizon.as_millis(),
+        app.rejections,
+        u8::from(app.demoted),
+    )
+}
+
+fn parse_app(s: &str) -> Result<AppAdmission, String> {
+    let f = split_n(s, 7)?;
+    Ok(AppAdmission {
+        perceptible: TokenBucket {
+            tokens: parse_u32(f[0])?,
+            last_refill: SimTime::from_millis(parse_u64(f[1])?),
+        },
+        deferrable: TokenBucket {
+            tokens: parse_u32(f[2])?,
+            last_refill: SimTime::from_millis(parse_u64(f[3])?),
+        },
+        defer_horizon: SimTime::from_millis(parse_u64(f[4])?),
+        rejections: parse_u32(f[5])?,
+        demoted: parse_u64(f[6])? != 0,
+    })
+}
+
+fn fmt_discipline(d: DeliveryDiscipline) -> String {
+    match d {
+        DeliveryDiscipline::Window => "window".to_owned(),
+        DeliveryDiscipline::PerceptibilityAware => "perc".to_owned(),
+        DeliveryDiscipline::Quantized { quantum } => format!("quant:{}", quantum.as_millis()),
+        DeliveryDiscipline::Escalating {
+            base,
+            max_quantum,
+            windows_per_level,
+        } => format!(
+            "esc:{}:{}:{windows_per_level}",
+            base.as_millis(),
+            max_quantum.as_millis()
+        ),
+    }
+}
+
+fn parse_discipline(s: &str) -> Result<DeliveryDiscipline, String> {
+    let mut it = s.split(':');
+    match it.next() {
+        Some("window") => Ok(DeliveryDiscipline::Window),
+        Some("perc") => Ok(DeliveryDiscipline::PerceptibilityAware),
+        Some("quant") => Ok(DeliveryDiscipline::Quantized {
+            quantum: SimDuration::from_millis(parse_u64(
+                it.next().ok_or("quant without quantum")?,
+            )?),
+        }),
+        Some("esc") => {
+            let mut next = || it.next().ok_or("esc needs 3 parameters".to_owned());
+            Ok(DeliveryDiscipline::Escalating {
+                base: SimDuration::from_millis(parse_u64(next()?)?),
+                max_quantum: SimDuration::from_millis(parse_u64(next()?)?),
+                windows_per_level: parse_u32(next()?)?,
+            })
+        }
+        _ => Err(format!("bad discipline `{s}`")),
+    }
+}
+
+fn write_queue(out: &mut String, key: &str, queue: &AlarmQueue) {
+    out.push_str(&format!("{key}={}\n", queue.len()));
+    for entry in queue.entries() {
+        out.push_str(&format!(
+            "entry={},{}\n",
+            fmt_discipline(entry.discipline()),
+            entry.len()
+        ));
+        for alarm in entry.alarms() {
+            out.push_str(&format!(
+                "alarm={},{},{}\n",
+                alarm.id().as_u64(),
+                alarm.label(),
+                fmt_alarm_attrs(alarm)
+            ));
+        }
+    }
+}
+
+fn read_queue<'a>(
+    lines: &mut impl Iterator<Item = &'a str>,
+    key: &str,
+    max_id: &mut u64,
+) -> Result<AlarmQueue, String> {
+    let entries = parse_u64(expect_kv(lines.next(), key)?)? as usize;
+    let mut queue = AlarmQueue::new();
+    queue.reserve(entries);
+    for _ in 0..entries {
+        let f = split_n(expect_kv(lines.next(), "entry")?, 2)?;
+        let discipline = parse_discipline(f[0])?;
+        let alarms = parse_u64(f[1])? as usize;
+        if alarms == 0 {
+            return Err("entry with zero alarms".into());
+        }
+        let mut entry: Option<QueueEntry> = None;
+        for _ in 0..alarms {
+            let alarm = parse_alarm_line(expect_kv(lines.next(), "alarm")?, max_id)?;
+            entry = Some(match entry {
+                None => QueueEntry::new(alarm, discipline),
+                Some(mut e) => {
+                    e.push(alarm);
+                    e
+                }
+            });
+        }
+        queue.insert_entry(entry.expect("at least one alarm"));
+    }
+    Ok(queue)
+}
+
+fn parse_alarm_line(s: &str, max_id: &mut u64) -> Result<Alarm, String> {
+    let f = split_n(s, 12)?;
+    let raw = parse_u64(f[0])?;
+    *max_id = (*max_id).max(raw);
+    let label = f[1];
+    if !is_valid_tenant(label) {
+        return Err(format!("bad alarm label `{label}`"));
+    }
+    Ok(Alarm::restore(
+        AlarmId::from_raw(raw),
+        label.into(),
+        SimTime::from_millis(parse_u64(f[2])?),
+        SimDuration::from_millis(parse_u64(f[3])?),
+        SimDuration::from_millis(parse_u64(f[4])?),
+        parse_repeat(f[5])?,
+        match f[6] {
+            "w" => AlarmKind::Wakeup,
+            "n" => AlarmKind::NonWakeup,
+            other => return Err(format!("bad alarm kind `{other}`")),
+        },
+        HardwareSet::from_bits(
+            u16::try_from(parse_u64(f[7])?).map_err(|_| "hardware bits out of range")?,
+        ),
+        parse_u64(f[8])? != 0,
+        SimDuration::from_millis(parse_u64(f[9])?),
+        parse_u64(f[10])? != 0,
+        parse_u32(f[11])?,
+    ))
+}
+
+fn expect_kv<'a>(line: Option<&'a str>, key: &str) -> Result<&'a str, String> {
+    let line = line.ok_or_else(|| format!("missing `{key}` line"))?;
+    line.strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| format!("expected `{key}=…`, got `{line}`"))
+}
+
+fn split_n(s: &str, n: usize) -> Result<Vec<&str>, String> {
+    let fields: Vec<&str> = s.splitn(n, ',').collect();
+    if fields.len() != n {
+        return Err(format!("expected {n} fields in `{s}`"));
+    }
+    Ok(fields)
+}
+
+fn parse_u64(s: &str) -> Result<u64, String> {
+    s.parse().map_err(|_| format!("bad number `{s}`"))
+}
+
+fn parse_u32(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| format!("bad number `{s}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repeating(tenant: &str, nominal_ms: u64, repeat_ms: u64) -> RegisterRequest {
+        let mut req = RegisterRequest::simple(tenant, nominal_ms);
+        req.repeat_ms = Some(repeat_ms);
+        req.beta = Some(0.5);
+        req
+    }
+
+    #[test]
+    fn register_query_cancel_roundtrip() {
+        let mut live = LiveScheduler::new("simty").expect("scheduler");
+        let out = live.register(&repeating("mail", 60_000, 600_000));
+        let RegisterOutcome::Admitted { ordinal, .. } = out else {
+            panic!("expected admitted, got {out:?}");
+        };
+        assert_eq!(ordinal, 0);
+        let (stats, views) = live.query("mail").expect("tenant");
+        assert_eq!(stats.registered, 1);
+        assert_eq!(views.len(), 1);
+        assert_eq!(views[0].repeat_ms, Some(600_000));
+        assert!(live.cancel("mail", ordinal));
+        assert!(!live.cancel("mail", ordinal), "second cancel is a no-op");
+        assert_eq!(live.alarm_count(), 0);
+        assert!(live.verify().is_empty());
+    }
+
+    #[test]
+    fn invalid_shapes_and_tenants_are_typed_errors() {
+        let mut live = LiveScheduler::new("simty").expect("scheduler");
+        let bad_tenant = live.register(&RegisterRequest::simple("no spaces", 1_000));
+        assert!(matches!(
+            bad_tenant,
+            RegisterOutcome::Invalid { code: "bad-tenant", .. }
+        ));
+        let mut zero_repeat = RegisterRequest::simple("a", 1_000);
+        zero_repeat.repeat_ms = Some(0);
+        assert!(matches!(
+            live.register(&zero_repeat),
+            RegisterOutcome::Invalid { code: "bad-alarm-shape", .. }
+        ));
+        let mut stale = RegisterRequest::simple("a", 1_000);
+        stale.now_ms = Some(5_000);
+        assert!(matches!(
+            live.register(&stale),
+            RegisterOutcome::Invalid { code: "rejected-by-manager", .. }
+        ));
+    }
+
+    #[test]
+    fn admission_storm_rejects_with_typed_retry_after() {
+        let mut live = LiveScheduler::new("simty").expect("scheduler");
+        let mut rejected = None;
+        for i in 0..64 {
+            let mut req = repeating("storm", 3_600_000 + i, 600_000);
+            req.now_ms = Some(1_000);
+            if let RegisterOutcome::Rejected { retry_after_ms } = live.register(&req) {
+                rejected = Some(retry_after_ms);
+                break;
+            }
+        }
+        let retry_after_ms = rejected.expect("the storm must eventually be rejected");
+        assert!(retry_after_ms > 0);
+        let (stats, _) = live.query("storm").expect("tenant");
+        assert!(stats.rejected >= 1);
+        assert!(live.verify().is_empty());
+    }
+
+    #[test]
+    fn advance_delivers_and_prunes_one_shots() {
+        let mut live = LiveScheduler::new("simty").expect("scheduler");
+        live.register(&RegisterRequest::simple("one", 10_000));
+        live.register(&repeating("rep", 20_000, 600_000));
+        assert_eq!(live.next_wakeup_ms(), Some(10_000));
+        let delivered = live.advance(700_000);
+        assert!(delivered >= 2, "both alarms due, got {delivered}");
+        let (one_stats, one_views) = live.query("one").expect("one");
+        assert_eq!(one_stats.delivered, 1);
+        assert!(one_views.is_empty(), "one-shot must be pruned");
+        let (rep_stats, rep_views) = live.query("rep").expect("rep");
+        assert!(rep_stats.delivered >= 1);
+        assert_eq!(rep_views.len(), 1, "repeating alarm must live on");
+        assert!(live.verify().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_is_byte_identical() {
+        let mut live = LiveScheduler::new("simty").expect("scheduler");
+        for i in 0..6 {
+            let mut req = repeating(&format!("app{i}"), 60_000 + i * 7_000, 600_000);
+            req.hardware_bits = (i % 4) as u16;
+            req.now_ms = Some(1_000 + i * 100);
+            live.register(&req);
+        }
+        live.register(&RegisterRequest::simple("app0", 90_000));
+        live.cancel("app1", 0);
+        live.advance(65_000);
+        let payload = live.snapshot_payload();
+        let digest = live.digest();
+
+        let restored = LiveScheduler::restore_payload(&payload).expect("restore");
+        assert_eq!(restored.snapshot_payload(), payload, "snapshot must round-trip");
+        assert_eq!(restored.digest(), digest, "digest must round-trip");
+        assert!(restored.verify().is_empty());
+    }
+
+    #[test]
+    fn restored_scheduler_keeps_working() {
+        let mut live = LiveScheduler::new("native").expect("scheduler");
+        live.register(&repeating("app", 60_000, 600_000));
+        let payload = live.snapshot_payload();
+        let mut restored = LiveScheduler::restore_payload(&payload).expect("restore");
+        let out = restored.register(&repeating("app", 120_000, 600_000));
+        let RegisterOutcome::Admitted { ordinal, .. } = out else {
+            panic!("restored scheduler must admit, got {out:?}");
+        };
+        assert_eq!(ordinal, 1, "ordinals continue from the snapshot");
+        assert!(restored.verify().is_empty());
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_typed_error() {
+        assert!(LiveScheduler::restore_payload("garbage").is_err());
+        let live = LiveScheduler::new("simty").expect("scheduler");
+        let payload = live.snapshot_payload();
+        let truncated = &payload[..payload.len() / 2];
+        assert!(LiveScheduler::restore_payload(truncated).is_err());
+    }
+}

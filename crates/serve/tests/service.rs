@@ -1,0 +1,404 @@
+//! End-to-end lifecycle tests for the standby scheduler service: real
+//! sockets, overload shedding, slowloris deadlines, graceful drain with
+//! zero dropped in-flight requests, byte-identical restart, and the
+//! seeded network-fault drill.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::thread;
+use std::time::Duration;
+
+use simty_serve::load::{self, LoadSpec};
+use simty_serve::server::{spawn, ServeConfig};
+use simty_serve::transport::FaultPlan;
+
+/// Sends one raw HTTP exchange over a fresh connection and returns the
+/// full response text (the request must ask for `connection: close`).
+fn exchange(addr: &str, wire: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .expect("timeout");
+    stream.write_all(wire.as_bytes()).expect("write");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    out
+}
+
+fn get(addr: &str, path: &str) -> String {
+    exchange(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nconnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: &str, path: &str, body: &str) -> String {
+    exchange(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\ncontent-length: {}\r\nconnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+fn status_of(response: &str) -> u16 {
+    response
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code")
+}
+
+fn register_body(tenant: &str, nominal_ms: u64) -> String {
+    format!("{{\"tenant\":\"{tenant}\",\"nominal_ms\":{nominal_ms},\"repeat_ms\":600000,\"beta\":0.5}}")
+}
+
+#[test]
+fn end_to_end_register_query_cancel_and_metrics() {
+    let handle = spawn(ServeConfig::default()).expect("spawn");
+    let addr = handle.addr().to_string();
+
+    assert_eq!(status_of(&get(&addr, "/healthz")), 200);
+
+    let reg = post(&addr, "/v1/register", &register_body("mail", 60_000));
+    assert_eq!(status_of(&reg), 200, "register: {reg}");
+    assert!(reg.contains("\"ordinal\":0"));
+
+    let query = get(&addr, "/v1/query?tenant=mail");
+    assert_eq!(status_of(&query), 200);
+    assert!(query.contains("\"registered\":1"));
+    assert!(query.contains("\"live\":1"));
+
+    let next = get(&addr, "/v1/next");
+    assert!(next.contains("\"next_wakeup_ms\":60000"), "next: {next}");
+
+    let metrics = get(&addr, "/metrics");
+    assert!(metrics.contains("serve_requests_total"));
+    assert!(metrics.contains("serve_alarms_live 1"));
+    assert!(metrics.contains("serve_invariant_violations 0"));
+
+    let cancel = post(&addr, "/v1/cancel", "{\"tenant\":\"mail\",\"ordinal\":0}");
+    assert_eq!(status_of(&cancel), 200);
+    assert_eq!(
+        status_of(&post(&addr, "/v1/cancel", "{\"tenant\":\"mail\",\"ordinal\":0}")),
+        404,
+        "second cancel must be a typed 404"
+    );
+
+    assert_eq!(status_of(&get(&addr, "/nope")), 404);
+    assert_eq!(status_of(&post(&addr, "/v1/register", "not json")), 400);
+    assert_eq!(
+        status_of(&post(&addr, "/v1/register", "{\"tenant\":\"bad name\",\"nominal_ms\":1}")),
+        400
+    );
+
+    handle.shutdown();
+    let drain = handle.join();
+    assert_eq!(drain.invariant_violations, 0);
+    assert_eq!(drain.accepted, drain.completed);
+}
+
+#[test]
+fn admission_storm_yields_429_with_retry_after() {
+    let handle = spawn(ServeConfig::default()).expect("spawn");
+    let addr = handle.addr().to_string();
+    let mut saw_reject = false;
+    for i in 0..64 {
+        let resp = post(&addr, "/v1/register", &register_body("storm", 3_600_000 + i));
+        if status_of(&resp) == 429 {
+            assert!(
+                resp.contains("retry-after: "),
+                "429 must carry Retry-After: {resp}"
+            );
+            saw_reject = true;
+            break;
+        }
+    }
+    assert!(saw_reject, "the storm must eventually be rejected");
+    handle.shutdown();
+    assert_eq!(handle.join().invariant_violations, 0);
+}
+
+#[test]
+fn full_work_queue_sheds_with_503() {
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        deadline: Duration::from_millis(1_500),
+        ..ServeConfig::default()
+    };
+    let handle = spawn(config).expect("spawn");
+    let addr = handle.addr().to_string();
+
+    // Park the single worker on an idle connection (it blocks in read
+    // until the deadline) and fill the one queue slot with another.
+    let parked: Vec<TcpStream> = (0..2)
+        .map(|_| TcpStream::connect(&addr).expect("connect"))
+        .collect();
+    thread::sleep(Duration::from_millis(200));
+
+    // Open the probes concurrently — a serial probe would only ever
+    // have one connection outstanding and could never fill the queue.
+    let probes: Vec<TcpStream> = (0..6)
+        .map(|_| {
+            let stream = TcpStream::connect(&addr).expect("connect");
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("timeout");
+            stream
+        })
+        .collect();
+    let mut shed = 0;
+    for mut stream in probes {
+        let mut out = String::new();
+        if stream.read_to_string(&mut out).is_ok() && out.contains("503") {
+            assert!(out.contains("overloaded"), "shed body: {out}");
+            shed += 1;
+        }
+    }
+    assert!(shed > 0, "an overloaded queue must shed connections");
+    drop(parked);
+
+    handle.shutdown();
+    let drain = handle.join();
+    assert!(drain.shed >= shed as u64);
+    assert_eq!(drain.accepted, drain.completed, "no accepted connection may be dropped");
+}
+
+#[test]
+fn slowloris_gets_a_typed_408() {
+    let config = ServeConfig {
+        deadline: Duration::from_millis(150),
+        ..ServeConfig::default()
+    };
+    let handle = spawn(config).expect("spawn");
+    let addr = handle.addr().to_string();
+
+    let mut stream = TcpStream::connect(&addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("timeout");
+    // A request head that never finishes.
+    stream.write_all(b"GET /healthz HTT").expect("write");
+    let mut out = String::new();
+    stream.read_to_string(&mut out).expect("read");
+    assert!(out.starts_with("HTTP/1.1 408"), "slowloris response: {out}");
+    assert!(out.contains("deadline"));
+
+    let metrics = get(&addr, "/metrics");
+    assert!(
+        metrics.contains("serve_timeout_total 1"),
+        "timeout counter: {metrics}"
+    );
+    handle.shutdown();
+    handle.join();
+}
+
+#[test]
+fn oversized_and_malformed_requests_get_typed_errors() {
+    let handle = spawn(ServeConfig::default()).expect("spawn");
+    let addr = handle.addr().to_string();
+
+    let garbage = exchange(&addr, "GARBAGE\r\n\r\n");
+    assert_eq!(status_of(&garbage), 400);
+
+    let huge_body = exchange(
+        &addr,
+        "POST /v1/register HTTP/1.1\r\ncontent-length: 9999999\r\nconnection: close\r\n\r\n",
+    );
+    assert_eq!(status_of(&huge_body), 413);
+
+    let delete = exchange(&addr, "DELETE /v1/register HTTP/1.1\r\n\r\n");
+    assert_eq!(status_of(&delete), 405);
+
+    let huge_head = format!(
+        "GET / HTTP/1.1\r\nx-pad: {}\r\nconnection: close\r\n\r\n",
+        "a".repeat(9_000)
+    );
+    assert_eq!(status_of(&exchange(&addr, &huge_head)), 431);
+
+    // A connection torn mid-request must not disturb the next one.
+    {
+        let mut stream = TcpStream::connect(&addr).expect("connect");
+        stream
+            .write_all(b"POST /v1/register HTTP/1.1\r\ncontent-length: 50\r\n\r\n{\"ten")
+            .expect("write");
+        drop(stream);
+    }
+    assert_eq!(status_of(&get(&addr, "/healthz")), 200);
+
+    handle.shutdown();
+    let drain = handle.join();
+    assert_eq!(drain.invariant_violations, 0);
+}
+
+#[test]
+fn drain_finishes_in_flight_and_restart_resumes_byte_identically() {
+    let dir = std::env::temp_dir().join(format!("serve-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = ServeConfig {
+        state_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+    let handle = spawn(config.clone()).expect("spawn");
+    let addr = handle.addr().to_string();
+
+    for i in 0..5 {
+        let resp = post(&addr, "/v1/register", &register_body("app", 60_000 + i * 1_000));
+        assert_eq!(status_of(&resp), 200, "register {i}: {resp}");
+    }
+    post(&addr, "/v1/cancel", "{\"tenant\":\"app\",\"ordinal\":1}");
+    post(&addr, "/v1/advance", "{\"now_ms\":61000}");
+    let digest = get(&addr, "/v1/state");
+
+    handle.shutdown();
+    let drain = handle.join();
+    assert_eq!(drain.accepted, drain.completed, "zero dropped in-flight");
+    assert_eq!(drain.invariant_violations, 0);
+    let ckpt = drain.checkpoint.expect("drain must checkpoint");
+    assert!(ckpt.exists(), "checkpoint file must exist");
+
+    // Kill-and-restart: the resumed server reports the same
+    // tenant-visible state, byte for byte, and keeps working.
+    let restarted = spawn(config).expect("respawn");
+    let addr2 = restarted.addr().to_string();
+    let digest2 = get(&addr2, "/v1/state");
+    let tail = |d: &str| d.split_once("\r\n\r\n").map(|x| x.1).unwrap_or_default().to_owned();
+    assert_eq!(tail(&digest2), tail(&digest), "restart must resume byte-identically");
+
+    let resp = post(&addr2, "/v1/register", &register_body("app", 120_000));
+    assert_eq!(status_of(&resp), 200);
+    assert!(resp.contains("\"ordinal\":5"), "ordinals continue: {resp}");
+
+    restarted.shutdown();
+    assert_eq!(restarted.join().invariant_violations, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Runs `tenants` concurrent client threads, each with a deterministic
+/// per-tenant request sequence, and returns the final digest body.
+fn concurrent_tenant_run(tenants: usize) -> String {
+    let handle = spawn(ServeConfig::default()).expect("spawn");
+    let addr = handle.addr().to_string();
+    let mut threads = Vec::new();
+    for t in 0..tenants {
+        let addr = addr.clone();
+        threads.push(thread::spawn(move || {
+            let tenant = format!("tenant{t}");
+            for k in 0..6u64 {
+                let resp = post(
+                    &addr,
+                    "/v1/register",
+                    &register_body(&tenant, 60_000 + (t as u64) * 10_000 + k * 1_000),
+                );
+                assert_eq!(status_of(&resp), 200);
+            }
+            post(&addr, "/v1/cancel", &format!("{{\"tenant\":\"{tenant}\",\"ordinal\":2}}"));
+            get(&addr, &format!("/v1/query?tenant={tenant}"));
+        }));
+    }
+    for t in threads {
+        t.join().expect("tenant thread");
+    }
+    let digest = get(&addr, "/v1/state");
+    handle.shutdown();
+    let drain = handle.join();
+    assert_eq!(drain.invariant_violations, 0);
+    digest.split_once("\r\n\r\n").map(|x| x.1).unwrap_or_default().to_owned()
+}
+
+#[test]
+fn concurrent_tenants_produce_a_deterministic_digest() {
+    let a = concurrent_tenant_run(4);
+    let b = concurrent_tenant_run(4);
+    assert_eq!(a, b, "digest must not depend on tenant interleaving");
+}
+
+#[test]
+fn every_fault_profile_leaves_the_engine_consistent() {
+    for profile in FaultPlan::PROFILES {
+        if profile == "none" {
+            continue;
+        }
+        let handle = spawn(ServeConfig::default()).expect("spawn");
+        let spec = LoadSpec {
+            addr: handle.addr().to_string(),
+            connections: 24,
+            concurrency: 4,
+            tenants: 3,
+            seed: 7,
+            fault: FaultPlan::named(profile).expect("profile"),
+            deadline: Duration::from_millis(2_000),
+        };
+        let report = load::run(&spec);
+        assert!(report.sent > 0, "profile {profile}: no requests reached the wire");
+
+        // The engine must still be fully consistent and serving.
+        let addr = handle.addr().to_string();
+        let resp = post(&addr, "/v1/register", &register_body("survivor", 3_600_000));
+        assert_eq!(status_of(&resp), 200, "profile {profile}: {resp}");
+        let metrics = get(&addr, "/metrics");
+        assert!(
+            metrics.contains("serve_invariant_violations 0"),
+            "profile {profile}: {metrics}"
+        );
+        handle.shutdown();
+        let drain = handle.join();
+        assert_eq!(
+            drain.invariant_violations, 0,
+            "profile {profile} corrupted the engine"
+        );
+        assert_eq!(drain.accepted, drain.completed, "profile {profile}");
+    }
+}
+
+#[test]
+fn server_side_fault_drill_stays_consistent() {
+    let config = ServeConfig {
+        fault: FaultPlan::named("mixed").expect("profile"),
+        seed: 11,
+        ..ServeConfig::default()
+    };
+    let handle = spawn(config).expect("spawn");
+    let spec = LoadSpec {
+        addr: handle.addr().to_string(),
+        connections: 24,
+        concurrency: 4,
+        tenants: 3,
+        seed: 7,
+        fault: FaultPlan::none(),
+        deadline: Duration::from_millis(2_000),
+    };
+    let report = load::run(&spec);
+    assert!(report.sent > 0);
+    handle.shutdown();
+    let drain = handle.join();
+    assert!(drain.net_faults > 0, "the server-side drill must have fired");
+    assert_eq!(drain.invariant_violations, 0);
+    assert_eq!(drain.accepted, drain.completed);
+}
+
+#[test]
+fn load_harness_emits_the_serve_document() {
+    let server = ServeConfig {
+        workers: 2,
+        queue_depth: 2,
+        ..ServeConfig::default()
+    };
+    let load_spec = LoadSpec {
+        connections: 60,
+        concurrency: 8,
+        tenants: 2,
+        seed: 3,
+        ..LoadSpec::default()
+    };
+    let (report, drain, json) = load::drive(server, load_spec, "none").expect("drive");
+    assert!(report.sent > 0);
+    assert_eq!(drain.invariant_violations, 0);
+    assert_eq!(drain.accepted, drain.completed);
+    assert!(json.contains("\"schema\": \"simty-serve/v1\""));
+    assert!(json.contains("\"server\""));
+    let parsed = simty_bench::JsonValue::parse(&json).expect("document parses");
+    assert!(parsed.get("load").is_some());
+}
